@@ -1,0 +1,457 @@
+package xoridx
+
+// One benchmark per table/figure of the paper, plus ablations of the
+// design choices called out in DESIGN.md. Custom metrics report the
+// reproduced quantities (%removed, switch counts) alongside the usual
+// ns/op, so `go test -bench=.` regenerates the evaluation in
+// miniature; `go run ./cmd/tables` produces the full tables.
+
+import (
+	"testing"
+
+	"xoridx/internal/cache"
+	"xoridx/internal/core"
+	"xoridx/internal/experiments"
+	"xoridx/internal/gf2"
+	"xoridx/internal/hash"
+	"xoridx/internal/hwcost"
+	"xoridx/internal/netlist"
+	"xoridx/internal/optimal"
+	"xoridx/internal/profile"
+	"xoridx/internal/search"
+	"xoridx/internal/workloads"
+)
+
+// BenchmarkEq3DesignSpaceCounts reproduces the §2 design-space figures
+// (3.4e38 matrices vs 6.3e19 null spaces at n=16, m=8).
+func BenchmarkEq3DesignSpaceCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = gf2.CountHashFunctions(16, 8)
+		_ = gf2.CountNullSpaces(16, 8)
+	}
+}
+
+// BenchmarkTable1SwitchCounts reproduces Table 1 from both the closed
+// form and the executable netlists and reports the permutation-based
+// switch count as a metric.
+func BenchmarkTable1SwitchCounts(b *testing.B) {
+	var switches int
+	for i := 0; i < b.N; i++ {
+		for _, m := range []int{8, 10, 12} {
+			for _, s := range hwcost.Styles() {
+				switches = hwcost.Switches(s, 16, m)
+			}
+			nl := netlist.NewPermutationXOR2(16, m)
+			if nl.SwitchCount() != hwcost.Switches(hwcost.PermutationXOR2, 16, m) {
+				b.Fatal("netlist disagrees with formula")
+			}
+		}
+	}
+	b.ReportMetric(float64(hwcost.Switches(hwcost.PermutationXOR2, 16, 8)), "perm-switches-m8")
+	_ = switches
+}
+
+// BenchmarkFig2NetlistEval measures the configured Fig. 2b network's
+// evaluation throughput (one full index+tag computation per op).
+func BenchmarkFig2NetlistEval(b *testing.B) {
+	nl := netlist.NewPermutationXOR2(16, 8)
+	h := gf2.Identity(16, 8)
+	h.Cols[0] |= gf2.Unit(12)
+	h.Cols[3] |= gf2.Unit(9)
+	if err := nl.Configure(h); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nl.Eval(uint64(i) & 0xFFFF)
+	}
+}
+
+// BenchmarkFig1Profiling measures the profiling pass (paper Fig. 1) in
+// accesses per second on the fft workload at the 4 KB capacity filter.
+func BenchmarkFig1Profiling(b *testing.B) {
+	tr := mustWorkload(b, "fft").Data(1)
+	blocks := tr.Blocks(4, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profile.Build(blocks, 16, 1024)
+	}
+	b.ReportMetric(float64(len(blocks)), "accesses/pass")
+}
+
+// BenchmarkConstructGeneralXOR times one full general-XOR construction
+// at the paper's largest dimensions (the §3.2 "0.5 to 10 seconds"
+// claim; modern hardware is far faster).
+func BenchmarkConstructGeneralXOR(b *testing.B) {
+	tr := mustWorkload(b, "fft").Data(1)
+	p := profile.Build(tr.Blocks(4, 16), 16, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Construct(p, 8, search.Options{Family: hash.FamilyGeneralXOR}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConstructPermutation2 times the constrained matrix-space
+// search used for the deployable 2-input functions.
+func BenchmarkConstructPermutation2(b *testing.B) {
+	tr := mustWorkload(b, "fft").Data(1)
+	p := profile.Build(tr.Blocks(4, 16), 16, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Construct(p, 8, search.Options{Family: hash.FamilyPermutation, MaxInputs: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTable2Cell runs one Table 2 cell (benchmark × cache size) and
+// reports the 2-in removal percentage as a metric.
+func benchTable2Cell(b *testing.B, bench string, instruction bool, cacheKB int) {
+	w := mustWorkload(b, bench)
+	var tr = w.Data(1)
+	if instruction {
+		tr = w.Instr(1)
+	}
+	var removed float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.Config{
+			CacheBytes: cacheKB * 1024,
+			Family:     hash.FamilyPermutation,
+			MaxInputs:  2,
+			NoFallback: true,
+		}
+		res, err := core.Tune(tr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		removed = 100 * res.MissesRemoved()
+	}
+	b.ReportMetric(removed, "%removed")
+}
+
+// BenchmarkTable2Data* regenerate representative Table 2 data-cache
+// cells (full table: go run ./cmd/tables -table 2d).
+func BenchmarkTable2Data1KB(b *testing.B)  { benchTable2Cell(b, "fft", false, 1) }
+func BenchmarkTable2Data4KB(b *testing.B)  { benchTable2Cell(b, "adpcm_dec", false, 4) }
+func BenchmarkTable2Data16KB(b *testing.B) { benchTable2Cell(b, "rijndael", false, 16) }
+
+// BenchmarkTable2Instr* regenerate representative instruction-cache
+// cells (full table: go run ./cmd/tables -table 2i).
+func BenchmarkTable2Instr1KB(b *testing.B)  { benchTable2Cell(b, "dijkstra", true, 1) }
+func BenchmarkTable2Instr4KB(b *testing.B)  { benchTable2Cell(b, "jpeg_enc", true, 4) }
+func BenchmarkTable2Instr16KB(b *testing.B) { benchTable2Cell(b, "rijndael", true, 16) }
+
+// BenchmarkExp1GeneralVsPermutation reproduces the §6 in-text
+// comparison on one benchmark, reporting both removal percentages.
+func BenchmarkExp1GeneralVsPermutation(b *testing.B) {
+	tr := mustWorkload(b, "susan").Data(1)
+	cfg := core.Config{CacheBytes: 4096, NoFallback: true}
+	p, err := core.BuildProfile(tr, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var genPct, permPct float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := cfg
+		g.Family = hash.FamilyGeneralXOR
+		gres, err := core.TuneProfiled(tr, p, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pm := cfg
+		pm.Family = hash.FamilyPermutation
+		pres, err := core.TuneProfiled(tr, p, pm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		genPct = 100 * gres.MissesRemoved()
+		permPct = 100 * pres.MissesRemoved()
+	}
+	b.ReportMetric(genPct, "%general")
+	b.ReportMetric(permPct, "%permutation")
+}
+
+// BenchmarkTable3OptimalBitSelect times the exhaustive Patel-style
+// optimal search on one PowerStone trace (the "very slow" baseline).
+func BenchmarkTable3OptimalBitSelect(b *testing.B) {
+	tr := mustWorkload(b, "engine").Data(1)
+	if tr.Len() > experiments.Table3MaxTrace {
+		tr.Accesses = tr.Accesses[:experiments.Table3MaxTrace]
+	}
+	blocks := tr.Blocks(4, 16)
+	b.ResetTimer()
+	var removed float64
+	base := float64(0)
+	for i := 0; i < b.N; i++ {
+		res, err := optimal.ExactBitSelect(blocks, 16, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conv := optimalConvMisses(blocks)
+		base = float64(conv)
+		removed = 100 * (1 - float64(res.Misses)/float64(conv))
+	}
+	b.ReportMetric(removed, "%removed-opt")
+	_ = base
+}
+
+// optimalConvMisses simulates the conventional function for the Table 3
+// baseline.
+func optimalConvMisses(blocks []uint64) uint64 {
+	f := hash.Modulo(16, 10)
+	misses := uint64(0)
+	tags := make([]uint64, 1024)
+	for _, blk := range blocks {
+		idx := f.Index(blk)
+		if tags[idx] != blk+1 {
+			misses++
+			tags[idx] = blk + 1
+		}
+	}
+	return misses
+}
+
+// BenchmarkTable3Row runs one complete Table 3 row (all six columns).
+func BenchmarkTable3Row(b *testing.B) {
+	var row experiments.Table3Row
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3For([]string{"engine"}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row = rows[0]
+	}
+	b.ReportMetric(row.OptPct, "%opt")
+	b.ReportMetric(row.In2Pct, "%2-in")
+	b.ReportMetric(row.FAPct, "%FA")
+}
+
+// BenchmarkAblationEstimatorVsSimulation quantifies the paper's key
+// algorithmic choice: scoring a candidate via the Eq. 4 null-space
+// estimate instead of re-simulating the trace. The reported metric is
+// the speedup factor.
+func BenchmarkAblationEstimatorVsSimulation(b *testing.B) {
+	tr := mustWorkload(b, "fft").Data(1)
+	blocks := tr.Blocks(4, 16)
+	p := profile.Build(blocks, 16, 1024)
+	h := gf2.Identity(16, 10)
+	h.Cols[0] |= gf2.Unit(12)
+	ns := h.NullSpace()
+	f := hash.MustXOR(h)
+	b.Run("estimate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.EstimateSubspace(ns)
+		}
+	})
+	b.Run("simulate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tags := make([]uint64, 1024)
+			for _, blk := range blocks {
+				idx := f.Index(blk)
+				if tags[idx] != blk+1 {
+					tags[idx] = blk + 1
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRestarts measures what the (beyond-paper) random
+// restarts add over the single conventional start.
+func BenchmarkAblationRestarts(b *testing.B) {
+	tr := mustWorkload(b, "mpeg2_dec").Data(1)
+	p := profile.Build(tr.Blocks(4, 16), 16, 1024)
+	for _, restarts := range []int{0, 3} {
+		name := "paper-single-start"
+		if restarts > 0 {
+			name = "with-3-restarts"
+		}
+		b.Run(name, func(b *testing.B) {
+			var est uint64
+			for i := 0; i < b.N; i++ {
+				res, err := search.Construct(p, 10, search.Options{
+					Family: hash.FamilyPermutation, MaxInputs: 2,
+					Restarts: restarts, Seed: 42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				est = res.Estimated
+			}
+			b.ReportMetric(float64(est), "est-misses")
+		})
+	}
+}
+
+// BenchmarkCacheSimulator measures raw simulation throughput.
+func BenchmarkCacheSimulator(b *testing.B) {
+	tr := mustWorkload(b, "susan").Data(1)
+	cfg := core.Config{CacheBytes: 4096}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Tune(tr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+	b.SetBytes(int64(tr.Len()))
+}
+
+func mustWorkload(b *testing.B, name string) workloads.Workload {
+	b.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkAblationAnnealVsHillClimb compares the paper's hill climber
+// with the simulated-annealing variant (§3.3's "improved search phase")
+// on the same profile, reporting both final estimates.
+func BenchmarkAblationAnnealVsHillClimb(b *testing.B) {
+	tr := mustWorkload(b, "mpeg2_dec").Data(1)
+	p := profile.Build(tr.Blocks(4, 16), 16, 1024)
+	b.Run("hill-climb", func(b *testing.B) {
+		var est uint64
+		for i := 0; i < b.N; i++ {
+			res, err := search.Construct(p, 10, search.Options{Family: hash.FamilyGeneralXOR})
+			if err != nil {
+				b.Fatal(err)
+			}
+			est = res.Estimated
+		}
+		b.ReportMetric(float64(est), "est-misses")
+	})
+	b.Run("anneal-20k", func(b *testing.B) {
+		var est uint64
+		for i := 0; i < b.N; i++ {
+			res, err := search.Anneal(p, 10, search.AnnealOptions{Steps: 20000, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			est = res.Estimated
+		}
+		b.ReportMetric(float64(est), "est-misses")
+	})
+}
+
+// BenchmarkAblationParallelSearch measures the parallel neighbor
+// evaluation speedup on the general-XOR search.
+func BenchmarkAblationParallelSearch(b *testing.B) {
+	tr := mustWorkload(b, "fft").Data(1)
+	p := profile.Build(tr.Blocks(4, 16), 16, 256)
+	for _, workers := range []int{1, 4} {
+		name := "sequential"
+		if workers > 1 {
+			name = "4-workers"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := search.Construct(p, 8, search.Options{
+					Family: hash.FamilyGeneralXOR, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionHierarchy runs the two-level hierarchy with and
+// without a tuned L1 index and reports the AMAT of each.
+func BenchmarkExtensionHierarchy(b *testing.B) {
+	tr := mustWorkload(b, "fft").Data(1)
+	res, err := core.Tune(tr, core.Config{CacheBytes: 1024, Family: hash.FamilyPermutation, MaxInputs: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var amatConv, amatXOR float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l2 := cache.Config{SizeBytes: 16384, BlockBytes: 16, Ways: 4, Index: hash.Modulo(16, 8)}
+		conv, err := cache.NewHierarchy(cache.Config{SizeBytes: 1024, BlockBytes: 4, Ways: 1}, l2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conv.Run(tr)
+		amatConv = conv.AMAT(1, 8, 60)
+		tuned, err := cache.NewHierarchy(cache.Config{SizeBytes: 1024, BlockBytes: 4, Ways: 1, Index: res.Func}, l2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuned.Run(tr)
+		amatXOR = tuned.AMAT(1, 8, 60)
+	}
+	b.ReportMetric(amatConv, "AMAT-conv")
+	b.ReportMetric(amatXOR, "AMAT-xor")
+}
+
+// BenchmarkExtensionFixedHashes scores the related-work fixed hashes
+// against the tuned function on one workload (misses reported).
+func BenchmarkExtensionFixedHashes(b *testing.B) {
+	var rows []experiments.FixedRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.FixedVsTuned([]string{"susan"}, 4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) > 0 {
+		b.ReportMetric(float64(rows[0].Poly), "poly-misses")
+		b.ReportMetric(float64(rows[0].Tuned), "tuned-misses")
+	}
+}
+
+// BenchmarkExtensionOptimalXOR times the exhaustive optimal-XOR search
+// (paper §7's open problem) at a feasible size.
+func BenchmarkExtensionOptimalXOR(b *testing.B) {
+	var blocks []uint64
+	for rep := 0; rep < 30; rep++ {
+		for i := uint64(0); i < 24; i++ {
+			blocks = append(blocks, i*16, i*16^0x155)
+		}
+	}
+	p := profile.Build(blocks, 9, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimal.ExhaustiveXOR(p, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationConstructiveVsSearch compares the cheap covering
+// heuristic (refs [1]/[4] style) with the paper's hill climber.
+func BenchmarkAblationConstructiveVsSearch(b *testing.B) {
+	tr := mustWorkload(b, "susan").Data(1)
+	p := profile.Build(tr.Blocks(4, 16), 16, 1024)
+	b.Run("constructive", func(b *testing.B) {
+		var est uint64
+		for i := 0; i < b.N; i++ {
+			res, err := search.Constructive(p, 10, 2, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			est = res.Estimated
+		}
+		b.ReportMetric(float64(est), "est-misses")
+	})
+	b.Run("hill-climb", func(b *testing.B) {
+		var est uint64
+		for i := 0; i < b.N; i++ {
+			res, err := search.Construct(p, 10, search.Options{Family: hash.FamilyPermutation, MaxInputs: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			est = res.Estimated
+		}
+		b.ReportMetric(float64(est), "est-misses")
+	})
+}

@@ -1,0 +1,238 @@
+package xoridx
+
+// End-to-end integration tests of the command-line toolchain:
+// tracegen → xoridx (construct, save, bitstream) → xoridx -apply, and
+// the tables regenerator. The binaries are built once into a temp dir.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "xoridx-cli")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"tracegen", "xoridx", "tables"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			panic("building " + tool + ": " + err.Error() + "\n" + string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, tool string, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstdout:\n%s\nstderr:\n%s", tool, args, err, stdout.String(), stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+func runExpectFail(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v should have failed\n%s", tool, args, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "fft.xtr")
+	fnFile := filepath.Join(dir, "fft.fn")
+
+	_, stderr := run(t, "tracegen", "-bench", "fft", "-out", traceFile)
+	if !strings.Contains(stderr, "accesses") {
+		t.Fatalf("tracegen summary missing: %q", stderr)
+	}
+
+	stdout, _ := run(t, "xoridx", "-trace", traceFile, "-cache", "1024",
+		"-verbose", "-bitstream", "-save", fnFile)
+	for _, frag := range []string{
+		"permutation-based (2-in)",
+		"hottest conflict vectors",
+		"misses removed",
+		"configuration bitstream (72 bits",
+		"matrix written to",
+	} {
+		if !strings.Contains(stdout, frag) {
+			t.Errorf("xoridx output missing %q:\n%s", frag, stdout)
+		}
+	}
+
+	// The saved function must reproduce the same miss count via -apply.
+	applyOut, _ := run(t, "xoridx", "-trace", traceFile, "-cache", "1024", "-apply", fnFile)
+	if !strings.Contains(applyOut, "misses removed") {
+		t.Fatalf("apply output:\n%s", applyOut)
+	}
+	// Extract the optimized miss count from both outputs and compare.
+	missLine := func(out, prefix string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, prefix) {
+				return strings.Join(strings.Fields(line), " ")
+			}
+		}
+		return ""
+	}
+	a := missLine(stdout, "optimized misses")
+	b := missLine(applyOut, "applied-function misses")
+	aN := strings.Fields(a)
+	bN := strings.Fields(b)
+	if len(aN) < 3 || len(bN) < 3 || aN[2] != bN[2] {
+		t.Errorf("construct (%q) and apply (%q) disagree", a, b)
+	}
+}
+
+func TestCLITracegenTextFormat(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "qurt.txt")
+	run(t, "tracegen", "-bench", "qurt", "-format", "text", "-out", out)
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "# name qurt") {
+		t.Fatalf("text header wrong: %q", s[:60])
+	}
+	// Text traces feed back into xoridx (format autodetection).
+	stdout, _ := run(t, "xoridx", "-trace", out, "-cache", "1024")
+	if !strings.Contains(stdout, "baseline (modulo) misses") {
+		t.Fatalf("xoridx on text trace:\n%s", stdout)
+	}
+}
+
+func TestCLITracegenList(t *testing.T) {
+	stdout, _ := run(t, "tracegen", "-list")
+	for _, name := range []string{"fft", "rijndael", "ucbqsort", "v42"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("list missing %s", name)
+		}
+	}
+}
+
+func TestCLITracegenErrors(t *testing.T) {
+	out := runExpectFail(t, "tracegen", "-bench", "nonexistent")
+	if !strings.Contains(out, "unknown benchmark") {
+		t.Errorf("error message: %q", out)
+	}
+	runExpectFail(t, "tracegen")                                    // no -bench
+	runExpectFail(t, "tracegen", "-bench", "crc", "-kind", "instr") // powerstone has no instr
+}
+
+func TestCLITablesFast(t *testing.T) {
+	stdout, _ := run(t, "tables", "-table", "1")
+	for _, frag := range []string{"Table 1", "permutation-based", "72", "70", "60"} {
+		if !strings.Contains(stdout, frag) {
+			t.Errorf("table 1 output missing %q", frag)
+		}
+	}
+	stdout, _ = run(t, "tables", "-table", "eq3")
+	if !strings.Contains(stdout, "6.34e+19") {
+		t.Errorf("eq3 output:\n%s", stdout)
+	}
+	runExpectFail(t, "tables", "-table", "bogus")
+}
+
+func TestCLIXoridxErrors(t *testing.T) {
+	runExpectFail(t, "xoridx") // no trace
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.xtr")
+	if err := os.WriteFile(bad, []byte("R not-an-address\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runExpectFail(t, "xoridx", "-trace", bad)
+	runExpectFail(t, "xoridx", "-trace", filepath.Join(dir, "missing.xtr"))
+}
+
+func TestCLIDineroInterop(t *testing.T) {
+	dir := t.TempDir()
+	din := filepath.Join(dir, "q.din")
+	run(t, "tracegen", "-bench", "qurt", "-format", "dinero", "-out", din)
+	data, err := os.ReadFile(din)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "0 ") {
+		t.Fatalf("din output starts with %q", string(data[:8]))
+	}
+	stdout, _ := run(t, "xoridx", "-trace", din, "-cache", "1024")
+	if !strings.Contains(stdout, "baseline (modulo) misses") {
+		t.Fatalf("xoridx on din trace:\n%s", stdout)
+	}
+}
+
+func TestCLIAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "fft.xtr")
+	run(t, "tracegen", "-bench", "fft", "-out", tr)
+	stdout, _ := run(t, "xoridx", "-trace", tr, "-cache", "1024", "-analyze")
+	for _, frag := range []string{"hottest conflict vectors", "conflicting address pairs"} {
+		if !strings.Contains(stdout, frag) {
+			t.Errorf("analyze output missing %q", frag)
+		}
+	}
+}
+
+func TestCLIVerilog(t *testing.T) {
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "fft.xtr")
+	vf := filepath.Join(dir, "idx.v")
+	run(t, "tracegen", "-bench", "fft", "-out", tr)
+	stdout, _ := run(t, "xoridx", "-trace", tr, "-cache", "1024", "-verilog", vf)
+	if !strings.Contains(stdout, "Verilog module written") {
+		t.Fatalf("missing confirmation:\n%s", stdout)
+	}
+	data, err := os.ReadFile(vf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "module xoridx_index") || !strings.Contains(string(data), "endmodule") {
+		t.Fatal("emitted Verilog malformed")
+	}
+}
+
+func TestCLIAlternativeAlgorithms(t *testing.T) {
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "fft.xtr")
+	run(t, "tracegen", "-bench", "fft", "-out", tr)
+	out, _ := run(t, "xoridx", "-trace", tr, "-cache", "1024", "-algo", "constructive")
+	if !strings.Contains(out, "misses removed") {
+		t.Fatalf("constructive output:\n%s", out)
+	}
+	out, _ = run(t, "xoridx", "-trace", tr, "-cache", "1024", "-family", "general", "-algo", "anneal")
+	if !strings.Contains(out, "misses removed") {
+		t.Fatalf("anneal output:\n%s", out)
+	}
+	// Mismatched family/algo pairs are rejected.
+	runExpectFail(t, "xoridx", "-trace", tr, "-algo", "anneal") // default family: permutation
+	runExpectFail(t, "xoridx", "-trace", tr, "-algo", "bogus")
+}
+
+func TestCLISetAssociative(t *testing.T) {
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "fft.xtr")
+	run(t, "tracegen", "-bench", "fft", "-out", tr)
+	out, _ := run(t, "xoridx", "-trace", tr, "-cache", "2048", "-ways", "2")
+	if !strings.Contains(out, "2-way") || !strings.Contains(out, "(256 sets)") {
+		t.Fatalf("2-way output:\n%s", out)
+	}
+	runExpectFail(t, "xoridx", "-trace", tr, "-cache", "2048", "-ways", "3")
+}

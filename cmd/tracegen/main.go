@@ -1,0 +1,95 @@
+// Command tracegen generates workload traces to files in the binary or
+// text trace format, for use with the xoridx CLI or external tools.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -bench fft -out fft.xtr
+//	tracegen -bench rijndael -kind instr -format text -out rijndael_i.txt
+//	tracegen -bench susan -scale 2 -out susan2.xtr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xoridx/internal/trace"
+	"xoridx/internal/workloads"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available benchmarks")
+	bench := flag.String("bench", "", "benchmark name")
+	kind := flag.String("kind", "data", "trace kind: data or instr")
+	scale := flag.Int("scale", 1, "workload scale factor (>= 1)")
+	format := flag.String("format", "binary", "output format: binary, text or dinero")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			kinds := "data"
+			if w.Instr != nil {
+				kinds = "data+instr"
+			}
+			fmt.Printf("%-10s %-11s %-10s %s\n", w.Name, w.Suite, kinds, w.Desc)
+		}
+		return
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -bench required (or -list); available:", strings.Join(workloads.Names(), " "))
+		os.Exit(2)
+	}
+	if *scale < 1 {
+		fatal("-scale must be >= 1")
+	}
+	w, err := workloads.ByName(*bench)
+	if err != nil {
+		fatal(err.Error())
+	}
+	var tr *trace.Trace
+	switch *kind {
+	case "data":
+		tr = w.Data(*scale)
+	case "instr":
+		if w.Instr == nil {
+			fatal(fmt.Sprintf("benchmark %q has no instruction-trace model", *bench))
+		}
+		tr = w.Instr(*scale)
+	default:
+		fatal("-kind must be data or instr")
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err.Error())
+		}
+		defer f.Close()
+		dst = f
+	}
+	switch *format {
+	case "binary":
+		err = trace.Encode(dst, tr)
+	case "text":
+		err = trace.EncodeText(dst, tr)
+	case "dinero":
+		err = trace.EncodeDinero(dst, tr)
+	default:
+		fatal("-format must be binary, text or dinero")
+	}
+	if err != nil {
+		fatal(err.Error())
+	}
+	s := tr.ComputeStats()
+	fmt.Fprintf(os.Stderr, "tracegen: %s/%s: %d accesses, %d ops, %d unique blocks\n",
+		*bench, *kind, s.Accesses, s.Ops, s.UniqueBlocks)
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "tracegen:", msg)
+	os.Exit(2)
+}

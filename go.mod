@@ -1,0 +1,3 @@
+module xoridx
+
+go 1.22

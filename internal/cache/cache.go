@@ -1,0 +1,319 @@
+// Package cache implements a trace-driven cache simulator with
+// pluggable index functions.
+//
+// The paper's experiments use direct-mapped caches of 1, 4 and 16 KB
+// with 4-byte blocks, indexed either conventionally (modulo) or by an
+// application-specific XOR function. This simulator supports those
+// configurations plus set-associative, fully-associative and
+// skewed-associative organisations used by the baselines and related
+// work, and classifies misses into compulsory / capacity / conflict via
+// an auxiliary fully-associative LRU shadow directory.
+package cache
+
+import (
+	"fmt"
+
+	"xoridx/internal/hash"
+	"xoridx/internal/lru"
+	"xoridx/internal/trace"
+)
+
+// Replacement selects the victim policy for associative sets.
+type Replacement int
+
+const (
+	// LRU evicts the least recently used line (the paper's policy).
+	LRU Replacement = iota
+	// FIFO evicts the oldest-filled line regardless of reuse.
+	FIFO
+	// Random evicts a pseudo-random line (deterministic xorshift, so
+	// simulations stay reproducible). Random replacement dodges the
+	// cyclic-pattern pathology of LRU that the paper's §6.1 notes.
+	Random
+)
+
+// Config describes a cache organisation.
+type Config struct {
+	SizeBytes  int         // total capacity
+	BlockBytes int         // line size (power of two)
+	Ways       int         // associativity; 1 = direct mapped
+	Index      hash.Func   // index+tag function; nil = modulo over 16 bits
+	Repl       Replacement // victim policy; default LRU
+}
+
+// Blocks returns the capacity in blocks.
+func (c Config) Blocks() int { return c.SizeBytes / c.BlockBytes }
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.Blocks() / c.Ways }
+
+// SetBits returns log2(Sets).
+func (c Config) SetBits() int {
+	s := c.Sets()
+	bits := 0
+	for v := 1; v < s; v <<= 1 {
+		bits++
+	}
+	return bits
+}
+
+func (c Config) validate() error {
+	if c.SizeBytes <= 0 || c.BlockBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("cache: block size %d not a power of two", c.BlockBytes)
+	}
+	if c.SizeBytes%(c.BlockBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by ways*block", c.SizeBytes)
+	}
+	s := c.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", s)
+	}
+	return nil
+}
+
+// Stats accumulates simulation results.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Compulsory uint64 // first-ever touch of the block
+	Capacity   uint64 // non-compulsory miss that an FA-LRU cache of equal capacity would also incur
+	Conflict   uint64 // remaining misses
+	Writes     uint64 // store accesses
+	Writebacks uint64 // dirty lines evicted (write-back policy)
+}
+
+// Hits returns Accesses - Misses.
+func (s Stats) Hits() uint64 { return s.Accesses - s.Misses }
+
+// MissRate returns Misses/Accesses (0 for an empty run).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// MissesPerKOp normalises misses to the paper's misses-per-K-uop metric.
+func (s Stats) MissesPerKOp(ops uint64) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return float64(s.Misses) * 1000 / float64(ops)
+}
+
+// line is one cache line; valid distinguishes cold lines. The block
+// address is redundant with (tag, index) but kept so victim buffers and
+// reconfiguration models can recover it without inverting the hash.
+type line struct {
+	tag   uint64
+	block uint64
+	valid bool
+	dirty bool   // written since fill (write-back policy)
+	used  uint64 // LRU timestamp within the set
+}
+
+// Cache is a trace-driven simulator instance.
+type Cache struct {
+	cfg     Config
+	idx     hash.Func
+	sets    [][]line
+	clock   uint64
+	stats   Stats
+	shadow  *lru.DistanceTree // classifies capacity vs conflict misses
+	seen    map[uint64]bool   // blocks ever touched (compulsory detection)
+	classif bool
+	rng     uint64 // xorshift state for Random replacement
+}
+
+// New builds a cache from the configuration. When cfg.Index is nil, a
+// conventional modulo function over 16 block-address bits is used.
+// Classification of misses (compulsory/capacity/conflict) is enabled by
+// default; disable with DisableClassification for speed.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	idx := cfg.Index
+	if idx == nil {
+		idx = hash.Modulo(16, cfg.SetBits())
+	}
+	if idx.SetBits() != cfg.SetBits() {
+		return nil, fmt.Errorf("cache: index function has %d set bits, geometry needs %d", idx.SetBits(), cfg.SetBits())
+	}
+	sets := make([][]line, cfg.Sets())
+	backing := make([]line, cfg.Sets()*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{
+		cfg:     cfg,
+		idx:     idx,
+		sets:    sets,
+		shadow:  lru.NewDistanceTree(),
+		seen:    make(map[uint64]bool),
+		classif: true,
+		rng:     0x243F6A8885A308D3, // pi digits: fixed, reproducible
+	}, nil
+}
+
+// MustNew is New panicking on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// DisableClassification turns off the FA shadow directory; Stats will
+// then report only Accesses and Misses.
+func (c *Cache) DisableClassification() { c.classif = false }
+
+// Access simulates one read access by byte address and reports whether
+// it missed.
+func (c *Cache) Access(addr uint64) bool {
+	return c.access(addr/uint64(c.cfg.BlockBytes), false)
+}
+
+// Write simulates one store by byte address (write-allocate,
+// write-back) and reports whether it missed.
+func (c *Cache) Write(addr uint64) bool {
+	return c.access(addr/uint64(c.cfg.BlockBytes), true)
+}
+
+// AccessBlock simulates one read access by block address.
+func (c *Cache) AccessBlock(block uint64) bool {
+	return c.access(block, false)
+}
+
+// WriteBlock simulates one store by block address.
+func (c *Cache) WriteBlock(block uint64) bool {
+	return c.access(block, true)
+}
+
+func (c *Cache) access(block uint64, isWrite bool) bool {
+	c.clock++
+	c.stats.Accesses++
+	if isWrite {
+		c.stats.Writes++
+	}
+	set := c.idx.Index(block)
+	tag := hash.TagWithHighBits(c.idx, block)
+
+	lines := c.sets[set]
+	victim := 0
+	haveFree := false
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			if c.cfg.Repl != FIFO { // FIFO keeps fill time as the stamp
+				lines[i].used = c.clock
+			}
+			if isWrite {
+				lines[i].dirty = true
+			}
+			if c.classif {
+				c.shadow.Touch(block)
+			}
+			return false
+		}
+		if !lines[i].valid && !haveFree {
+			victim = i
+			haveFree = true
+		} else if !haveFree && lines[i].used < lines[victim].used {
+			victim = i
+		}
+	}
+	if !haveFree && c.cfg.Repl == Random && len(lines) > 1 {
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		victim = int(c.rng % uint64(len(lines)))
+	}
+
+	// Miss: classify, account the writeback, then fill (write-allocate).
+	c.stats.Misses++
+	if lines[victim].valid && lines[victim].dirty {
+		c.stats.Writebacks++
+	}
+	if c.classif {
+		dist := c.shadow.Touch(block)
+		switch {
+		case !c.seen[block]:
+			c.stats.Compulsory++
+			c.seen[block] = true
+		case dist < 0 || dist >= c.cfg.Blocks():
+			c.stats.Capacity++
+		default:
+			c.stats.Conflict++
+		}
+	}
+	lines[victim] = line{tag: tag, block: block, valid: true, dirty: isWrite, used: c.clock}
+	return true
+}
+
+// Run simulates an entire trace (honouring read/write kinds) and
+// returns the statistics.
+func (c *Cache) Run(t *trace.Trace) Stats {
+	for _, a := range t.Accesses {
+		c.access(a.Addr/uint64(c.cfg.BlockBytes), a.Kind == trace.Write)
+	}
+	return c.stats
+}
+
+// RunBlocks simulates a block-address read sequence.
+func (c *Cache) RunBlocks(blocks []uint64) Stats {
+	for _, b := range blocks {
+		c.AccessBlock(b)
+	}
+	return c.stats
+}
+
+// MemoryTraffic returns the number of block transfers to/from memory:
+// one fill per miss plus one transfer per writeback.
+func (s Stats) MemoryTraffic() uint64 { return s.Misses + s.Writebacks }
+
+// Stats returns the statistics accumulated so far.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// SimulateBlocks is a convenience helper: build a direct-mapped cache
+// with the given geometry and index function, run the block sequence,
+// return total misses. Classification is disabled for speed.
+func SimulateBlocks(blocks []uint64, sizeBytes, blockBytes int, idx hash.Func) uint64 {
+	c := MustNew(Config{SizeBytes: sizeBytes, BlockBytes: blockBytes, Ways: 1, Index: idx})
+	c.DisableClassification()
+	// RunBlocks interprets values as block addresses already.
+	c.RunBlocks(blocks)
+	return c.stats.Misses
+}
+
+// Flush invalidates every line, as a reconfiguration of the index
+// function requires in real hardware (set indices change, so resident
+// lines become unreachable). Statistics and the compulsory-miss shadow
+// state are preserved: re-fetching a flushed block counts as a miss but
+// not as a compulsory one.
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+}
+
+// SetIndex reconfigures the index function and flushes the cache (the
+// two are inseparable in hardware — see Flush). The new function must
+// produce the same number of set bits.
+func (c *Cache) SetIndex(f hash.Func) error {
+	if f.SetBits() != c.cfg.SetBits() {
+		return fmt.Errorf("cache: new index function has %d set bits, geometry needs %d",
+			f.SetBits(), c.cfg.SetBits())
+	}
+	c.idx = f
+	c.Flush()
+	return nil
+}

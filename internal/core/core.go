@@ -1,0 +1,222 @@
+// Package core ties the pipeline of the paper together: profile a
+// trace (Fig. 1), search for an application-specific XOR index
+// function (§3.2), validate it by exact simulation, and fall back to
+// conventional indexing when the heuristic would add misses (the §6
+// mitigation). This is the package a downstream user starts from; the
+// lower layers (gf2, profile, search, cache, ...) remain available for
+// finer control.
+package core
+
+import (
+	"fmt"
+
+	"xoridx/internal/cache"
+	"xoridx/internal/gf2"
+	"xoridx/internal/hash"
+	"xoridx/internal/profile"
+	"xoridx/internal/search"
+	"xoridx/internal/trace"
+)
+
+// Config describes one tuning problem.
+type Config struct {
+	// CacheBytes is the cache capacity (direct mapped). Required.
+	CacheBytes int
+	// BlockBytes is the line size; the paper uses 4. Default 4.
+	BlockBytes int
+	// Ways is the associativity; the paper studies direct-mapped caches
+	// (1, the default). Higher values tune the index function for a
+	// set-associative geometry: fewer set bits, LRU within the set.
+	Ways int
+	// AddrBits is n, the number of hashed block-address bits; the paper
+	// uses 16. Default 16.
+	AddrBits int
+	// Family selects the function family; default FamilyPermutation
+	// (the paper's recommended reconfigurable family).
+	Family hash.Family
+	// MaxInputs bounds XOR fan-in (paper's 2-in/4-in); 0 = unlimited.
+	MaxInputs int
+	// Restarts and Seed add randomised hill-climbing restarts beyond
+	// the paper's single conventional start.
+	Restarts int
+	Seed     int64
+	// MaxIterations caps hill-climbing moves; 0 = until local optimum.
+	MaxIterations int
+	// NoFallback disables the revert-to-conventional guard of §6.
+	NoFallback bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 4
+	}
+	if c.AddrBits == 0 {
+		c.AddrBits = 16
+	}
+	if c.Ways == 0 {
+		c.Ways = 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.CacheBytes <= 0 {
+		return fmt.Errorf("core: CacheBytes must be positive")
+	}
+	if c.BlockBytes <= 0 || c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("core: BlockBytes %d not a power of two", c.BlockBytes)
+	}
+	blocks := c.CacheBytes / c.BlockBytes
+	if blocks <= 1 || blocks&(blocks-1) != 0 {
+		return fmt.Errorf("core: cache of %d blocks not a power of two > 1", blocks)
+	}
+	if c.Ways < 1 || c.Ways&(c.Ways-1) != 0 || c.Ways > blocks {
+		return fmt.Errorf("core: %d ways invalid for a %d-block cache", c.Ways, blocks)
+	}
+	if blocks/c.Ways < 2 {
+		return fmt.Errorf("core: fully-associative geometry has no index to tune")
+	}
+	if c.AddrBits < c.SetBits()+1 || c.AddrBits > 30 {
+		return fmt.Errorf("core: AddrBits %d out of range (need > set bits %d)", c.AddrBits, c.SetBits())
+	}
+	return nil
+}
+
+// SetBits returns m = log2(sets) for the configured geometry.
+func (c Config) SetBits() int {
+	ways := c.Ways
+	if ways == 0 {
+		ways = 1
+	}
+	sets := c.CacheBytes / c.BlockBytes / ways
+	m := 0
+	for v := 1; v < sets; v <<= 1 {
+		m++
+	}
+	return m
+}
+
+// Result is the outcome of Tune.
+type Result struct {
+	// Func is the selected index function (the optimized one, or the
+	// conventional function if the fallback fired).
+	Func hash.Func
+	// Search reports the design-space search outcome.
+	Search search.Result
+	// Baseline and Optimized are exact simulation results for the
+	// conventional and the searched function.
+	Baseline  cache.Stats
+	Optimized cache.Stats
+	// UsedFallback is set when the searched function would have added
+	// misses and the conventional function was kept (§6).
+	UsedFallback bool
+	// Profile is the conflict-vector histogram (reusable across
+	// families and input bounds for the same trace and cache size).
+	Profile *profile.Profile
+}
+
+// MissesRemoved returns the fraction of baseline misses eliminated by
+// the selected function (negative if it added misses and fallback was
+// disabled).
+func (r *Result) MissesRemoved() float64 {
+	if r.Baseline.Misses == 0 {
+		return 0
+	}
+	return 1 - float64(r.Optimized.Misses)/float64(r.Baseline.Misses)
+}
+
+// Tune runs the full pipeline on a trace.
+func Tune(tr *trace.Trace, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	blocks := tr.Blocks(cfg.BlockBytes, cfg.AddrBits)
+	p := profile.Build(blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes)
+	return TuneProfiled(tr, p, cfg)
+}
+
+// TuneProfiled runs search + validation with a pre-built profile,
+// letting callers amortise profiling across several searches (e.g. the
+// 2-in/4-in/16-in sweep of Table 2).
+func TuneProfiled(tr *trace.Trace, p *profile.Profile, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if p.N != cfg.AddrBits {
+		return nil, fmt.Errorf("core: profile has n=%d, config wants %d", p.N, cfg.AddrBits)
+	}
+	if p.CacheBlocks != cfg.CacheBytes/cfg.BlockBytes {
+		return nil, fmt.Errorf("core: profile capacity filter %d blocks, config cache is %d blocks",
+			p.CacheBlocks, cfg.CacheBytes/cfg.BlockBytes)
+	}
+	m := cfg.SetBits()
+	sres, err := search.Construct(p, m, search.Options{
+		Family:        cfg.Family,
+		MaxInputs:     cfg.MaxInputs,
+		MaxIterations: cfg.MaxIterations,
+		Restarts:      cfg.Restarts,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	optFunc, err := hash.NewXOR(sres.Matrix)
+	if err != nil {
+		return nil, fmt.Errorf("core: search produced invalid matrix: %w", err)
+	}
+	res := &Result{Search: sres, Profile: p}
+	res.Baseline = simulate(tr, cfg, hash.Modulo(cfg.AddrBits, m))
+	res.Optimized = simulate(tr, cfg, optFunc)
+	res.Func = optFunc
+	if !cfg.NoFallback && res.Optimized.Misses > res.Baseline.Misses {
+		// Paper §6: "one can revert to the conventional index function".
+		res.Func = hash.Modulo(cfg.AddrBits, m)
+		res.Optimized = res.Baseline
+		res.UsedFallback = true
+	}
+	return res, nil
+}
+
+// Simulate runs one exact simulation of the trace under the config's
+// geometry with the given index function — the validation primitive
+// Tune uses, exported for callers that construct functions themselves
+// (alternative search algorithms, saved matrices).
+func Simulate(tr *trace.Trace, cfg Config, f hash.Func) cache.Stats {
+	return simulate(tr, cfg.withDefaults(), f)
+}
+
+func simulate(tr *trace.Trace, cfg Config, f hash.Func) cache.Stats {
+	c := cache.MustNew(cache.Config{
+		SizeBytes:  cfg.CacheBytes,
+		BlockBytes: cfg.BlockBytes,
+		Ways:       cfg.Ways,
+		Index:      f,
+	})
+	c.DisableClassification()
+	return c.Run(tr)
+}
+
+// BuildProfile profiles a trace for the given configuration; exposed
+// so callers can share it across TuneProfiled calls.
+func BuildProfile(tr *trace.Trace, cfg Config) (*profile.Profile, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	blocks := tr.Blocks(cfg.BlockBytes, cfg.AddrBits)
+	return profile.Build(blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes), nil
+}
+
+// DescribeFunction renders the selected function: family line, matrix,
+// and its null-space basis — the artefacts a hardware engineer needs to
+// program the Fig. 2 selector network.
+func DescribeFunction(f hash.Func) string {
+	h := f.Matrix()
+	ns := h.NullSpace()
+	return fmt.Sprintf("%s\nmatrix (rows = address bits %d..0):\n%s\nnull space (%d vectors):\n%s",
+		f, h.N-1, h, nsSize(ns), ns)
+}
+
+func nsSize(ns gf2.Subspace) uint64 { return ns.Size() }

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"xoridx/internal/hash"
+	"xoridx/internal/trace"
+	"xoridx/internal/workloads"
+)
+
+// thrashTrace alternates between two blocks that alias under modulo
+// indexing in a cache with the given number of sets.
+func thrashTrace(sets int, reps int) *trace.Trace {
+	tr := &trace.Trace{Name: "thrash", Ops: uint64(reps * 8)}
+	for i := 0; i < reps; i++ {
+		tr.Append(0, trace.Read)
+		tr.Append(uint64(sets*4), trace.Read) // same set, different tag
+	}
+	return tr
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{CacheBytes: 1024}.withDefaults()
+	if cfg.BlockBytes != 4 || cfg.AddrBits != 16 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if cfg.SetBits() != 8 {
+		t.Fatalf("SetBits = %d", cfg.SetBits())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},                                  // no cache size
+		{CacheBytes: 1000},                  // non-power-of-two blocks
+		{CacheBytes: 1024, BlockBytes: 3},   // bad block size
+		{CacheBytes: 1024, AddrBits: 8},     // n <= set bits
+		{CacheBytes: 4, BlockBytes: 4},      // single block
+		{CacheBytes: 1 << 40, AddrBits: 30}, // blocks not power of two? (it is; but n too small)
+	}
+	for i, cfg := range bad {
+		if _, err := Tune(&trace.Trace{}, cfg); err == nil {
+			t.Errorf("config %d (%+v) should be rejected", i, cfg)
+		}
+	}
+}
+
+func TestTuneRemovesThrash(t *testing.T) {
+	tr := thrashTrace(256, 200)
+	res, err := Tune(tr, Config{CacheBytes: 1024, Family: hash.FamilyPermutation, MaxInputs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline.Misses != 400 {
+		t.Fatalf("baseline misses = %d, want 400 (pure thrash)", res.Baseline.Misses)
+	}
+	if res.Optimized.Misses != 2 {
+		t.Fatalf("optimized misses = %d, want 2 compulsory", res.Optimized.Misses)
+	}
+	if res.UsedFallback {
+		t.Fatal("fallback should not fire")
+	}
+	if got := res.MissesRemoved(); got < 0.99 {
+		t.Fatalf("MissesRemoved = %v", got)
+	}
+	if !res.Func.Matrix().IsPermutationBased() {
+		t.Fatal("function should be permutation-based")
+	}
+	if res.Func.Matrix().MaxInputs() > 2 {
+		t.Fatal("function exceeds 2 inputs")
+	}
+}
+
+func TestTuneGeneralXORFamily(t *testing.T) {
+	tr := thrashTrace(256, 100)
+	res, err := Tune(tr, Config{CacheBytes: 1024, Family: hash.FamilyGeneralXOR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimized.Misses >= res.Baseline.Misses {
+		t.Fatalf("general XOR did not help: %d vs %d", res.Optimized.Misses, res.Baseline.Misses)
+	}
+}
+
+func TestFallbackGuard(t *testing.T) {
+	// A trace with almost no conflicts: the search may pick a function
+	// equal-or-better on the estimate; whatever happens, with the guard
+	// enabled the final function must never be worse than conventional.
+	tr := &trace.Trace{Name: "seq", Ops: 100000}
+	for i := 0; i < 30000; i++ {
+		tr.Append(uint64(i*4), trace.Read)
+	}
+	res, err := Tune(tr, Config{CacheBytes: 1024, Family: hash.FamilyPermutation, MaxInputs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimized.Misses > res.Baseline.Misses {
+		t.Fatalf("guarded result worse than baseline: %d vs %d", res.Optimized.Misses, res.Baseline.Misses)
+	}
+	if res.UsedFallback && res.Func.Matrix().MaxInputs() != 1 {
+		t.Fatal("fallback must select the conventional function")
+	}
+}
+
+func TestTuneProfiledReusesProfile(t *testing.T) {
+	tr := thrashTrace(256, 100)
+	cfg := Config{CacheBytes: 1024, Family: hash.FamilyPermutation, MaxInputs: 2}
+	p, err := BuildProfile(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxIn := range []int{2, 4, 0} {
+		c := cfg
+		c.MaxInputs = maxIn
+		res, err := TuneProfiled(tr, p, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Optimized.Misses != 2 {
+			t.Fatalf("maxIn=%d: misses %d", maxIn, res.Optimized.Misses)
+		}
+		if res.Profile != p {
+			t.Fatal("profile not propagated")
+		}
+	}
+}
+
+func TestTuneProfiledValidatesProfileShape(t *testing.T) {
+	tr := thrashTrace(256, 10)
+	p, _ := BuildProfile(tr, Config{CacheBytes: 1024})
+	// Wrong cache size for this profile.
+	if _, err := TuneProfiled(tr, p, Config{CacheBytes: 4096}); err == nil {
+		t.Fatal("capacity mismatch must be rejected")
+	}
+	// Wrong AddrBits.
+	if _, err := TuneProfiled(tr, p, Config{CacheBytes: 1024, AddrBits: 14}); err == nil {
+		t.Fatal("n mismatch must be rejected")
+	}
+}
+
+func TestMissesRemovedZeroBaseline(t *testing.T) {
+	r := &Result{}
+	if r.MissesRemoved() != 0 {
+		t.Fatal("zero baseline must give 0")
+	}
+}
+
+func TestDescribeFunction(t *testing.T) {
+	f := hash.Modulo(8, 3)
+	s := DescribeFunction(f)
+	for _, frag := range []string{"bit-selecting", "matrix", "null space"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("description missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestTuneSetAssociative(t *testing.T) {
+	// Four blocks aliasing to one set thrash even a 2-way cache; a
+	// function tuned for the 2-way geometry separates them.
+	tr := &trace.Trace{Name: "quad", Ops: 4000}
+	for i := 0; i < 100; i++ {
+		for _, b := range []uint64{0, 512 * 4, 1024 * 4, 1536 * 4} {
+			tr.Append(b, trace.Read)
+		}
+	}
+	res, err := Tune(tr, Config{CacheBytes: 1024, Ways: 2, Family: hash.FamilyPermutation, MaxInputs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Func.SetBits() != 7 { // 128 sets of 2 ways
+		t.Fatalf("set bits = %d, want 7", res.Func.SetBits())
+	}
+	if res.Baseline.Misses != 400 {
+		t.Fatalf("2-way baseline should thrash on 4 aliases: %d", res.Baseline.Misses)
+	}
+	if res.Optimized.Misses != 4 {
+		t.Fatalf("tuned 2-way should keep all four resident: %d misses", res.Optimized.Misses)
+	}
+}
+
+func TestTuneWaysValidation(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.Append(0, trace.Read)
+	if _, err := Tune(tr, Config{CacheBytes: 1024, Ways: 3}); err == nil {
+		t.Error("non-power-of-two ways must fail")
+	}
+	if _, err := Tune(tr, Config{CacheBytes: 1024, Ways: 256}); err == nil {
+		t.Error("fully-associative geometry must fail (nothing to tune)")
+	}
+}
+
+func TestMicroControls(t *testing.T) {
+	// stride: everything removable; randwalk: nothing removable and the
+	// guard keeps us at (or above) the conventional function.
+	st, err := workloads.ByName("stride")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(st.Data(1), Config{CacheBytes: 4096, Family: hash.FamilyPermutation, MaxInputs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissesRemoved() < 0.95 {
+		t.Errorf("stride control: only %.1f%% removed", 100*res.MissesRemoved())
+	}
+	rw, err := workloads.ByName("randwalk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Tune(rw.Data(1), Config{CacheBytes: 4096, Family: hash.FamilyPermutation, MaxInputs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimized.Misses > res.Baseline.Misses {
+		t.Error("guard must hold on the negative control")
+	}
+	if res.MissesRemoved() > 0.05 {
+		t.Errorf("randwalk control: %.1f%% removed from structureless noise?", 100*res.MissesRemoved())
+	}
+}

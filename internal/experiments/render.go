@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"xoridx/internal/gf2"
+)
+
+// RenderTable1 prints the switch-count table in the paper's layout.
+func RenderTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1. Switches required for reconfigurable indexing (n=16, 4-byte blocks)")
+	fmt.Fprintf(w, "%-22s %8s %8s %8s\n", "cache size", "1 KB", "4 KB", "16 KB")
+	fmt.Fprintf(w, "%-22s %8d %8d %8d\n", "set index bits (m)", 8, 10, 12)
+	for _, row := range Table1() {
+		fmt.Fprintf(w, "%-22s %8d %8d %8d\n", row.Style, row.Switches[0], row.Switches[1], row.Switches[2])
+	}
+}
+
+// RenderTable2 prints a Table 2 half (data or instruction caches).
+func RenderTable2(w io.Writer, rows []Table2Row, instruction bool) {
+	kind := "data caches"
+	if instruction {
+		kind = "instruction caches"
+	}
+	fmt.Fprintf(w, "Table 2 (%s). Baseline misses/K-op and %% misses removed\n", kind)
+	fmt.Fprintf(w, "%-10s", "benchmark")
+	for _, kb := range CacheSizesKB {
+		fmt.Fprintf(w, " |%7s%2dKB %6s %6s %6s", "", kb, "2-in", "4-in", "16-in")
+	}
+	fmt.Fprintln(w)
+	all := append(append([]Table2Row{}, rows...), Table2Average(rows))
+	for _, r := range all {
+		fmt.Fprintf(w, "%-10s", r.Bench)
+		for si := range CacheSizesKB {
+			c := r.Cells[si]
+			fmt.Fprintf(w, " | %9.1f %6.1f %6.1f %6.1f", c.BaseMissesPerKOp,
+				c.RemovedPct[0], c.RemovedPct[1], c.RemovedPct[2])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderExp1 prints the general-vs-permutation comparison (§6, text).
+func RenderExp1(w io.Writer, rows []Exp1Row) {
+	fmt.Fprintln(w, "Experiment 1. Average data-cache miss reduction (%):")
+	fmt.Fprintf(w, "%-22s", "family")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %6dKB", r.CacheKB)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-22s", "general XOR")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %8.1f", r.GeneralPct)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-22s", "permutation-based")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %8.1f", r.PermPct)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderTable3 prints the PowerStone optimality study.
+func RenderTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table 3. % misses removed, PowerStone, 4 KB data cache")
+	fmt.Fprintf(w, "%-10s %6s %6s %6s %6s %6s %6s\n", "bench", "opt", "1-in", "2-in", "4-in", "16-in", "FA")
+	all := append(append([]Table3Row{}, rows...), Table3Average(rows))
+	for _, r := range all {
+		fmt.Fprintf(w, "%-10s %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f\n",
+			r.Bench, r.OptPct, r.In1Pct, r.In2Pct, r.In4Pct, r.In16, r.FAPct)
+	}
+}
+
+// RenderEq3 prints the design-space size figures quoted in §2.
+func RenderEq3(w io.Writer) {
+	n, m := 16, 8
+	matrices := gf2.CountHashFunctions(n, m)
+	nulls := gf2.CountNullSpaces(n, m)
+	fmt.Fprintf(w, "Design space for n=%d, m=%d (paper §2, Eq. 3):\n", n, m)
+	fmt.Fprintf(w, "  distinct matrices:    %s (paper: 3.4e38)\n", sci(matrices))
+	fmt.Fprintf(w, "  distinct null spaces: %s (paper: 6.3e19)\n", sci(nulls))
+	fmt.Fprintf(w, "  bit-selecting functions C(%d,%d): %s\n", n, m, gf2.CountBitSelecting(n, m))
+}
+
+func sci(v *big.Int) string {
+	f := new(big.Float).SetInt(v)
+	return fmt.Sprintf("%.2e", f)
+}
+
+// RenderCrossApplication prints the cross-evaluation matrix: rows are
+// tuned functions, columns the applications they run on.
+func RenderCrossApplication(w io.Writer, r *CrossApplicationResult, cacheKB int) {
+	fmt.Fprintf(w, "Cross-application evaluation (%% misses removed), %d KB data cache\n", cacheKB)
+	fmt.Fprintf(w, "%-18s", "tuned for \\ run on")
+	for _, b := range r.Benchmarks {
+		fmt.Fprintf(w, " %10s", b)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-18s", row.TunedFor)
+		for _, pct := range row.RemovedPct {
+			fmt.Fprintf(w, " %10.1f", pct)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "matched minus mismatched: %.1f points (the case for reconfigurable indexing, paper §1)\n",
+		r.MatchedMinusMismatched())
+}
+
+// RenderAssociativity prints the organisation comparison.
+func RenderAssociativity(w io.Writer, rows []AssocRow, cacheKB int) {
+	fmt.Fprintf(w, "Equal-capacity organisations (%d KB, misses per K-op)\n", cacheKB)
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %10s %10s\n",
+		"benchmark", "DM-modulo", "DM-XOR", "2-way", "skewed", "victim+4", "full-assoc")
+	for _, r := range rows {
+		per := func(m uint64) float64 { return float64(m) / r.OpsThousands }
+		fmt.Fprintf(w, "%-10s %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+			r.Bench, per(r.DMModulo), per(r.DMXOR), per(r.TwoWay), per(r.Skewed), per(r.Victim), per(r.FullyAssoc))
+	}
+}
+
+// RenderPhase prints the multiprogramming reconfiguration study.
+func RenderPhase(w io.Writer, benchA, benchB string, rows []PhaseRow, cacheKB int) {
+	fmt.Fprintf(w, "Multiprogrammed %s + %s, %d KB data cache (misses)\n", benchA, benchB, cacheKB)
+	fmt.Fprintf(w, "%10s %9s %12s %12s %12s\n", "quantum", "switches", "modulo", "compromise", "reconfig")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d %9d %12d %12d %12d\n", r.Quantum, r.Switches, r.Modulo, r.Compromise, r.Reconfig)
+	}
+}
+
+// RenderSweep prints a miss curve, one row per cache size.
+func RenderSweep(w io.Writer, bench string, pts []SweepPoint) {
+	fmt.Fprintf(w, "Miss curve for %s (total misses)\n", bench)
+	fmt.Fprintf(w, "%10s %10s %10s %12s %10s\n", "cache", "modulo", "DM-XOR", "2way+XOR", "FA")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%9dB %10d %10d %12d %10d\n",
+			p.CacheBytes, p.Modulo, p.TunedXOR, p.TwoWayXOR, p.FullAssoc)
+	}
+}
+
+// RenderFixedVsTuned prints the fixed-hash comparison.
+func RenderFixedVsTuned(w io.Writer, rows []FixedRow, cacheKB int) {
+	fmt.Fprintf(w, "Fixed vs application-specific hashing, %d KB direct-mapped (misses)\n", cacheKB)
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %10s\n", "benchmark", "modulo", "folded[5]", "poly[9]", "tuned")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %10d %10d %10d %10d\n", r.Bench, r.Modulo, r.Folded, r.Poly, r.Tuned)
+	}
+}
+
+// RenderEnergy prints the modelled energy comparison.
+func RenderEnergy(w io.Writer, rows []EnergyRow, cacheKB int) {
+	fmt.Fprintf(w, "Modelled memory-system energy, %d KB (microjoules; hwcost.DefaultEnergy)\n", cacheKB)
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %11s %11s\n",
+		"benchmark", "DM-modulo", "DM-XOR", "2-way", "XOR vs mod", "XOR vs 2way")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %10.1f %10.1f %10.1f %10.1f%% %10.1f%%\n",
+			r.Bench, r.DMModulo, r.DMXOR, r.TwoWay, r.XORvsMod, r.XORvs2Way)
+	}
+}
+
+// RenderReplacement prints the replacement-policy ablation.
+func RenderReplacement(w io.Writer, rows []ReplRow, cacheKB int) {
+	fmt.Fprintf(w, "Replacement policy x indexing, %d KB 2-way (misses)\n", cacheKB)
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %10s\n",
+		"benchmark", "LRU-mod", "FIFO-mod", "rand-mod", "LRU-XOR", "DM-XOR")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %10d %10d %10d %10d %10d\n",
+			r.Bench, r.LRUMod, r.FIFOMod, r.RandMod, r.LRUXOR, r.DMXOR)
+	}
+}
+
+// RenderASLR prints the load-address robustness study.
+func RenderASLR(w io.Writer, bench string, rows []ASLRRow, cacheKB int) {
+	fmt.Fprintf(w, "Load-address robustness of the tuned function: %s, %d KB (%% misses removed)\n", bench, cacheKB)
+	fmt.Fprintf(w, "%12s %12s %12s\n", "image shift", "stale tuned", "re-tuned")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%#12x %11.1f%% %11.1f%%\n", r.Delta, r.TunedPct, r.RetunedPct)
+	}
+}

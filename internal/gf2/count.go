@@ -1,0 +1,68 @@
+package gf2
+
+import "math/big"
+
+// CountHashFunctions returns the number of full-rank n-to-m XOR hash
+// matrices, paper Eq. 3:
+//
+//	N(n,m) = ∏_{i=1..m} (2^{n-i+1} - 1) / (2^i - 1)   ... times |GL(m,2)|
+//
+// The paper's formula as printed counts the number of distinct *null
+// spaces* (the Gaussian binomial coefficient [n choose m]_2 — see
+// CountNullSpaces); the quoted 3.4e38 figure for distinct matrices is
+// that count multiplied by the number of invertible m×m matrices,
+// because post-multiplying H by any invertible matrix changes H but not
+// its null space. This function returns the matrix count.
+func CountHashFunctions(n, m int) *big.Int {
+	return new(big.Int).Mul(CountNullSpaces(n, m), CountInvertible(m))
+}
+
+// CountNullSpaces returns the number of distinct null spaces of
+// full-rank n-to-m hash functions: the number of (n-m)-dimensional
+// subspaces of GF(2)^n, i.e. the Gaussian binomial [n choose n-m]_2 =
+// [n choose m]_2. For n=16, m=8 this is ≈6.3e19 (paper §2).
+func CountNullSpaces(n, m int) *big.Int {
+	return GaussianBinomial(n, m)
+}
+
+// GaussianBinomial returns the Gaussian binomial coefficient
+// [n choose k]_2: the number of k-dimensional subspaces of GF(2)^n.
+func GaussianBinomial(n, k int) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	num := big.NewInt(1)
+	den := big.NewInt(1)
+	one := big.NewInt(1)
+	for i := 1; i <= k; i++ {
+		// (2^{n-i+1} - 1) / (2^i - 1)
+		t := new(big.Int).Lsh(one, uint(n-i+1))
+		t.Sub(t, one)
+		num.Mul(num, t)
+		t = new(big.Int).Lsh(one, uint(i))
+		t.Sub(t, one)
+		den.Mul(den, t)
+	}
+	return num.Div(num, den)
+}
+
+// CountInvertible returns |GL(m, 2)|, the number of invertible m×m
+// matrices over GF(2): ∏_{i=0..m-1} (2^m - 2^i).
+func CountInvertible(m int) *big.Int {
+	r := big.NewInt(1)
+	one := big.NewInt(1)
+	for i := 0; i < m; i++ {
+		t := new(big.Int).Lsh(one, uint(m))
+		s := new(big.Int).Lsh(one, uint(i))
+		t.Sub(t, s)
+		r.Mul(r, t)
+	}
+	return r
+}
+
+// CountBitSelecting returns the number of bit-selecting hash functions
+// up to output permutation: C(n, m) ways to choose the selected bits
+// (Patel et al.'s exhaustive algorithm enumerates exactly these).
+func CountBitSelecting(n, m int) *big.Int {
+	return new(big.Int).Binomial(int64(n), int64(m))
+}

@@ -1,0 +1,122 @@
+package gf2
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestGaussianBinomialSmall(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1},
+		{1, 0, 1},
+		{1, 1, 1},
+		{2, 1, 3},  // three 1-dim subspaces of GF(2)^2
+		{3, 1, 7},  // seven nonzero vectors -> seven lines
+		{3, 2, 7},  // duality
+		{4, 2, 35}, // known value of [4 2]_2
+		{4, 1, 15},
+		{5, 2, 155},
+		{3, 4, 0},
+		{3, -1, 0},
+	}
+	for _, c := range cases {
+		if got := GaussianBinomial(c.n, c.k); got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("[%d %d]_2 = %v, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestGaussianBinomialSymmetry(t *testing.T) {
+	for n := 0; n <= 12; n++ {
+		for k := 0; k <= n; k++ {
+			a := GaussianBinomial(n, k)
+			b := GaussianBinomial(n, n-k)
+			if a.Cmp(b) != 0 {
+				t.Fatalf("[%d %d]_2 != [%d %d]_2", n, k, n, n-k)
+			}
+		}
+	}
+}
+
+func TestGaussianBinomialCountsSubspacesExhaustively(t *testing.T) {
+	// Enumerate all subspaces of GF(2)^4 by spanning every subset of
+	// vectors and counting distinct canonical keys per dimension.
+	n := 4
+	byDim := make(map[int]map[string]bool)
+	var rec func(start int, cur Subspace)
+	rec = func(start int, cur Subspace) {
+		if byDim[cur.Dim()] == nil {
+			byDim[cur.Dim()] = make(map[string]bool)
+		}
+		byDim[cur.Dim()][cur.Key()] = true
+		for v := Vec(start); v < 16; v++ {
+			if !cur.Contains(v) {
+				rec(int(v)+1, cur.Extend(v))
+			}
+		}
+	}
+	rec(1, ZeroSubspace(n))
+	for k := 0; k <= n; k++ {
+		want := GaussianBinomial(n, k)
+		if got := int64(len(byDim[k])); want.Cmp(big.NewInt(got)) != 0 {
+			t.Errorf("dim %d: enumerated %d subspaces, formula says %v", k, got, want)
+		}
+	}
+}
+
+func TestCountInvertible(t *testing.T) {
+	// |GL(1,2)| = 1, |GL(2,2)| = 6, |GL(3,2)| = 168.
+	for _, c := range []struct {
+		m    int
+		want int64
+	}{{0, 1}, {1, 1}, {2, 6}, {3, 168}} {
+		if got := CountInvertible(c.m); got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("|GL(%d,2)| = %v, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestPaperEq3Figures(t *testing.T) {
+	// Paper §2: "There are 3.4e38 distinct matrices, hashing 16 address
+	// bits to 8 set index bits but only 6.3e19 distinct null spaces."
+	nulls := CountNullSpaces(16, 8)
+	if f, _ := new(big.Float).SetInt(nulls).Float64(); f < 6.2e19 || f > 6.4e19 {
+		t.Errorf("null space count = %v, paper says ≈6.3e19", nulls)
+	}
+	matrices := CountHashFunctions(16, 8)
+	if f, _ := new(big.Float).SetInt(matrices).Float64(); f < 3.3e38 || f > 3.5e38 {
+		t.Errorf("matrix count = %v, paper says ≈3.4e38", matrices)
+	}
+}
+
+func TestCountBitSelecting(t *testing.T) {
+	// Patel's exhaustive search visits C(n,m) functions. C(16,8) = 12870.
+	if got := CountBitSelecting(16, 8); got.Cmp(big.NewInt(12870)) != 0 {
+		t.Errorf("C(16,8) = %v", got)
+	}
+	if got := CountBitSelecting(16, 10); got.Cmp(big.NewInt(8008)) != 0 {
+		t.Errorf("C(16,10) = %v", got)
+	}
+}
+
+func TestCountHashFunctionsMatchesExhaustiveSmall(t *testing.T) {
+	// Count full-rank n×m matrices exhaustively for tiny n, m and check
+	// against CountHashFunctions.
+	n, m := 4, 2
+	count := 0
+	for c0 := Vec(1); c0 < 16; c0++ {
+		for c1 := Vec(1); c1 < 16; c1++ {
+			h := MatrixFromCols(n, []Vec{c0, c1})
+			if h.Rank() == m {
+				count++
+			}
+		}
+	}
+	want := CountHashFunctions(n, m)
+	if want.Cmp(big.NewInt(int64(count))) != 0 {
+		t.Errorf("exhaustive full-rank count %d, formula %v", count, want)
+	}
+}

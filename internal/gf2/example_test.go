@@ -1,0 +1,54 @@
+package gf2_test
+
+import (
+	"fmt"
+
+	"xoridx/internal/gf2"
+)
+
+// ExampleMatrix_Apply hashes an address with a XOR matrix.
+func ExampleMatrix_Apply() {
+	// s0 = a0^a4, s1 = a1: a 2-bit index over 6 address bits.
+	h := gf2.MatrixFromCols(6, []gf2.Vec{
+		gf2.Unit(0) | gf2.Unit(4),
+		gf2.Unit(1),
+	})
+	fmt.Println(h.Apply(0b010001)) // a0=1, a4=1 -> s0=0; a1=0 -> s1=0
+	fmt.Println(h.Apply(0b000011)) // a0=1 -> s0=1; a1=1 -> s1=1
+	// Output:
+	// 0
+	// 11
+}
+
+// ExampleMatrix_NullSpace shows the conflict criterion of paper Eq. 2.
+func ExampleMatrix_NullSpace() {
+	h := gf2.Identity(8, 4) // conventional modulo-16 indexing
+	ns := h.NullSpace()
+	// Two blocks conflict iff their XOR is in the null space.
+	x, y := gf2.Vec(0x13), gf2.Vec(0x93) // differ only in bit 7
+	fmt.Println(ns.Contains(x ^ y))
+	fmt.Println(h.Apply(x) == h.Apply(y))
+	// Output:
+	// true
+	// true
+}
+
+// ExampleGaussianBinomial reproduces the design-space count of §2.
+func ExampleGaussianBinomial() {
+	fmt.Println(gf2.GaussianBinomial(4, 2)) // 2-dim subspaces of GF(2)^4
+	// Output:
+	// 35
+}
+
+// ExampleSubspace_Members enumerates a small subspace.
+func ExampleSubspace_Members() {
+	s := gf2.Span(4, 0b0011, 0b0101)
+	for _, v := range s.Members(nil) {
+		fmt.Printf("%04b\n", v)
+	}
+	// Output:
+	// 0000
+	// 0101
+	// 0110
+	// 0011
+}

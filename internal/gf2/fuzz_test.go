@@ -1,0 +1,47 @@
+package gf2
+
+import "testing"
+
+// FuzzMatrixUnmarshal ensures arbitrary text never panics the parser
+// and that accepted matrices round-trip through MarshalText.
+func FuzzMatrixUnmarshal(f *testing.F) {
+	good, _ := Identity(8, 4).MarshalText()
+	f.Add(string(good))
+	f.Add("gf2matrix n=4 m=2\ncol0 0001\ncol1 0010\n")
+	f.Add("gf2matrix n=4 m=2\ncol0 0001")
+	f.Add("gf2matrix n=999 m=2\ncol0 1\ncol1 1")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		var h Matrix
+		if err := h.UnmarshalText([]byte(s)); err != nil {
+			return
+		}
+		data, err := h.MarshalText()
+		if err != nil {
+			t.Fatalf("accepted matrix failed to marshal: %v", err)
+		}
+		var h2 Matrix
+		if err := h2.UnmarshalText(data); err != nil {
+			t.Fatalf("re-marshalled matrix failed to parse: %v", err)
+		}
+		if !h2.Equal(h) {
+			t.Fatal("round trip changed the matrix")
+		}
+	})
+}
+
+// FuzzParseVec checks the bit-string parser against its printer.
+func FuzzParseVec(f *testing.F) {
+	f.Add("1010")
+	f.Add("0")
+	f.Add("xyz")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseVec(s)
+		if err != nil {
+			return
+		}
+		if got, err := ParseVec(v.StringN(len(s))); err != nil || got != v {
+			t.Fatalf("round trip failed for %q: %v", s, err)
+		}
+	})
+}

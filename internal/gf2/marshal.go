@@ -1,0 +1,62 @@
+package gf2
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MarshalText encodes the matrix in a small, diff-friendly text format:
+//
+//	gf2matrix n=16 m=8
+//	col0 0000000100000001
+//	col1 ...
+//
+// Each column line is the n-bit mask of address bits feeding that
+// set-index bit, most significant bit first.
+func (h Matrix) MarshalText() ([]byte, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "gf2matrix n=%d m=%d\n", h.N, h.M)
+	for c, col := range h.Cols {
+		fmt.Fprintf(&sb, "col%d %s\n", c, col.StringN(h.N))
+	}
+	return []byte(sb.String()), nil
+}
+
+// UnmarshalText decodes the format produced by MarshalText.
+func (h *Matrix) UnmarshalText(data []byte) error {
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 {
+		return fmt.Errorf("gf2: empty matrix text")
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(strings.TrimSpace(lines[0]), "gf2matrix n=%d m=%d", &n, &m); err != nil {
+		return fmt.Errorf("gf2: bad matrix header %q: %w", lines[0], err)
+	}
+	if n <= 0 || n > MaxBits || m < 0 || m > MaxBits {
+		return fmt.Errorf("gf2: dimensions n=%d m=%d out of range", n, m)
+	}
+	if len(lines)-1 != m {
+		return fmt.Errorf("gf2: header says m=%d but found %d column lines", m, len(lines)-1)
+	}
+	out := NewMatrix(n, m)
+	for i, line := range lines[1:] {
+		var idx int
+		var bitsStr string
+		if _, err := fmt.Sscanf(strings.TrimSpace(line), "col%d %s", &idx, &bitsStr); err != nil {
+			return fmt.Errorf("gf2: bad column line %q: %w", line, err)
+		}
+		if idx != i {
+			return fmt.Errorf("gf2: column %d out of order (expected col%d)", idx, i)
+		}
+		if len(bitsStr) != n {
+			return fmt.Errorf("gf2: column %d has %d bits, want %d", idx, len(bitsStr), n)
+		}
+		v, err := ParseVec(bitsStr)
+		if err != nil {
+			return fmt.Errorf("gf2: column %d: %w", idx, err)
+		}
+		out.Cols[i] = v
+	}
+	*h = out
+	return nil
+}

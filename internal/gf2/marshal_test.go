@@ -1,0 +1,75 @@
+package gf2
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(13)
+		m := 1 + rng.Intn(n)
+		h := randomMatrix(rng, n, m)
+		data, err := h.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Matrix
+		if err := got.UnmarshalText(data); err != nil {
+			t.Fatalf("unmarshal %q: %v", data, err)
+		}
+		if !got.Equal(h) {
+			t.Fatalf("round trip changed matrix:\n%v\nvs\n%v", h, got)
+		}
+	}
+}
+
+func TestMatrixMarshalFormat(t *testing.T) {
+	h := Identity(4, 2)
+	data, _ := h.MarshalText()
+	want := "gf2matrix n=4 m=2\ncol0 0001\ncol1 0010\n"
+	if string(data) != want {
+		t.Fatalf("format:\n%q\nwant\n%q", data, want)
+	}
+}
+
+func TestMatrixUnmarshalErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"bad header":         "matrix 4 2\ncol0 0001\ncol1 0010",
+		"missing column":     "gf2matrix n=4 m=2\ncol0 0001",
+		"extra column":       "gf2matrix n=4 m=1\ncol0 0001\ncol1 0010",
+		"out of order":       "gf2matrix n=4 m=2\ncol1 0001\ncol0 0010",
+		"wrong width":        "gf2matrix n=4 m=2\ncol0 001\ncol1 0010",
+		"bad bits":           "gf2matrix n=4 m=2\ncol0 00z1\ncol1 0010",
+		"insane dims":        "gf2matrix n=99 m=2\ncol0 0001\ncol1 0010",
+		"malformed col line": "gf2matrix n=4 m=2\nrow0 0001\ncol1 0010",
+	}
+	for name, text := range cases {
+		var h Matrix
+		if err := h.UnmarshalText([]byte(text)); err == nil {
+			t.Errorf("%s should fail:\n%s", name, text)
+		}
+	}
+}
+
+func TestMatrixMarshalPreservesSemantics(t *testing.T) {
+	// The round-tripped matrix must hash identically.
+	h := Identity(12, 6)
+	h.Cols[2] |= Unit(9) | Unit(11)
+	data, _ := h.MarshalText()
+	if !strings.Contains(string(data), "col2") {
+		t.Fatal("missing column")
+	}
+	var got Matrix
+	if err := got.UnmarshalText(data); err != nil {
+		t.Fatal(err)
+	}
+	for a := Vec(0); a < 1<<12; a += 5 {
+		if got.Apply(a) != h.Apply(a) {
+			t.Fatalf("semantics changed at %b", a)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Matrix is an n×m binary matrix H over GF(2), stored by columns:
+// Cols[c] is an n-bit Vec whose bit r equals h_{r,c}, i.e. bit r is set
+// when address bit a_r is an input to the XOR gate computing set-index
+// bit c. The hash value of an address a is the 1×m vector s = a·H, so
+//
+//	s_c = parity(a AND Cols[c]).
+//
+// This column form matches the hardware view (one XOR gate per output
+// bit) and makes Apply a handful of machine instructions per output bit.
+type Matrix struct {
+	N    int   // number of input (address) bits, rows of H
+	M    int   // number of output (set index) bits, columns of H
+	Cols []Vec // len M; Cols[c] masked to N bits
+}
+
+// NewMatrix returns an all-zero n×m matrix.
+func NewMatrix(n, m int) Matrix {
+	if n < 0 || n > MaxBits || m < 0 || m > MaxBits {
+		panic(fmt.Sprintf("gf2: invalid matrix dimensions %d×%d", n, m))
+	}
+	return Matrix{N: n, M: m, Cols: make([]Vec, m)}
+}
+
+// MatrixFromCols builds a matrix from explicit column masks.
+func MatrixFromCols(n int, cols []Vec) Matrix {
+	h := NewMatrix(n, len(cols))
+	mask := Mask(n)
+	for c, col := range cols {
+		h.Cols[c] = col & mask
+	}
+	return h
+}
+
+// Identity returns the n×m matrix whose column c is the unit vector e_c.
+// It is the conventional modulo-2^m index function on block addresses.
+func Identity(n, m int) Matrix {
+	h := NewMatrix(n, m)
+	for c := 0; c < m; c++ {
+		h.Cols[c] = Unit(c)
+	}
+	return h
+}
+
+// BitSelect returns the bit-selecting matrix whose column c is the unit
+// vector for positions[c]. Positions must be distinct and < n.
+func BitSelect(n int, positions []int) Matrix {
+	h := NewMatrix(n, len(positions))
+	var seen Vec
+	for c, p := range positions {
+		if p < 0 || p >= n {
+			panic(fmt.Sprintf("gf2: bit-select position %d out of range [0,%d)", p, n))
+		}
+		u := Unit(p)
+		if seen&u != 0 {
+			panic(fmt.Sprintf("gf2: duplicate bit-select position %d", p))
+		}
+		seen |= u
+		h.Cols[c] = u
+	}
+	return h
+}
+
+// Clone returns a deep copy of h.
+func (h Matrix) Clone() Matrix {
+	cols := make([]Vec, len(h.Cols))
+	copy(cols, h.Cols)
+	return Matrix{N: h.N, M: h.M, Cols: cols}
+}
+
+// Apply computes a·H, hashing the low N bits of a to an M-bit value.
+func (h Matrix) Apply(a Vec) Vec {
+	var s Vec
+	for c, col := range h.Cols {
+		s |= Vec(bits.OnesCount64(uint64(a&col))&1) << uint(c)
+	}
+	return s
+}
+
+// Row returns row r of the matrix as an M-bit Vec (bit c = h_{r,c}).
+func (h Matrix) Row(r int) Vec {
+	var row Vec
+	for c, col := range h.Cols {
+		row |= Vec(col.Bit(r)) << uint(c)
+	}
+	return row
+}
+
+// MaxInputs returns the largest number of inputs feeding any single
+// output XOR gate, i.e. the maximum column weight. The paper's "2-in" /
+// "4-in" / "16-in" families bound this quantity.
+func (h Matrix) MaxInputs() int {
+	max := 0
+	for _, col := range h.Cols {
+		if w := col.Weight(); w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// IsBitSelecting reports whether every column selects exactly one
+// address bit and no bit is selected twice.
+func (h Matrix) IsBitSelecting() bool {
+	var seen Vec
+	for _, col := range h.Cols {
+		if col.Weight() != 1 || seen&col != 0 {
+			return false
+		}
+		seen |= col
+	}
+	return true
+}
+
+// IsPermutationBased reports whether the low-order M rows of H form the
+// identity matrix: row i equals e_i for 0 <= i < M (paper §4). Such
+// functions map every aligned run of 2^M consecutive blocks to distinct
+// sets and keep the conventional tag function correct.
+func (h Matrix) IsPermutationBased() bool {
+	low := Mask(h.M)
+	for c, col := range h.Cols {
+		if col&low != Unit(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rank returns the rank of the matrix over GF(2). A valid index function
+// must have full column rank M, otherwise some sets are unreachable.
+func (h Matrix) Rank() int {
+	// Columns are vectors in GF(2)^N; eliminate on them.
+	basis := make([]Vec, 0, h.M)
+	for _, col := range h.Cols {
+		v := reduce(col, basis)
+		if v != 0 {
+			basis = insertBasis(basis, v)
+		}
+	}
+	return len(basis)
+}
+
+// NullSpace returns N(H) = {x : x·H = 0} as a Subspace. Its dimension is
+// N - Rank(). Two addresses x, y can conflict under H iff x⊕y ∈ N(H)
+// (paper Eq. 2), which is what makes the null space the natural
+// representation for miss estimation.
+func (h Matrix) NullSpace() Subspace {
+	// x·H = 0  ⇔  for every column c: <x, Cols[c]> = 0.
+	// So N(H) is the kernel of the M×N system whose rows are the columns.
+	return Kernel(h.N, h.Cols)
+}
+
+// Transpose returns the m×n transpose of h (columns become rows).
+func (h Matrix) Transpose() Matrix {
+	t := NewMatrix(h.M, h.N)
+	// t.Cols[c] (c in [0,N)) has bit r = h_{c,r}.
+	for c := 0; c < h.N; c++ {
+		var col Vec
+		for r := 0; r < h.M; r++ {
+			col |= Vec(h.Cols[r].Bit(c)) << uint(r)
+		}
+		t.Cols[c] = col
+	}
+	return t
+}
+
+// Equal reports whether two matrices have identical dimensions and
+// entries. Distinct matrices may still describe equivalent hash
+// functions; compare NullSpace keys for that.
+func (h Matrix) Equal(o Matrix) bool {
+	if h.N != o.N || h.M != o.M {
+		return false
+	}
+	for c := range h.Cols {
+		if h.Cols[c] != o.Cols[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix with one row per line, row N-1 (most
+// significant address bit) first, matching the paper's convention.
+func (h Matrix) String() string {
+	var sb strings.Builder
+	for r := h.N - 1; r >= 0; r-- {
+		for c := h.M - 1; c >= 0; c-- {
+			if h.Cols[c].Bit(r) == 1 {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		if r > 0 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// reduce XORs v with basis vectors to eliminate their leading bits.
+func reduce(v Vec, basis []Vec) Vec {
+	for _, b := range basis {
+		if v&highBit(b) != 0 {
+			v ^= b
+		}
+	}
+	return v
+}
+
+// insertBasis adds v (nonzero, already reduced) to a basis kept sorted
+// by descending leading bit, then back-substitutes so every leading bit
+// appears in exactly one vector (reduced row echelon form).
+func insertBasis(basis []Vec, v Vec) []Vec {
+	lead := highBit(v)
+	// Eliminate v's leading bit from existing vectors.
+	for i, b := range basis {
+		if b&lead != 0 {
+			basis[i] = b ^ v
+		}
+	}
+	basis = append(basis, v)
+	// Keep basis sorted by descending leading bit for canonical form.
+	for i := len(basis) - 1; i > 0 && highBit(basis[i]) > highBit(basis[i-1]); i-- {
+		basis[i], basis[i-1] = basis[i-1], basis[i]
+	}
+	return basis
+}
+
+// highBit returns a Vec with only the highest set bit of v (0 for v==0).
+func highBit(v Vec) Vec {
+	if v == 0 {
+		return 0
+	}
+	return Vec(1) << uint(bits.Len64(uint64(v))-1)
+}
+
+// Mul returns the matrix product H·B over GF(2), where H is n×m and B
+// is m×k: the composition "hash with H, then linearly recombine the
+// index bits with B". When B is invertible the product has the same
+// null space as H — the equivalence that makes null spaces the right
+// design-space representation (paper §2).
+func (h Matrix) Mul(b Matrix) Matrix {
+	if b.N != h.M {
+		panic(fmt.Sprintf("gf2: cannot multiply %dx%d by %dx%d", h.N, h.M, b.N, b.M))
+	}
+	out := NewMatrix(h.N, b.M)
+	for c := 0; c < b.M; c++ {
+		// Column c of H·B = XOR of H's columns selected by B's column c.
+		var col Vec
+		bc := b.Cols[c]
+		for r := 0; r < h.M; r++ {
+			if bc.Bit(r) == 1 {
+				col ^= h.Cols[r]
+			}
+		}
+		out.Cols[c] = col
+	}
+	return out
+}
+
+// IsInvertible reports whether the matrix is square with full rank.
+func (h Matrix) IsInvertible() bool {
+	return h.N == h.M && h.Rank() == h.M
+}
+
+// RandomInvertible returns a uniformly sampled invertible m×m matrix,
+// drawing randomness from next (a source of random 64-bit words).
+func RandomInvertible(m int, next func() uint64) Matrix {
+	for {
+		h := NewMatrix(m, m)
+		for c := range h.Cols {
+			h.Cols[c] = Vec(next()) & Mask(m)
+		}
+		if h.IsInvertible() {
+			return h
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomMatrix returns a random (not necessarily full-rank) n×m matrix.
+func randomMatrix(rng *rand.Rand, n, m int) Matrix {
+	h := NewMatrix(n, m)
+	for c := range h.Cols {
+		h.Cols[c] = Vec(rng.Uint64()) & Mask(n)
+	}
+	return h
+}
+
+// randomFullRank keeps sampling until the matrix has full column rank.
+func randomFullRank(rng *rand.Rand, n, m int) Matrix {
+	for {
+		h := randomMatrix(rng, n, m)
+		if h.Rank() == m {
+			return h
+		}
+	}
+}
+
+func TestIdentityApply(t *testing.T) {
+	h := Identity(16, 8)
+	for a := Vec(0); a < 4096; a += 7 {
+		if got := h.Apply(a); got != a&Mask(8) {
+			t.Fatalf("Identity.Apply(%#x) = %#x, want %#x", a, got, a&Mask(8))
+		}
+	}
+	if !h.IsBitSelecting() || !h.IsPermutationBased() {
+		t.Error("identity should be bit-selecting and permutation-based")
+	}
+	if h.MaxInputs() != 1 {
+		t.Error("identity MaxInputs should be 1")
+	}
+}
+
+func TestBitSelectApply(t *testing.T) {
+	h := BitSelect(16, []int{2, 5, 9})
+	a := Vec(0b0000_0010_0010_0100) // bits 2, 5, 9 set
+	if got := h.Apply(a); got != 0b111 {
+		t.Fatalf("Apply = %b, want 111", got)
+	}
+	if got := h.Apply(0); got != 0 {
+		t.Fatalf("Apply(0) = %b", got)
+	}
+	if !h.IsBitSelecting() {
+		t.Error("should be bit-selecting")
+	}
+	if h.IsPermutationBased() {
+		t.Error("2,5,9 selection is not permutation-based")
+	}
+}
+
+func TestBitSelectPanics(t *testing.T) {
+	for _, pos := range [][]int{{16}, {-1}, {3, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BitSelect(%v) should panic", pos)
+				}
+			}()
+			BitSelect(16, pos)
+		}()
+	}
+}
+
+func TestApplyLinear(t *testing.T) {
+	// Apply is a linear map: H(x^y) = H(x) ^ H(y).
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		h := randomMatrix(rng, 16, 8)
+		for j := 0; j < 50; j++ {
+			x := Vec(rng.Uint64()) & Mask(16)
+			y := Vec(rng.Uint64()) & Mask(16)
+			if h.Apply(x^y) != h.Apply(x)^h.Apply(y) {
+				t.Fatalf("Apply not linear for\n%v", h)
+			}
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	if got := Identity(16, 8).Rank(); got != 8 {
+		t.Errorf("identity rank = %d", got)
+	}
+	// Two identical columns: rank 1.
+	h := MatrixFromCols(8, []Vec{0b1010, 0b1010})
+	if got := h.Rank(); got != 1 {
+		t.Errorf("duplicate columns rank = %d, want 1", got)
+	}
+	// Column 3 = col1 ^ col2.
+	h = MatrixFromCols(8, []Vec{0b0011, 0b0101, 0b0110})
+	if got := h.Rank(); got != 2 {
+		t.Errorf("dependent columns rank = %d, want 2", got)
+	}
+	if got := NewMatrix(8, 3).Rank(); got != 0 {
+		t.Errorf("zero matrix rank = %d", got)
+	}
+}
+
+func TestNullSpaceDefinition(t *testing.T) {
+	// Every member of the null space maps to 0, every non-member does not.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		n := 8 + rng.Intn(6)
+		m := 1 + rng.Intn(n-2)
+		h := randomMatrix(rng, n, m)
+		ns := h.NullSpace()
+		if want := n - h.Rank(); ns.Dim() != want {
+			t.Fatalf("null space dim = %d, want %d (n=%d rank=%d)", ns.Dim(), want, n, h.Rank())
+		}
+		for a := Vec(0); a < Vec(1)<<uint(n); a++ {
+			inNS := ns.Contains(a)
+			mapsToZero := h.Apply(a) == 0
+			if inNS != mapsToZero {
+				t.Fatalf("null space mismatch at %b: contains=%v apply==0=%v\nH=\n%v", a, inNS, mapsToZero, h)
+			}
+		}
+	}
+}
+
+func TestConflictEquivalence(t *testing.T) {
+	// Paper Eq. 2: x·H == y·H  ⇔  (x⊕y) ∈ N(H).
+	rng := rand.New(rand.NewSource(4))
+	h := randomFullRank(rng, 12, 5)
+	ns := h.NullSpace()
+	for i := 0; i < 2000; i++ {
+		x := Vec(rng.Uint64()) & Mask(12)
+		y := Vec(rng.Uint64()) & Mask(12)
+		same := h.Apply(x) == h.Apply(y)
+		if same != ns.Contains(x^y) {
+			t.Fatalf("Eq.2 violated for x=%b y=%b", x, y)
+		}
+	}
+}
+
+func TestMatrixWithNullSpaceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		n := 8 + rng.Intn(8)
+		m := 1 + rng.Intn(n-1)
+		h := randomFullRank(rng, n, m)
+		ns := h.NullSpace()
+		h2 := MatrixWithNullSpace(ns)
+		if h2.N != n || h2.M != m {
+			t.Fatalf("reconstructed dims %dx%d, want %dx%d", h2.N, h2.M, n, m)
+		}
+		if !h2.NullSpace().Equal(ns) {
+			t.Fatalf("null space not preserved:\norig\n%v\nreconstructed\n%v", ns, h2.NullSpace())
+		}
+		if h2.Rank() != m {
+			t.Fatal("reconstructed matrix not full rank")
+		}
+	}
+}
+
+func TestIsPermutationBased(t *testing.T) {
+	// Permutation-based: low m rows are the identity. Build one by
+	// adding high-bit inputs to identity columns.
+	h := Identity(16, 8)
+	h.Cols[3] |= Unit(12)
+	h.Cols[5] |= Unit(9) | Unit(15)
+	if !h.IsPermutationBased() {
+		t.Fatal("augmented identity should be permutation-based")
+	}
+	// Mixing a low-order bit into the wrong column breaks the property.
+	h.Cols[2] |= Unit(4)
+	if h.IsPermutationBased() {
+		t.Fatal("low-order cross input should break permutation property")
+	}
+}
+
+func TestPermutationBasedMapsRunsConflictFree(t *testing.T) {
+	// Paper §4: permutation-based functions map every aligned run of 2^m
+	// consecutive blocks onto a permutation of the sets.
+	rng := rand.New(rand.NewSource(6))
+	n, m := 12, 5
+	h := Identity(n, m)
+	for c := 0; c < m; c++ {
+		if rng.Intn(2) == 1 {
+			h.Cols[c] |= Unit(m + rng.Intn(n-m))
+		}
+	}
+	for run := Vec(0); run < Vec(1)<<uint(n); run += Vec(1) << uint(m) {
+		var seen uint64
+		for off := Vec(0); off < Vec(1)<<uint(m); off++ {
+			s := h.Apply(run | off)
+			if seen&(1<<uint(s)) != 0 {
+				t.Fatalf("run %#x maps offset %#x to duplicate set %d", run, off, s)
+			}
+			seen |= 1 << uint(s)
+		}
+	}
+}
+
+func TestMaxInputs(t *testing.T) {
+	h := MatrixFromCols(16, []Vec{0b1, 0b110, 0b1011_0001_0000})
+	if got := h.MaxInputs(); got != 4 {
+		t.Errorf("MaxInputs = %d, want 4", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := randomMatrix(rng, 10, 6)
+	ht := h.Transpose()
+	if ht.N != 6 || ht.M != 10 {
+		t.Fatalf("transpose dims %dx%d", ht.N, ht.M)
+	}
+	for r := 0; r < h.N; r++ {
+		for c := 0; c < h.M; c++ {
+			if h.Cols[c].Bit(r) != ht.Cols[r].Bit(c) {
+				t.Fatalf("transpose mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+	// (H^T)^T == H
+	if !ht.Transpose().Equal(h) {
+		t.Fatal("double transpose != original")
+	}
+}
+
+func TestRowAccessor(t *testing.T) {
+	h := Identity(8, 4)
+	for r := 0; r < 4; r++ {
+		if h.Row(r) != Unit(r) {
+			t.Fatalf("Row(%d) = %b", r, h.Row(r))
+		}
+	}
+	if h.Row(7) != 0 {
+		t.Fatal("high rows of identity index should be zero")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	h := Identity(8, 4)
+	c := h.Clone()
+	c.Cols[0] = 0
+	if h.Cols[0] != Unit(0) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	h := Identity(3, 2)
+	// Rows print from address bit N-1 down; within a row, set-index bit
+	// M-1 is leftmost. Address bit 1 feeds set bit 1 -> "10".
+	want := "00\n10\n01"
+	if got := h.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestMulDefinition(t *testing.T) {
+	// (a·H)·B == a·(H·B) for all a: matrix product composes the maps.
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(8)
+		m := 1 + rng.Intn(n)
+		k := 1 + rng.Intn(m)
+		h := randomMatrix(rng, n, m)
+		b := randomMatrix(rng, m, k)
+		hb := h.Mul(b)
+		for i := 0; i < 50; i++ {
+			a := Vec(rng.Uint64()) & Mask(n)
+			if hb.Apply(a) != b.Apply(h.Apply(a)) {
+				t.Fatalf("composition violated for a=%b", a)
+			}
+		}
+	}
+}
+
+func TestMulPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Identity(8, 4).Mul(Identity(8, 4)) // inner dims 4 vs 8
+}
+
+func TestIdentityIsMulNeutral(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	h := randomMatrix(rng, 10, 6)
+	if !h.Mul(Identity(6, 6)).Equal(h) {
+		t.Fatal("H·I != H")
+	}
+}
+
+func TestInvertibleRecombinationPreservesNullSpace(t *testing.T) {
+	// Paper §2: distinct matrices with the same null space hash blocks
+	// to permuted-but-equivalent sets. H·B for invertible B must keep
+	// N(H) exactly; for singular B the null space can only grow.
+	rng := rand.New(rand.NewSource(73))
+	next := func() uint64 { return rng.Uint64() }
+	for trial := 0; trial < 40; trial++ {
+		n, m := 12, 5
+		h := randomFullRank(rng, n, m)
+		b := RandomInvertible(m, next)
+		hb := h.Mul(b)
+		if !hb.NullSpace().Equal(h.NullSpace()) {
+			t.Fatalf("invertible recombination changed the null space:\nH=\n%v\nB=\n%v", h, b)
+		}
+		// And a singular recombination (zero last column) grows it.
+		sing := b.Clone()
+		sing.Cols[m-1] = 0
+		if got := h.Mul(sing).NullSpace().Dim(); got <= h.NullSpace().Dim() {
+			t.Fatalf("singular recombination should grow the null space, dim %d", got)
+		}
+	}
+}
+
+func TestIsInvertible(t *testing.T) {
+	if !Identity(4, 4).IsInvertible() {
+		t.Fatal("identity must be invertible")
+	}
+	if Identity(5, 4).IsInvertible() {
+		t.Fatal("non-square must not be invertible")
+	}
+	if (NewMatrix(3, 3)).IsInvertible() {
+		t.Fatal("zero matrix must not be invertible")
+	}
+}

@@ -1,0 +1,160 @@
+package gf2
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) over the algebraic laws the
+// whole reproduction rests on. Custom generators produce structured
+// values (subspaces, full-rank matrices) rather than raw bit noise.
+
+// quickSubspace wraps Subspace with a quick.Generator that samples a
+// random subspace of GF(2)^12 of random dimension.
+type quickSubspace struct{ S Subspace }
+
+// Generate implements quick.Generator.
+func (quickSubspace) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 12
+	d := r.Intn(7)
+	vecs := make([]Vec, d)
+	for i := range vecs {
+		vecs[i] = Vec(r.Uint64()) & Mask(n)
+	}
+	return reflect.ValueOf(quickSubspace{S: Span(n, vecs...)})
+}
+
+// quickMatrix generates a random full-column-rank 12×5 matrix.
+type quickMatrix struct{ H Matrix }
+
+// Generate implements quick.Generator.
+func (quickMatrix) Generate(r *rand.Rand, size int) reflect.Value {
+	for {
+		h := NewMatrix(12, 5)
+		for c := range h.Cols {
+			h.Cols[c] = Vec(r.Uint64()) & Mask(12)
+		}
+		if h.Rank() == 5 {
+			return reflect.ValueOf(quickMatrix{H: h})
+		}
+	}
+}
+
+var quickCfg = &quick.Config{MaxCount: 150}
+
+func TestQuickSubspaceClosure(t *testing.T) {
+	// A subspace is closed under XOR: u, w ∈ S ⇒ u⊕w ∈ S.
+	f := func(qs quickSubspace, i, j uint8) bool {
+		s := qs.S
+		if s.Dim() == 0 {
+			return s.Contains(0)
+		}
+		m := s.Members(nil)
+		u := m[int(i)%len(m)]
+		w := m[int(j)%len(m)]
+		return s.Contains(u ^ w)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickComplementDimension(t *testing.T) {
+	// dim(S) + dim(S^⊥) == n and S ∩ S^⊥ ⊆ {0}-or-self-orthogonal
+	// vectors; over GF(2) self-orthogonal vectors exist, so only the
+	// dimension law is universal.
+	f := func(qs quickSubspace) bool {
+		s := qs.S
+		return s.Dim()+s.Complement().Dim() == s.N
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSumIntersectDimensionFormula(t *testing.T) {
+	// dim(A) + dim(B) == dim(A+B) + dim(A∩B).
+	f := func(qa, qb quickSubspace) bool {
+		a, b := qa.S, qb.S
+		return a.Dim()+b.Dim() == a.Sum(b).Dim()+a.Intersect(b).Dim()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKeyEqualIffEqual(t *testing.T) {
+	f := func(qa, qb quickSubspace) bool {
+		a, b := qa.S, qb.S
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNullSpaceCharacterisesConflicts(t *testing.T) {
+	// Paper Eq. 2 as a universal property of full-rank matrices.
+	f := func(qm quickMatrix, x, y uint16) bool {
+		h := qm.H
+		vx := Vec(x) & Mask(12)
+		vy := Vec(y) & Mask(12)
+		conflict := h.Apply(vx) == h.Apply(vy)
+		return conflict == h.NullSpace().Contains(vx^vy)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMatrixRoundTripsThroughNullSpace(t *testing.T) {
+	// MatrixWithNullSpace(NullSpace(H)) has exactly N(H) again.
+	f := func(qm quickMatrix) bool {
+		ns := qm.H.NullSpace()
+		return MatrixWithNullSpace(ns).NullSpace().Equal(ns)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(qm quickMatrix) bool {
+		data, err := qm.H.MarshalText()
+		if err != nil {
+			return false
+		}
+		var h2 Matrix
+		if err := h2.UnmarshalText(data); err != nil {
+			return false
+		}
+		return h2.Equal(qm.H)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHyperplaneNeighborLaw(t *testing.T) {
+	// Every hyperplane extended by an external vector is a neighbor in
+	// the paper's sense (same dim, intersection one lower).
+	f := func(qs quickSubspace, pick uint8, raw uint16) bool {
+		s := qs.S
+		if s.Dim() == 0 {
+			return true
+		}
+		hps := s.Hyperplanes(nil)
+		hp := hps[int(pick)%len(hps)]
+		v := Vec(raw) & Mask(s.N)
+		if s.Contains(v) {
+			return true // not an external vector; nothing to check
+		}
+		nb := hp.Extend(v)
+		return nb.Dim() == s.Dim() && nb.Intersect(s).Equal(hp)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,296 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSubspace spans d random vectors in GF(2)^n (dimension may be < d).
+func randomSubspace(rng *rand.Rand, n, d int) Subspace {
+	vecs := make([]Vec, d)
+	for i := range vecs {
+		vecs[i] = Vec(rng.Uint64()) & Mask(n)
+	}
+	return Span(n, vecs...)
+}
+
+// memberSet enumerates a subspace into a set for brute-force checks.
+func memberSet(s Subspace) map[Vec]bool {
+	set := make(map[Vec]bool)
+	for _, v := range s.Members(nil) {
+		set[v] = true
+	}
+	return set
+}
+
+func TestSpanBasics(t *testing.T) {
+	s := Span(8, 0b0011, 0b0101, 0b0110) // third = first ^ second
+	if s.Dim() != 2 {
+		t.Fatalf("dim = %d, want 2", s.Dim())
+	}
+	if s.Size() != 4 {
+		t.Fatalf("size = %d", s.Size())
+	}
+	for _, v := range []Vec{0, 0b0011, 0b0101, 0b0110} {
+		if !s.Contains(v) {
+			t.Errorf("should contain %b", v)
+		}
+	}
+	if s.Contains(0b1000) || s.Contains(0b0001) {
+		t.Error("contains vector outside span")
+	}
+}
+
+func TestZeroAndFullSpace(t *testing.T) {
+	z := ZeroSubspace(10)
+	if z.Dim() != 0 || !z.Contains(0) || z.Contains(1) {
+		t.Fatal("zero subspace wrong")
+	}
+	f := FullSpace(10)
+	if f.Dim() != 10 {
+		t.Fatal("full space dim wrong")
+	}
+	for i := 0; i < 100; i++ {
+		if !f.Contains(Vec(i * 37)) {
+			t.Fatal("full space must contain everything")
+		}
+	}
+}
+
+func TestCanonicalBasisUnique(t *testing.T) {
+	// Different generating sets of the same subspace must produce
+	// identical canonical bases and keys.
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 100; trial++ {
+		n := 6 + rng.Intn(10)
+		s := randomSubspace(rng, n, 1+rng.Intn(5))
+		members := s.Members(nil)
+		// Re-span from random member combinations until same dimension.
+		var s2 Subspace
+		for {
+			vecs := make([]Vec, s.Dim()+2)
+			for i := range vecs {
+				vecs[i] = members[rng.Intn(len(members))]
+			}
+			s2 = Span(n, vecs...)
+			if s2.Dim() == s.Dim() {
+				break
+			}
+		}
+		if !s.Equal(s2) {
+			t.Fatalf("canonical bases differ:\n%v\nvs\n%v", s, s2)
+		}
+		if s.Key() != s2.Key() {
+			t.Fatalf("keys differ for equal subspaces")
+		}
+	}
+}
+
+func TestMembersGrayCode(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := randomSubspace(rng, 12, 4)
+	m := s.Members(nil)
+	if uint64(len(m)) != s.Size() {
+		t.Fatalf("got %d members, want %d", len(m), s.Size())
+	}
+	if m[0] != 0 {
+		t.Fatal("first member must be 0")
+	}
+	seen := make(map[Vec]bool)
+	for i, v := range m {
+		if seen[v] {
+			t.Fatalf("duplicate member %b at %d", v, i)
+		}
+		seen[v] = true
+		if !s.Contains(v) {
+			t.Fatalf("member %b not in subspace", v)
+		}
+		if i > 0 {
+			// Gray property: consecutive members differ by one basis vector.
+			diff := v ^ m[i-1]
+			found := false
+			for _, b := range s.Basis {
+				if diff == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("consecutive members differ by non-basis vector %b", diff)
+			}
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(10)
+		s := randomSubspace(rng, n, rng.Intn(n+1))
+		c := s.Complement()
+		if s.Dim()+c.Dim() != n {
+			t.Fatalf("dim(s)+dim(s^⊥) = %d+%d != %d", s.Dim(), c.Dim(), n)
+		}
+		// Every pair of members must be orthogonal.
+		for _, u := range s.Members(nil) {
+			for _, w := range c.Members(nil) {
+				if Dot(u, w) != 0 {
+					t.Fatalf("complement not orthogonal: <%b,%b>=1", u, w)
+				}
+			}
+		}
+		// Involution: (s^⊥)^⊥ == s.
+		if !c.Complement().Equal(s) {
+			t.Fatal("double complement != original")
+		}
+	}
+}
+
+func TestKernelMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(8)
+		k := rng.Intn(5)
+		constraints := make([]Vec, k)
+		for i := range constraints {
+			constraints[i] = Vec(rng.Uint64()) & Mask(n)
+		}
+		ker := Kernel(n, constraints)
+		for v := Vec(0); v < Vec(1)<<uint(n); v++ {
+			inKer := true
+			for _, c := range constraints {
+				if Dot(v, c) == 1 {
+					inKer = false
+					break
+				}
+			}
+			if inKer != ker.Contains(v) {
+				t.Fatalf("kernel mismatch at %b (constraints %v)", v, constraints)
+			}
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(8)
+		a := randomSubspace(rng, n, 1+rng.Intn(4))
+		b := randomSubspace(rng, n, 1+rng.Intn(4))
+		got := a.Intersect(b)
+		// Brute force.
+		bm := memberSet(b)
+		want := []Vec{}
+		for _, v := range a.Members(nil) {
+			if bm[v] {
+				want = append(want, v)
+			}
+		}
+		wantSpace := Span(n, want...)
+		if !got.Equal(wantSpace) {
+			t.Fatalf("intersect mismatch:\na=%v\nb=%v\ngot=%v\nwant=%v", a, b, got, wantSpace)
+		}
+	}
+}
+
+func TestIntersectWide(t *testing.T) {
+	// Ambient dimension > 32 exercises the dual-space path.
+	a := SpanUnits(40, 0, 20)
+	b := SpanUnits(40, 10, 30)
+	got := a.Intersect(b)
+	want := SpanUnits(40, 10, 20)
+	if !got.Equal(want) {
+		t.Fatalf("wide intersect wrong: got dim %d want %d", got.Dim(), want.Dim())
+	}
+}
+
+func TestSum(t *testing.T) {
+	a := SpanUnits(8, 0, 3)
+	b := SpanUnits(8, 2, 5)
+	s := a.Sum(b)
+	if !s.Equal(SpanUnits(8, 0, 5)) {
+		t.Fatal("sum wrong")
+	}
+	// dim(a) + dim(b) = dim(a+b) + dim(a∩b)
+	if a.Dim()+b.Dim() != s.Dim()+a.Intersect(b).Dim() {
+		t.Fatal("dimension formula violated")
+	}
+}
+
+func TestHyperplanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	s := randomSubspace(rng, 10, 4)
+	for s.Dim() != 4 {
+		s = randomSubspace(rng, 10, 4)
+	}
+	hps := s.Hyperplanes(nil)
+	if len(hps) != (1<<4)-1 {
+		t.Fatalf("got %d hyperplanes, want 15", len(hps))
+	}
+	keys := make(map[string]bool)
+	for _, h := range hps {
+		if h.Dim() != 3 {
+			t.Fatalf("hyperplane dim %d", h.Dim())
+		}
+		// Must be a subset of s with intersection dimension dim-1.
+		for _, v := range h.Members(nil) {
+			if !s.Contains(v) {
+				t.Fatal("hyperplane not contained in subspace")
+			}
+		}
+		if keys[h.Key()] {
+			t.Fatal("duplicate hyperplane")
+		}
+		keys[h.Key()] = true
+	}
+}
+
+func TestExtend(t *testing.T) {
+	s := SpanUnits(8, 0, 2)
+	e := s.Extend(Unit(5))
+	if e.Dim() != 3 || !e.Contains(Unit(5)) {
+		t.Fatal("extend failed")
+	}
+	// Extending by a member is a no-op.
+	if !s.Extend(0b11).Equal(s) {
+		t.Fatal("extend by member should not grow")
+	}
+}
+
+func TestSubspaceNeighborRelation(t *testing.T) {
+	// A hyperplane extended by an external vector yields a neighbor in
+	// the paper's sense: same dimension, intersection of dimension-1.
+	rng := rand.New(rand.NewSource(16))
+	n := 12
+	s := randomSubspace(rng, n, 5)
+	for s.Dim() != 5 {
+		s = randomSubspace(rng, n, 5)
+	}
+	hps := s.Hyperplanes(nil)
+	for trial := 0; trial < 50; trial++ {
+		hp := hps[rng.Intn(len(hps))]
+		var v Vec
+		for {
+			v = Vec(rng.Uint64()) & Mask(n)
+			if !s.Contains(v) {
+				break
+			}
+		}
+		nb := hp.Extend(v)
+		if nb.Dim() != s.Dim() {
+			t.Fatal("neighbor dimension wrong")
+		}
+		inter := nb.Intersect(s)
+		if inter.Dim() != s.Dim()-1 {
+			t.Fatalf("neighbor intersection dim %d, want %d", inter.Dim(), s.Dim()-1)
+		}
+	}
+}
+
+func TestMembersPanicsOnHugeSubspace(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 2^40 enumeration")
+		}
+	}()
+	FullSpace(40).Members(nil)
+}

@@ -1,0 +1,108 @@
+// Package gf2 implements linear algebra over GF(2), the two-element
+// Galois field, as needed for XOR-based cache index functions.
+//
+// Throughout the package an n-bit address (or any element of GF(2)^n)
+// is a Vec: bit r of the Vec is coordinate r of the vector, with bit 0
+// the least significant address bit. Addition in GF(2) is XOR and
+// multiplication is logical AND, so the inner product of two vectors is
+// the parity of the popcount of their AND.
+//
+// A hash function mapping n address bits to m set-index bits is an n×m
+// binary matrix H (see Matrix). The package provides the tools the
+// construction algorithm of Vandierendonck et al. (DATE 2006) relies on:
+// null spaces, canonical subspace bases, orthogonal complements, span
+// enumeration and subspace counting.
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vec is a vector in GF(2)^n for n <= 64. Bit i is coordinate i.
+type Vec uint64
+
+// MaxBits is the largest supported vector length.
+const MaxBits = 64
+
+// Dot returns the GF(2) inner product <x, y>: the parity of the number
+// of coordinates where both vectors are 1.
+func Dot(x, y Vec) uint {
+	return uint(bits.OnesCount64(uint64(x&y)) & 1)
+}
+
+// Weight returns the Hamming weight (number of 1 coordinates) of v.
+func (v Vec) Weight() int { return bits.OnesCount64(uint64(v)) }
+
+// Bit returns coordinate i of v (0 or 1).
+func (v Vec) Bit(i int) uint { return uint(v>>uint(i)) & 1 }
+
+// SetBit returns v with coordinate i set to b (b must be 0 or 1).
+func (v Vec) SetBit(i int, b uint) Vec {
+	if b == 0 {
+		return v &^ (1 << uint(i))
+	}
+	return v | (1 << uint(i))
+}
+
+// Unit returns the standard basis vector e_i.
+func Unit(i int) Vec {
+	if i < 0 || i >= MaxBits {
+		panic(fmt.Sprintf("gf2: unit vector index %d out of range", i))
+	}
+	return Vec(1) << uint(i)
+}
+
+// Mask returns the vector with coordinates 0..n-1 all set to 1.
+func Mask(n int) Vec {
+	if n < 0 || n > MaxBits {
+		panic(fmt.Sprintf("gf2: mask width %d out of range", n))
+	}
+	if n == MaxBits {
+		return ^Vec(0)
+	}
+	return (Vec(1) << uint(n)) - 1
+}
+
+// String renders v as a bit string of width equal to the position of its
+// highest set bit (at least 1 character), most significant bit first.
+func (v Vec) String() string {
+	n := bits.Len64(uint64(v))
+	if n == 0 {
+		n = 1
+	}
+	return v.StringN(n)
+}
+
+// StringN renders v as an n-character bit string, most significant first.
+func (v Vec) StringN(n int) string {
+	var sb strings.Builder
+	for i := n - 1; i >= 0; i-- {
+		if v.Bit(i) == 1 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// ParseVec parses a bit string (most significant bit first) into a Vec.
+func ParseVec(s string) (Vec, error) {
+	if len(s) == 0 || len(s) > MaxBits {
+		return 0, fmt.Errorf("gf2: bit string length %d out of range", len(s))
+	}
+	var v Vec
+	for _, c := range s {
+		switch c {
+		case '0':
+			v <<= 1
+		case '1':
+			v = v<<1 | 1
+		default:
+			return 0, fmt.Errorf("gf2: invalid bit character %q", c)
+		}
+	}
+	return v, nil
+}

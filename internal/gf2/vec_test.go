@@ -1,0 +1,123 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		x, y Vec
+		want uint
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{1, 2, 0},
+		{0b1011, 0b1110, 0}, // overlap 1010 -> weight 2 -> parity 0
+		{0b1011, 0b0110, 1}, // overlap 0010 -> weight 1
+		{^Vec(0), ^Vec(0), 0},
+	}
+	for _, c := range cases {
+		if got := Dot(c.x, c.y); got != c.want {
+			t.Errorf("Dot(%b,%b) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestDotBilinear(t *testing.T) {
+	// <x+y, z> = <x,z> + <y,z> over GF(2).
+	f := func(x, y, z uint64) bool {
+		return Dot(Vec(x)^Vec(y), Vec(z)) == (Dot(Vec(x), Vec(z))+Dot(Vec(y), Vec(z)))&1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnitAndMask(t *testing.T) {
+	if Unit(0) != 1 || Unit(5) != 32 {
+		t.Fatal("unit vectors wrong")
+	}
+	if Mask(0) != 0 {
+		t.Errorf("Mask(0) = %b", Mask(0))
+	}
+	if Mask(4) != 0b1111 {
+		t.Errorf("Mask(4) = %b", Mask(4))
+	}
+	if Mask(64) != ^Vec(0) {
+		t.Errorf("Mask(64) = %b", Mask(64))
+	}
+	for i := 0; i < 64; i++ {
+		if !((Mask(64) & Unit(i)) != 0) {
+			t.Fatalf("Unit(%d) not inside Mask(64)", i)
+		}
+	}
+}
+
+func TestUnitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unit(64) should panic")
+		}
+	}()
+	Unit(64)
+}
+
+func TestSetBitAndBit(t *testing.T) {
+	var v Vec
+	v = v.SetBit(3, 1)
+	if v != 8 || v.Bit(3) != 1 || v.Bit(2) != 0 {
+		t.Fatalf("SetBit: got %b", v)
+	}
+	v = v.SetBit(3, 0)
+	if v != 0 {
+		t.Fatalf("clear: got %b", v)
+	}
+}
+
+func TestWeight(t *testing.T) {
+	if (Vec(0)).Weight() != 0 || (Vec(0b1011)).Weight() != 3 || (^Vec(0)).Weight() != 64 {
+		t.Fatal("Weight wrong")
+	}
+}
+
+func TestVecStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(63)
+		v := Vec(rng.Uint64()) & Mask(n)
+		s := v.StringN(n)
+		if len(s) != n {
+			t.Fatalf("StringN length %d != %d", len(s), n)
+		}
+		got, err := ParseVec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("round trip %s: got %b want %b", s, got, v)
+		}
+	}
+}
+
+func TestParseVecErrors(t *testing.T) {
+	if _, err := ParseVec(""); err == nil {
+		t.Error("empty string should fail")
+	}
+	if _, err := ParseVec("10a1"); err == nil {
+		t.Error("invalid char should fail")
+	}
+	if _, err := ParseVec(string(make([]byte, 65))); err == nil {
+		t.Error("overlong string should fail")
+	}
+}
+
+func TestVecString(t *testing.T) {
+	if Vec(0).String() != "0" {
+		t.Errorf("Vec(0).String() = %q", Vec(0).String())
+	}
+	if Vec(0b101).String() != "101" {
+		t.Errorf("Vec(5).String() = %q", Vec(0b101).String())
+	}
+}

@@ -1,0 +1,85 @@
+package hash
+
+import (
+	"fmt"
+
+	"xoridx/internal/gf2"
+)
+
+// Fixed (application-independent) hash functions from the related work
+// the paper builds on. Both are linear over GF(2), so they slot into
+// the same Matrix machinery and can be compared head-to-head with the
+// application-specific functions:
+//
+//   - FoldedXOR is the classic XOR-placement of González, Valero,
+//     Topham & Parcerisa (paper ref. [5]): the address is cut into
+//     m-bit slices that are XORed together.
+//   - PolynomialHash is Rau's pseudo-random interleaving (paper ref.
+//     [9]): the address, read as a GF(2) polynomial, is reduced modulo
+//     an irreducible polynomial of degree m. Irreducibility guarantees
+//     that every stride 2^k run maps conflict-free.
+
+// FoldedXOR returns the n-to-m folding hash: index bit c is the XOR of
+// address bits c, c+m, c+2m, ...
+func FoldedXOR(n, m int) (*XOR, error) {
+	if m <= 0 || m > n {
+		return nil, fmt.Errorf("hash: folded XOR needs 0 < m <= n, got n=%d m=%d", n, m)
+	}
+	h := gf2.NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		h.Cols[i%m] |= gf2.Unit(i)
+	}
+	return NewXOR(h)
+}
+
+// irreduciblePolys[m] is an irreducible polynomial of degree m over
+// GF(2), given as the coefficient mask of x^{m-1}..x^0 (the leading
+// x^m term is implicit). Standard table (CRC-style primitive
+// polynomials).
+var irreduciblePolys = map[int]uint64{
+	1:  0x1,  // x + 1
+	2:  0x3,  // x^2 + x + 1
+	3:  0x3,  // x^3 + x + 1
+	4:  0x3,  // x^4 + x + 1
+	5:  0x5,  // x^5 + x^2 + 1
+	6:  0x3,  // x^6 + x + 1
+	7:  0x3,  // x^7 + x + 1
+	8:  0x1D, // x^8 + x^4 + x^3 + x^2 + 1
+	9:  0x11, // x^9 + x^4 + 1
+	10: 0x9,  // x^10 + x^3 + 1
+	11: 0x5,  // x^11 + x^2 + 1
+	12: 0x53, // x^12 + x^6 + x^4 + x + 1
+	13: 0x1B, // x^13 + x^4 + x^3 + x + 1
+	14: 0x2B, // x^14 + x^5 + x^3 + x + 1
+	15: 0x3,  // x^15 + x + 1
+	16: 0x2D, // x^16 + x^5 + x^3 + x^2 + 1
+}
+
+// PolynomialHash returns Rau's polynomial hash: the matrix whose row i
+// is x^i mod p(x), with p the built-in irreducible polynomial of
+// degree m. Addresses that differ by any single stride 2^k therefore
+// never collide in runs shorter than the polynomial's period.
+func PolynomialHash(n, m int) (*XOR, error) {
+	poly, ok := irreduciblePolys[m]
+	if !ok {
+		return nil, fmt.Errorf("hash: no irreducible polynomial of degree %d in the table", m)
+	}
+	if m > n {
+		return nil, fmt.Errorf("hash: polynomial degree %d exceeds address bits %d", m, n)
+	}
+	h := gf2.NewMatrix(n, m)
+	// rem = x^i mod p(x), iteratively: multiply by x, reduce.
+	rem := uint64(1) // x^0
+	for i := 0; i < n; i++ {
+		for c := 0; c < m; c++ {
+			if rem>>uint(c)&1 == 1 {
+				h.Cols[c] |= gf2.Unit(i)
+			}
+		}
+		rem <<= 1
+		if rem>>uint(m)&1 == 1 {
+			rem = rem&(1<<uint(m)-1) ^ poly
+		}
+	}
+	return NewXOR(h)
+}

@@ -1,0 +1,134 @@
+package hash
+
+import (
+	"testing"
+)
+
+func TestFoldedXORStructure(t *testing.T) {
+	f, err := FoldedXOR(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// index = low8 ^ high8.
+	for _, a := range []uint64{0, 0x1234, 0xFFFF, 0xA5C3} {
+		if got, want := f.Index(a), (a^a>>8)&0xFF; got != want {
+			t.Fatalf("Index(%#x) = %#x, want %#x", a, got, want)
+		}
+	}
+	if f.Matrix().MaxInputs() != 2 {
+		t.Fatal("16->8 fold should be 2-input")
+	}
+	checkBijective(t, f)
+}
+
+func TestFoldedXORUnevenFold(t *testing.T) {
+	// n not a multiple of m: the low bits get an extra input.
+	f, err := FoldedXOR(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBijective(t, f)
+	if _, err := FoldedXOR(8, 0); err == nil {
+		t.Fatal("m=0 must fail")
+	}
+	if _, err := FoldedXOR(8, 9); err == nil {
+		t.Fatal("m>n must fail")
+	}
+}
+
+func TestPolynomialHashMapsStridesConflictFree(t *testing.T) {
+	// Rau's property: for an irreducible polynomial, every aligned
+	// power-of-two stride run of 2^m blocks maps conflict-free — not
+	// just stride 1 (which permutation-based functions guarantee), but
+	// every stride 2^k with k + m <= n.
+	n, m := 16, 6
+	f, err := PolynomialHash(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBijective(t, f)
+	for k := 0; k+m <= n; k++ {
+		stride := uint64(1) << uint(k)
+		var seen uint64
+		for i := uint64(0); i < 1<<uint(m); i++ {
+			s := f.Index(i * stride)
+			if seen&(1<<s) != 0 {
+				t.Fatalf("stride 2^%d: duplicate set %d at element %d", k, s, i)
+			}
+			seen |= 1 << s
+		}
+	}
+}
+
+func TestPolynomialHashIrreducibleTable(t *testing.T) {
+	// Every tabulated polynomial must actually be irreducible: x^i mod
+	// p(x) over i = 0..2^m-2 must cycle through all nonzero residues
+	// for primitive p; at minimum, x must be invertible and the matrix
+	// full rank for every n >= m.
+	for m := 1; m <= 16; m++ {
+		f, err := PolynomialHash(16, m)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if f.Matrix().Rank() != m {
+			t.Fatalf("m=%d: polynomial matrix rank-deficient", m)
+		}
+	}
+	if _, err := PolynomialHash(16, 17); err == nil {
+		t.Fatal("missing polynomial must fail")
+	}
+	if _, err := PolynomialHash(4, 8); err == nil {
+		t.Fatal("m>n must fail")
+	}
+}
+
+func TestPolynomialHashLowBitsIdentity(t *testing.T) {
+	// For addresses below 2^m, a(x) mod p(x) = a(x): the hash is the
+	// identity there, i.e. polynomial hashing is permutation-based.
+	f, err := PolynomialHash(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 256; a++ {
+		if f.Index(a) != a {
+			t.Fatalf("Index(%#x) = %#x, want identity below 2^m", a, f.Index(a))
+		}
+	}
+	if !f.Matrix().IsPermutationBased() {
+		t.Fatal("polynomial hash should be permutation-based")
+	}
+}
+
+func TestFixedHashesDifferFromEachOther(t *testing.T) {
+	fold, _ := FoldedXOR(16, 8)
+	poly, _ := PolynomialHash(16, 8)
+	mod := Modulo(16, 8)
+	if fold.Matrix().NullSpace().Equal(poly.Matrix().NullSpace()) {
+		t.Fatal("fold and polynomial should be distinct functions")
+	}
+	if fold.Matrix().NullSpace().Equal(mod.Matrix().NullSpace()) {
+		t.Fatal("fold should differ from modulo")
+	}
+}
+
+func TestFixedHashesAgainstStride(t *testing.T) {
+	// Sanity: both fixed hashes spread the cache-size stride that
+	// thrashes modulo indexing.
+	const m = 8
+	fold, _ := FoldedXOR(16, m)
+	poly, _ := PolynomialHash(16, m)
+	seenFold := map[uint64]bool{}
+	seenPoly := map[uint64]bool{}
+	for i := uint64(0); i < 64; i++ {
+		block := i << m // stride = number of sets
+		if Modulo(16, m).Index(block) != 0 {
+			t.Fatal("modulo should collapse the stride")
+		}
+		seenFold[fold.Index(block)] = true
+		seenPoly[poly.Index(block)] = true
+	}
+	if len(seenFold) < 32 || len(seenPoly) < 32 {
+		t.Fatalf("fixed hashes should spread the stride: fold %d sets, poly %d sets",
+			len(seenFold), len(seenPoly))
+	}
+}

@@ -1,0 +1,73 @@
+package hwcost
+
+import "fmt"
+
+// First-order energy model for the paper's motivating claim (§1):
+// conflict misses cost performance AND energy, and an
+// application-specific XOR index buys the miss rate of associativity
+// without its per-access energy. The numbers are CACTI-flavoured
+// ballparks for a ~130 nm embedded process (the paper's era), in
+// picojoules; only ratios matter for the conclusions, and all
+// parameters are overridable.
+type EnergyModel struct {
+	// ArrayReadPJ is the energy of reading one direct-mapped data+tag
+	// array of 1 KB; larger arrays scale with sqrt(capacity), parallel
+	// ways multiply.
+	ArrayReadPJ float64
+	// MemTransferPJ is the energy of one block transfer to/from the
+	// next memory level (dominates everything else).
+	MemTransferPJ float64
+	// SwitchPJ is the per-access energy of one crossbar switch
+	// (pass gate + the wire segment it drives) in the index network.
+	SwitchPJ float64
+	// XORPJ is the per-access energy of one 2-input XOR gate.
+	XORPJ float64
+}
+
+// DefaultEnergy returns the documented ballpark parameters.
+func DefaultEnergy() EnergyModel {
+	return EnergyModel{
+		ArrayReadPJ:   25,   // 1 KB SRAM array read
+		MemTransferPJ: 1200, // off-chip/next-level block transfer
+		SwitchPJ:      0.05,
+		XORPJ:         0.1,
+	}
+}
+
+// AccessEnergy returns the per-access energy of a cache organisation:
+// ways parallel array reads of (capacityBytes/ways) each, plus the
+// reconfigurable index network of the given style (styleless modulo
+// indexing passes style < 0).
+func (em EnergyModel) AccessEnergy(capacityBytes, ways, n, m int, style Style) float64 {
+	if capacityBytes <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("hwcost: invalid geometry %dB/%d ways", capacityBytes, ways))
+	}
+	perArray := em.ArrayReadPJ * sqrtRatio(capacityBytes/ways)
+	e := float64(ways) * perArray
+	if style >= 0 {
+		est := Estimate(style, n, m)
+		e += float64(est.Switches)*em.SwitchPJ + float64(est.XORGates)*em.XORPJ
+	}
+	return e
+}
+
+// TotalEnergy returns the energy of a simulated run: accesses×access
+// energy + memory traffic×transfer energy.
+func (em EnergyModel) TotalEnergy(accesses, traffic uint64, accessPJ float64) float64 {
+	return float64(accesses)*accessPJ + float64(traffic)*em.MemTransferPJ
+}
+
+// sqrtRatio approximates sqrt(capacity/1KB) without importing math for
+// a monotone scaling factor; exactness is irrelevant to the ratios.
+func sqrtRatio(capacityBytes int) float64 {
+	ratio := float64(capacityBytes) / 1024
+	// Newton iterations from a decent start.
+	x := ratio
+	if x < 1 {
+		x = 1
+	}
+	for i := 0; i < 20; i++ {
+		x = 0.5 * (x + ratio/x)
+	}
+	return x
+}

@@ -1,0 +1,17 @@
+package hwcost_test
+
+import (
+	"fmt"
+
+	"xoridx/internal/hwcost"
+)
+
+// Example_table1 regenerates one row of the paper's Table 1.
+func Example_table1() {
+	for _, m := range []int{8, 10, 12} {
+		fmt.Print(hwcost.Switches(hwcost.PermutationXOR2, 16, m), " ")
+	}
+	fmt.Println()
+	// Output:
+	// 72 70 60
+}

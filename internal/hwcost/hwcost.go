@@ -1,0 +1,162 @@
+// Package hwcost models the hardware complexity of reconfigurable
+// index networks (paper §5, Table 1, Fig. 2).
+//
+// Each reconfigurable selector is a crossbar of switches (one pass gate
+// plus one configuration memory cell per switch). The paper's four
+// network styles, with n hashed address bits and m set-index bits:
+//
+//   - Naive bit-select: every one of the n outputs (m index + n−m tag)
+//     selects among all n inputs: n² switches.
+//   - Optimized bit-select: because permuting the selected bits is
+//     irrelevant, output i need only choose among a sliding window:
+//     m·(n−m+1) switches for the index plus (n−m)·(m+1) for the tag
+//     (paper Fig. 2a: the shaded triangle is redundant).
+//   - General 2-input XOR: each of the m index bits needs a first-input
+//     selector (optimized, m·(n−m+1)), a second-input selector that can
+//     also pick a constant 0 so the bit can pass through unhashed
+//     (m·(n+1) minus the same triangular redundancy m(m−1)/2), and the
+//     tag still needs its (n−m)·(m+1) bit-select switches.
+//   - Permutation-based 2-input XOR: the first XOR input is hard-wired
+//     to the corresponding low-order address bit and the tag is
+//     hard-wired to the high-order bits, so only the m second-input
+//     selectors of 1-out-of-(n−m+1) remain: m·(n−m+1) switches
+//     (paper Fig. 2b).
+//
+// These formulas reproduce paper Table 1 exactly (see tests).
+package hwcost
+
+import "fmt"
+
+// Style enumerates the reconfigurable network styles of Table 1.
+type Style int
+
+const (
+	// BitSelectNaive: n 1-out-of-n selectors.
+	BitSelectNaive Style = iota
+	// BitSelectOptimized: redundancy-free bit selection (Fig. 2a).
+	BitSelectOptimized
+	// GeneralXOR2: reconfigurable 2-input XOR function.
+	GeneralXOR2
+	// PermutationXOR2: permutation-based 2-input XOR (Fig. 2b).
+	PermutationXOR2
+)
+
+// String names the style as in Table 1.
+func (s Style) String() string {
+	switch s {
+	case BitSelectNaive:
+		return "bit-select"
+	case BitSelectOptimized:
+		return "optimized bit-select"
+	case GeneralXOR2:
+		return "general XOR"
+	case PermutationXOR2:
+		return "permutation-based"
+	default:
+		return fmt.Sprintf("Style(%d)", int(s))
+	}
+}
+
+// Styles lists all styles in Table 1 order.
+func Styles() []Style {
+	return []Style{BitSelectNaive, BitSelectOptimized, GeneralXOR2, PermutationXOR2}
+}
+
+// Switches returns the number of crossbar switches (pass gate +
+// configuration cell) required for the style at the given dimensions.
+func Switches(s Style, n, m int) int {
+	if n <= 0 || m <= 0 || m > n {
+		panic(fmt.Sprintf("hwcost: invalid dimensions n=%d m=%d", n, m))
+	}
+	switch s {
+	case BitSelectNaive:
+		return n * n
+	case BitSelectOptimized:
+		return indexSelect(n, m) + tagSelect(n, m)
+	case GeneralXOR2:
+		return indexSelect(n, m) + secondInput(n, m) + tagSelect(n, m)
+	case PermutationXOR2:
+		return indexSelect(n, m)
+	default:
+		panic(fmt.Sprintf("hwcost: unknown style %d", int(s)))
+	}
+}
+
+// indexSelect is the optimized first-input selector bank:
+// m selectors of 1-out-of-(n−m+1).
+func indexSelect(n, m int) int { return m * (n - m + 1) }
+
+// tagSelect is the optimized tag selector bank:
+// n−m selectors of 1-out-of-(m+1).
+func tagSelect(n, m int) int { return (n - m) * (m + 1) }
+
+// secondInput is the second-XOR-input selector bank: each of the m
+// gates picks among the n address bits or a constant 0, minus the
+// triangular permutation redundancy.
+func secondInput(n, m int) int { return m*(n+1) - m*(m-1)/2 }
+
+// Cost aggregates the physical estimates of §5 for one network.
+type Cost struct {
+	Style         Style
+	N, M          int
+	Switches      int // pass gate + memory cell pairs
+	PassGates     int // pass transistors (2 per XOR input pair + 1 per switch)
+	MemoryCells   int // configuration bits
+	Inverters     int // one per XOR gate (complement from the flip-flop)
+	WiresCrossed  int // crossbar area proxy: lines × crossings
+	ConfigBits    int // bits to program the function (== MemoryCells)
+	XORGates      int
+	CriticalLevel int // selector + optional XOR levels on the index path
+}
+
+// Estimate returns the aggregate cost model for a style.
+func Estimate(s Style, n, m int) Cost {
+	sw := Switches(s, n, m)
+	c := Cost{Style: s, N: n, M: m, Switches: sw, MemoryCells: sw, ConfigBits: sw, PassGates: sw}
+	switch s {
+	case BitSelectNaive:
+		c.WiresCrossed = n * n
+		c.CriticalLevel = 1
+	case BitSelectOptimized:
+		c.WiresCrossed = n * n // same physical lines, fewer switches
+		c.CriticalLevel = 1
+	case GeneralXOR2:
+		c.XORGates = m
+		// Pass-transistor XOR: 2 pass gates and 1 inverter per gate (§5).
+		c.PassGates += 2 * m
+		c.Inverters = m
+		c.WiresCrossed = n * n
+		c.CriticalLevel = 2
+	case PermutationXOR2:
+		c.XORGates = m
+		c.PassGates += 2 * m
+		c.Inverters = m
+		// Only the n−m high-order lines cross the m selector columns.
+		c.WiresCrossed = (n - m) * m
+		c.CriticalLevel = 2
+	}
+	return c
+}
+
+// Table1Row is one row of paper Table 1 (n = 16, 4-byte blocks).
+type Table1Row struct {
+	Style    Style
+	Switches [3]int // m = 8, 10, 12 (1, 4, 16 KB caches)
+}
+
+// Table1 regenerates paper Table 1: switch counts for reconfigurable
+// indexing with n = 16 and direct-mapped 1/4/16 KB caches of 4-byte
+// blocks (m = 8, 10, 12).
+func Table1() []Table1Row {
+	ms := [3]int{8, 10, 12}
+	rows := make([]Table1Row, 0, 4)
+	for _, s := range Styles() {
+		var row Table1Row
+		row.Style = s
+		for i, m := range ms {
+			row.Switches[i] = Switches(s, 16, m)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

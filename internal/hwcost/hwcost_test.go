@@ -1,0 +1,177 @@
+package hwcost
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	// Paper Table 1, n = 16; columns m = 8, 10, 12.
+	want := map[Style][3]int{
+		BitSelectNaive:     {256, 256, 256},
+		BitSelectOptimized: {144, 136, 112},
+		GeneralXOR2:        {252, 261, 250},
+		PermutationXOR2:    {72, 70, 60},
+	}
+	for _, row := range Table1() {
+		w, ok := want[row.Style]
+		if !ok {
+			t.Fatalf("unexpected style %v", row.Style)
+		}
+		if row.Switches != w {
+			t.Errorf("%v: got %v, paper says %v", row.Style, row.Switches, w)
+		}
+	}
+}
+
+func TestSwitchesComponents(t *testing.T) {
+	// Decompose general XOR at n=16, m=8: 72 first + 108 second + 72 tag.
+	n, m := 16, 8
+	if got := indexSelect(n, m); got != 72 {
+		t.Errorf("indexSelect = %d", got)
+	}
+	if got := secondInput(n, m); got != 108 {
+		t.Errorf("secondInput = %d", got)
+	}
+	if got := tagSelect(n, m); got != 72 {
+		t.Errorf("tagSelect = %d", got)
+	}
+}
+
+func TestSwitchesPanics(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {8, 0}, {8, 9}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Switches with n=%d m=%d should panic", dims[0], dims[1])
+				}
+			}()
+			Switches(BitSelectNaive, dims[0], dims[1])
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown style should panic")
+			}
+		}()
+		Switches(Style(42), 16, 8)
+	}()
+}
+
+func TestPermutationCheaperThanBitSelect(t *testing.T) {
+	// §5's headline claim: a reconfigurable 2-input permutation-based
+	// XOR function needs fewer switches and crossings than any
+	// reconfigurable bit-selecting network, at every Table 1 size.
+	for _, m := range []int{8, 10, 12} {
+		perm := Estimate(PermutationXOR2, 16, m)
+		bsOpt := Estimate(BitSelectOptimized, 16, m)
+		if perm.Switches >= bsOpt.Switches {
+			t.Errorf("m=%d: permutation %d switches vs optimized bit-select %d", m, perm.Switches, bsOpt.Switches)
+		}
+		if perm.WiresCrossed >= bsOpt.WiresCrossed {
+			t.Errorf("m=%d: permutation crossings %d vs bit-select %d", m, perm.WiresCrossed, bsOpt.WiresCrossed)
+		}
+	}
+}
+
+func TestEstimateFields(t *testing.T) {
+	c := Estimate(PermutationXOR2, 16, 8)
+	if c.XORGates != 8 || c.Inverters != 8 {
+		t.Fatalf("XOR accounting wrong: %+v", c)
+	}
+	if c.PassGates != c.Switches+16 { // 2 pass gates per XOR
+		t.Fatalf("pass gates = %d", c.PassGates)
+	}
+	if c.WiresCrossed != 8*8 {
+		t.Fatalf("crossings = %d, want (n-m)*m = 64", c.WiresCrossed)
+	}
+	if c.ConfigBits != c.Switches {
+		t.Fatal("config bits must equal switches")
+	}
+	if c.CriticalLevel != 2 {
+		t.Fatal("XOR path has 2 levels")
+	}
+	b := Estimate(BitSelectNaive, 16, 8)
+	if b.XORGates != 0 || b.CriticalLevel != 1 {
+		t.Fatalf("bit-select estimate wrong: %+v", b)
+	}
+}
+
+func TestStyleString(t *testing.T) {
+	names := map[Style]string{
+		BitSelectNaive:     "bit-select",
+		BitSelectOptimized: "optimized bit-select",
+		GeneralXOR2:        "general XOR",
+		PermutationXOR2:    "permutation-based",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d: %q", int(s), s.String())
+		}
+	}
+	if !strings.Contains(Style(9).String(), "9") {
+		t.Error("unknown style string")
+	}
+}
+
+func TestStylesOrder(t *testing.T) {
+	s := Styles()
+	if len(s) != 4 || s[0] != BitSelectNaive || s[3] != PermutationXOR2 {
+		t.Fatalf("Styles() = %v", s)
+	}
+}
+
+func TestEnergyModelOrdering(t *testing.T) {
+	em := DefaultEnergy()
+	// Per-access: a 2-way cache reads two half-size arrays, costing more
+	// than one direct-mapped array of the same total capacity (the wider
+	// tag match dominates in reality; here 2×sqrt(1/2) ≈ 1.41×).
+	dm := em.AccessEnergy(4096, 1, 16, 10, -1)
+	dmXOR := em.AccessEnergy(4096, 1, 16, 10, PermutationXOR2)
+	twoWay := em.AccessEnergy(4096, 2, 16, 9, -1)
+	if !(dm < dmXOR) {
+		t.Fatalf("XOR network must add something: %f vs %f", dm, dmXOR)
+	}
+	if dmXOR >= twoWay {
+		t.Fatalf("XOR-indexed DM (%f pJ) must stay cheaper per access than 2-way (%f pJ)", dmXOR, twoWay)
+	}
+	// The XOR network overhead must be tiny relative to the array read
+	// (the paper's §5 argument for pass-gate selectors).
+	if (dmXOR-dm)/dm > 0.2 {
+		t.Fatalf("index network overhead %.1f%% too large", 100*(dmXOR-dm)/dm)
+	}
+}
+
+func TestEnergyModelTotals(t *testing.T) {
+	em := DefaultEnergy()
+	access := em.AccessEnergy(1024, 1, 16, 8, PermutationXOR2)
+	// Misses dominate: 1000 accesses with 100 transfers costs more than
+	// the same accesses with 10 transfers by roughly 90 transfers.
+	hi := em.TotalEnergy(1000, 100, access)
+	lo := em.TotalEnergy(1000, 10, access)
+	if hi <= lo {
+		t.Fatal("more traffic must cost more")
+	}
+	if diff := hi - lo; diff != 90*em.MemTransferPJ {
+		t.Fatalf("traffic delta = %f, want %f", diff, 90*em.MemTransferPJ)
+	}
+}
+
+func TestEnergyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultEnergy().AccessEnergy(0, 1, 16, 8, -1)
+}
+
+func TestSqrtRatio(t *testing.T) {
+	cases := map[int]float64{1024: 1, 4096: 2, 16384: 4}
+	for capacity, want := range cases {
+		if got := sqrtRatio(capacity); got < want*0.99 || got > want*1.01 {
+			t.Errorf("sqrtRatio(%d) = %f, want %f", capacity, got, want)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package lru
+
+// DistanceTree computes exact LRU stack distances in O(log u) per
+// access using an order-statistics treap keyed by last-access time
+// (Olken's algorithm). The stack distance of an access is the number of
+// distinct blocks referenced since the previous access to the same
+// block — precisely the LRU-stack depth, but without the linear walk of
+// Stack.Depth.
+//
+// The treap stores one node per live block, keyed by the virtual time
+// of its most recent access; the subtree-size augmentation answers
+// "how many blocks were accessed more recently than time t" in
+// O(log u).
+type DistanceTree struct {
+	root   *treapNode
+	byBlk  map[uint64]*treapNode
+	clock  uint64
+	rngSt  uint64
+	frees  []*treapNode
+	nAlloc int
+}
+
+type treapNode struct {
+	time        uint64 // key: last access time (unique)
+	block       uint64
+	prio        uint64 // heap priority
+	size        int    // subtree size
+	left, right *treapNode
+}
+
+// NewDistanceTree returns an empty tree.
+func NewDistanceTree() *DistanceTree {
+	return &DistanceTree{byBlk: make(map[uint64]*treapNode), rngSt: 0x9E3779B97F4A7C15}
+}
+
+// Len returns the number of live (ever-touched) blocks.
+func (t *DistanceTree) Len() int { return len(t.byBlk) }
+
+// rand is a small xorshift64* generator; determinism keeps tests stable.
+func (t *DistanceTree) rand() uint64 {
+	t.rngSt ^= t.rngSt >> 12
+	t.rngSt ^= t.rngSt << 25
+	t.rngSt ^= t.rngSt >> 27
+	return t.rngSt * 0x2545F4914F6CDD1D
+}
+
+func size(n *treapNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *treapNode) update() { n.size = 1 + size(n.left) + size(n.right) }
+
+// split divides the tree into (< time) and (>= time).
+func split(n *treapNode, time uint64) (l, r *treapNode) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.time < time {
+		n.right, r = split(n.right, time)
+		n.update()
+		return n, r
+	}
+	l, n.left = split(n.left, time)
+	n.update()
+	return l, n
+}
+
+func merge(l, r *treapNode) *treapNode {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	if l.prio > r.prio {
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	}
+	r.left = merge(l, r.left)
+	r.update()
+	return r
+}
+
+// countGreater returns the number of nodes with time > time.
+func (t *DistanceTree) countGreater(time uint64) int {
+	count := 0
+	for n := t.root; n != nil; {
+		if n.time > time {
+			count += 1 + size(n.right)
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return count
+}
+
+// remove deletes the node with the exact time key.
+func (t *DistanceTree) remove(time uint64) *treapNode {
+	var removed *treapNode
+	var rec func(n *treapNode) *treapNode
+	rec = func(n *treapNode) *treapNode {
+		if n == nil {
+			return nil
+		}
+		if n.time == time {
+			removed = n
+			return merge(n.left, n.right)
+		}
+		if time < n.time {
+			n.left = rec(n.left)
+		} else {
+			n.right = rec(n.right)
+		}
+		n.update()
+		return n
+	}
+	t.root = rec(t.root)
+	return removed
+}
+
+// Touch records an access to block and returns its stack distance: the
+// number of distinct blocks accessed since its previous access, or -1
+// for a first-ever access.
+func (t *DistanceTree) Touch(block uint64) int {
+	t.clock++
+	now := t.clock
+	dist := -1
+	if old, ok := t.byBlk[block]; ok {
+		dist = t.countGreater(old.time)
+		n := t.remove(old.time)
+		// Reuse the removed node for the new insertion.
+		n.time = now
+		n.prio = t.rand()
+		n.left, n.right = nil, nil
+		n.size = 1
+		t.insert(n)
+		return dist
+	}
+	n := &treapNode{time: now, block: block, prio: t.rand(), size: 1}
+	t.nAlloc++
+	t.byBlk[block] = n
+	t.insert(n)
+	return dist
+}
+
+func (t *DistanceTree) insert(n *treapNode) {
+	l, r := split(t.root, n.time)
+	t.root = merge(merge(l, n), r)
+}
+
+// FAMisses counts misses of a fully-associative LRU cache with the
+// given capacity in blocks over a sequence of block addresses: an
+// access misses iff it is a first touch or its stack distance is >=
+// capacity. This is the paper's "FA" reference column (Table 3).
+func FAMisses(blocks []uint64, capacity int) uint64 {
+	t := NewDistanceTree()
+	var misses uint64
+	for _, b := range blocks {
+		d := t.Touch(b)
+		if d < 0 || d >= capacity {
+			misses++
+		}
+	}
+	return misses
+}
+
+// Histogram accumulates a stack-distance histogram. Bucket i counts
+// accesses with distance exactly i for i < len(buckets)-1; the final
+// bucket aggregates all larger distances. Cold misses are counted
+// separately. From the histogram, the miss count of a fully-associative
+// LRU cache of any capacity <= len(buckets)-1 can be read off without
+// re-simulation: a capacity-c cache misses on cold accesses and on
+// distances >= c.
+type Histogram struct {
+	Cold    uint64
+	Buckets []uint64
+}
+
+// NewHistogram returns a histogram with maxDistance+1 buckets.
+func NewHistogram(maxDistance int) *Histogram {
+	return &Histogram{Buckets: make([]uint64, maxDistance+1)}
+}
+
+// Add records one access distance (-1 for cold).
+func (h *Histogram) Add(distance int) {
+	if distance < 0 {
+		h.Cold++
+		return
+	}
+	if distance >= len(h.Buckets) {
+		distance = len(h.Buckets) - 1
+	}
+	h.Buckets[distance]++
+}
+
+// MissesAt returns the FA-LRU miss count for the given capacity, which
+// must be < len(Buckets).
+func (h *Histogram) MissesAt(capacity int) uint64 {
+	if capacity >= len(h.Buckets) {
+		panic("lru: histogram capacity out of range")
+	}
+	m := h.Cold
+	for d := capacity; d < len(h.Buckets); d++ {
+		m += h.Buckets[d]
+	}
+	return m
+}
+
+// ReuseHistogram runs a full trace through a DistanceTree and returns
+// the stack-distance histogram with the given resolution.
+func ReuseHistogram(blocks []uint64, maxDistance int) *Histogram {
+	t := NewDistanceTree()
+	h := NewHistogram(maxDistance)
+	for _, b := range blocks {
+		h.Add(t.Touch(b))
+	}
+	return h
+}

@@ -1,0 +1,138 @@
+package lru
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceTreeMatchesStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewStack()
+	d := NewDistanceTree()
+	for i := 0; i < 20000; i++ {
+		b := uint64(rng.Intn(300))
+		want := s.Touch(b)
+		got := d.Touch(b)
+		if got != want {
+			t.Fatalf("access %d block %d: tree %d, stack %d", i, b, got, want)
+		}
+	}
+	if d.Len() != s.Len() {
+		t.Fatalf("Len mismatch: %d vs %d", d.Len(), s.Len())
+	}
+}
+
+func TestDistanceTreeSequential(t *testing.T) {
+	d := NewDistanceTree()
+	// First pass over 100 blocks: all cold.
+	for b := uint64(0); b < 100; b++ {
+		if got := d.Touch(b); got != -1 {
+			t.Fatalf("cold access distance %d", got)
+		}
+	}
+	// Second pass: every distance is 99 (all other blocks between).
+	for b := uint64(0); b < 100; b++ {
+		if got := d.Touch(b); got != 99 {
+			t.Fatalf("second pass block %d: distance %d, want 99", b, got)
+		}
+	}
+}
+
+func TestDistanceTreeProperty(t *testing.T) {
+	// Against the naive reference on arbitrary short traces.
+	f := func(raw []byte) bool {
+		blocks := make([]uint64, len(raw))
+		for i, r := range raw {
+			blocks[i] = uint64(r % 17)
+		}
+		want := referenceDistances(blocks)
+		d := NewDistanceTree()
+		for i, b := range blocks {
+			if d.Touch(b) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFAMisses(t *testing.T) {
+	// Cyclic pattern over 4 blocks with capacity 4: only 4 cold misses.
+	var blocks []uint64
+	for r := 0; r < 10; r++ {
+		for b := uint64(0); b < 4; b++ {
+			blocks = append(blocks, b)
+		}
+	}
+	if got := FAMisses(blocks, 4); got != 4 {
+		t.Fatalf("capacity 4: %d misses, want 4", got)
+	}
+	// Capacity 3 with LRU on a cyclic 4-block pattern: everything misses.
+	if got := FAMisses(blocks, 3); got != 40 {
+		t.Fatalf("capacity 3: %d misses, want 40", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(8)
+	h.Add(-1)
+	h.Add(0)
+	h.Add(3)
+	h.Add(8)
+	h.Add(100) // clamps into last bucket
+	if h.Cold != 1 {
+		t.Fatalf("cold = %d", h.Cold)
+	}
+	if h.Buckets[0] != 1 || h.Buckets[3] != 1 || h.Buckets[8] != 2 {
+		t.Fatalf("buckets = %v", h.Buckets)
+	}
+	// Capacity 4 misses: cold + distances >= 4 -> 1 + 2 = 3.
+	if got := h.MissesAt(4); got != 3 {
+		t.Fatalf("MissesAt(4) = %d", got)
+	}
+	// Capacity 1: cold + everything except distance 0.
+	if got := h.MissesAt(1); got != 4 {
+		t.Fatalf("MissesAt(1) = %d", got)
+	}
+}
+
+func TestHistogramPanicsOutOfRange(t *testing.T) {
+	h := NewHistogram(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.MissesAt(5)
+}
+
+func TestReuseHistogramConsistentWithFAMisses(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	blocks := make([]uint64, 5000)
+	for i := range blocks {
+		blocks[i] = uint64(rng.Intn(200))
+	}
+	h := ReuseHistogram(blocks, 256)
+	for _, cap := range []int{1, 8, 64, 128, 256} {
+		if got, want := h.MissesAt(cap), FAMisses(blocks, cap); got != want {
+			t.Fatalf("capacity %d: histogram %d, direct %d", cap, got, want)
+		}
+	}
+}
+
+func BenchmarkDistanceTreeTouch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	blocks := make([]uint64, 1<<16)
+	for i := range blocks {
+		blocks[i] = uint64(rng.Intn(1 << 14))
+	}
+	d := NewDistanceTree()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Touch(blocks[i&(len(blocks)-1)])
+	}
+}

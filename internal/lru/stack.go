@@ -1,0 +1,151 @@
+// Package lru provides the stack substrate for conflict-miss profiling
+// and fully-associative reference simulation.
+//
+// The central structure is Stack, an LRU stack over cache-block
+// addresses: blocks are ordered by recency, most recent at the top. The
+// profiling algorithm of Vandierendonck et al. (DATE 2006, Fig. 1)
+// walks the blocks above a re-referenced block to accumulate conflict
+// vectors; because it only walks when the reuse distance is at most the
+// cache capacity, the walk is bounded by the cache size in blocks.
+//
+// For exact reuse (stack) distances without a bounded walk, DistanceTree
+// implements Olken's order-statistics approach with a treap, giving
+// O(log u) per access where u is the number of live blocks.
+package lru
+
+// node is a doubly-linked list element of the stack.
+type node struct {
+	block      uint64
+	prev, next *node // prev is toward the top (more recent)
+}
+
+// Stack is an LRU stack of block addresses with O(1) membership lookup
+// and O(k) enumeration of the k blocks above a given block.
+//
+// The zero value is not usable; call NewStack.
+type Stack struct {
+	byBlock map[uint64]*node
+	top     *node
+	bottom  *node
+	size    int
+}
+
+// NewStack returns an empty LRU stack.
+func NewStack() *Stack {
+	return &Stack{byBlock: make(map[uint64]*node)}
+}
+
+// Len returns the number of distinct blocks on the stack.
+func (s *Stack) Len() int { return s.size }
+
+// Contains reports whether block has been touched before.
+func (s *Stack) Contains(block uint64) bool {
+	_, ok := s.byBlock[block]
+	return ok
+}
+
+// Push puts a new block on top of the stack. The block must not already
+// be present (use Touch for the general case).
+func (s *Stack) Push(block uint64) {
+	if _, ok := s.byBlock[block]; ok {
+		panic("lru: Push of block already on stack")
+	}
+	n := &node{block: block, next: s.top}
+	if s.top != nil {
+		s.top.prev = n
+	}
+	s.top = n
+	if s.bottom == nil {
+		s.bottom = n
+	}
+	s.byBlock[block] = n
+	s.size++
+}
+
+// MoveToTop moves an existing block to the top of the stack.
+func (s *Stack) MoveToTop(block uint64) {
+	n, ok := s.byBlock[block]
+	if !ok {
+		panic("lru: MoveToTop of block not on stack")
+	}
+	if s.top == n {
+		return
+	}
+	// Unlink.
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if s.bottom == n {
+		s.bottom = n.prev
+	}
+	// Relink at top.
+	n.prev = nil
+	n.next = s.top
+	s.top.prev = n
+	s.top = n
+}
+
+// WalkAbove calls fn for every block strictly above the given block on
+// the stack, from most recent downward, stopping early when fn returns
+// false or after limit blocks (limit < 0 means no limit). It returns
+// the number of blocks visited and whether the walk reached the target
+// block within the limit (reached == false means the reuse distance
+// exceeds limit). The target must be present on the stack.
+//
+// This is exactly the traversal of the paper's Fig. 1: the blocks above
+// x are the blocks accessed since the previous access to x.
+func (s *Stack) WalkAbove(block uint64, limit int, fn func(above uint64) bool) (visited int, reached bool) {
+	target, ok := s.byBlock[block]
+	if !ok {
+		panic("lru: WalkAbove of block not on stack")
+	}
+	for n := s.top; n != nil; n = n.next {
+		if n == target {
+			return visited, true
+		}
+		if limit >= 0 && visited >= limit {
+			return visited, false
+		}
+		if fn != nil && !fn(n.block) {
+			return visited, false
+		}
+		visited++
+	}
+	panic("lru: stack corrupted: target not reachable from top")
+}
+
+// Depth returns the 0-based position of the block from the top (0 = most
+// recent). The reuse distance of the next access to this block would be
+// Depth. Cost is O(Depth); prefer DistanceTree when distances are large.
+func (s *Stack) Depth(block uint64) int {
+	d, reached := s.WalkAbove(block, -1, nil)
+	if !reached {
+		panic("lru: unreachable")
+	}
+	return d
+}
+
+// Touch records an access: pushes the block if new (returning distance
+// -1, the convention for a compulsory/cold access), otherwise returns
+// its current depth and moves it to the top.
+func (s *Stack) Touch(block uint64) (distance int) {
+	if !s.Contains(block) {
+		s.Push(block)
+		return -1
+	}
+	d := s.Depth(block)
+	s.MoveToTop(block)
+	return d
+}
+
+// Blocks returns all blocks from top to bottom. Intended for tests.
+func (s *Stack) Blocks() []uint64 {
+	out := make([]uint64, 0, s.size)
+	for n := s.top; n != nil; n = n.next {
+		out = append(out, n.block)
+	}
+	return out
+}

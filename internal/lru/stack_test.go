@@ -1,0 +1,168 @@
+package lru
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStackBasicOrder(t *testing.T) {
+	s := NewStack()
+	s.Push(1)
+	s.Push(2)
+	s.Push(3)
+	got := s.Blocks()
+	want := []uint64{3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Blocks() = %v, want %v", got, want)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStackMoveToTop(t *testing.T) {
+	s := NewStack()
+	for b := uint64(1); b <= 5; b++ {
+		s.Push(b)
+	}
+	s.MoveToTop(3) // 3 5 4 2 1
+	got := s.Blocks()
+	want := []uint64{3, 5, 4, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after MoveToTop: %v, want %v", got, want)
+		}
+	}
+	// Move bottom and top.
+	s.MoveToTop(1) // 1 3 5 4 2
+	s.MoveToTop(1) // no-op
+	got = s.Blocks()
+	want = []uint64{1, 3, 5, 4, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after bottom move: %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStackDepthAndTouch(t *testing.T) {
+	s := NewStack()
+	if d := s.Touch(10); d != -1 {
+		t.Fatalf("first touch distance = %d", d)
+	}
+	s.Touch(20)
+	s.Touch(30)
+	if d := s.Depth(10); d != 2 {
+		t.Fatalf("Depth(10) = %d", d)
+	}
+	if d := s.Touch(10); d != 2 {
+		t.Fatalf("Touch(10) = %d", d)
+	}
+	// After touching, 10 is on top.
+	if d := s.Depth(10); d != 0 {
+		t.Fatalf("post-touch depth = %d", d)
+	}
+	// Immediate re-touch has distance 0.
+	if d := s.Touch(10); d != 0 {
+		t.Fatalf("re-touch = %d", d)
+	}
+}
+
+func TestWalkAbove(t *testing.T) {
+	s := NewStack()
+	for b := uint64(1); b <= 6; b++ {
+		s.Push(b)
+	}
+	// Stack: 6 5 4 3 2 1. Blocks above 3 are 6, 5, 4.
+	var seen []uint64
+	visited, reached := s.WalkAbove(3, -1, func(b uint64) bool {
+		seen = append(seen, b)
+		return true
+	})
+	if !reached || visited != 3 {
+		t.Fatalf("visited=%d reached=%v", visited, reached)
+	}
+	want := []uint64{6, 5, 4}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", seen, want)
+		}
+	}
+	// Limit smaller than distance: not reached.
+	if _, reached := s.WalkAbove(1, 3, nil); reached {
+		t.Fatal("should not reach block 1 within limit 3")
+	}
+	// Limit exactly the distance: reached.
+	if _, reached := s.WalkAbove(3, 3, nil); !reached {
+		t.Fatal("limit == distance should reach")
+	}
+	// Early abort.
+	count := 0
+	if _, reached := s.WalkAbove(1, -1, func(uint64) bool { count++; return count < 2 }); reached {
+		t.Fatal("aborted walk should report not reached")
+	}
+	if count != 2 {
+		t.Fatalf("fn called %d times, want 2", count)
+	}
+}
+
+func TestStackPanics(t *testing.T) {
+	s := NewStack()
+	s.Push(1)
+	for name, fn := range map[string]func(){
+		"double push":        func() { s.Push(1) },
+		"move absent":        func() { s.MoveToTop(99) },
+		"walk above absent":  func() { s.WalkAbove(99, -1, nil) },
+		"depth absent block": func() { s.Depth(99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// referenceDistances computes stack distances with a naive slice model.
+func referenceDistances(blocks []uint64) []int {
+	var stack []uint64
+	out := make([]int, len(blocks))
+	for i, b := range blocks {
+		pos := -1
+		for j, x := range stack {
+			if x == b {
+				pos = j
+				break
+			}
+		}
+		if pos == -1 {
+			out[i] = -1
+			stack = append([]uint64{b}, stack...)
+		} else {
+			out[i] = pos
+			stack = append(stack[:pos], stack[pos+1:]...)
+			stack = append([]uint64{b}, stack...)
+		}
+	}
+	return out
+}
+
+func TestStackMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	blocks := make([]uint64, 3000)
+	for i := range blocks {
+		blocks[i] = uint64(rng.Intn(60)) // small universe forces reuse
+	}
+	want := referenceDistances(blocks)
+	s := NewStack()
+	for i, b := range blocks {
+		if got := s.Touch(b); got != want[i] {
+			t.Fatalf("access %d block %d: distance %d, want %d", i, b, got, want[i])
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package netlist
+
+import (
+	"fmt"
+
+	"xoridx/internal/gf2"
+)
+
+func checkDims(n, m int) {
+	if n <= 0 || m <= 0 || m > n || n > 32 {
+		panic(fmt.Sprintf("netlist: invalid dimensions n=%d m=%d", n, m))
+	}
+}
+
+// newBase allocates the constant-0 wire and the n address-input wires.
+func newBase(style string, n, m int) *Netlist {
+	checkDims(n, m)
+	nl := &Netlist{Style: style, N: n, M: m}
+	nl.numWires = int(wireBase) + n
+	return nl
+}
+
+// NewBitSelectNaive builds the unoptimized bit-selecting network: every
+// one of the n output bits (m index + n−m tag) selects among all n
+// address bits. n² switches.
+func NewBitSelectNaive(n, m int) *Netlist {
+	nl := newBase("bit-select", n, m)
+	all := make([]wire, n)
+	for i := range all {
+		all[i] = addrWire(i)
+	}
+	for c := 0; c < m; c++ {
+		nl.indexOut = append(nl.indexOut, nl.addSelector(append([]wire(nil), all...)))
+	}
+	for t := 0; t < n-m; t++ {
+		nl.tagOut = append(nl.tagOut, nl.addSelector(append([]wire(nil), all...)))
+	}
+	return nl
+}
+
+// NewBitSelectOptimized builds the redundancy-free bit-selecting
+// network of Fig. 2a. With outputs kept in ascending selected-bit
+// order, index output c only ever needs address bits c..c+(n−m), and
+// tag output t only bits t..t+m: m(n−m+1) + (n−m)(m+1) switches.
+func NewBitSelectOptimized(n, m int) *Netlist {
+	nl := newBase("optimized bit-select", n, m)
+	for c := 0; c < m; c++ {
+		win := make([]wire, 0, n-m+1)
+		for i := c; i <= c+n-m; i++ {
+			win = append(win, addrWire(i))
+		}
+		nl.indexOut = append(nl.indexOut, nl.addSelector(win))
+	}
+	for t := 0; t < n-m; t++ {
+		win := make([]wire, 0, m+1)
+		for i := t; i <= t+m; i++ {
+			win = append(win, addrWire(i))
+		}
+		nl.tagOut = append(nl.tagOut, nl.addSelector(win))
+	}
+	return nl
+}
+
+// NewGeneralXOR2 builds the reconfigurable 2-input XOR network: index
+// bit c XORs a first input selected from the window c..c+(n−m) with a
+// second input selected from {0} ∪ bits c..n−1 (the constant lets the
+// bit pass through unhashed); the tag is an optimized bit selection.
+// m(n−m+1) + m(n+1) − m(m−1)/2 + (n−m)(m+1) switches.
+func NewGeneralXOR2(n, m int) *Netlist {
+	nl := newBase("general XOR", n, m)
+	for c := 0; c < m; c++ {
+		win1 := make([]wire, 0, n-m+1)
+		for i := c; i <= c+n-m; i++ {
+			win1 = append(win1, addrWire(i))
+		}
+		first := nl.addSelector(win1)
+		win2 := make([]wire, 0, n-c+1)
+		win2 = append(win2, wireZero)
+		for i := c; i < n; i++ {
+			win2 = append(win2, addrWire(i))
+		}
+		second := nl.addSelector(win2)
+		nl.indexOut = append(nl.indexOut, nl.addXOR(first, second))
+	}
+	for t := 0; t < n-m; t++ {
+		win := make([]wire, 0, m+1)
+		for i := t; i <= t+m; i++ {
+			win = append(win, addrWire(i))
+		}
+		nl.tagOut = append(nl.tagOut, nl.addSelector(win))
+	}
+	return nl
+}
+
+// NewPermutationXOR2 builds the permutation-based network of Fig. 2b:
+// index bit c is address bit c (hard-wired first XOR input) XORed with
+// a second input selected from {0} ∪ the n−m high-order bits; the tag
+// is hard-wired to the high-order bits. m(n−m+1) switches total.
+func NewPermutationXOR2(n, m int) *Netlist {
+	nl := newBase("permutation-based", n, m)
+	for c := 0; c < m; c++ {
+		win := make([]wire, 0, n-m+1)
+		win = append(win, wireZero)
+		for i := m; i < n; i++ {
+			win = append(win, addrWire(i))
+		}
+		second := nl.addSelector(win)
+		nl.indexOut = append(nl.indexOut, nl.addXOR(addrWire(c), second))
+	}
+	for t := 0; t < n-m; t++ {
+		nl.tagOut = append(nl.tagOut, nl.addAlias(addrWire(m+t)))
+	}
+	return nl
+}
+
+// Configure derives and installs a configuration bitstream so the
+// network computes an index function with the same null space as h
+// (output bits may be permuted relative to h — a relabeling of cache
+// sets that the paper counts as the same configuration). Returns an
+// error when the network style cannot express h.
+func (nl *Netlist) Configure(h gf2.Matrix) error {
+	if h.N != nl.N || h.M != nl.M {
+		return fmt.Errorf("netlist: matrix is %dx%d, network is %dx%d", h.N, h.M, nl.N, nl.M)
+	}
+	if h.Rank() != h.M {
+		return fmt.Errorf("netlist: matrix is rank-deficient")
+	}
+	assign, err := nl.assignColumns(h)
+	if err != nil {
+		return err
+	}
+	bits := make([]bool, nl.ConfigBits())
+	off := 0
+	selIdx := 0
+	// Selectors were created in a fixed per-style order; walk them in
+	// creation order and set the chosen switch for each.
+	for _, s := range nl.selectors {
+		choice := assign[selIdx]
+		if choice < 0 || choice >= len(s.inputs) {
+			return fmt.Errorf("netlist: internal: selector %d choice %d out of range", selIdx, choice)
+		}
+		bits[off+choice] = true
+		off += len(s.inputs)
+		selIdx++
+	}
+	return nl.SetConfig(bits)
+}

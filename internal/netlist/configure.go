@@ -1,0 +1,212 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"xoridx/internal/gf2"
+)
+
+// assignColumns computes, for each selector in creation order, the
+// input choice that realises a function with the same null space as h.
+func (nl *Netlist) assignColumns(h gf2.Matrix) ([]int, error) {
+	switch nl.Style {
+	case "bit-select", "optimized bit-select":
+		return nl.assignBitSelect(h)
+	case "general XOR":
+		return nl.assignGeneralXOR(h)
+	case "permutation-based":
+		return nl.assignPermutation(h)
+	default:
+		return nil, fmt.Errorf("netlist: unknown style %q", nl.Style)
+	}
+}
+
+// assignBitSelect handles both bit-selecting networks. The index
+// outputs take the selected positions in ascending order, the tag
+// outputs the complement in ascending order; both fit the optimized
+// windows by construction.
+func (nl *Netlist) assignBitSelect(h gf2.Matrix) ([]int, error) {
+	if !h.IsBitSelecting() {
+		return nil, fmt.Errorf("netlist: %s network cannot realise a XOR function", nl.Style)
+	}
+	n, m := nl.N, nl.M
+	var selected []int
+	var selMask gf2.Vec
+	for _, col := range h.Cols {
+		for i := 0; i < n; i++ {
+			if col.Bit(i) == 1 {
+				selected = append(selected, i)
+				selMask |= gf2.Unit(i)
+			}
+		}
+	}
+	sort.Ints(selected)
+	var tagBits []int
+	for i := 0; i < n; i++ {
+		if selMask.Bit(i) == 0 {
+			tagBits = append(tagBits, i)
+		}
+	}
+	choices := make([]int, 0, m+n-m)
+	naive := nl.Style == "bit-select"
+	for c, p := range selected {
+		if naive {
+			choices = append(choices, p)
+		} else {
+			choices = append(choices, p-c) // window starts at bit c
+		}
+	}
+	for t, p := range tagBits {
+		if naive {
+			choices = append(choices, p)
+		} else {
+			choices = append(choices, p-t) // window starts at bit t
+		}
+	}
+	return choices, nil
+}
+
+// assignPermutation handles the Fig. 2b network: column c must be
+// exactly {c} or {c, b} with b a high-order bit.
+func (nl *Netlist) assignPermutation(h gf2.Matrix) ([]int, error) {
+	if !h.IsPermutationBased() {
+		return nil, fmt.Errorf("netlist: permutation-based network cannot realise this matrix")
+	}
+	if h.MaxInputs() > 2 {
+		return nil, fmt.Errorf("netlist: 2-input network cannot realise %d-input function", h.MaxInputs())
+	}
+	n, m := nl.N, nl.M
+	choices := make([]int, 0, m)
+	for c := 0; c < m; c++ {
+		extra := h.Cols[c] &^ gf2.Unit(c)
+		if extra == 0 {
+			choices = append(choices, 0) // constant 0: pass bit through
+			continue
+		}
+		// Single high-order bit b in [m, n).
+		b := -1
+		for i := m; i < n; i++ {
+			if extra.Bit(i) == 1 {
+				b = i
+			}
+		}
+		if b < 0 || extra.Weight() != 1 {
+			return nil, fmt.Errorf("netlist: column %d has unsupported extra inputs %v", c, extra)
+		}
+		choices = append(choices, 1+b-m) // option 0 is the constant
+	}
+	return choices, nil
+}
+
+// assignGeneralXOR handles the general 2-input network. Output gates
+// have position-dependent windows, so realising h needs an assignment
+// of matrix columns to gates; any assignment permutes the index bits,
+// which preserves the null space. A bipartite matching (Kuhn's
+// augmenting paths) finds a feasible assignment or proves there is
+// none.
+func (nl *Netlist) assignGeneralXOR(h gf2.Matrix) ([]int, error) {
+	if h.MaxInputs() > 2 {
+		return nil, fmt.Errorf("netlist: 2-input network cannot realise %d-input function", h.MaxInputs())
+	}
+	n, m := nl.N, nl.M
+	// For each (column, gate) pair, the chosen (first, second) inputs.
+	type pick struct{ first, second int } // second == -1 means constant
+	compat := make([][]int, m)            // compat[col] = feasible gates
+	pickFor := make([]map[int]pick, m)
+	for col := 0; col < m; col++ {
+		pickFor[col] = make(map[int]pick)
+		var bitsSet []int
+		for i := 0; i < n; i++ {
+			if h.Cols[col].Bit(i) == 1 {
+				bitsSet = append(bitsSet, i)
+			}
+		}
+		for g := 0; g < m; g++ {
+			lo, hi := g, g+n-m // first-input window
+			var p pick
+			ok := false
+			switch len(bitsSet) {
+			case 1:
+				a := bitsSet[0]
+				if a >= lo && a <= hi {
+					p, ok = pick{first: a, second: -1}, true
+				}
+			case 2:
+				a, b := bitsSet[0], bitsSet[1]
+				if a >= lo && a <= hi && b >= g {
+					p, ok = pick{first: a, second: b}, true
+				} else if b >= lo && b <= hi && a >= g {
+					p, ok = pick{first: b, second: a}, true
+				}
+			}
+			if ok {
+				compat[col] = append(compat[col], g)
+				pickFor[col][g] = p
+			}
+		}
+		if len(compat[col]) == 0 {
+			return nil, fmt.Errorf("netlist: column %d (%s) fits no gate window", col, h.Cols[col].StringN(n))
+		}
+	}
+	// Kuhn's matching: gateOf[g] = column assigned to gate g.
+	gateOf := make([]int, m)
+	for i := range gateOf {
+		gateOf[i] = -1
+	}
+	var try func(col int, visited []bool) bool
+	try = func(col int, visited []bool) bool {
+		for _, g := range compat[col] {
+			if visited[g] {
+				continue
+			}
+			visited[g] = true
+			if gateOf[g] == -1 || try(gateOf[g], visited) {
+				gateOf[g] = col
+				return true
+			}
+		}
+		return false
+	}
+	for col := 0; col < m; col++ {
+		if !try(col, make([]bool, m)) {
+			return nil, fmt.Errorf("netlist: no feasible column-to-gate assignment for this matrix")
+		}
+	}
+	// Tag: complete the column space with unit vectors (same procedure
+	// as the hash package), then fit them to the tag windows ascending.
+	span := gf2.Span(n, h.Cols...)
+	var tagBits []int
+	for i := n - 1; i >= 0 && len(tagBits) < n-m; i-- {
+		if u := gf2.Unit(i); !span.Contains(u) {
+			span = span.Extend(u)
+			tagBits = append(tagBits, i)
+		}
+	}
+	if len(tagBits) != n-m {
+		return nil, fmt.Errorf("netlist: could not complete tag selection")
+	}
+	sort.Ints(tagBits)
+	for t, p := range tagBits {
+		if p < t || p > t+m {
+			return nil, fmt.Errorf("netlist: tag bit %d outside window of output %d", p, t)
+		}
+	}
+	// Emit choices in selector creation order:
+	// per gate: first selector (window g..g+n-m), second selector
+	// ({0} ∪ g..n-1); then the tag selectors.
+	choices := make([]int, 0, 2*m+(n-m))
+	for g := 0; g < m; g++ {
+		p := pickFor[gateOf[g]][g]
+		choices = append(choices, p.first-g)
+		if p.second < 0 {
+			choices = append(choices, 0)
+		} else {
+			choices = append(choices, 1+p.second-g)
+		}
+	}
+	for t, p := range tagBits {
+		choices = append(choices, p-t)
+	}
+	return choices, nil
+}

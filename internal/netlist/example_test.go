@@ -1,0 +1,25 @@
+package netlist_test
+
+import (
+	"fmt"
+
+	"xoridx/internal/gf2"
+	"xoridx/internal/netlist"
+)
+
+// Example_configure builds the Fig. 2b network, programs it with a
+// permutation-based function, and evaluates it.
+func Example_configure() {
+	nl := netlist.NewPermutationXOR2(8, 4)
+	h := gf2.Identity(8, 4)
+	h.Cols[0] |= gf2.Unit(6) // s0 = a0 ^ a6
+	if err := nl.Configure(h); err != nil {
+		panic(err)
+	}
+	fmt.Println("switches:", nl.SwitchCount())
+	idx, tag := nl.Eval(0b0100_0001) // a6=1, a0=1 -> s0 = 0
+	fmt.Printf("index=%04b tag=%04b\n", idx, tag)
+	// Output:
+	// switches: 20
+	// index=0000 tag=0100
+}

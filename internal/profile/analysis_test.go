@@ -1,0 +1,81 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeConflictsFindsThePair(t *testing.T) {
+	// Two structures at 0x0 and 0x4000 bytes thrash; a third stream is
+	// conflict-free noise.
+	var blocks []uint64
+	for i := 0; i < 100; i++ {
+		blocks = append(blocks, 0x10, 0x10^0x400) // hot pair
+		blocks = append(blocks, uint64(0x2000+i)) // streaming noise
+	}
+	a := AnalyzeConflicts(blocks, 16, 1024, 4, 10)
+	if len(a.HotPairs) == 0 {
+		t.Fatal("no hot pairs found")
+	}
+	top := a.HotPairs[0]
+	if top.BlockA != 0x10 || top.BlockB != 0x410 {
+		t.Fatalf("top pair = %#x/%#x, want 0x10/0x410", top.BlockA, top.BlockB)
+	}
+	if top.Vector != 0x400 {
+		t.Fatalf("vector = %#x", top.Vector)
+	}
+	if top.Count < 190 {
+		t.Fatalf("count = %d, want ~199", top.Count)
+	}
+	// Pair counts must not exceed the vector's histogram count.
+	if top.Count > a.Profile.Table[top.Vector] {
+		t.Fatalf("pair count %d exceeds vector count %d", top.Count, a.Profile.Table[top.Vector])
+	}
+}
+
+func TestAnalyzeRollsBackCapacityPairs(t *testing.T) {
+	// A sweep larger than the capacity filter: everything is capacity,
+	// so no pairs survive.
+	var blocks []uint64
+	for r := 0; r < 3; r++ {
+		for b := uint64(0); b < 64; b++ {
+			blocks = append(blocks, b)
+		}
+	}
+	a := AnalyzeConflicts(blocks, 12, 16, 8, 10)
+	if len(a.HotPairs) != 0 {
+		t.Fatalf("capacity-only trace produced pairs: %+v", a.HotPairs)
+	}
+}
+
+func TestAnalysisReport(t *testing.T) {
+	var blocks []uint64
+	for i := 0; i < 50; i++ {
+		blocks = append(blocks, 0, 0x100)
+	}
+	a := AnalyzeConflicts(blocks, 16, 256, 4, 5)
+	rep := a.Report(4)
+	for _, frag := range []string{
+		"hottest conflict vectors",
+		"hottest conflicting address pairs",
+		"0x00000400", // block 0x100 * 4 bytes
+		"pad/realign",
+	} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("report missing %q:\n%s", frag, rep)
+		}
+	}
+}
+
+func TestAnalyzeTopPairsTruncates(t *testing.T) {
+	var blocks []uint64
+	for i := uint64(0); i < 8; i++ {
+		for r := 0; r < 20; r++ {
+			blocks = append(blocks, i, i^0x40)
+		}
+	}
+	a := AnalyzeConflicts(blocks, 12, 64, 2, 3)
+	if len(a.HotPairs) > 3 {
+		t.Fatalf("topPairs not honoured: %d", len(a.HotPairs))
+	}
+}

@@ -1,0 +1,245 @@
+// Package profile implements the profiling phase of the paper's
+// construction algorithm (Fig. 1) and the null-space miss estimator
+// (Eq. 4).
+//
+// One pass over the block-address trace maintains an LRU stack. For
+// every access to a block x that is neither a compulsory miss (first
+// touch) nor a capacity miss (reuse distance larger than the cache
+// capacity in blocks), each block y accessed since the previous access
+// to x contributes one count to the conflict vector v = x⊕y. Any hash
+// function H then incurs an estimated
+//
+//	misses(H) = Σ_{v ∈ N(H)} misses(v)              (Eq. 4)
+//
+// conflict misses, because x and y land in the same set exactly when
+// x⊕y lies in the null space N(H) (Eq. 2). The histogram is stored as a
+// flat 2^n table so a candidate null space of dimension d is scored
+// with a 2^d-step Gray-code walk — the trick that makes hill climbing
+// over the design space affordable.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"xoridx/internal/gf2"
+	"xoridx/internal/lru"
+)
+
+// Profile is the conflict-vector histogram gathered from one trace.
+type Profile struct {
+	N           int      // hashed address bits; vectors are truncated to N bits
+	CacheBlocks int      // capacity filter used during profiling
+	Table       []uint64 // misses(v) for every v in [0, 2^N)
+
+	// Bookkeeping from the profiling pass.
+	Accesses   uint64 // trace length
+	Compulsory uint64 // first-touch accesses
+	Capacity   uint64 // accesses filtered as capacity misses
+	Candidates uint64 // accesses that contributed conflict vectors
+	TotalPairs uint64 // total conflict-vector increments
+}
+
+// Build runs the Fig. 1 profiling algorithm over a block-address
+// sequence. Blocks must already be truncated to n bits (see
+// trace.Trace.Blocks). cacheBlocks is the cache capacity in blocks used
+// for the capacity-miss filter.
+func Build(blocks []uint64, n, cacheBlocks int) *Profile {
+	b := NewBuilder(n, cacheBlocks)
+	for _, blk := range blocks {
+		b.Add(blk)
+	}
+	return b.Finish()
+}
+
+// Builder accumulates a Profile incrementally, one block access at a
+// time — the streaming form of Build for traces too large to hold in
+// memory (feed it straight from a trace decoder).
+type Builder struct {
+	p     *Profile
+	mask  uint64
+	stack *lru.Stack
+	done  bool
+}
+
+// NewBuilder starts an empty profile with the given hashed-address
+// width and capacity filter.
+func NewBuilder(n, cacheBlocks int) *Builder {
+	if n <= 0 || n > 30 {
+		panic(fmt.Sprintf("profile: n=%d out of supported range (flat table is 2^n entries)", n))
+	}
+	if cacheBlocks <= 0 {
+		panic("profile: cacheBlocks must be positive")
+	}
+	return &Builder{
+		p: &Profile{
+			N:           n,
+			CacheBlocks: cacheBlocks,
+			Table:       make([]uint64, 1<<uint(n)),
+		},
+		mask:  uint64(gf2.Mask(n)),
+		stack: lru.NewStack(),
+	}
+}
+
+// Add records one block access (truncated to n bits internally).
+func (bd *Builder) Add(block uint64) {
+	if bd.done {
+		panic("profile: Add after Finish")
+	}
+	p := bd.p
+	b := block & bd.mask
+	p.Accesses++
+	if !bd.stack.Contains(b) {
+		// Compulsory miss: no conflict information.
+		p.Compulsory++
+		bd.stack.Push(b)
+		return
+	}
+	// Walk the blocks above b. The capacity filter means we never need
+	// to walk more than cacheBlocks entries: if the walk does not reach
+	// b within that limit, the reuse distance exceeds the cache
+	// capacity and the access is a capacity miss.
+	_, reached := bd.stack.WalkAbove(b, p.CacheBlocks, func(y uint64) bool {
+		p.Table[b^y]++
+		p.TotalPairs++
+		return true
+	})
+	if reached {
+		p.Candidates++
+	} else {
+		// Capacity miss: the vectors counted during the aborted walk
+		// must be rolled back; re-walk the same prefix to undo.
+		p.Capacity++
+		bd.stack.WalkAbove(b, p.CacheBlocks, func(y uint64) bool {
+			p.Table[b^y]--
+			p.TotalPairs--
+			return true
+		})
+	}
+	bd.stack.MoveToTop(b)
+}
+
+// Finish returns the accumulated profile; the builder must not be used
+// afterwards.
+func (bd *Builder) Finish() *Profile {
+	bd.done = true
+	return bd.p
+}
+
+// EstimateSubspace returns misses(H) per Eq. 4 for a hash function
+// whose null space is the given subspace. Cost: 2^dim table reads via a
+// Gray-code walk (Subspace.Members order).
+func (p *Profile) EstimateSubspace(ns gf2.Subspace) uint64 {
+	if ns.N != p.N {
+		panic(fmt.Sprintf("profile: subspace ambient %d != profile n %d", ns.N, p.N))
+	}
+	d := ns.Dim()
+	if d > 28 {
+		panic("profile: null space too large to enumerate")
+	}
+	// Exclude v = 0: a block never conflicts with itself; Table[0] is
+	// always zero anyway because x != y on the stack walk.
+	var sum uint64
+	cur := gf2.Vec(0)
+	sum += p.Table[0]
+	for i := uint64(1); i < uint64(1)<<uint(d); i++ {
+		cur ^= ns.Basis[tz(i)]
+		sum += p.Table[cur]
+	}
+	return sum
+}
+
+// EstimateBasis scores a null space given directly as a basis slice
+// (vectors need not be canonical, only independent). This avoids
+// constructing a Subspace in the search inner loop.
+func (p *Profile) EstimateBasis(basis []gf2.Vec) uint64 {
+	d := len(basis)
+	if d > 28 {
+		panic("profile: basis too large to enumerate")
+	}
+	var sum uint64
+	cur := gf2.Vec(0)
+	sum += p.Table[0]
+	for i := uint64(1); i < uint64(1)<<uint(d); i++ {
+		cur ^= basis[tz(i)]
+		sum += p.Table[cur]
+	}
+	return sum
+}
+
+// EstimateMatrix is EstimateSubspace on the null space of H.
+func (p *Profile) EstimateMatrix(h gf2.Matrix) uint64 {
+	return p.EstimateSubspace(h.NullSpace())
+}
+
+// EstimateConventional returns the estimate for modulo indexing with m
+// set bits: the baseline every optimized function is compared against.
+func (p *Profile) EstimateConventional(m int) uint64 {
+	return p.EstimateSubspace(gf2.SpanUnits(p.N, m, p.N))
+}
+
+// HotVectors returns the k most frequent conflict vectors with their
+// counts, descending. Useful for diagnosis and for seeding searches.
+func (p *Profile) HotVectors(k int) []VectorCount {
+	out := make([]VectorCount, 0, k)
+	for v, c := range p.Table {
+		if c == 0 {
+			continue
+		}
+		out = append(out, VectorCount{Vec: gf2.Vec(v), Count: c})
+	}
+	sortVectorCounts(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// VectorCount pairs a conflict vector with its accumulated count.
+type VectorCount struct {
+	Vec   gf2.Vec
+	Count uint64
+}
+
+func sortVectorCounts(v []VectorCount) {
+	sort.Slice(v, func(i, j int) bool {
+		if v[i].Count != v[j].Count {
+			return v[i].Count > v[j].Count
+		}
+		return v[i].Vec < v[j].Vec
+	})
+}
+
+func tz(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Merge adds another profile's conflict histogram and bookkeeping into
+// p (weighted union: counts simply accumulate). Useful to build one
+// compromise function for a set of applications without materialising
+// an interleaved trace; both profiles must share n and the capacity
+// filter. Note the merged estimate ignores cross-application conflicts
+// (it models time-sharing with a flush at every switch).
+func (p *Profile) Merge(o *Profile) error {
+	if p.N != o.N {
+		return fmt.Errorf("profile: cannot merge n=%d into n=%d", o.N, p.N)
+	}
+	if p.CacheBlocks != o.CacheBlocks {
+		return fmt.Errorf("profile: capacity filters differ (%d vs %d blocks)", o.CacheBlocks, p.CacheBlocks)
+	}
+	for v, c := range o.Table {
+		p.Table[v] += c
+	}
+	p.Accesses += o.Accesses
+	p.Compulsory += o.Compulsory
+	p.Capacity += o.Capacity
+	p.Candidates += o.Candidates
+	p.TotalPairs += o.TotalPairs
+	return nil
+}

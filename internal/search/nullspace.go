@@ -1,0 +1,114 @@
+package search
+
+import (
+	"xoridx/internal/gf2"
+)
+
+// climbNullSpace performs steepest-descent hill climbing over null
+// spaces of dimension n−m, the paper's search for general XOR
+// functions. start==0 begins at the conventional null space
+// span(e_m..e_{n−1}); start>0 begins at a random subspace of the same
+// dimension.
+func (s *state) climbNullSpace(start int) Result {
+	n, m := s.n, s.m
+	d := n - m
+	cur := gf2.SpanUnits(n, m, n)
+	if start > 0 {
+		cur = s.randomSubspace(d)
+	}
+	curEst := s.p.EstimateSubspace(cur)
+
+	res := Result{}
+	basisBuf := make([]gf2.Vec, d)
+	for {
+		if s.capIterations(res.Iterations) {
+			break
+		}
+		bestEst := curEst
+		var bestBasis []gf2.Vec
+		// Neighbors: every hyperplane W of cur extended by every vector
+		// outside cur, enumerated once per neighbor via canonical coset
+		// representatives (vectors supported on W's non-pivot bits).
+		for _, w := range cur.Hyperplanes(nil) {
+			// Non-pivot bit positions of W.
+			var pivots gf2.Vec
+			for _, b := range w.Basis {
+				pivots |= leading(b)
+			}
+			free := freePositions(n, pivots)
+			copy(basisBuf, w.Basis)
+			// Enumerate all non-zero combinations of free positions.
+			for x := uint64(1); x < 1<<uint(len(free)); x++ {
+				rep := scatter(x, free)
+				if cur.Contains(rep) {
+					continue // rep ∈ N: span(W, rep) == N, not a neighbor
+				}
+				basisBuf[d-1] = rep
+				est := s.p.EstimateBasis(basisBuf)
+				res.Evaluated++
+				if est < bestEst {
+					bestEst = est
+					bestBasis = append(bestBasis[:0], basisBuf...)
+				}
+			}
+		}
+		if bestBasis == nil {
+			break // local optimum (paper §3.2: algorithm stops)
+		}
+		cur = gf2.Span(n, bestBasis...)
+		curEst = bestEst
+		res.Iterations++
+	}
+	res.Matrix = gf2.MatrixWithNullSpace(cur)
+	res.Estimated = curEst
+	return res
+}
+
+// randomSubspace returns a uniform-ish random d-dimensional subspace.
+func (s *state) randomSubspace(d int) gf2.Subspace {
+	for {
+		vecs := make([]gf2.Vec, d)
+		for i := range vecs {
+			vecs[i] = gf2.Vec(s.rng.Uint64()) & gf2.Mask(s.n)
+		}
+		sp := gf2.Span(s.n, vecs...)
+		if sp.Dim() == d {
+			return sp
+		}
+	}
+}
+
+// leading returns the highest set bit of v as a mask.
+func leading(v gf2.Vec) gf2.Vec {
+	if v == 0 {
+		return 0
+	}
+	h := gf2.Vec(1)
+	for v > 1 {
+		v >>= 1
+		h <<= 1
+	}
+	return h
+}
+
+// freePositions lists bit positions of [0,n) not present in pivots.
+func freePositions(n int, pivots gf2.Vec) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if pivots.Bit(i) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// scatter distributes the low bits of x onto the given positions.
+func scatter(x uint64, positions []int) gf2.Vec {
+	var v gf2.Vec
+	for i, p := range positions {
+		if x>>uint(i)&1 == 1 {
+			v |= gf2.Unit(p)
+		}
+	}
+	return v
+}

@@ -1,0 +1,135 @@
+package search
+
+import (
+	"runtime"
+	"sync"
+
+	"xoridx/internal/gf2"
+)
+
+// The null-space neighbourhood at n=16, d=8 holds ~130 K candidates per
+// hill-climbing step, each scored by an independent read-only Gray-code
+// walk over the profile table — embarrassingly parallel. With
+// Options.Workers > 1 the hyperplanes are fanned out across goroutines.
+// Results are bit-for-bit identical to the sequential search: every
+// candidate carries its (hyperplane, representative) enumeration rank
+// and the merge picks the minimum (estimate, rank), which is exactly
+// the candidate the sequential first-strictly-better rule selects.
+
+// candidate identifies one neighbor and its score.
+type candidate struct {
+	est   uint64
+	hpIdx int
+	rep   gf2.Vec
+	valid bool
+}
+
+// better orders candidates by (estimate, enumeration rank).
+func (c candidate) better(o candidate) bool {
+	if !o.valid {
+		return c.valid
+	}
+	if !c.valid {
+		return false
+	}
+	if c.est != o.est {
+		return c.est < o.est
+	}
+	if c.hpIdx != o.hpIdx {
+		return c.hpIdx < o.hpIdx
+	}
+	return c.rep < o.rep
+}
+
+// bestNeighborParallel scores every neighbor of cur across workers and
+// returns the best candidate strictly below curEst, if any.
+func (s *state) bestNeighborParallel(cur gf2.Subspace, curEst uint64, hps []gf2.Subspace, workers int) (candidate, int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(hps) {
+		workers = len(hps)
+	}
+	n := s.n
+	d := n - s.m
+	results := make([]candidate, workers)
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			basisBuf := make([]gf2.Vec, d)
+			best := candidate{est: curEst}
+			evaluated := 0
+			for hpIdx := w; hpIdx < len(hps); hpIdx += workers {
+				hp := hps[hpIdx]
+				var pivots gf2.Vec
+				for _, b := range hp.Basis {
+					pivots |= leading(b)
+				}
+				free := freePositions(n, pivots)
+				copy(basisBuf, hp.Basis)
+				for x := uint64(1); x < 1<<uint(len(free)); x++ {
+					rep := scatter(x, free)
+					if cur.Contains(rep) {
+						continue
+					}
+					basisBuf[d-1] = rep
+					est := s.p.EstimateBasis(basisBuf)
+					evaluated++
+					cand := candidate{est: est, hpIdx: hpIdx, rep: rep, valid: true}
+					if est < best.est || (est == best.est && best.valid && cand.better(best)) {
+						best = cand
+					}
+				}
+			}
+			if best.est >= curEst {
+				best.valid = false
+			}
+			results[w] = best
+			counts[w] = evaluated
+		}(w)
+	}
+	wg.Wait()
+	merged := candidate{}
+	total := 0
+	for w := range results {
+		total += counts[w]
+		if results[w].better(merged) {
+			merged = results[w]
+		}
+	}
+	return merged, total
+}
+
+// climbNullSpaceParallel is the multi-worker variant of climbNullSpace.
+func (s *state) climbNullSpaceParallel(start int) Result {
+	n, m := s.n, s.m
+	d := n - m
+	cur := gf2.SpanUnits(n, m, n)
+	if start > 0 {
+		cur = s.randomSubspace(d)
+	}
+	curEst := s.p.EstimateSubspace(cur)
+	res := Result{}
+	for {
+		if s.capIterations(res.Iterations) {
+			break
+		}
+		hps := cur.Hyperplanes(nil)
+		best, evaluated := s.bestNeighborParallel(cur, curEst, hps, s.opt.Workers)
+		res.Evaluated += evaluated
+		if !best.valid {
+			break
+		}
+		// Reconstruct the winning subspace: hyperplane + representative.
+		basis := append(append([]gf2.Vec{}, hps[best.hpIdx].Basis...), best.rep)
+		cur = gf2.Span(n, basis...)
+		curEst = best.est
+		res.Iterations++
+	}
+	res.Matrix = gf2.MatrixWithNullSpace(cur)
+	res.Estimated = curEst
+	return res
+}

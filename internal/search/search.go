@@ -1,0 +1,140 @@
+// Package search implements the design-space search phase of the
+// paper's construction algorithm (§3.2): steepest-descent hill climbing
+// driven by the profile-based miss estimator of package profile.
+//
+// Three function families are supported, matching the paper's
+// experiments:
+//
+//   - General XOR functions are searched directly in null-space space.
+//     Two null spaces are neighbors when their intersection has
+//     dimension one less than their own (the paper's definition). The
+//     search starts from the null space of the conventional modulo
+//     function and moves to the best neighbor until no neighbor
+//     improves the estimate.
+//
+//   - Permutation-based functions with at most k inputs per XOR gate
+//     ("2-in", "4-in", "16-in") are searched in matrix space: a state is
+//     the set of extra high-order inputs per index bit; neighbors
+//     toggle or swap one extra input. Evaluation still goes through the
+//     null space, so equal-null-space states are never re-evaluated.
+//
+//   - Bit-selecting functions ("1-in") are searched over m-subsets of
+//     the address bits with single-position swap neighbors.
+package search
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xoridx/internal/gf2"
+	"xoridx/internal/hash"
+	"xoridx/internal/profile"
+)
+
+// Options configures a search.
+type Options struct {
+	// Family selects the function family (default FamilyGeneralXOR).
+	Family hash.Family
+	// MaxInputs bounds the inputs per XOR gate for FamilyPermutation
+	// and FamilyGeneralXOR; 0 means unlimited. FamilyBitSelect implies 1.
+	MaxInputs int
+	// MaxIterations caps the number of hill-climbing moves (0 = no cap).
+	MaxIterations int
+	// Restarts adds this many extra climbs from random starting points,
+	// keeping the best overall result. 0 reproduces the paper, which
+	// starts once from the conventional function.
+	Restarts int
+	// Seed drives restart randomisation; ignored when Restarts is 0.
+	Seed int64
+	// Workers parallelises neighbor evaluation for the general-XOR
+	// null-space search: 0 or 1 = sequential (paper-faithful), > 1 =
+	// that many goroutines, < 0 = GOMAXPROCS. Results are identical to
+	// the sequential search.
+	Workers int
+}
+
+// Result reports the outcome of a search.
+type Result struct {
+	Matrix     gf2.Matrix // best index matrix found
+	Estimated  uint64     // estimated conflict misses of Matrix (Eq. 4)
+	Baseline   uint64     // estimated conflict misses of modulo indexing
+	Iterations int        // hill-climbing moves taken (all climbs)
+	Evaluated  int        // candidate evaluations performed
+}
+
+// Improvement returns the estimated fraction of conflict misses removed
+// relative to conventional indexing (can be negative).
+func (r Result) Improvement() float64 {
+	if r.Baseline == 0 {
+		return 0
+	}
+	return 1 - float64(r.Estimated)/float64(r.Baseline)
+}
+
+// Construct searches for an m-set-bit index function minimising the
+// profile's miss estimate.
+func Construct(p *profile.Profile, m int, opt Options) (Result, error) {
+	n := p.N
+	if m <= 0 || m >= n {
+		return Result{}, fmt.Errorf("search: m=%d out of range (0, %d)", m, n)
+	}
+	if opt.MaxInputs < 0 {
+		return Result{}, fmt.Errorf("search: negative MaxInputs")
+	}
+	if opt.Family == hash.FamilyPermutation && opt.MaxInputs == 1 {
+		// A 1-input permutation-based function is exactly modulo indexing.
+		return Result{
+			Matrix:    gf2.Identity(n, m),
+			Estimated: p.EstimateConventional(m),
+			Baseline:  p.EstimateConventional(m),
+		}, nil
+	}
+	var climb func(s *state, start int) Result
+	switch opt.Family {
+	case hash.FamilyGeneralXOR:
+		switch {
+		case opt.MaxInputs > 0:
+			// Fan-in-limited general XOR: search matrix space under the
+			// weight constraint instead of unconstrained null spaces.
+			climb = (*state).climbGeneralLimited
+		case opt.Workers != 0 && opt.Workers != 1:
+			climb = (*state).climbNullSpaceParallel
+		default:
+			climb = (*state).climbNullSpace
+		}
+	case hash.FamilyPermutation:
+		climb = (*state).climbPermutation
+	case hash.FamilyBitSelect:
+		climb = (*state).climbBitSelect
+	default:
+		return Result{}, fmt.Errorf("search: unknown family %v", opt.Family)
+	}
+	s := &state{p: p, n: n, m: m, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+	best := climb(s, 0)
+	for r := 1; r <= opt.Restarts; r++ {
+		if cand := climb(s, r); cand.Estimated < best.Estimated {
+			iters, evals := best.Iterations, best.Evaluated
+			best = cand
+			best.Iterations += iters
+			best.Evaluated += evals
+		} else {
+			best.Iterations += cand.Iterations
+			best.Evaluated += cand.Evaluated
+		}
+	}
+	best.Baseline = p.EstimateConventional(m)
+	return best, nil
+}
+
+// state carries shared search context.
+type state struct {
+	p   *profile.Profile
+	n   int
+	m   int
+	opt Options
+	rng *rand.Rand
+}
+
+func (s *state) capIterations(iter int) bool {
+	return s.opt.MaxIterations > 0 && iter >= s.opt.MaxIterations
+}

@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Binary format:
+//
+//	magic "XTR1" (4 bytes)
+//	name length (uvarint) + name bytes
+//	ops (uvarint)
+//	access count (uvarint)
+//	per access: kind (1 byte), address delta (signed varint from the
+//	previous address of the same kind)
+//
+// Delta coding against the previous same-kind address keeps sequential
+// instruction fetches and strided data streams to ~2 bytes per access.
+
+const magic = "XTR1"
+
+// Encode serialises the trace in the binary format.
+func Encode(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := putUvarint(t.Ops); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Accesses))); err != nil {
+		return err
+	}
+	var prev [3]uint64
+	for _, a := range t.Accesses {
+		if a.Kind > Fetch {
+			return fmt.Errorf("trace: cannot encode kind %d", a.Kind)
+		}
+		if err := bw.WriteByte(byte(a.Kind)); err != nil {
+			return err
+		}
+		delta := int64(a.Addr) - int64(prev[a.Kind])
+		if err := putVarint(delta); err != nil {
+			return err
+		}
+		prev[a.Kind] = a.Addr
+	}
+	return bw.Flush()
+}
+
+// Decode deserialises a trace written by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<20 {
+		return nil, errors.New("trace: unreasonable name length")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	ops, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading ops: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading access count: %w", err)
+	}
+	t := &Trace{Name: string(name), Ops: ops}
+	if count < 1<<24 {
+		t.Accesses = make([]Access, 0, count)
+	}
+	var prev [3]uint64
+	for i := uint64(0); i < count; i++ {
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: access %d kind: %w", i, err)
+		}
+		if Kind(kb) > Fetch {
+			return nil, fmt.Errorf("trace: access %d invalid kind %d", i, kb)
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: access %d delta: %w", i, err)
+		}
+		addr := uint64(int64(prev[kb]) + delta)
+		prev[kb] = addr
+		t.Accesses = append(t.Accesses, Access{Addr: addr, Kind: Kind(kb)})
+	}
+	return t, nil
+}
+
+// EncodeText writes one "<kind> <hex addr>" line per access, preceded by
+// header lines "# name <name>" and "# ops <n>". Intended for inspection
+// and for interoperability with external tools.
+func EncodeText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# name %s\n# ops %d\n", t.Name, t.OpsOrLen()); err != nil {
+		return err
+	}
+	for _, a := range t.Accesses {
+		if _, err := fmt.Fprintf(bw, "%s %x\n", a.Kind, a.Addr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeText parses the text format produced by EncodeText. Unknown "#"
+// comment lines are ignored.
+func DecodeText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && fields[1] == "name" {
+				t.Name = fields[2]
+			}
+			if len(fields) >= 3 && fields[1] == "ops" {
+				if _, err := fmt.Sscanf(fields[2], "%d", &t.Ops); err != nil {
+					return nil, fmt.Errorf("trace: line %d: bad ops: %w", lineNo, err)
+				}
+			}
+			continue
+		}
+		var kindStr string
+		var addr uint64
+		if _, err := fmt.Sscanf(line, "%s %x", &kindStr, &addr); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		var kind Kind
+		switch kindStr {
+		case "R":
+			kind = Read
+		case "W":
+			kind = Write
+		case "F":
+			kind = Fetch
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, kindStr)
+		}
+		t.Accesses = append(t.Accesses, Access{Addr: addr, Kind: kind})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Dinero III/IV "din" format interoperability: one access per line,
+// "<label> <hex address>", where label 0 = read, 1 = write, 2 =
+// instruction fetch. The de-facto interchange format of the academic
+// cache-simulation tooling the paper's era used.
+
+// EncodeDinero writes the trace in din format.
+func EncodeDinero(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range t.Accesses {
+		var label byte
+		switch a.Kind {
+		case Read:
+			label = '0'
+		case Write:
+			label = '1'
+		case Fetch:
+			label = '2'
+		default:
+			return fmt.Errorf("trace: cannot encode kind %d as din", a.Kind)
+		}
+		if _, err := fmt.Fprintf(bw, "%c %x\n", label, a.Addr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeDinero parses din format. Labels 0/1/2 map to Read/Write/Fetch;
+// other labels (Dinero's 3 = escape, 4 = flush) are rejected. Ops is
+// set to the access count (din carries no instruction counts).
+func DecodeDinero(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	t := &Trace{Name: "din"}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var label int
+		var addr uint64
+		if _, err := fmt.Sscanf(line, "%d %x", &label, &addr); err != nil {
+			return nil, fmt.Errorf("trace: din line %d: %w", lineNo, err)
+		}
+		var kind Kind
+		switch label {
+		case 0:
+			kind = Read
+		case 1:
+			kind = Write
+		case 2:
+			kind = Fetch
+		default:
+			return nil, fmt.Errorf("trace: din line %d: unsupported label %d", lineNo, label)
+		}
+		t.Accesses = append(t.Accesses, Access{Addr: addr, Kind: kind})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t.Ops = uint64(len(t.Accesses))
+	return t, nil
+}

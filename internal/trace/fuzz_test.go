@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode exercises the binary decoder with arbitrary input: it must
+// never panic, and anything it accepts must re-encode and re-decode to
+// the same trace (a full round-trip fixed point).
+func FuzzDecode(f *testing.F) {
+	// Seeds: a valid trace, truncations of it, and junk.
+	valid := &Trace{Name: "seed", Ops: 7}
+	valid.Append(0x100, Read)
+	valid.Append(0x104, Write)
+	valid.Append(0x8000, Fetch)
+	var buf bytes.Buffer
+	if err := Encode(&buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	full := buf.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add([]byte("XTR1"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var out bytes.Buffer
+		if err := Encode(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		tr2, err := Decode(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if tr2.Name != tr.Name || tr2.Ops != tr.Ops || len(tr2.Accesses) != len(tr.Accesses) {
+			t.Fatal("round trip changed the trace header")
+		}
+		for i := range tr.Accesses {
+			if tr.Accesses[i] != tr2.Accesses[i] {
+				t.Fatalf("round trip changed access %d", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeText does the same for the text format.
+func FuzzDecodeText(f *testing.F) {
+	f.Add("# name x\n# ops 5\nR 10\nW 14\nF 8000\n")
+	f.Add("R zz\n")
+	f.Add("# ops -1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := DecodeText(bytes.NewReader([]byte(s)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := EncodeText(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		tr2, err := DecodeText(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded text failed to decode: %v", err)
+		}
+		if len(tr2.Accesses) != len(tr.Accesses) {
+			t.Fatal("round trip changed the access count")
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package workloads
+
+// Real AES-128 with encryption T-tables, the memory-access shape of the
+// MiBench rijndael benchmark: four 1 KB lookup tables hammered per
+// round plus the round-key schedule. The implementation is verified
+// against crypto/aes in the tests.
+
+// aesTables holds the generated S-box and the four round tables.
+type aesTables struct {
+	sbox [256]byte
+	te   [4][256]uint32
+}
+
+// genAESTables derives the S-box from GF(2^8) arithmetic and builds the
+// standard Te tables.
+func genAESTables() *aesTables {
+	t := &aesTables{}
+	// Build log/alog tables over GF(2^8) with generator 3.
+	var alog, log [256]byte
+	p := byte(1)
+	for i := 0; i < 255; i++ {
+		alog[i] = p
+		log[p] = byte(i)
+		// p *= 3 in GF(2^8) with the AES polynomial 0x11B.
+		p2 := p << 1
+		if p&0x80 != 0 {
+			p2 ^= 0x1B
+		}
+		p ^= p2
+	}
+	inv := func(x byte) byte {
+		if x == 0 {
+			return 0
+		}
+		return alog[(255-int(log[x]))%255]
+	}
+	for i := 0; i < 256; i++ {
+		x := inv(byte(i))
+		// Affine transform.
+		y := x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63
+		t.sbox[i] = y
+	}
+	xtime := func(b byte) byte {
+		r := b << 1
+		if b&0x80 != 0 {
+			r ^= 0x1B
+		}
+		return r
+	}
+	for i := 0; i < 256; i++ {
+		s := t.sbox[i]
+		s2 := xtime(s)
+		s3 := s2 ^ s
+		w := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		t.te[0][i] = w
+		t.te[1][i] = w>>8 | w<<24
+		t.te[2][i] = w>>16 | w<<16
+		t.te[3][i] = w>>24 | w<<8
+	}
+	return t
+}
+
+func rotl8(x byte, k uint) byte { return x<<k | x>>(8-k) }
+
+// expandKey128 produces the 11 round keys (44 words) for AES-128.
+func (t *aesTables) expandKey128(key [16]byte) [44]uint32 {
+	var w [44]uint32
+	for i := 0; i < 4; i++ {
+		w[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 | uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	rcon := uint32(0x01000000)
+	for i := 4; i < 44; i++ {
+		tmp := w[i-1]
+		if i%4 == 0 {
+			tmp = t.subWord(tmp<<8|tmp>>24) ^ rcon
+			rcon = uint32(xtimeByte(byte(rcon>>24))) << 24
+		}
+		w[i] = w[i-4] ^ tmp
+	}
+	return w
+}
+
+func xtimeByte(b byte) byte {
+	r := b << 1
+	if b&0x80 != 0 {
+		r ^= 0x1B
+	}
+	return r
+}
+
+func (t *aesTables) subWord(w uint32) uint32 {
+	return uint32(t.sbox[w>>24])<<24 | uint32(t.sbox[w>>16&0xFF])<<16 |
+		uint32(t.sbox[w>>8&0xFF])<<8 | uint32(t.sbox[w&0xFF])
+}
+
+// encryptBlock encrypts one 16-byte block with the T-table rounds.
+// When rec is non-nil, every table and key access is mirrored into the
+// trace: teArr[k] holds table k, keyArr the round keys.
+func (t *aesTables) encryptBlock(in [16]byte, w [44]uint32, rec func(table, entry int), key func(word int)) [16]byte {
+	load := func(k, e int) uint32 {
+		if rec != nil {
+			rec(k, e)
+		}
+		return t.te[k][e]
+	}
+	kw := func(i int) uint32 {
+		if key != nil {
+			key(i)
+		}
+		return w[i]
+	}
+	var s [4]uint32
+	for i := 0; i < 4; i++ {
+		s[i] = uint32(in[4*i])<<24 | uint32(in[4*i+1])<<16 | uint32(in[4*i+2])<<8 | uint32(in[4*i+3])
+		s[i] ^= kw(i)
+	}
+	for round := 1; round < 10; round++ {
+		var n [4]uint32
+		for i := 0; i < 4; i++ {
+			n[i] = load(0, int(s[i]>>24)) ^
+				load(1, int(s[(i+1)%4]>>16&0xFF)) ^
+				load(2, int(s[(i+2)%4]>>8&0xFF)) ^
+				load(3, int(s[(i+3)%4]&0xFF)) ^
+				kw(4*round+i)
+		}
+		s = n
+	}
+	// Final round: S-box only (modelled as accesses to table 0's
+	// underlying S-box region by the caller).
+	var out [16]byte
+	for i := 0; i < 4; i++ {
+		v := uint32(t.sbox[s[i]>>24])<<24 |
+			uint32(t.sbox[s[(i+1)%4]>>16&0xFF])<<16 |
+			uint32(t.sbox[s[(i+2)%4]>>8&0xFF])<<8 |
+			uint32(t.sbox[s[(i+3)%4]&0xFF])
+		v ^= kw(40 + i)
+		out[4*i] = byte(v >> 24)
+		out[4*i+1] = byte(v >> 16)
+		out[4*i+2] = byte(v >> 8)
+		out[4*i+3] = byte(v)
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package workloads
+
+import "math"
+
+// This file holds the reference signal-processing primitives the
+// kernels are built on. They compute real results (verified against
+// naive references in the tests) while the kernels mirror their memory
+// behaviour into the trace.
+
+// bitReverse reverses the low bits of x for an n-point FFT (n = 2^k).
+func bitReverse(x, k int) int {
+	r := 0
+	for i := 0; i < k; i++ {
+		r = r<<1 | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// fftInPlace computes an in-place iterative radix-2 decimation-in-time
+// FFT over re/im (length must be a power of two).
+func fftInPlace(re, im []float64) {
+	n := len(re)
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	if 1<<uint(k) != n {
+		panic("workloads: FFT length not a power of two")
+	}
+	for i := 0; i < n; i++ {
+		j := bitReverse(i, k)
+		if j > i {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for j := 0; j < half; j++ {
+				wr := math.Cos(step * float64(j))
+				wi := math.Sin(step * float64(j))
+				a, b := start+j, start+j+half
+				tr := wr*re[b] - wi*im[b]
+				ti := wr*im[b] + wi*re[b]
+				re[b], im[b] = re[a]-tr, im[a]-ti
+				re[a], im[a] = re[a]+tr, im[a]+ti
+			}
+		}
+	}
+}
+
+// naiveDFT is the O(n²) reference used by the tests.
+func naiveDFT(re, im []float64) ([]float64, []float64) {
+	n := len(re)
+	or := make([]float64, n)
+	oi := make([]float64, n)
+	for kk := 0; kk < n; kk++ {
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(kk) * float64(t) / float64(n)
+			c, s := math.Cos(ang), math.Sin(ang)
+			or[kk] += re[t]*c - im[t]*s
+			oi[kk] += re[t]*s + im[t]*c
+		}
+	}
+	return or, oi
+}
+
+// dct8 computes the 8-point DCT-II of src into dst (orthonormal scale).
+func dct8(src, dst []float64) {
+	for k := 0; k < 8; k++ {
+		sum := 0.0
+		for x := 0; x < 8; x++ {
+			sum += src[x] * math.Cos((2*float64(x)+1)*float64(k)*math.Pi/16)
+		}
+		scale := 0.5
+		if k == 0 {
+			scale = 1 / (2 * math.Sqrt2)
+		}
+		dst[k] = sum * scale
+	}
+}
+
+// idct8 inverts dct8.
+func idct8(src, dst []float64) {
+	for x := 0; x < 8; x++ {
+		sum := src[0] / (2 * math.Sqrt2)
+		for k := 1; k < 8; k++ {
+			sum += src[k] * 0.5 * math.Cos((2*float64(x)+1)*float64(k)*math.Pi/16)
+		}
+		dst[x] = sum
+	}
+}
+
+// zigzag8 is the standard JPEG zigzag scan order for an 8×8 block.
+var zigzag8 = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// jpegQuantLuma is the Annex K luminance quantization table.
+var jpegQuantLuma = [64]int{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// imaIndexTable and imaStepTable are the standard IMA ADPCM tables.
+var imaIndexTable = [16]int{
+	-1, -1, -1, -1, 2, 4, 6, 8,
+	-1, -1, -1, -1, 2, 4, 6, 8,
+}
+
+var imaStepTable = [89]int{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+// imaEncodeStep encodes one 16-bit sample against the predictor state,
+// returning the 4-bit code and the updated (predictor, index).
+func imaEncodeStep(sample int, pred int, index int) (code int, newPred int, newIndex int) {
+	step := imaStepTable[index]
+	diff := sample - pred
+	code = 0
+	if diff < 0 {
+		code = 8
+		diff = -diff
+	}
+	if diff >= step {
+		code |= 4
+		diff -= step
+	}
+	if diff >= step/2 {
+		code |= 2
+		diff -= step / 2
+	}
+	if diff >= step/4 {
+		code |= 1
+	}
+	newPred, newIndex = imaDecodeStep(code, pred, index)
+	return code, newPred, newIndex
+}
+
+// imaDecodeStep decodes one 4-bit code, returning updated state.
+func imaDecodeStep(code int, pred int, index int) (newPred int, newIndex int) {
+	step := imaStepTable[index]
+	diff := step >> 3
+	if code&4 != 0 {
+		diff += step
+	}
+	if code&2 != 0 {
+		diff += step >> 1
+	}
+	if code&1 != 0 {
+		diff += step >> 2
+	}
+	if code&8 != 0 {
+		pred -= diff
+	} else {
+		pred += diff
+	}
+	if pred > 32767 {
+		pred = 32767
+	}
+	if pred < -32768 {
+		pred = -32768
+	}
+	index += imaIndexTable[code]
+	if index < 0 {
+		index = 0
+	}
+	if index > 88 {
+		index = 88
+	}
+	return pred, index
+}
+
+// xorshift32 is the deterministic PRNG used by every kernel so traces
+// are reproducible without seeding from the environment.
+type xorshift32 uint32
+
+func (x *xorshift32) next() uint32 {
+	v := uint32(*x)
+	if v == 0 {
+		v = 0x9E3779B9
+	}
+	v ^= v << 13
+	v ^= v >> 17
+	v ^= v << 5
+	*x = xorshift32(v)
+	return v
+}
+
+// intn returns a deterministic pseudo-random int in [0, n).
+func (x *xorshift32) intn(n int) int {
+	return int(x.next() % uint32(n))
+}

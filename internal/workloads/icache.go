@@ -1,0 +1,95 @@
+package workloads
+
+import (
+	"fmt"
+
+	"xoridx/internal/trace"
+)
+
+// Program models the code layout of a benchmark for instruction-cache
+// studies: functions are placed sequentially by a bump "linker" and
+// executing a function emits one 4-byte fetch per instruction word.
+// Instruction-cache conflicts arise exactly as in reality — two hot
+// functions (or a loop body larger than the cache) whose addresses
+// alias in the index — so the synthetic layout exercises the same
+// mechanism the paper's ARM binaries did (see DESIGN.md §2).
+type Program struct {
+	rec   *Recorder
+	next  uint64
+	align uint64
+}
+
+// NewProgram starts a code layout at the given base address.
+func NewProgram(name string, base uint64) *Program {
+	return &Program{rec: NewRecorder(name), next: base, align: 16}
+}
+
+// Trace returns the accumulated fetch trace.
+func (p *Program) Trace() *trace.Trace { return p.rec.T }
+
+// Fn is a placed function.
+type Fn struct {
+	Name string
+	Addr uint64
+	Size int // bytes; one instruction per 4 bytes
+	p    *Program
+}
+
+// Func places a function of the given size (bytes, rounded up to a
+// word) at the next link address.
+func (p *Program) Func(name string, size int) *Fn {
+	if size <= 0 {
+		panic(fmt.Sprintf("workloads: function %q has size %d", name, size))
+	}
+	size = (size + 3) &^ 3
+	p.next = (p.next + p.align - 1) &^ (p.align - 1)
+	f := &Fn{Name: name, Addr: p.next, Size: size, p: p}
+	p.next += uint64(size)
+	return f
+}
+
+// Gap advances the link address, modelling code that exists in the
+// binary but is not executed (error handlers, unused library code).
+func (p *Program) Gap(size int) {
+	p.next += uint64(size)
+}
+
+// FuncAt places a function at an absolute address (word aligned), used
+// to model hot functions scattered across a large text segment whose
+// relative placement — and hence index aliasing — is fixed by the
+// binary. Placement must not move the link cursor backwards.
+func (p *Program) FuncAt(name string, size int, addr uint64) *Fn {
+	if addr%4 != 0 {
+		panic(fmt.Sprintf("workloads: function %q at unaligned address %#x", name, addr))
+	}
+	if addr < p.next {
+		panic(fmt.Sprintf("workloads: function %q at %#x overlaps previous code ending at %#x", name, addr, p.next))
+	}
+	size = (size + 3) &^ 3
+	f := &Fn{Name: name, Addr: addr, Size: size, p: p}
+	p.next = addr + uint64(size)
+	return f
+}
+
+// Run emits a straight-line execution of the whole function body.
+func (f *Fn) Run() { f.RunPart(0, f.Size) }
+
+// RunPart emits fetches for bytes [off, off+len) of the function,
+// modelling a loop body or early-exit path. One fetch per 4 bytes.
+func (f *Fn) RunPart(off, length int) {
+	if off < 0 || length < 0 || off+length > f.Size {
+		panic(fmt.Sprintf("workloads: RunPart(%d,%d) outside %q (size %d)", off, length, f.Name, f.Size))
+	}
+	for b := off &^ 3; b < off+length; b += 4 {
+		f.p.rec.T.Append(f.Addr+uint64(b), trace.Fetch)
+	}
+	f.p.rec.T.Ops += uint64(length / 4)
+}
+
+// Loop runs the given body count times; a convenience for the common
+// "hot loop calling helpers" shape.
+func Loop(count int, body func()) {
+	for i := 0; i < count; i++ {
+		body()
+	}
+}

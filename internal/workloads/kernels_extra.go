@@ -1,0 +1,296 @@
+package workloads
+
+import (
+	"xoridx/internal/trace"
+)
+
+// Extra MediaBench-style benchmarks beyond the paper's ten Table 2 rows
+// (the suites contain more programs than the paper had space to show).
+// Exposed via ExtraSuite and the cmd/tables "2x" target.
+
+// gsmData: GSM 06.10 full-rate speech encoder shape — per 160-sample
+// frame: windowed autocorrelation (order 8), Schur reflection
+// coefficients, and a long-term-predictor lag search cross-correlating
+// the current subframe against a 120-sample history ring.
+func gsmData(scale int) *trace.Trace {
+	frames := 220 * scale
+	const frameLen = 160
+	const order = 8
+	rec := NewRecorder("gsm")
+	sp := NewSpace(0x90000)
+	frame := rec.NewArr(sp, frameLen, 2, 4096)
+	history := rec.NewArr(sp, 1024, 2, 4096) // next page: aliases frame
+	acf := rec.NewArr(sp, order+1, 4, 64)
+	refl := rec.NewArr(sp, order, 4, 64)
+	ltpGain := rec.NewArr(sp, 4, 2, 64)
+
+	rng := xorshift32(0x65)
+	samples := make([]float64, frameLen)
+	hist := make([]float64, 1024)
+	hpos := 0
+	for f := 0; f < frames; f++ {
+		// Read the frame (from the codec's input buffer).
+		for i := 0; i < frameLen; i++ {
+			frame.Load(i)
+			samples[i] = float64(rng.intn(2001)-1000) / 1000
+		}
+		// Autocorrelation: order+1 lagged dot products.
+		var ac [order + 1]float64
+		for k := 0; k <= order; k++ {
+			for i := k; i < frameLen; i += 4 { // unrolled
+				frame.Load(i)
+				frame.Load(i - k)
+				ac[k] += samples[i] * samples[i-k]
+				rec.Ops(3)
+			}
+			acf.Store(k)
+		}
+		// Schur recursion on the tiny acf array (register-heavy).
+		for k := 0; k < order; k++ {
+			acf.Load(k)
+			acf.Load(k + 1)
+			refl.Store(k)
+			rec.Ops(12)
+		}
+		// Long-term predictor: cross-correlate 40-sample subframes
+		// against lags 40..120 of the history ring.
+		for sub := 0; sub < 4; sub++ {
+			bestLag := 40
+			best := 0.0
+			for lag := 40; lag <= 120; lag += 2 {
+				corr := 0.0
+				for i := 0; i < 40; i += 4 {
+					frame.Load(sub*40 + i)
+					hi := (hpos + 1024 - lag + i) % 1024
+					history.Load(hi)
+					corr += samples[sub*40+i] * hist[hi]
+					rec.Ops(3)
+				}
+				if corr > best {
+					best = corr
+					bestLag = lag
+				}
+			}
+			_ = bestLag
+			ltpGain.Store(sub)
+		}
+		// Push the frame into the history ring.
+		for i := 0; i < frameLen; i++ {
+			hist[hpos] = samples[i]
+			history.Store(hpos)
+			hpos = (hpos + 1) % 1024
+		}
+	}
+	return rec.T
+}
+
+// g721Data: CCITT G.721 ADPCM — like IMA but with an adaptive
+// pole/zero predictor: per sample, a 6-deep difference-signal history
+// and two pole coefficients are read and updated alongside the
+// quantizer tables.
+func g721Data(scale int) *trace.Trace {
+	samplesN := 30000 * scale
+	rec := NewRecorder("g721")
+	sp := NewSpace(0xA0000)
+	const chunk = 1024
+	pcmBuf := rec.NewArr(sp, chunk, 2, 4096)
+	codeBuf := rec.NewArr(sp, chunk/2, 1, 4096)
+	dqHist := rec.NewArr(sp, 6, 4, 64)
+	bCoef := rec.NewArr(sp, 6, 4, 64)
+	aCoef := rec.NewArr(sp, 2, 4, 64)
+	quanTab := rec.NewArr(sp, 16, 2, 4096) // own page: aliases pcmBuf
+
+	rng := xorshift32(0x21)
+	sVal := 0
+	for i := 0; i < samplesN; i++ {
+		j := i % chunk
+		pcmBuf.Load(j)
+		sVal += rng.intn(401) - 200
+		// Predictor: 6 zeros + 2 poles.
+		for k := 0; k < 6; k++ {
+			dqHist.Load(k)
+			bCoef.Load(k)
+			rec.Ops(2)
+		}
+		aCoef.Load(0)
+		aCoef.Load(1)
+		// Quantize the difference.
+		quanTab.Load((sVal >> 4) & 15)
+		rec.Ops(10)
+		// Update predictor state.
+		for k := 5; k > 0; k-- {
+			dqHist.Load(k - 1)
+			dqHist.Store(k)
+			bCoef.Store(k)
+		}
+		dqHist.Store(0)
+		aCoef.Store(0)
+		aCoef.Store(1)
+		if j%2 == 1 {
+			codeBuf.Store(j / 2)
+		}
+	}
+	return rec.T
+}
+
+// epicData: EPIC-style wavelet image coder — a separable filter
+// pyramid: at each level, a row pass (unit stride) and a column pass
+// (image-pitch stride) over a power-of-two-pitch image, then recurse on
+// the quarter-size low band. The column passes are the archetypal
+// large-stride conflict generator.
+func epicData(scale int) *trace.Trace {
+	dim := 128 * isqrtScale(scale) // square image, power-of-two pitch
+	const taps = 5
+	rec := NewRecorder("epic")
+	sp := NewSpace(0xB0000)
+	img := rec.NewMat(sp, dim, dim, 1, 4096)
+	tmp := rec.NewMat(sp, dim, dim, 2, 4096)
+	filt := rec.NewArr(sp, taps, 4, 64)
+
+	for level := 0; dim>>uint(level) >= 16 && level < 4; level++ {
+		size := dim >> uint(level)
+		// Row pass: img -> tmp.
+		for y := 0; y < size; y++ {
+			for x := 2; x < size-2; x++ {
+				for t := -2; t <= 2; t++ {
+					img.Load(y, x+t)
+					filt.Load(t + 2)
+					rec.Ops(2)
+				}
+				tmp.Store(y, x)
+			}
+		}
+		// Column pass: tmp -> img (stride = pitch).
+		for x := 0; x < size; x++ {
+			for y := 2; y < size-2; y++ {
+				for t := -2; t <= 2; t++ {
+					tmp.Load(y+t, x)
+					filt.Load(t + 2)
+					rec.Ops(2)
+				}
+				img.Store(y, x)
+			}
+		}
+	}
+	return rec.T
+}
+
+// pegwitData: public-key-crypto shape — GF(2^m) polynomial
+// multiplication and squaring over multi-word operands (the elliptic-
+// curve field arithmetic of pegwit): nested word loops with tight
+// operand reuse plus a precomputed window table.
+func pegwitData(scale int) *trace.Trace {
+	mults := 900 * scale
+	const words = 9 // ~GF(2^255) operands in 32-bit words
+	rec := NewRecorder("pegwit")
+	sp := NewSpace(0xC0000)
+	opA := rec.NewArr(sp, words, 4, 64)
+	opB := rec.NewArr(sp, words, 4, 64)
+	res := rec.NewArr(sp, 2*words, 4, 64)
+	window := rec.NewArr(sp, 16*words, 4, 4096) // window table, own page
+	modulus := rec.NewArr(sp, words, 4, 64)
+
+	rng := xorshift32(0x99)
+	for mlt := 0; mlt < mults; mlt++ {
+		// Comb multiply with a 4-bit window table.
+		for i := 0; i < 2*words; i++ {
+			res.Store(i)
+		}
+		for i := 0; i < words; i++ {
+			opA.Load(i)
+			for nib := 0; nib < 8; nib++ {
+				w := rng.intn(16)
+				for k := 0; k < words; k += 3 { // unrolled
+					window.Load(w*words + k)
+					res.Load(i + k)
+					res.Store(i + k)
+					rec.Ops(3)
+				}
+			}
+		}
+		// Modular reduction.
+		for i := 2*words - 1; i >= words; i-- {
+			res.Load(i)
+			for k := 0; k < words; k += 3 {
+				modulus.Load(k)
+				res.Load(i - words + k)
+				res.Store(i - words + k)
+				rec.Ops(3)
+			}
+		}
+		// Rebuild the window table every few multiplies (new operand B).
+		if mlt%8 == 0 {
+			for w := 0; w < 16; w++ {
+				for k := 0; k < words; k++ {
+					opB.Load(k)
+					window.Store(w*words + k)
+					rec.Ops(2)
+				}
+			}
+		}
+	}
+	return rec.T
+}
+
+// Instruction layouts for the extra suite.
+
+func gsmInstr(scale int) *trace.Trace {
+	p := NewProgram("gsm", 0)
+	autocorr := p.FuncAt("autocorr", 512, 0x8000)
+	schur := p.FuncAt("schur", 384, 0x8000+0x0800)
+	ltp := p.FuncAt("ltp_search", 640, 0x8000+0x1080) // ≡ autocorr+128 mod 4 KB
+	frames := 220 * scale
+	Loop(frames, func() {
+		Loop(9, func() { autocorr.Run() })
+		schur.Run()
+		Loop(4, func() { ltp.Run() })
+	})
+	return p.Trace()
+}
+
+func g721Instr(scale int) *trace.Trace {
+	p := NewProgram("g721", 0)
+	predict := p.FuncAt("predict", 448, 0x8000)
+	quant := p.FuncAt("quantize", 320, 0x8000+0x0600)
+	update := p.FuncAt("update", 384, 0x8000+0x1040) // ≡ predict+64 mod 4 KB
+	samples := 30000 * scale
+	Loop(samples/12, func() {
+		predict.Run()
+		quant.RunPart(0, 160)
+		update.Run()
+	})
+	return p.Trace()
+}
+
+func epicInstr(scale int) *trace.Trace {
+	p := NewProgram("epic", 0)
+	rowPass := p.FuncAt("row_filter", 576, 0x8000)
+	pyramid := p.FuncAt("pyramid_driver", 256, 0x8000+0x0C00)
+	colPass := p.FuncAt("col_filter", 576, 0x8000+0x4080) // ≡ rowPass+128 mod 16 KB
+	dim := 128 * isqrtScale(scale)
+	for level := 0; dim>>uint(level) >= 16 && level < 4; level++ {
+		size := dim >> uint(level)
+		pyramid.Run()
+		Loop(size/2, func() {
+			rowPass.Run()
+			colPass.Run()
+		})
+	}
+	return p.Trace()
+}
+
+func pegwitInstr(scale int) *trace.Trace {
+	p := NewProgram("pegwit", 0)
+	mul := p.FuncAt("gf_mul_comb", 1024, 0x8000)
+	reduce := p.FuncAt("gf_reduce", 512, 0x8000+0x0800)
+	precomp := p.FuncAt("window_precomp", 384, 0x8000+0x1100) // ≡ mul+256 mod 4 KB
+	mults := 900 * scale
+	Loop(mults, func() {
+		mul.Run()
+		reduce.Run()
+		if true {
+			precomp.RunPart(0, 128)
+		}
+	})
+	return p.Trace()
+}

@@ -1,0 +1,189 @@
+package workloads
+
+import (
+	"xoridx/internal/trace"
+)
+
+// Instruction-trace generators for the Table 2 instruction-cache rows.
+//
+// Each benchmark gets a code layout: hot functions scattered across a
+// large text segment at the absolute addresses a linker gave them
+// (FuncAt), with the cold bulk of the binary in between. I-cache
+// conflicts arise when hot functions alias in the index — the exact
+// mechanism XOR-indexing targets. Because congruence mod 1 KB is
+// implied by congruence mod 4 KB, a colliding pair hurts every cache
+// it does not fit side-by-side in; the small cache additionally
+// suffers capacity misses (hot loops larger than 1 KB) that dilute the
+// removable fraction, reproducing the paper's pattern of removal
+// percentages that grow with cache size.
+
+// dijkstraInstr: compact solver; the scan and relax helpers collide
+// with the main loop mod 1 KB and mod 4 KB, everything fits in 16 KB.
+func dijkstraInstr(scale int) *trace.Trace {
+	p := NewProgram("dijkstra", 0)
+	main := p.FuncAt("main_loop", 320, 0x8000)
+	relax := p.FuncAt("relax", 224, 0x8400)             // ≡ main mod 1 KB
+	minScan := p.FuncAt("min_scan", 192, 0x8000+0x1080) // ≡ main+128 mod 4 KB
+	v := 112 * isqrtScale(scale)
+	Loop(v, func() {
+		main.RunPart(0, 64)
+		Loop(6, func() { minScan.Run() })
+		Loop(6, func() { relax.Run() })
+		main.RunPart(64, 64)
+	})
+	return p.Trace()
+}
+
+// fftInstr: a large unrolled butterfly body (capacity pressure at
+// 1 KB) and a sin/cos helper that collides with it mod 4 KB and mod
+// 16 KB — the paper's fft keeps sizeable removable misses even at
+// 16 KB.
+func fftInstr(scale int) *trace.Trace {
+	p := NewProgram("fft", 0)
+	butterfly := p.FuncAt("butterfly_unrolled", 1280, 0x8000)
+	twiddle := p.FuncAt("twiddle", 512, 0x8000+0x800)
+	driver := p.FuncAt("stage_driver", 256, 0x8000+0x1100)
+	sincos := p.FuncAt("sincos", 384, 0x8000+0x4040) // ≡ butterfly+64 mod 16 KB (and 4 KB)
+	n := 1024 * scale
+	stages := 0
+	for 1<<uint(stages) < n {
+		stages++
+	}
+	Loop(stages, func() {
+		driver.Run()
+		Loop(n/16, func() {
+			butterfly.Run()
+			twiddle.RunPart(0, 256)
+			sincos.Run()
+		})
+	})
+	return p.Trace()
+}
+
+// jpegInstr is shared by enc/dec with different hot-path mixes: the
+// DCT kernel collides with the block loop mod 4 KB, the quantiser with
+// both mod 16 KB.
+func jpegInstr(name string, scale int, encode bool) *trace.Trace {
+	p := NewProgram(name, 0)
+	blockLoop := p.FuncAt("block_loop", 288, 0x8000)
+	huff := p.FuncAt("huffman", 512, 0x8000+0x0C40)
+	dct := p.FuncAt("dct8", 416, 0x8000+0x1040)    // ≡ blockLoop+64 mod 4 KB
+	quant := p.FuncAt("quant", 288, 0x8000+0x4100) // ≡ blockLoop+256 mod 16 KB
+	wpx, hpx := 256, 64*isqrtScale(scale)
+	blocks := 3 * (wpx / 8) * (hpx / 8)
+	Loop(blocks, func() {
+		blockLoop.RunPart(0, 96)
+		Loop(16, func() { dct.Run() })
+		quant.Run()
+		if encode {
+			huff.Run()
+		} else {
+			huff.RunPart(0, 256)
+		}
+		blockLoop.RunPart(96, 96)
+	})
+	return p.Trace()
+}
+
+func jpegEncInstr(scale int) *trace.Trace { return jpegInstr("jpeg_enc", scale, true) }
+func jpegDecInstr(scale int) *trace.Trace { return jpegInstr("jpeg_dec", scale, false) }
+
+// lameInstr: ~4 KB of hot code scattered over 40 KB — pure capacity at
+// 1 KB (little removable), cross-function aliasing at 4 KB and a
+// mod-16 KB pair for the large cache.
+func lameInstr(scale int) *trace.Trace {
+	p := NewProgram("lame", 0)
+	filter := p.FuncAt("polyphase", 1024, 0x10000)
+	quantLoop := p.FuncAt("quant_loop", 768, 0x10000+0x2400)
+	mdct := p.FuncAt("mdct", 896, 0x10000+0x4200) // ≡ filter+512 mod 16 KB
+	psy := p.FuncAt("psymodel", 1152, 0x10000+0x9100)
+	granules := 60 * scale
+	Loop(granules, func() {
+		Loop(4, func() {
+			filter.Run()
+			mdct.Run()
+		})
+		psy.Run()
+		Loop(3, func() { quantLoop.Run() })
+	})
+	return p.Trace()
+}
+
+// rijndaelInstr: the unrolled cipher — a straight-line body larger
+// than 4 KB (capacity misses at 1/4 KB no hash can fix) plus a key-mix
+// helper a 16 KB-aliasing gap away (the conflict the paper removes
+// completely at 16 KB).
+func rijndaelInstr(scale int) *trace.Trace {
+	p := NewProgram("rijndael", 0)
+	rounds := p.FuncAt("encrypt_unrolled", 5632, 0x8000)
+	keymix := p.FuncAt("key_mix", 512, 0x8000+0x4100) // ≡ rounds+256 mod 16 KB
+	blocksN := 600 * scale
+	Loop(blocksN, func() {
+		keymix.Run()
+		rounds.Run()
+	})
+	return p.Trace()
+}
+
+// susanInstr: a >1 KB smoothing loop (1 KB cache thrashes on
+// capacity), with the brightness-LUT helper colliding mod 4 KB and an
+// edge-case path colliding mod 16 KB.
+func susanInstr(scale int) *trace.Trace {
+	p := NewProgram("susan", 0)
+	maskLoop := p.FuncAt("mask_loop", 832, 0x8000)
+	border := p.FuncAt("border", 320, 0x8000+0x0700)
+	lutFn := p.FuncAt("brightness_lut", 256, 0x8000+0x1080) // ≡ maskLoop+128 mod 4 KB
+	edge := p.FuncAt("edge_case", 192, 0x8000+0x4040)       // ≡ maskLoop+64 mod 16 KB
+	wpx, hpx := 160*isqrtScale(scale), 120*isqrtScale(scale)
+	pixels := (wpx - 6) * (hpx - 6)
+	Loop(pixels/4, func() { // 4-pixel unrolled
+		maskLoop.Run()
+		lutFn.RunPart(0, 128)
+		edge.RunPart(0, 64)
+	})
+	Loop(hpx, func() { border.Run() })
+	return p.Trace()
+}
+
+// adpcmInstr: small codec whose two hot functions collide mod 4 KB; a
+// per-chunk refill function pushes the 1 KB footprint past capacity so
+// the small cache's misses are mostly unavoidable (the paper's small
+// 1 KB removal with near-zero 4/16 KB base).
+func adpcmInstr(name string, scale int, encode bool) *trace.Trace {
+	p := NewProgram(name, 0)
+	codec := p.FuncAt("codec_loop", 416, 0x8000)
+	refill := p.FuncAt("refill", 448, 0x8000+0x0600)
+	clamp := p.FuncAt("clamp_helpers", 192, 0x8000+0x1020) // ≡ codec+32 mod 4 KB
+	samples := 40000 * scale
+	per := 16
+	if !encode {
+		per = 24
+	}
+	Loop(samples/per, func() {
+		codec.Run()
+		clamp.RunPart(0, 96)
+	})
+	Loop(samples/1024, func() { refill.Run() })
+	return p.Trace()
+}
+
+func adpcmEncInstr(scale int) *trace.Trace { return adpcmInstr("adpcm_enc", scale, true) }
+func adpcmDecInstr(scale int) *trace.Trace { return adpcmInstr("adpcm_dec", scale, false) }
+
+// mpeg2Instr: decoder with VLC, IDCT and motion-compensation kernels;
+// IDCT collides with VLC mod 4 KB, motion compensation with VLC mod
+// 16 KB.
+func mpeg2Instr(scale int) *trace.Trace {
+	p := NewProgram("mpeg2_dec", 0)
+	vlc := p.FuncAt("vlc_decode", 704, 0x8000)
+	idct := p.FuncAt("idct_col", 576, 0x8000+0x10C0)  // ≡ vlc+192 mod 4 KB
+	mc := p.FuncAt("motion_comp", 832, 0x8000+0x4080) // ≡ vlc+128 mod 16 KB
+	wpx, hpx := 256, 128*scale
+	blocks := (wpx / 8) * (hpx / 8)
+	Loop(blocks, func() {
+		vlc.Run()
+		Loop(2, func() { idct.Run() })
+		mc.Run()
+	})
+	return p.Trace()
+}

@@ -1,0 +1,458 @@
+package workloads
+
+import (
+	"xoridx/internal/trace"
+)
+
+// Data-trace generators for the MediaBench/MiBench-like suite used by
+// paper Table 2. Each generator performs the real computation (checked
+// in the tests) while mirroring its loads and stores into the trace.
+// scale >= 1 multiplies the input size.
+
+// dijkstraData: single-source shortest paths on a dense graph stored as
+// an adjacency matrix — the MiBench dijkstra shape: row scans of the
+// matrix interleaved with full scans of the dist/visited arrays.
+func dijkstraData(scale int) *trace.Trace {
+	const baseV = 112
+	v := baseV * isqrtScale(scale)
+	rowPad := 128 // elements per row after power-of-two padding (512 B)
+	for rowPad < v {
+		rowPad *= 2
+	}
+	rec := NewRecorder("dijkstra")
+	sp := NewSpace(0x10000)
+	adj := rec.NewMat(sp, v, rowPad, 4, 4096)
+	dist := rec.NewArr(sp, v, 4, 4096)
+	visited := rec.NewArr(sp, v, 4, 4096)
+
+	// Real graph: deterministic weights.
+	rng := xorshift32(0xD175)
+	w := make([][]int, v)
+	for i := range w {
+		w[i] = make([]int, v)
+		for j := range w[i] {
+			if i != j {
+				w[i][j] = 1 + rng.intn(100)
+			}
+			adj.Store(i, j)
+		}
+	}
+	d := make([]int, v)
+	vis := make([]bool, v)
+	const inf = 1 << 30
+	for i := range d {
+		d[i] = inf
+		dist.Store(i)
+		visited.Store(i)
+	}
+	d[0] = 0
+	dist.Store(0)
+	for iter := 0; iter < v; iter++ {
+		// Find unvisited min (linear scan, as MiBench does).
+		u, best := -1, inf
+		for i := 0; i < v; i++ {
+			visited.Load(i)
+			dist.Load(i)
+			rec.Ops(2)
+			if !vis[i] && d[i] < best {
+				best, u = d[i], i
+			}
+		}
+		if u < 0 {
+			break
+		}
+		vis[u] = true
+		visited.Store(u)
+		for j := 0; j < v; j++ {
+			adj.Load(u, j)
+			rec.Ops(3)
+			if w[u][j] > 0 && d[u]+w[u][j] < d[j] {
+				d[j] = d[u] + w[u][j]
+				dist.Load(j)
+				dist.Store(j)
+			}
+		}
+	}
+	return rec.T
+}
+
+// fftData: iterative radix-2 FFT over separate re/im arrays — the
+// MiBench fft shape: bit-reversal scatter then power-of-two-stride
+// butterflies, the canonical conflict-miss generator.
+func fftData(scale int) *trace.Trace {
+	n := 1024 * scale
+	rec := NewRecorder("fft")
+	sp := NewSpace(0x20000)
+	reA := rec.NewArr(sp, n, 4, 4096)
+	imA := rec.NewArr(sp, n, 4, 4096)
+	twA := rec.NewArr(sp, n/2, 4, 4096)
+
+	re := make([]float64, n)
+	im := make([]float64, n)
+	rng := xorshift32(7)
+	for i := range re {
+		re[i] = float64(rng.intn(2000)-1000) / 1000
+		reA.Store(i)
+		imA.Store(i)
+	}
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	// Mirror the real FFT's access pattern step by step.
+	for i := 0; i < n; i++ {
+		j := bitReverse(i, k)
+		if j > i {
+			reA.Load(i)
+			reA.Load(j)
+			reA.Store(i)
+			reA.Store(j)
+			imA.Load(i)
+			imA.Load(j)
+			imA.Store(i)
+			imA.Store(j)
+			rec.Ops(2)
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		for start := 0; start < n; start += size {
+			for j := 0; j < half; j++ {
+				twA.Load(j * (n / size)) // twiddle table lookup
+				a, b := start+j, start+j+half
+				reA.Load(a)
+				reA.Load(b)
+				imA.Load(a)
+				imA.Load(b)
+				reA.Store(a)
+				reA.Store(b)
+				imA.Store(a)
+				imA.Store(b)
+				rec.Ops(10)
+			}
+		}
+	}
+	fftInPlace(re, im) // the actual math, validated in tests
+	return rec.T
+}
+
+// jpegBlocks is the shared 8×8 block pipeline for jpeg enc/dec: the
+// image plane and the coefficient plane sit on page-aligned
+// power-of-two pitches (256 B and 512 B), and the column DCT pass
+// walks an in-memory workspace — so block-column accesses stride
+// across rows exactly as libjpeg's do. Three frames are processed so
+// compulsory misses amortise.
+func jpegBlocks(name string, scale int, encode bool) *trace.Trace {
+	wpx, hpx := 256, 64*isqrtScale(scale)
+	const frames = 3
+	rec := NewRecorder(name)
+	sp := NewSpace(0x30000)
+	img := rec.NewMat(sp, hpx, wpx, 1, 4096)  // 256 B pitch
+	coef := rec.NewMat(sp, hpx, wpx, 2, 4096) // 512 B pitch
+	quant := rec.NewArr(sp, 64, 2, 4096)      // tables on their own page
+	zig := rec.NewArr(sp, 64, 1, 64)
+	ws := rec.NewArr(sp, 64, 4, 256) // DCT workspace
+
+	var block [64]float64
+	var tmp [8]float64
+	var tmp2 [8]float64
+	for f := 0; f < frames; f++ {
+		for by := 0; by+8 <= hpx; by += 8 {
+			for bx := 0; bx+8 <= wpx; bx += 8 {
+				// Row pass: read one image/coef row, write workspace.
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						if encode {
+							img.Load(by+y, bx+x)
+						} else {
+							coef.Load(by+y, bx+x)
+						}
+						block[8*y+x] = float64((bx+x)*(by+y)%255) - 128
+					}
+					copy(tmp[:], block[8*y:8*y+8])
+					if encode {
+						dct8(tmp[:], tmp2[:])
+					} else {
+						idct8(tmp[:], tmp2[:])
+					}
+					copy(block[8*y:8*y+8], tmp2[:])
+					for x := 0; x < 8; x++ {
+						ws.Store(8*y + x)
+					}
+					rec.Ops(64)
+				}
+				// Column pass: stride-8 reads of the workspace.
+				for x := 0; x < 8; x++ {
+					for y := 0; y < 8; y++ {
+						ws.Load(8*y + x)
+						tmp[y] = block[8*y+x]
+					}
+					if encode {
+						dct8(tmp[:], tmp2[:])
+					} else {
+						idct8(tmp[:], tmp2[:])
+					}
+					for y := 0; y < 8; y++ {
+						block[8*y+x] = tmp2[y]
+					}
+					rec.Ops(64)
+				}
+				// Quantize + zigzag (encode) or dequant + store (decode).
+				for i := 0; i < 64; i++ {
+					quant.Load(i)
+					if encode {
+						zig.Load(i)
+						coef.Store(by+zigzag8[i]/8, bx+zigzag8[i]%8)
+					} else {
+						img.Store(by+i/8, bx+i%8)
+					}
+					rec.Ops(3)
+				}
+			}
+		}
+	}
+	return rec.T
+}
+
+func jpegEncData(scale int) *trace.Trace { return jpegBlocks("jpeg_enc", scale, true) }
+func jpegDecData(scale int) *trace.Trace { return jpegBlocks("jpeg_dec", scale, false) }
+
+// lameData: MP3-encoder-like polyphase/MDCT stage — windowed dot
+// products over a sliding sample buffer with large coefficient tables,
+// plus psychoacoustic table lookups.
+func lameData(scale int) *trace.Trace {
+	granules := 60 * scale
+	const granule = 576
+	const taps = 512
+	rec := NewRecorder("lame")
+	sp := NewSpace(0x40000)
+	samples := rec.NewArr(sp, granule*4, 2, 4096)
+	window := rec.NewArr(sp, taps, 4, 4096)
+	subband := rec.NewMat(sp, 32, 18, 4, 1024)
+	psy := rec.NewArr(sp, 1024, 4, 4096)
+
+	acc := 0.0
+	rng := xorshift32(99)
+	for g := 0; g < granules; g++ {
+		// Shift in new samples (ring buffer).
+		for i := 0; i < granule; i++ {
+			samples.Store((g*granule + i) % (granule * 4))
+		}
+		// 32 subbands × 18 output samples, each a windowed dot product.
+		for sb := 0; sb < 32; sb++ {
+			for k := 0; k < 18; k++ {
+				for t := 0; t < taps; t += 16 { // unrolled stride
+					window.Load(t)
+					samples.Load((g*granule + sb*18 + k + t) % (granule * 4))
+					acc += float64(t) * 1e-6
+					rec.Ops(4)
+				}
+				subband.Store(sb, k)
+			}
+		}
+		// Psychoacoustic lookups at FFT-bin-like positions.
+		for b := 0; b < 64; b++ {
+			psy.Load(rng.intn(1024))
+			rec.Ops(6)
+		}
+	}
+	_ = acc
+	return rec.T
+}
+
+// rijndaelData: real AES-128 ECB encryption over a buffer with four
+// 1 KB T-tables and the round-key array.
+func rijndaelData(scale int) *trace.Trace {
+	blocksN := 600 * scale
+	const chunkBlocks = 64 // 1 KB I/O chunks, as a file cipher would use
+	rec := NewRecorder("rijndael")
+	sp := NewSpace(0x50000)
+	var teArr [4]Arr
+	for k := 0; k < 4; k++ {
+		teArr[k] = rec.NewArr(sp, 256, 4, 1024) // 4 KB of contiguous T-tables
+	}
+	keyArr := rec.NewArr(sp, 44, 4, 256)
+	// Input and output chunk buffers on separate 16 KB-aligned segments
+	// (heap vs mmap'd file): they alias each other in every cache size
+	// up to 16 KB — the conflict the paper removes completely at 16 KB.
+	input := rec.NewArr(sp, chunkBlocks*16, 1, 16384)
+	output := rec.NewArr(sp, chunkBlocks*16, 1, 16384)
+
+	tables := genAESTables()
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	w := tables.expandKey128(key)
+	var blk [16]byte
+	for b := 0; b < blocksN; b++ {
+		o := (b % chunkBlocks) * 16
+		for i := 0; i < 16; i += 4 { // word-at-a-time I/O
+			input.Load(o + i)
+			blk[i] = byte(b + i)
+		}
+		enc := tables.encryptBlock(blk, w,
+			func(table, entry int) { teArr[table].Load(entry); rec.Ops(1) },
+			func(word int) { keyArr.Load(word) })
+		for i := 0; i < 16; i += 4 {
+			output.Store(o + i)
+			_ = enc
+		}
+	}
+	return rec.T
+}
+
+// susanData: SUSAN-like image smoothing — a circular neighbourhood mask
+// over every pixel with a 256-entry brightness LUT.
+func susanData(scale int) *trace.Trace {
+	wpx, hpx := 160*isqrtScale(scale), 120*isqrtScale(scale)
+	rec := NewRecorder("susan")
+	sp := NewSpace(0x60000)
+	img := rec.NewMat(sp, hpx, wpx, 1, 4096)
+	lut := rec.NewArr(sp, 256, 1, 256)
+	outImg := rec.NewMat(sp, hpx, wpx, 1, 4096)
+
+	// 37-pixel circular mask offsets (SUSAN's classic mask).
+	var mask [][2]int
+	for dy := -3; dy <= 3; dy++ {
+		for dx := -3; dx <= 3; dx++ {
+			if dx*dx+dy*dy <= 9 {
+				mask = append(mask, [2]int{dy, dx})
+			}
+		}
+	}
+	for y := 3; y < hpx-3; y++ {
+		for x := 3; x < wpx-3; x++ {
+			img.Load(y, x) // centre
+			for _, d := range mask {
+				img.Load(y+d[0], x+d[1])
+				lut.Load((x + y + d[0]*d[1]) & 0xFF)
+				rec.Ops(2)
+			}
+			outImg.Store(y, x)
+		}
+	}
+	return rec.T
+}
+
+// adpcmData: IMA ADPCM codec — a long stream processed through small
+// page-aligned chunk buffers (the way the real codec reads through a
+// fixed I/O buffer). The PCM buffer, the code buffer and the step
+// table land on the same page offsets, so the hot loop conflicts in
+// small caches; once everything fits, misses all but vanish — the
+// paper's adpcm shape.
+func adpcmData(name string, scale int, encode bool) *trace.Trace {
+	samplesN := 40000 * scale
+	const chunk = 1024
+	rec := NewRecorder(name)
+	sp := NewSpace(0x70000)
+	pcmBuf := rec.NewArr(sp, chunk, 2, 4096)    // 2 KB, page aligned
+	codeBuf := rec.NewArr(sp, chunk/2, 1, 4096) // next page: aliases pcmBuf mod 4 KB
+	stepT := rec.NewArr(sp, 89, 2, 4096)        // tables on their own page
+	idxT := rec.NewArr(sp, 16, 1, 64)
+
+	pred, index := 0, 0
+	rng := xorshift32(55)
+	sVal := 0
+	for i := 0; i < samplesN; i++ {
+		j := i % chunk
+		sVal += rng.intn(601) - 300 // random walk signal
+		if sVal > 30000 {
+			sVal = 30000
+		}
+		if sVal < -30000 {
+			sVal = -30000
+		}
+		if encode {
+			pcmBuf.Load(j)
+			stepT.Load(index)
+			var code int
+			code, pred, index = imaEncodeStep(sVal, pred, index)
+			idxT.Load(code & 0xF)
+			if j%2 == 1 {
+				codeBuf.Store(j / 2)
+			}
+			rec.Ops(8)
+		} else {
+			if j%2 == 0 {
+				codeBuf.Load(j / 2)
+			}
+			stepT.Load(index)
+			idxT.Load(i & 0xF)
+			pred, index = imaDecodeStep(i&0xF, pred, index)
+			pcmBuf.Store(j)
+			rec.Ops(7)
+		}
+	}
+	return rec.T
+}
+
+func adpcmEncData(scale int) *trace.Trace { return adpcmData("adpcm_enc", scale, true) }
+func adpcmDecData(scale int) *trace.Trace { return adpcmData("adpcm_dec", scale, false) }
+
+// mpeg2DecData: MPEG-2 decoder core — motion-compensated block copies
+// between two frame buffers plus IDCT on residual blocks. The two
+// power-of-two-pitch frames alternating with the coefficient buffer is
+// a classic conflict pattern.
+func mpeg2DecData(scale int) *trace.Trace {
+	wpx, hpx := 256, 128*scale
+	rec := NewRecorder("mpeg2_dec")
+	sp := NewSpace(0x80000)
+	// Reference and current frame buffers are separate 16 KB-aligned
+	// allocations (two frame stores), so rows at equal offsets alias in
+	// every cache size up to 16 KB.
+	ref := rec.NewMat(sp, hpx, wpx, 1, 16384)
+	cur := rec.NewMat(sp, hpx, wpx, 1, 16384)
+	coefBuf := rec.NewArr(sp, 64, 2, 256)
+
+	rng := xorshift32(123)
+	var blk [64]float64
+	var tmp, tmp2 [8]float64
+	for by := 0; by+8 <= hpx; by += 8 {
+		for bx := 0; bx+8 <= wpx; bx += 8 {
+			// Motion vector within ±8 pixels.
+			mvy := rng.intn(17) - 8
+			mvx := rng.intn(17) - 8
+			sy, sx := clamp(by+mvy, 0, hpx-8), clamp(bx+mvx, 0, wpx-8)
+			// IDCT the residual.
+			for i := 0; i < 64; i++ {
+				coefBuf.Load(i)
+				blk[i] = float64(rng.intn(64) - 32)
+			}
+			for r := 0; r < 8; r++ {
+				copy(tmp[:], blk[8*r:8*r+8])
+				idct8(tmp[:], tmp2[:])
+				copy(blk[8*r:8*r+8], tmp2[:])
+				rec.Ops(64)
+			}
+			// Predict + add residual, row by row.
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					ref.Load(sy+y, sx+x)
+					cur.Store(by+y, bx+x)
+					rec.Ops(2)
+				}
+			}
+		}
+	}
+	return rec.T
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// isqrtScale maps a linear scale factor onto 2-D image dimensions.
+func isqrtScale(scale int) int {
+	if scale <= 1 {
+		return 1
+	}
+	r := 1
+	for r*r < scale {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,97 @@
+package workloads
+
+import (
+	"xoridx/internal/trace"
+)
+
+// Microbenchmarks: distilled access patterns used in the paper's
+// motivation and in the cache-hashing literature. They are the
+// cleanest demos for the CLI (tracegen -bench stride | xoridx) and
+// double as positive/negative controls — "randwalk" has no linear
+// conflict structure, so the optimizer should find nothing.
+
+// strideData walks an array with a stride equal to a 4 KB cache's set
+// count, the canonical conflict pattern (Rau [9]).
+func strideData(scale int) *trace.Trace {
+	rec := NewRecorder("stride")
+	sp := NewSpace(0x100000)
+	const elems = 64
+	const strideBytes = 4096 // maps everything to one set in <=4 KB caches
+	arr := rec.NewArr(sp, elems*strideBytes/4, 4, 4096)
+	for rep := 0; rep < 300*scale; rep++ {
+		for i := 0; i < elems; i++ {
+			arr.Load(i * strideBytes / 4)
+			rec.Ops(3)
+		}
+	}
+	return rec.T
+}
+
+// pingpongData alternates between two page-aligned buffers that alias
+// in every cache size up to their separation.
+func pingpongData(scale int) *trace.Trace {
+	rec := NewRecorder("pingpong")
+	sp := NewSpace(0x110000)
+	a := rec.NewArr(sp, 1024, 4, 16384)
+	b := rec.NewArr(sp, 1024, 4, 16384) // next 16 KB boundary
+	for rep := 0; rep < 60*scale; rep++ {
+		for i := 0; i < 512; i++ {
+			a.Load(i)
+			b.Load(i) // same offset: same set under modulo
+			b.Store(i)
+			rec.Ops(3)
+		}
+	}
+	return rec.T
+}
+
+// rowcolData writes a power-of-two-pitch matrix row-major and reads it
+// back column-major: the transpose pattern whose column pass strides by
+// the pitch.
+func rowcolData(scale int) *trace.Trace {
+	rec := NewRecorder("rowcol")
+	sp := NewSpace(0x120000)
+	const dim = 128
+	m := rec.NewMat(sp, dim, dim, 4, 4096) // 512 B pitch
+	for rep := 0; rep < 8*scale; rep++ {
+		for r := 0; r < dim; r++ {
+			for c := 0; c < dim; c++ {
+				m.Store(r, c)
+				rec.Ops(1)
+			}
+		}
+		for c := 0; c < dim; c++ {
+			for r := 0; r < dim; r++ {
+				m.Load(r, c)
+				rec.Ops(1)
+			}
+		}
+	}
+	return rec.T
+}
+
+// randwalkData touches blocks uniformly at random: no linear conflict
+// structure exists, so any index function performs alike — the
+// negative control for the optimizer (the fallback guard should keep
+// the conventional function or an equivalent one).
+func randwalkData(scale int) *trace.Trace {
+	rec := NewRecorder("randwalk")
+	sp := NewSpace(0x130000)
+	arr := rec.NewArr(sp, 1<<14, 4, 4096)
+	rng := xorshift32(0xABCD)
+	for i := 0; i < 120000*scale; i++ {
+		arr.Load(rng.intn(1 << 14))
+		rec.Ops(2)
+	}
+	return rec.T
+}
+
+// MicroSuite returns the distilled microbenchmarks.
+func MicroSuite() []Workload {
+	return []Workload{
+		{Name: "stride", Suite: "micro", Desc: "cache-size-stride walk: every access one set under modulo", Data: strideData},
+		{Name: "pingpong", Suite: "micro", Desc: "two 16 KB-aligned buffers alternating at equal offsets", Data: pingpongData},
+		{Name: "rowcol", Suite: "micro", Desc: "row-major write, column-major read of a power-of-two-pitch matrix", Data: rowcolData},
+		{Name: "randwalk", Suite: "micro", Desc: "uniform random touches: no linear structure (negative control)", Data: randwalkData},
+	}
+}

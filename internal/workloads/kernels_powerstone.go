@@ -1,0 +1,569 @@
+package workloads
+
+import (
+	"xoridx/internal/trace"
+)
+
+// Data-trace generators for the PowerStone-like suite used by paper
+// Table 3 (§6.1). PowerStone kernels are short; the paper notes the
+// optimal bit-selecting search was only feasible on them — these
+// generators keep traces small accordingly.
+
+// psAdpcmData: PowerStone adpcm — the same IMA codec, short input.
+func psAdpcmData(scale int) *trace.Trace {
+	t := adpcmData("adpcm", scale, true)
+	return t
+}
+
+// bcntData: bit counting over a buffer with a 256-entry popcount LUT.
+func bcntData(scale int) *trace.Trace {
+	words := 8000 * scale
+	const chunk = 512 // words per reused I/O chunk (2 KB)
+	rec := NewRecorder("bcnt")
+	sp := NewSpace(0x11000)
+	buf := rec.NewArr(sp, chunk, 4, 4096)
+	lut := rec.NewArr(sp, 256, 1, 4096) // next page: aliases buf mod 4 KB
+
+	total := 0
+	rng := xorshift32(2)
+	for i := 0; i < words; i++ {
+		buf.Load(i % chunk)
+		v := rng.next()
+		for b := 0; b < 4; b++ {
+			lut.Load(int(v >> (8 * uint(b)) & 0xFF))
+			total += popcount8(byte(v >> (8 * uint(b))))
+			rec.Ops(2)
+		}
+	}
+	_ = total
+	return rec.T
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// blitData: bitmap block transfer — copying a rectangle between two
+// framebuffers whose pitches are powers of two, the classic
+// row-stride conflict pattern.
+func blitData(scale int) *trace.Trace {
+	const pitch = 256 // bytes per row in both buffers
+	rows := 96 * scale
+	rec := NewRecorder("blit")
+	sp := NewSpace(0x12000)
+	src := rec.NewMat(sp, rows, pitch, 1, 4096)
+	dst := rec.NewMat(sp, rows, pitch, 1, 4096)
+
+	for pass := 0; pass < 2; pass++ {
+		for y := 0; y < rows; y++ {
+			// Byte-at-a-time transfer with masking, as bitmap blits do:
+			// each 4-byte block is touched four times with an aliasing
+			// destination access in between — the removable conflict.
+			for x := 0; x < 100; x++ {
+				src.Load(y, x)
+				dst.Load(y, x) // read-modify-write for the bit mask
+				dst.Store(y, x)
+				rec.Ops(3)
+			}
+		}
+	}
+	return rec.T
+}
+
+// compressData: LZW-style compression — hash-table probing with
+// chained collisions over a code table.
+func compressData(scale int) *trace.Trace {
+	inputN := 20000 * scale
+	const htabSize = 4096
+	rec := NewRecorder("compress")
+	sp := NewSpace(0x13000)
+	input := rec.NewArr(sp, 4096, 1, 4096) // reused 4 KB input chunk
+	htab := rec.NewArr(sp, htabSize, 4, 4096)
+	codetab := rec.NewArr(sp, htabSize, 2, 4096)
+	output := rec.NewArr(sp, 2048, 2, 4096) // reused output chunk
+
+	table := make(map[uint32]int)
+	nextCode := 256
+	prefix := uint32(0)
+	rng := xorshift32(11)
+	outN := 0
+	for i := 0; i < inputN; i++ {
+		input.Load(i % 4096)
+		c := uint32(rng.intn(64)) // compressible alphabet
+		key := prefix<<8 | c
+		h := int(key*2654435761) & (htabSize - 1)
+		// Probe the chained hash table as compress does.
+		for probe := 0; ; probe++ {
+			htab.Load(h)
+			rec.Ops(3)
+			if _, ok := table[key]; ok && probe == 0 {
+				codetab.Load(h)
+				break
+			}
+			if probe >= 2 { // insert after a short chain
+				if nextCode < htabSize {
+					table[key] = nextCode
+					nextCode++
+					htab.Store(h)
+					codetab.Store(h)
+				}
+				output.Store(outN % 2048)
+				outN++
+				prefix = c
+				break
+			}
+			h = (h + 1) & (htabSize - 1)
+		}
+		if code, ok := table[key]; ok {
+			prefix = uint32(code)
+		}
+	}
+	return rec.T
+}
+
+// crcData: table-driven CRC-32 over a buffer (verified against
+// hash/crc32 in the tests).
+func crcData(scale int) *trace.Trace {
+	n := 30000 * scale
+	const chunk = 2048 // bytes per reused I/O chunk
+	rec := NewRecorder("crc")
+	sp := NewSpace(0x14000)
+	buf := rec.NewArr(sp, chunk, 1, 4096)
+	tab := rec.NewArr(sp, 256, 4, 1024)
+
+	crc := ^uint32(0)
+	rng := xorshift32(3)
+	for i := 0; i < n; i++ {
+		buf.Load(i % chunk)
+		b := byte(rng.next())
+		idx := (crc ^ uint32(b)) & 0xFF
+		tab.Load(int(idx))
+		crc = crc>>8 ^ crcTable()[idx]
+		rec.Ops(3)
+	}
+	return rec.T
+}
+
+var crcTab [256]uint32
+var crcTabInit bool
+
+// crcTable builds the IEEE CRC-32 table once.
+func crcTable() *[256]uint32 {
+	if !crcTabInit {
+		for i := range crcTab {
+			c := uint32(i)
+			for k := 0; k < 8; k++ {
+				if c&1 != 0 {
+					c = 0xEDB88320 ^ c>>1
+				} else {
+					c >>= 1
+				}
+			}
+			crcTab[i] = c
+		}
+		crcTabInit = true
+	}
+	return &crcTab
+}
+
+// crcIEEE is the reference the tests compare against hash/crc32.
+func crcIEEE(data []byte) uint32 {
+	crc := ^uint32(0)
+	t := crcTable()
+	for _, b := range data {
+		crc = crc>>8 ^ t[(crc^uint32(b))&0xFF]
+	}
+	return ^crc
+}
+
+// desData: DES-like Feistel cipher — eight 64-entry S-box tables hit
+// per round, 16 rounds per block.
+func desData(scale int) *trace.Trace {
+	blocksN := 1500 * scale
+	rec := NewRecorder("des")
+	sp := NewSpace(0x15000)
+	var sbox [8]Arr
+	for i := range sbox {
+		sbox[i] = rec.NewArr(sp, 64, 1, 256)
+	}
+	const chunkBlocks = 128 // 1 KB reused I/O chunks
+	input := rec.NewArr(sp, chunkBlocks*8, 1, 4096)
+	output := rec.NewArr(sp, chunkBlocks*8, 1, 4096)
+	keys := rec.NewArr(sp, 16*2, 4, 256)
+
+	for b := 0; b < blocksN; b++ {
+		o := (b % chunkBlocks) * 8
+		l := uint32(b * 2654435761)
+		r := uint32(b ^ 0xDEADBEEF)
+		for i := 0; i < 8; i += 4 {
+			input.Load(o + i)
+		}
+		for round := 0; round < 16; round++ {
+			keys.Load(round * 2)
+			keys.Load(round*2 + 1)
+			f := uint32(0)
+			for s := 0; s < 8; s++ {
+				idx := int(r>>(uint(s)*4)&0x3F) ^ round
+				sbox[s].Load(idx & 0x3F)
+				f = f<<4 | uint32(idx&0xF)
+				rec.Ops(3)
+			}
+			l, r = r, l^f
+		}
+		for i := 0; i < 8; i += 4 {
+			output.Store(o + i)
+		}
+		_ = l
+	}
+	return rec.T
+}
+
+// engineData: engine-controller map interpolation — bilinear lookups
+// into 2-D calibration tables driven by a slowly-varying operating
+// point.
+func engineData(scale int) *trace.Trace {
+	steps := 15000 * scale
+	const dim = 16
+	rec := NewRecorder("engine")
+	sp := NewSpace(0x16000)
+	sparkMap := rec.NewMat(sp, dim, dim, 2, 4096)
+	fuelMap := rec.NewMat(sp, dim, dim, 2, 1024)
+	rpmAxis := rec.NewArr(sp, dim, 2, 64)
+	loadAxis := rec.NewArr(sp, dim, 2, 64)
+	state := rec.NewArr(sp, 32, 4, 128)
+	// Small telemetry ring on its own page: it lands on the same page
+	// offsets as the start of the spark map, so the per-step log write
+	// evicts hot map rows under modulo indexing — a conflict that both
+	// XOR indexing and associativity remove (the paper's engine row).
+	logBuf := rec.NewArr(sp, 64, 4, 4096)
+
+	rng := xorshift32(17)
+	rpm, load := 800.0, 20.0
+	for t := 0; t < steps; t++ {
+		rpm += float64(rng.intn(201)-100) * 0.5
+		load += float64(rng.intn(21)-10) * 0.3
+		rpm = clampF(rpm, 600, 7000)
+		load = clampF(load, 0, 100)
+		ri := int(rpm/7000*float64(dim-1)) % (dim - 1)
+		li := int(load/100*float64(dim-1)) % (dim - 1)
+		rpmAxis.Load(ri)
+		rpmAxis.Load(ri + 1)
+		loadAxis.Load(li)
+		loadAxis.Load(li + 1)
+		// Bilinear: 4 corners from each map.
+		for _, m := range []Mat{sparkMap, fuelMap} {
+			m.Load(ri, li)
+			m.Load(ri+1, li)
+			m.Load(ri, li+1)
+			m.Load(ri+1, li+1)
+		}
+		state.Load(t & 31)
+		state.Store(t & 31)
+		logBuf.Store(t & 63)
+		rec.Ops(20)
+	}
+	return rec.T
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// firData: 32-tap FIR filter — sliding dot product of a sample ring
+// against a coefficient array.
+func firData(scale int) *trace.Trace {
+	n := 12000 * scale
+	const taps = 32
+	const chunk = 1024 // samples per reused I/O chunk (2 KB)
+	rec := NewRecorder("fir")
+	sp := NewSpace(0x17000)
+	in := rec.NewArr(sp, chunk, 2, 4096)
+	coeff := rec.NewArr(sp, taps, 2, 256)
+	out := rec.NewArr(sp, chunk, 2, 4096) // next page: aliases in mod 4 KB
+
+	for i := taps; i < n; i++ {
+		j := i % chunk
+		for t := 0; t < taps; t++ {
+			if j-t >= 0 {
+				in.Load(j - t)
+			} else {
+				in.Load(chunk + j - t)
+			}
+			coeff.Load(t)
+			rec.Ops(2)
+		}
+		out.Store(j)
+	}
+	return rec.T
+}
+
+// g3faxData: Group-3 fax decoding — run-length codes expanded into
+// image rows; code-table lookups plus bursty sequential writes.
+func g3faxData(scale int) *trace.Trace {
+	rows := 120 * scale
+	const width = 1728 / 8 // bytes per row
+	rec := NewRecorder("g3fax")
+	sp := NewSpace(0x18000)
+	codes := rec.NewArr(sp, 2048, 2, 4096) // reused code chunk
+	whiteTab := rec.NewArr(sp, 256, 2, 1024)
+	blackTab := rec.NewArr(sp, 256, 2, 1024)
+	image := rec.NewMat(sp, rows, width, 1, 4096)
+
+	rng := xorshift32(29)
+	cpos := 0
+	for y := 0; y < rows; y++ {
+		x := 0
+		white := true
+		for x < width {
+			codes.Load(cpos % 2048)
+			cpos++
+			if white {
+				whiteTab.Load(rng.intn(256))
+			} else {
+				blackTab.Load(rng.intn(256))
+			}
+			run := 1 + rng.intn(24)
+			for k := 0; k < run && x < width; k++ {
+				image.Store(y, x)
+				x++
+			}
+			white = !white
+			rec.Ops(6)
+		}
+	}
+	return rec.T
+}
+
+// psJpegData: PowerStone jpeg — the 8×8 DCT pipeline on a small image.
+func psJpegData(scale int) *trace.Trace {
+	t := jpegBlocks("jpeg", scale, true)
+	return t
+}
+
+// pocsagData: POCSAG pager decoding — BCH syndrome tables over small
+// codeword batches.
+func pocsagData(scale int) *trace.Trace {
+	batches := 1200 * scale
+	rec := NewRecorder("pocsag")
+	sp := NewSpace(0x19000)
+	words := rec.NewArr(sp, 16, 4, 64)
+	synTab := rec.NewArr(sp, 1024, 2, 4096)
+	outBuf := rec.NewArr(sp, 256, 1, 1024)
+
+	rng := xorshift32(41)
+	for b := 0; b < batches; b++ {
+		for w := 0; w < 16; w++ {
+			words.Load(w)
+			syn := rng.intn(1024)
+			synTab.Load(syn)
+			if syn&7 == 0 {
+				outBuf.Store((b*16 + w) & 0xFF)
+			}
+			rec.Ops(12)
+		}
+	}
+	return rec.T
+}
+
+// qurtData: quadratic-equation roots — almost pure register math with
+// a tiny stack footprint (the paper's all-zero row).
+func qurtData(scale int) *trace.Trace {
+	iters := 5000 * scale
+	rec := NewRecorder("qurt")
+	sp := NewSpace(0x1A000)
+	coefArr := rec.NewArr(sp, 3, 4, 64)
+	rootArr := rec.NewArr(sp, 2, 4, 64)
+
+	x := 0.0
+	for i := 0; i < iters; i++ {
+		coefArr.Load(0)
+		coefArr.Load(1)
+		coefArr.Load(2)
+		a, b, c := 1.0, float64(i%17)-8, float64(i%29)-14
+		disc := b*b - 4*a*c
+		if disc >= 0 {
+			x += disc // sqrt modelled as ALU ops
+		}
+		rootArr.Store(0)
+		rootArr.Store(1)
+		rec.Ops(30)
+	}
+	_ = x
+	return rec.T
+}
+
+// ucbqsortData: the PowerStone qsort benchmark sorts an array of
+// pointers to records, comparing through the pointed-to keys: every
+// comparison touches the pointer array AND the records region, which
+// alias each other mod the cache size (both are page-aligned
+// allocations). The pointer blocks are hot across a partition pass but
+// keep being evicted by key reads — a conflict that XOR indexing and
+// associativity both remove, the paper's uniform ucbqsort row.
+func ucbqsortData(scale int) *trace.Trace {
+	n := 6000 * scale
+	rec := NewRecorder("ucbqsort")
+	sp := NewSpace(0x1B000)
+	ptrs := rec.NewArr(sp, n, 4, 4096)     // pointer array, 24 KB
+	recs := rec.NewMat(sp, n, 16, 1, 4096) // 16-byte records
+
+	vals := make([]int, n) // vals[i] = record id currently at slot i
+	keys := make([]int, n) // keys[id] = sort key of record id
+	rng := xorshift32(67)
+	for i := range vals {
+		vals[i] = i
+		keys[i] = rng.intn(1 << 20)
+		ptrs.Store(i)
+		recs.Store(i, 0)
+	}
+	// cmp reads both pointers and the first key bytes of both records.
+	cmp := func(i, j int) int {
+		ptrs.Load(i)
+		ptrs.Load(j)
+		recs.Load(vals[i], 0)
+		recs.Load(vals[j], 0)
+		rec.Ops(4)
+		return keys[vals[i]] - keys[vals[j]]
+	}
+	swap := func(i, j int) {
+		ptrs.Load(i)
+		ptrs.Load(j)
+		ptrs.Store(i)
+		ptrs.Store(j)
+		vals[i], vals[j] = vals[j], vals[i]
+		rec.Ops(2)
+	}
+	var qsort func(lo, hi int)
+	qsort = func(lo, hi int) {
+		for lo < hi {
+			if hi-lo < 8 {
+				for i := lo + 1; i <= hi; i++ {
+					for j := i; j > lo && cmp(j-1, j) > 0; j-- {
+						swap(j-1, j)
+					}
+				}
+				return
+			}
+			mid := lo + (hi-lo)/2
+			if cmp(mid, lo) < 0 {
+				swap(mid, lo)
+			}
+			if cmp(hi, lo) < 0 {
+				swap(hi, lo)
+			}
+			if cmp(hi, mid) < 0 {
+				swap(hi, mid)
+			}
+			pivot := keys[vals[mid]]
+			i, j := lo, hi
+			for i <= j {
+				for {
+					ptrs.Load(i)
+					recs.Load(vals[i], 0)
+					rec.Ops(2)
+					if keys[vals[i]] >= pivot {
+						break
+					}
+					i++
+				}
+				for {
+					ptrs.Load(j)
+					recs.Load(vals[j], 0)
+					rec.Ops(2)
+					if keys[vals[j]] <= pivot {
+						break
+					}
+					j--
+				}
+				if i <= j {
+					swap(i, j)
+					i++
+					j--
+				}
+			}
+			// Recurse into the smaller half, loop on the larger.
+			if j-lo < hi-i {
+				qsort(lo, j)
+				lo = i
+			} else {
+				qsort(i, hi)
+				hi = j
+			}
+		}
+	}
+	qsort(0, n-1)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = keys[vals[i]]
+	}
+	sortedCheck = out // exposed for the tests
+	return rec.T
+}
+
+// sortedCheck lets the tests verify the quicksort actually sorted.
+var sortedCheck []int
+
+// v42Data: V.42bis-style dictionary compression — trie-node chasing
+// through a node pool with hash-chain probes.
+func v42Data(scale int) *trace.Trace {
+	inputN := 15000 * scale
+	const nodes = 4096
+	rec := NewRecorder("v42")
+	sp := NewSpace(0x1C000)
+	input := rec.NewArr(sp, 2048, 1, 4096) // reused input chunk
+	nodeChild := rec.NewArr(sp, nodes, 4, 4096)
+	nodeSibling := rec.NewArr(sp, nodes, 4, 4096)
+	nodeChar := rec.NewArr(sp, nodes, 1, 4096)
+
+	type node struct {
+		child, sibling int
+		ch             byte
+	}
+	pool := make([]node, nodes)
+	next := 256
+	cur := 0
+	rng := xorshift32(83)
+	for i := 0; i < inputN; i++ {
+		input.Load(i % 2048)
+		c := byte(rng.intn(48))
+		// Walk the child/sibling chain looking for c.
+		nodeChild.Load(cur)
+		child := pool[cur].child
+		found := -1
+		for child != 0 {
+			nodeChar.Load(child)
+			rec.Ops(2)
+			if pool[child].ch == c {
+				found = child
+				break
+			}
+			nodeSibling.Load(child)
+			child = pool[child].sibling
+		}
+		if found >= 0 {
+			cur = found
+			continue
+		}
+		// Add a node; emit a code and restart from the root entry c.
+		if next < nodes {
+			pool[next] = node{ch: c, sibling: pool[cur].child}
+			nodeChar.Store(next)
+			nodeSibling.Store(next)
+			pool[cur].child = next
+			nodeChild.Store(cur)
+			next++
+		}
+		cur = int(c)
+		rec.Ops(4)
+	}
+	return rec.T
+}

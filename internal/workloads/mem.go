@@ -1,0 +1,125 @@
+// Package workloads synthesises the benchmark traces of the paper's
+// evaluation (§6): MediaBench/MiBench-like kernels for Table 2 and
+// PowerStone-like kernels for Table 3.
+//
+// The paper traced ARM binaries with a cycle simulator; that substrate
+// is unavailable, so each benchmark is re-implemented as an
+// instrumented Go kernel running against a virtual address space (see
+// DESIGN.md §2 for the substitution argument). The kernels perform the
+// real computation — the FFT transforms, AES encrypts, quicksort sorts
+// — while every load and store is mirrored into a trace.Trace at
+// addresses assigned by a linker-like bump allocator. This preserves
+// exactly what the optimization algorithm consumes: the conflict
+// structure of the address stream (power-of-two strides, table banks,
+// alternating working sets).
+//
+// Instruction traces come from a separate code-layout model in
+// icache.go.
+package workloads
+
+import (
+	"fmt"
+
+	"xoridx/internal/trace"
+)
+
+// Space is a virtual address space with a bump allocator. Regions are
+// aligned the way an embedded linker would align them (word alignment
+// by default, stronger alignment on request), because alignment is
+// what turns strides into conflicts.
+type Space struct {
+	next uint64
+}
+
+// NewSpace returns an address space starting at the given base
+// (typically 0x1000 to keep address 0 unused).
+func NewSpace(base uint64) *Space {
+	return &Space{next: base}
+}
+
+// Alloc reserves size bytes aligned to align (a power of two) and
+// returns the base address.
+func (s *Space) Alloc(size int, align uint64) uint64 {
+	if size < 0 {
+		panic("workloads: negative allocation")
+	}
+	if align == 0 {
+		align = 4
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("workloads: alignment %d not a power of two", align))
+	}
+	s.next = (s.next + align - 1) &^ (align - 1)
+	base := s.next
+	s.next += uint64(size)
+	return base
+}
+
+// Recorder emits accesses into a trace and counts executed operations.
+type Recorder struct {
+	T *trace.Trace
+}
+
+// NewRecorder wraps a fresh trace with the given name.
+func NewRecorder(name string) *Recorder {
+	return &Recorder{T: &trace.Trace{Name: name}}
+}
+
+// Load records a data read at addr.
+func (r *Recorder) Load(addr uint64) {
+	r.T.Append(addr, trace.Read)
+	r.T.Ops++
+}
+
+// Store records a data write at addr.
+func (r *Recorder) Store(addr uint64) {
+	r.T.Append(addr, trace.Write)
+	r.T.Ops++
+}
+
+// Ops adds n non-memory operations (ALU work, branches) to the
+// operation count used for the misses-per-K-op normalisation.
+func (r *Recorder) Ops(n int) {
+	r.T.Ops += uint64(n)
+}
+
+// Arr is a typed view of a region: element i lives at Base + i*Elem.
+type Arr struct {
+	Base uint64
+	Elem int
+	rec  *Recorder
+}
+
+// NewArr allocates count elements of elem bytes in the space.
+func (r *Recorder) NewArr(s *Space, count, elem int, align uint64) Arr {
+	if align < uint64(elem) {
+		align = uint64(elem)
+	}
+	return Arr{Base: s.Alloc(count*elem, align), Elem: elem, rec: r}
+}
+
+// Load records a read of element i.
+func (a Arr) Load(i int) { a.rec.Load(a.Base + uint64(i*a.Elem)) }
+
+// Store records a write of element i.
+func (a Arr) Store(i int) { a.rec.Store(a.Base + uint64(i*a.Elem)) }
+
+// Addr returns the address of element i (for manual access patterns).
+func (a Arr) Addr(i int) uint64 { return a.Base + uint64(i*a.Elem) }
+
+// Mat is a row-major 2-D view: element (r, c) at Base + (r*Cols+c)*Elem.
+type Mat struct {
+	Arr
+	Cols int
+}
+
+// NewMat allocates rows*cols elements.
+func (r *Recorder) NewMat(s *Space, rows, cols, elem int, align uint64) Mat {
+	return Mat{Arr: r.NewArr(s, rows*cols, elem, align), Cols: cols}
+}
+
+// Load records a read of (row, col).
+func (m Mat) Load(row, col int) { m.Arr.Load(row*m.Cols + col) }
+
+// Store records a write of (row, col).
+func (m Mat) Store(row, col int) { m.Arr.Store(row*m.Cols + col) }

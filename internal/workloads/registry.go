@@ -1,0 +1,95 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"xoridx/internal/trace"
+)
+
+// Workload is one benchmark: a data-trace generator and, for the
+// MediaBench/MiBench suite, an instruction-trace generator. scale >= 1
+// multiplies the input size (1 reproduces the default experiments).
+type Workload struct {
+	Name  string
+	Suite string // "media", "powerstone", "extra" or "micro"
+	Desc  string // one-line description of the modelled program
+	Data  func(scale int) *trace.Trace
+	Instr func(scale int) *trace.Trace // nil where no code-layout model exists
+}
+
+// MediaSuite returns the ten MediaBench/MiBench-like benchmarks of
+// paper Table 2, in the paper's row order.
+func MediaSuite() []Workload {
+	return []Workload{
+		{Name: "dijkstra", Suite: "media", Desc: "dense-graph shortest paths: adjacency-row scans vs dist/visited arrays", Data: dijkstraData, Instr: dijkstraInstr},
+		{Name: "fft", Suite: "media", Desc: "radix-2 FFT: bit-reversal + power-of-two-stride butterflies", Data: fftData, Instr: fftInstr},
+		{Name: "jpeg_enc", Suite: "media", Desc: "8x8 DCT encoder over power-of-two-pitch image planes", Data: jpegEncData, Instr: jpegEncInstr},
+		{Name: "jpeg_dec", Suite: "media", Desc: "8x8 IDCT decoder over power-of-two-pitch image planes", Data: jpegDecData, Instr: jpegDecInstr},
+		{Name: "lame", Suite: "media", Desc: "MP3-style polyphase filterbank with large coefficient tables", Data: lameData, Instr: lameInstr},
+		{Name: "rijndael", Suite: "media", Desc: "real AES-128 with 4 KB of T-tables and 16 KB-aliasing I/O buffers", Data: rijndaelData, Instr: rijndaelInstr},
+		{Name: "susan", Suite: "media", Desc: "image smoothing: 37-pixel circular mask + brightness LUT", Data: susanData, Instr: susanInstr},
+		{Name: "adpcm_dec", Suite: "media", Desc: "IMA ADPCM decoder streaming through page-aliased chunk buffers", Data: adpcmDecData, Instr: adpcmDecInstr},
+		{Name: "adpcm_enc", Suite: "media", Desc: "IMA ADPCM encoder streaming through page-aliased chunk buffers", Data: adpcmEncData, Instr: adpcmEncInstr},
+		{Name: "mpeg2_dec", Suite: "media", Desc: "motion compensation between two 16 KB-aliasing frame stores + IDCT", Data: mpeg2DecData, Instr: mpeg2Instr},
+	}
+}
+
+// PowerStoneSuite returns the fourteen PowerStone-like benchmarks of
+// paper Table 3, in the paper's row order.
+func PowerStoneSuite() []Workload {
+	return []Workload{
+		{Name: "adpcm", Suite: "powerstone", Desc: "short IMA ADPCM encode pass", Data: psAdpcmData},
+		{Name: "bcnt", Suite: "powerstone", Desc: "bit counting: chunked buffer vs page-aliased popcount LUT", Data: bcntData},
+		{Name: "blit", Suite: "powerstone", Desc: "bitmap transfer between page-aliased framebuffers, byte-at-a-time", Data: blitData},
+		{Name: "compress", Suite: "powerstone", Desc: "LZW compression with chained hash-table probes", Data: compressData},
+		{Name: "crc", Suite: "powerstone", Desc: "table-driven CRC-32 over a reused I/O chunk", Data: crcData},
+		{Name: "des", Suite: "powerstone", Desc: "Feistel cipher with eight S-box tables, chunked I/O", Data: desData},
+		{Name: "engine", Suite: "powerstone", Desc: "engine-control map interpolation with an aliasing telemetry ring", Data: engineData},
+		{Name: "fir", Suite: "powerstone", Desc: "32-tap FIR filter over page-aliased in/out chunks", Data: firData},
+		{Name: "g3fax", Suite: "powerstone", Desc: "fax run-length decode: code tables + bursty row writes", Data: g3faxData},
+		{Name: "jpeg", Suite: "powerstone", Desc: "small 8x8 DCT pipeline", Data: psJpegData},
+		{Name: "pocsag", Suite: "powerstone", Desc: "pager decoding: BCH syndrome table lookups", Data: pocsagData},
+		{Name: "qurt", Suite: "powerstone", Desc: "quadratic roots: register math, tiny footprint (all-zero row)", Data: qurtData},
+		{Name: "ucbqsort", Suite: "powerstone", Desc: "pointer-record quicksort: pointer array vs records region", Data: ucbqsortData},
+		{Name: "v42", Suite: "powerstone", Desc: "V.42bis dictionary compression: trie-node chasing", Data: v42Data},
+	}
+}
+
+// ExtraSuite returns additional MediaBench-style benchmarks beyond the
+// paper's ten Table 2 rows (regenerate with cmd/tables -table 2x).
+func ExtraSuite() []Workload {
+	return []Workload{
+		{Name: "gsm", Suite: "extra", Desc: "GSM 06.10 shape: autocorrelation, Schur recursion, LTP lag search", Data: gsmData, Instr: gsmInstr},
+		{Name: "g721", Suite: "extra", Desc: "G.721 ADPCM with adaptive pole/zero predictor state", Data: g721Data, Instr: g721Instr},
+		{Name: "epic", Suite: "extra", Desc: "wavelet pyramid: row + pitch-stride column filter passes", Data: epicData, Instr: epicInstr},
+		{Name: "pegwit", Suite: "extra", Desc: "GF(2^m) comb multiplication with a window table (EC crypto shape)", Data: pegwitData, Instr: pegwitInstr},
+	}
+}
+
+// All returns every workload from all suites.
+func All() []Workload {
+	all := append(MediaSuite(), PowerStoneSuite()...)
+	all = append(all, ExtraSuite()...)
+	return append(all, MicroSuite()...)
+}
+
+// ByName looks a workload up across both suites.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown benchmark %q (have: %v)", name, Names())
+}
+
+// Names lists every benchmark name, sorted.
+func Names() []string {
+	var names []string
+	for _, w := range All() {
+		names = append(names, w.Name)
+	}
+	sort.Strings(names)
+	return names
+}

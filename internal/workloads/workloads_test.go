@@ -1,0 +1,419 @@
+package workloads
+
+import (
+	"bytes"
+	"crypto/aes"
+	"hash/crc32"
+	"math"
+	"sort"
+	"testing"
+
+	"xoridx/internal/trace"
+)
+
+func TestSpaceAllocator(t *testing.T) {
+	s := NewSpace(0x1000)
+	a := s.Alloc(100, 64)
+	if a != 0x1000 {
+		t.Fatalf("first alloc at %#x", a)
+	}
+	b := s.Alloc(10, 64)
+	if b != 0x1080 { // 0x1064 rounded up to 64
+		t.Fatalf("second alloc at %#x", b)
+	}
+	if b%64 != 0 {
+		t.Fatal("alignment violated")
+	}
+	c := s.Alloc(4, 0) // default word alignment
+	if c%4 != 0 || c < b+10 {
+		t.Fatalf("third alloc at %#x", c)
+	}
+}
+
+func TestSpacePanics(t *testing.T) {
+	s := NewSpace(0)
+	for name, fn := range map[string]func(){
+		"negative size": func() { s.Alloc(-1, 4) },
+		"bad align":     func() { s.Alloc(4, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRecorderAndArr(t *testing.T) {
+	rec := NewRecorder("t")
+	sp := NewSpace(0x1000)
+	a := rec.NewArr(sp, 10, 4, 16)
+	a.Load(2)
+	a.Store(3)
+	rec.Ops(5)
+	if rec.T.Len() != 2 {
+		t.Fatalf("accesses = %d", rec.T.Len())
+	}
+	if rec.T.Accesses[0].Addr != a.Base+8 || rec.T.Accesses[0].Kind != trace.Read {
+		t.Fatalf("load wrong: %+v", rec.T.Accesses[0])
+	}
+	if rec.T.Accesses[1].Addr != a.Base+12 || rec.T.Accesses[1].Kind != trace.Write {
+		t.Fatalf("store wrong: %+v", rec.T.Accesses[1])
+	}
+	if rec.T.Ops != 7 { // 2 accesses + 5 explicit
+		t.Fatalf("ops = %d", rec.T.Ops)
+	}
+	if a.Addr(5) != a.Base+20 {
+		t.Fatal("Addr wrong")
+	}
+}
+
+func TestMatAddressing(t *testing.T) {
+	rec := NewRecorder("t")
+	sp := NewSpace(0)
+	m := rec.NewMat(sp, 4, 8, 2, 16)
+	m.Load(2, 3)
+	want := m.Base + uint64((2*8+3)*2)
+	if rec.T.Accesses[0].Addr != want {
+		t.Fatalf("mat addr %#x, want %#x", rec.T.Accesses[0].Addr, want)
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	n := 64
+	re := make([]float64, n)
+	im := make([]float64, n)
+	rng := xorshift32(1)
+	for i := range re {
+		re[i] = float64(rng.intn(200)-100) / 50
+		im[i] = float64(rng.intn(200)-100) / 50
+	}
+	wantRe, wantIm := naiveDFT(re, im)
+	fftInPlace(re, im)
+	for i := range re {
+		if math.Abs(re[i]-wantRe[i]) > 1e-9 || math.Abs(im[i]-wantIm[i]) > 1e-9 {
+			t.Fatalf("FFT diverges from DFT at bin %d: (%g,%g) vs (%g,%g)", i, re[i], im[i], wantRe[i], wantIm[i])
+		}
+	}
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	src := []float64{1, -3, 7, 2, 0, 5, -8, 4}
+	freq := make([]float64, 8)
+	back := make([]float64, 8)
+	dct8(src, freq)
+	idct8(freq, back)
+	for i := range src {
+		if math.Abs(src[i]-back[i]) > 1e-9 {
+			t.Fatalf("IDCT(DCT(x)) != x at %d: %g vs %g", i, back[i], src[i])
+		}
+	}
+	// DC coefficient of a constant signal carries all the energy.
+	for i := range src {
+		src[i] = 3
+	}
+	dct8(src, freq)
+	if math.Abs(freq[0]-3*8/(2*math.Sqrt2)) > 1e-9 {
+		t.Fatalf("DC coefficient %g", freq[0])
+	}
+	for i := 1; i < 8; i++ {
+		if math.Abs(freq[i]) > 1e-9 {
+			t.Fatalf("AC leakage at %d: %g", i, freq[i])
+		}
+	}
+}
+
+func TestAESMatchesCryptoAES(t *testing.T) {
+	tables := genAESTables()
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	w := tables.expandKey128(key)
+	ref, err := aes.NewCipher(key[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xorshift32(5)
+	for trial := 0; trial < 50; trial++ {
+		var pt [16]byte
+		for i := range pt {
+			pt[i] = byte(rng.next())
+		}
+		got := tables.encryptBlock(pt, w, nil, nil)
+		want := make([]byte, 16)
+		ref.Encrypt(want, pt[:])
+		if !bytes.Equal(got[:], want) {
+			t.Fatalf("AES mismatch:\n pt  %x\n got %x\n want %x", pt, got, want)
+		}
+	}
+}
+
+func TestCRCMatchesStdlib(t *testing.T) {
+	rng := xorshift32(7)
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(rng.next())
+	}
+	if got, want := crcIEEE(data), crc32.ChecksumIEEE(data); got != want {
+		t.Fatalf("CRC %#x, stdlib %#x", got, want)
+	}
+}
+
+func TestADPCMRoundTripTracksSignal(t *testing.T) {
+	// Encode then decode a smooth signal; the reconstruction must stay
+	// within a reasonable error bound (ADPCM is lossy).
+	pred, index := 0, 0
+	dPred, dIndex := 0, 0
+	maxErr := 0
+	for i := 0; i < 2000; i++ {
+		sample := int(8000 * math.Sin(float64(i)/50))
+		var code int
+		code, pred, index = imaEncodeStep(sample, pred, index)
+		dPred, dIndex = imaDecodeStep(code, dPred, dIndex)
+		if e := abs(dPred - sample); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 2000 {
+		t.Fatalf("ADPCM reconstruction error %d too large", maxErr)
+	}
+	// Encoder and decoder state must stay in lockstep.
+	if pred != dPred || index != dIndex {
+		t.Fatal("encoder/decoder state diverged")
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestQuicksortSorts(t *testing.T) {
+	ucbqsortData(1)
+	if !sort.IntsAreSorted(sortedCheck) {
+		t.Fatal("ucbqsort did not sort")
+	}
+	if len(sortedCheck) != 6000 {
+		t.Fatalf("sorted %d elements", len(sortedCheck))
+	}
+}
+
+func TestTracesAreDeterministic(t *testing.T) {
+	for _, w := range All() {
+		a := w.Data(1)
+		b := w.Data(1)
+		if a.Len() != b.Len() || a.Ops != b.Ops {
+			t.Fatalf("%s: non-deterministic shape", w.Name)
+		}
+		for i := range a.Accesses {
+			if a.Accesses[i] != b.Accesses[i] {
+				t.Fatalf("%s: access %d differs between runs", w.Name, i)
+			}
+		}
+	}
+}
+
+func TestAllWorkloadsProduceSaneTraces(t *testing.T) {
+	for _, w := range All() {
+		tr := w.Data(1)
+		if tr.Name != w.Name {
+			t.Errorf("%s: trace named %q", w.Name, tr.Name)
+		}
+		if tr.Len() < 10000 {
+			t.Errorf("%s: only %d accesses", w.Name, tr.Len())
+		}
+		if tr.Ops < uint64(tr.Len()) {
+			t.Errorf("%s: ops %d < accesses %d", w.Name, tr.Ops, tr.Len())
+		}
+		s := tr.ComputeStats()
+		if s.Reads == 0 {
+			t.Errorf("%s: no reads", w.Name)
+		}
+		if s.Fetches != 0 {
+			t.Errorf("%s: data trace contains fetches", w.Name)
+		}
+		if w.Instr != nil {
+			it := w.Instr(1)
+			is := it.ComputeStats()
+			if is.Fetches != it.Len() || is.Reads != 0 || is.Writes != 0 {
+				t.Errorf("%s: instruction trace has non-fetch accesses", w.Name)
+			}
+			if it.Len() < 10000 {
+				t.Errorf("%s: only %d fetches", w.Name, it.Len())
+			}
+		}
+	}
+}
+
+func TestScaleGrowsTraces(t *testing.T) {
+	for _, name := range []string{"fft", "crc", "blit"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small := w.Data(1).Len()
+		big := w.Data(2).Len()
+		if big <= small {
+			t.Errorf("%s: scale 2 trace (%d) not larger than scale 1 (%d)", name, big, small)
+		}
+	}
+}
+
+func TestByNameAndSuites(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name must fail")
+	}
+	w, err := ByName("fft")
+	if err != nil || w.Name != "fft" || w.Suite != "media" {
+		t.Fatalf("ByName(fft) = %+v, %v", w, err)
+	}
+	if len(MediaSuite()) != 10 {
+		t.Fatalf("media suite has %d entries", len(MediaSuite()))
+	}
+	if len(PowerStoneSuite()) != 14 {
+		t.Fatalf("powerstone suite has %d entries", len(PowerStoneSuite()))
+	}
+	for _, w := range PowerStoneSuite() {
+		if w.Instr != nil {
+			t.Errorf("%s: powerstone workload has instruction generator", w.Name)
+		}
+		if w.Suite != "powerstone" {
+			t.Errorf("%s: suite label %q", w.Name, w.Suite)
+		}
+	}
+	if len(Names()) != 32 {
+		t.Fatalf("Names() has %d entries", len(Names()))
+	}
+}
+
+func TestProgramLayout(t *testing.T) {
+	p := NewProgram("t", 0x1000)
+	f1 := p.Func("a", 100) // rounded to 104... no: 100 -> 100 is 4-aligned
+	if f1.Addr != 0x1000 {
+		t.Fatalf("f1 at %#x", f1.Addr)
+	}
+	p.Gap(60)
+	f2 := p.Func("b", 50)
+	if f2.Addr != (0x1000+100+60+15)&^15 {
+		t.Fatalf("f2 at %#x", f2.Addr)
+	}
+	if f2.Size != 52 { // rounded to word
+		t.Fatalf("f2 size %d", f2.Size)
+	}
+	f1.Run()
+	if got := p.Trace().Len(); got != 25 {
+		t.Fatalf("run emitted %d fetches, want 25", got)
+	}
+	if p.Trace().Accesses[0].Addr != 0x1000 || p.Trace().Accesses[24].Addr != 0x1000+96 {
+		t.Fatal("fetch addresses wrong")
+	}
+}
+
+func TestRunPartBounds(t *testing.T) {
+	p := NewProgram("t", 0)
+	f := p.Func("a", 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.RunPart(32, 64)
+}
+
+func TestXorshiftDeterministicNonzero(t *testing.T) {
+	var x xorshift32
+	first := x.next() // zero state must self-seed
+	if first == 0 {
+		t.Fatal("xorshift produced 0 from zero state")
+	}
+	seen := map[uint32]bool{}
+	for i := 0; i < 1000; i++ {
+		v := x.next()
+		if v == 0 {
+			t.Fatal("xorshift emitted 0")
+		}
+		seen[v] = true
+	}
+	if len(seen) < 990 {
+		t.Fatalf("only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestBitReverse(t *testing.T) {
+	if bitReverse(0b001, 3) != 0b100 {
+		t.Fatal("bitReverse wrong")
+	}
+	if bitReverse(0b110, 3) != 0b011 {
+		t.Fatal("bitReverse wrong")
+	}
+	for i := 0; i < 64; i++ {
+		if bitReverse(bitReverse(i, 6), 6) != i {
+			t.Fatal("bitReverse not an involution")
+		}
+	}
+}
+
+func TestExtraSuite(t *testing.T) {
+	if len(ExtraSuite()) != 4 {
+		t.Fatalf("extra suite has %d entries", len(ExtraSuite()))
+	}
+	for _, w := range ExtraSuite() {
+		if w.Suite != "extra" {
+			t.Errorf("%s: suite label %q", w.Name, w.Suite)
+		}
+		if w.Instr == nil {
+			t.Errorf("%s: extra suite should model instruction traces", w.Name)
+		}
+		tr := w.Data(1)
+		if tr.Len() < 10000 {
+			t.Errorf("%s: only %d accesses", w.Name, tr.Len())
+		}
+	}
+}
+
+func TestMicroSuite(t *testing.T) {
+	if len(MicroSuite()) != 4 {
+		t.Fatalf("micro suite has %d entries", len(MicroSuite()))
+	}
+	for _, w := range MicroSuite() {
+		tr := w.Data(1)
+		if tr.Len() < 10000 {
+			t.Errorf("%s: only %d accesses", w.Name, tr.Len())
+		}
+		if w.Suite != "micro" {
+			t.Errorf("%s: suite %q", w.Name, w.Suite)
+		}
+	}
+}
+
+func TestRandwalkIsANegativeControl(t *testing.T) {
+	// randwalk has no linear conflict structure; stride is all
+	// structure. This is the pair of controls the optimizer tests use.
+	rw, err := ByName("randwalk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ByName("stride")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rwStats := rw.Data(1).ComputeStats()
+	stStats := st.Data(1).ComputeStats()
+	if rwStats.UniqueBlocks < 10000 {
+		t.Errorf("randwalk should touch a wide universe: %d blocks", rwStats.UniqueBlocks)
+	}
+	if stStats.UniqueBlocks != 64 {
+		t.Errorf("stride touches %d blocks, want 64", stStats.UniqueBlocks)
+	}
+}
+
+func TestEveryWorkloadDescribed(t *testing.T) {
+	for _, w := range All() {
+		if w.Desc == "" {
+			t.Errorf("%s: missing description", w.Name)
+		}
+	}
+}
