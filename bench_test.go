@@ -7,7 +7,14 @@ package xoridx
 // miniature; `go run ./cmd/tables` produces the full tables.
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"xoridx/internal/cache"
 	"xoridx/internal/core"
@@ -19,6 +26,7 @@ import (
 	"xoridx/internal/optimal"
 	"xoridx/internal/profile"
 	"xoridx/internal/search"
+	"xoridx/internal/trace"
 	"xoridx/internal/workloads"
 )
 
@@ -454,4 +462,146 @@ func BenchmarkAblationConstructiveVsSearch(b *testing.B) {
 		}
 		b.ReportMetric(float64(est), "est-misses")
 	})
+}
+
+// synthProfileBlocks generates a deterministic synthetic block trace of
+// the given length mixing stride bursts, small working-set loops and
+// uniform noise — the access mix that makes the Fig. 1 pass both
+// conflict-rich and shard-friendly. Used by the parallel-profiling
+// benchmarks below.
+func synthProfileBlocks(length int) []uint64 {
+	r := rand.New(rand.NewSource(1234))
+	blocks := make([]uint64, 0, length)
+	for len(blocks) < length {
+		switch r.Intn(3) {
+		case 0: // stride burst (aliasing rows)
+			stride := uint64(1) << uint(4+r.Intn(7))
+			base := uint64(r.Intn(1 << 16))
+			for i := uint64(0); i < 64; i++ {
+				blocks = append(blocks, base+i*stride)
+			}
+		case 1: // working-set loop
+			set := 16 + r.Intn(240)
+			base := uint64(r.Intn(1 << 16))
+			for rep := 0; rep < 4; rep++ {
+				for i := 0; i < set; i++ {
+					blocks = append(blocks, base+uint64(i))
+				}
+			}
+		default: // noise
+			for i := 0; i < 32; i++ {
+				blocks = append(blocks, uint64(r.Intn(1<<18)))
+			}
+		}
+	}
+	return blocks[:length]
+}
+
+// benchProfileResult is one row of the BENCH_profile.json baseline.
+type benchProfileResult struct {
+	Workers       int     `json:"workers"`
+	AccessesPerMs float64 `json:"accesses_per_ms"`
+	SpeedupVs1    float64 `json:"speedup_vs_1"`
+}
+
+// BenchmarkBuildParallel measures the sharded profiling pipeline on a
+// 10M-access synthetic trace across worker counts, reporting throughput
+// as accesses/ms. The final sub-benchmark writes BENCH_profile.json —
+// the perf-trajectory baseline for this hot path (throughput per worker
+// count plus the host shape needed to interpret it).
+func BenchmarkBuildParallel(b *testing.B) {
+	const accesses = 10_000_000
+	const n, cacheBlocks = 16, 1024
+	blocks := synthProfileBlocks(accesses)
+	workerCounts := []int{1, 2, 4, 8}
+	perMs := make(map[int]float64)
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(accesses * 8)
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				profile.BuildParallel(blocks, n, cacheBlocks, workers)
+			}
+			elapsed := time.Since(start)
+			rate := float64(accesses) * float64(b.N) / float64(elapsed.Milliseconds()+1)
+			perMs[workers] = rate
+			b.ReportMetric(rate, "accesses/ms")
+		})
+	}
+	b.Run("emit-baseline", func(b *testing.B) {
+		base := perMs[1]
+		out := struct {
+			Benchmark   string               `json:"benchmark"`
+			Accesses    int                  `json:"accesses"`
+			N           int                  `json:"n"`
+			CacheBlocks int                  `json:"cache_blocks"`
+			GoVersion   string               `json:"go_version"`
+			NumCPU      int                  `json:"num_cpu"`
+			Results     []benchProfileResult `json:"results"`
+		}{
+			Benchmark:   "BenchmarkBuildParallel",
+			Accesses:    accesses,
+			N:           n,
+			CacheBlocks: cacheBlocks,
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+		}
+		for _, w := range workerCounts {
+			speedup := 0.0
+			if base > 0 {
+				speedup = perMs[w] / base
+			}
+			out.Results = append(out.Results, benchProfileResult{
+				Workers: w, AccessesPerMs: perMs[w], SpeedupVs1: speedup,
+			})
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_profile.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkBuildStream measures the end-to-end streaming pipeline —
+// binary decode through sharded profiling — against the materialize-
+// then-profile path on the same encoded trace.
+func BenchmarkBuildStream(b *testing.B) {
+	tr := &trace.Trace{Name: "stream-bench"}
+	for _, blk := range synthProfileBlocks(1_000_000) {
+		tr.Append(blk*4, trace.Read)
+	}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	const n, cacheBlocks = 16, 1024
+	b.Run("materialize+build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t2, err := trace.Decode(bytes.NewReader(encoded))
+			if err != nil {
+				b.Fatal(err)
+			}
+			profile.Build(t2.Blocks(4, n), n, cacheBlocks)
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("stream-workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rd, err := trace.NewReader(bytes.NewReader(encoded))
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, err = profile.BuildStream(func(dst []uint64) (int, error) {
+					return rd.ReadBlocks(dst, 4, n)
+				}, n, cacheBlocks, profile.ParallelOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

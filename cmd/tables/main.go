@@ -35,11 +35,14 @@ func main() {
 	table := flag.String("table", "all",
 		"which table to regenerate: 1, 2d, 2i, 2x, 3, exp1, eq3, cross, assoc, fixed, sweep, phase, energy, repl, aslr, all")
 	scale := flag.Int("scale", 1, "workload scale factor (>= 1)")
+	workers := flag.Int("workers", 0,
+		"per-trace parallel workers for profiling and search (0/1 = sequential, -1 = all cores); results are identical for any value")
 	flag.Parse()
 	if *scale < 1 {
 		fmt.Fprintln(os.Stderr, "tables: -scale must be >= 1")
 		os.Exit(2)
 	}
+	experiments.Workers = *workers
 	run := func(name string, fn func() error) {
 		start := time.Now()
 		if err := fn(); err != nil {

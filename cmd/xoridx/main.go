@@ -13,6 +13,7 @@
 //	xoridx -trace fft.xtr -save f.mat; xoridx -trace g.xtr -apply f.mat
 //	xoridx -trace fft.xtr -bitstream -verilog index.v        # hardware artefacts
 //	xoridx -trace fft.xtr -family general -algo anneal       # alternative search
+//	xoridx -trace fft.xtr -cache 4096 -workers -1            # sharded parallel profiling + search
 //
 // Trace files may be in the binary, text or Dinero III format
 // (autodetected).
@@ -44,6 +45,7 @@ func main() {
 	algo := flag.String("algo", "hillclimb", "search algorithm: hillclimb (paper), anneal, constructive")
 	maxInputs := flag.Int("maxinputs", 2, "max XOR inputs per set-index bit (0 = unlimited)")
 	restarts := flag.Int("restarts", 0, "extra random hill-climbing restarts")
+	workers := flag.Int("workers", 1, "parallel workers for profiling and search (1 = sequential, -1 = all cores); results are identical for any value")
 	noFallback := flag.Bool("nofallback", false, "disable the revert-to-conventional guard")
 	verbose := flag.Bool("verbose", false, "print the profile and search details")
 	bitstream := flag.Bool("bitstream", false, "emit the Fig. 2b configuration bitstream for the selected function (permutation family, maxinputs <= 2)")
@@ -81,6 +83,7 @@ func main() {
 		MaxInputs:  *maxInputs,
 		Restarts:   *restarts,
 		NoFallback: *noFallback,
+		Workers:    *workers,
 	}
 	switch *family {
 	case "permutation":

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"xoridx/internal/cache"
 	"xoridx/internal/gf2"
@@ -44,6 +45,12 @@ type Config struct {
 	MaxIterations int
 	// NoFallback disables the revert-to-conventional guard of §6.
 	NoFallback bool
+	// Workers fans both pipeline phases out across goroutines: the
+	// profiling pass shards the trace (profile.BuildParallel, exact for
+	// any worker count) and the search phase parallelises neighbor
+	// evaluation where the algorithm supports it. 0 or 1 = sequential;
+	// < 0 = one worker per core.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -131,8 +138,7 @@ func Tune(tr *trace.Trace, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	blocks := tr.Blocks(cfg.BlockBytes, cfg.AddrBits)
-	p := profile.Build(blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes)
+	p := buildProfile(tr, cfg)
 	return TuneProfiled(tr, p, cfg)
 }
 
@@ -158,6 +164,7 @@ func TuneProfiled(tr *trace.Trace, p *profile.Profile, cfg Config) (*Result, err
 		MaxIterations: cfg.MaxIterations,
 		Restarts:      cfg.Restarts,
 		Seed:          cfg.Seed,
+		Workers:       cfg.profileWorkers(),
 	})
 	if err != nil {
 		return nil, err
@@ -199,14 +206,31 @@ func simulate(tr *trace.Trace, cfg Config, f hash.Func) cache.Stats {
 }
 
 // BuildProfile profiles a trace for the given configuration; exposed
-// so callers can share it across TuneProfiled calls.
+// so callers can share it across TuneProfiled calls. With Workers > 1
+// (or < 0 for all cores) the pass runs through the sharded pipeline,
+// which is bit-identical to the sequential one.
 func BuildProfile(tr *trace.Trace, cfg Config) (*profile.Profile, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	return buildProfile(tr, cfg), nil
+}
+
+func buildProfile(tr *trace.Trace, cfg Config) *profile.Profile {
 	blocks := tr.Blocks(cfg.BlockBytes, cfg.AddrBits)
-	return profile.Build(blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes), nil
+	if w := cfg.profileWorkers(); w > 1 {
+		return profile.BuildParallel(blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes, w)
+	}
+	return profile.Build(blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes)
+}
+
+// profileWorkers resolves the Workers knob: < 0 means one per core.
+func (c Config) profileWorkers() int {
+	if c.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }
 
 // DescribeFunction renders the selected function: family line, matrix,

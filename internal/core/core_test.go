@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"xoridx/internal/hash"
+	"xoridx/internal/profile"
 	"xoridx/internal/trace"
 	"xoridx/internal/workloads"
 )
@@ -219,4 +220,53 @@ func TestMicroControls(t *testing.T) {
 	if res.MissesRemoved() > 0.05 {
 		t.Errorf("randwalk control: %.1f%% removed from structureless noise?", 100*res.MissesRemoved())
 	}
+}
+
+// TestWorkersInvariance pins the parallelism contract at the pipeline
+// level: the Workers knob shards profiling and search fan-out but must
+// not change the selected function or any measured number.
+func TestWorkersInvariance(t *testing.T) {
+	w, err := workloads.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Data(1)
+	base := Config{CacheBytes: 1024, Family: hash.FamilyPermutation, MaxInputs: 2}
+	want, err := Tune(tr, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-1, 1, 2, 4} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := Tune(tr, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Optimized.Misses != want.Optimized.Misses ||
+			got.Baseline.Misses != want.Baseline.Misses ||
+			got.Func.Matrix().String() != want.Func.Matrix().String() {
+			t.Fatalf("workers=%d changed the result: %d/%d misses vs %d/%d",
+				workers, got.Baseline.Misses, got.Optimized.Misses,
+				want.Baseline.Misses, want.Optimized.Misses)
+		}
+		if d := profileDiff(got.Profile, want.Profile); d != "" {
+			t.Fatalf("workers=%d: profile differs: %s", workers, d)
+		}
+	}
+}
+
+// profileDiff compares the parts of a profile the search consumes.
+func profileDiff(got, want *profile.Profile) string {
+	if got.Accesses != want.Accesses || got.Compulsory != want.Compulsory ||
+		got.Capacity != want.Capacity || got.Candidates != want.Candidates ||
+		got.TotalPairs != want.TotalPairs {
+		return "bookkeeping differs"
+	}
+	for v := range want.Table {
+		if got.Table[v] != want.Table[v] {
+			return "table differs"
+		}
+	}
+	return ""
 }

@@ -28,6 +28,14 @@ const AddrBits = 16
 // BlockBytes is the paper's 4-byte cache block.
 const BlockBytes = 4
 
+// Workers is threaded into every experiment's core.Config: it shards
+// the profiling pass (profile.BuildParallel — bit-identical results for
+// any value) and parallelises the search where supported. The drivers
+// already fan out across benchmarks, so the default keeps each per-
+// trace pipeline sequential; cmd/tables -workers raises it when few
+// benchmarks are selected. Set it before launching a run.
+var Workers int
+
 // Table2Cell is one benchmark × cache-size entry of Table 2.
 type Table2Cell struct {
 	BaseMissesPerKOp float64    // conventional indexing, misses per K-op
@@ -124,6 +132,7 @@ func tuneCell(tr *trace.Trace, cacheBytes int) (Table2Cell, error) {
 		CacheBytes: cacheBytes,
 		BlockBytes: BlockBytes,
 		AddrBits:   AddrBits,
+		Workers:    Workers,
 		Family:     hash.FamilyPermutation,
 		NoFallback: true, // report raw results like the paper's tables
 	}
@@ -195,6 +204,7 @@ func Experiment1(scale int) ([]Exp1Row, error) {
 				CacheBytes: kb * 1024,
 				BlockBytes: BlockBytes,
 				AddrBits:   AddrBits,
+				Workers:    Workers,
 				NoFallback: true,
 			}
 			p, err := core.BuildProfile(traces[i], cfg)
@@ -295,6 +305,7 @@ func table3Row(w workloads.Workload, scale int) (Table3Row, error) {
 			CacheBytes: cacheBytes,
 			BlockBytes: BlockBytes,
 			AddrBits:   AddrBits,
+			Workers:    Workers,
 			NoFallback: true,
 		}
 		p, err := core.BuildProfile(tr, cfg)

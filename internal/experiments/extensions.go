@@ -57,6 +57,7 @@ func CrossApplication(names []string, cacheKB, scale int) (*CrossApplicationResu
 		CacheBytes: cacheKB * 1024,
 		BlockBytes: BlockBytes,
 		AddrBits:   AddrBits,
+		Workers:    Workers,
 		Family:     hash.FamilyPermutation,
 		MaxInputs:  2,
 		NoFallback: true,
@@ -157,6 +158,7 @@ func AssociativityComparison(names []string, cacheKB, scale int) ([]AssocRow, er
 			CacheBytes: cacheBytes,
 			BlockBytes: BlockBytes,
 			AddrBits:   AddrBits,
+			Workers:    Workers,
 			Family:     hash.FamilyPermutation,
 			MaxInputs:  2,
 		}
@@ -255,6 +257,7 @@ func PhaseReconfiguration(benchA, benchB string, cacheKB, scale int, quanta []in
 		CacheBytes: cacheKB * 1024,
 		BlockBytes: BlockBytes,
 		AddrBits:   AddrBits,
+		Workers:    Workers,
 		Family:     hash.FamilyPermutation,
 		MaxInputs:  2,
 		NoFallback: true,
@@ -342,6 +345,7 @@ func SizeSweep(bench string, sizes []int, scale int) ([]SweepPoint, error) {
 			CacheBytes: size,
 			BlockBytes: BlockBytes,
 			AddrBits:   AddrBits,
+			Workers:    Workers,
 			Family:     hash.FamilyPermutation,
 			MaxInputs:  2,
 		}
@@ -412,6 +416,7 @@ func FixedVsTuned(names []string, cacheKB, scale int) ([]FixedRow, error) {
 			CacheBytes: cacheBytes,
 			BlockBytes: BlockBytes,
 			AddrBits:   AddrBits,
+			Workers:    Workers,
 			Family:     hash.FamilyPermutation,
 			MaxInputs:  2,
 		}
@@ -472,6 +477,7 @@ func EnergyComparison(names []string, cacheKB, scale int) ([]EnergyRow, error) {
 			CacheBytes: cacheBytes,
 			BlockBytes: BlockBytes,
 			AddrBits:   AddrBits,
+			Workers:    Workers,
 			Family:     hash.FamilyPermutation,
 			MaxInputs:  2,
 		}
@@ -598,6 +604,7 @@ func ASLRRobustness(bench string, cacheKB, scale int, deltas []uint64) ([]ASLRRo
 		CacheBytes: cacheKB * 1024,
 		BlockBytes: BlockBytes,
 		AddrBits:   AddrBits,
+		Workers:    Workers,
 		Family:     hash.FamilyPermutation,
 		MaxInputs:  2,
 		NoFallback: true,

@@ -1,0 +1,60 @@
+package profile
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzBlocks derives a block trace from raw fuzz bytes: two bytes per
+// access, little endian, so the fuzzer controls both aliasing structure
+// (low bits) and mask truncation (values beyond 2^n).
+func fuzzBlocks(data []byte) []uint64 {
+	const maxLen = 4096
+	n := len(data) / 2
+	if n > maxLen {
+		n = maxLen
+	}
+	blocks := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		blocks[i] = uint64(binary.LittleEndian.Uint16(data[2*i:]))
+	}
+	return blocks
+}
+
+// FuzzBuildParallelWorkers asserts worker-count invariance: the sharded
+// build must produce the same profile — histogram and every counter —
+// for workers = 1..8 on arbitrary traces, and that profile must match
+// the sequential Build. A stream build over an awkward chunk size is
+// held to the same standard.
+func FuzzBuildParallelWorkers(f *testing.F) {
+	f.Add([]byte{}, uint8(8), uint8(4))
+	f.Add([]byte{1, 0, 2, 0, 1, 0, 2, 0, 1, 0}, uint8(6), uint8(2))
+	// A strided pattern that aliases heavily at small n.
+	var stride []byte
+	for i := 0; i < 64; i++ {
+		stride = append(stride, byte(i*16), byte(i>>4))
+	}
+	f.Add(stride, uint8(8), uint8(16))
+
+	f.Fuzz(func(t *testing.T, data []byte, nRaw, capRaw uint8) {
+		n := 4 + int(nRaw)%8             // 4..11
+		cacheBlocks := 1 + int(capRaw)%64 // 1..64
+		blocks := fuzzBlocks(data)
+		want := Build(blocks, n, cacheBlocks)
+		for workers := 1; workers <= 8; workers++ {
+			got := BuildParallel(blocks, n, cacheBlocks, workers)
+			if d := diffProfiles(got, want); d != "" {
+				t.Fatalf("workers=%d n=%d cap=%d len=%d: %s",
+					workers, n, cacheBlocks, len(blocks), d)
+			}
+		}
+		got, err := BuildStream(sliceSource(blocks), n, cacheBlocks,
+			ParallelOptions{Workers: 3, ChunkSize: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := diffProfiles(got, want); d != "" {
+			t.Fatalf("stream n=%d cap=%d len=%d: %s", n, cacheBlocks, len(blocks), d)
+		}
+	})
+}

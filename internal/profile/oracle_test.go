@@ -1,0 +1,201 @@
+package profile
+
+// The differential test oracle. oracleBuild re-implements the Fig. 1
+// profiling semantics in the most naive way available — for every
+// access it rescans the trace backward, with no LRU stack and no
+// incremental state — so its correctness is auditable by eye:
+//
+//	previous access of x at j  →  otherwise compulsory
+//	distinct blocks in (j, i)  →  reuse distance
+//	distance > cacheBlocks     →  capacity miss, counts nothing
+//	else                       →  one count per x⊕y, y in between
+//
+// It is O(len²) per trace, which is exactly why the real builder uses
+// the stack — and exactly why the oracle makes a trustworthy reference:
+// the two share no code and no data structure. The tests below assert
+// that the sequential Build matches the oracle bit for bit on
+// randomized traces, and that the sharded builders match the sequential
+// Build bit for bit for every worker count and chunk size.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"xoridx/internal/gf2"
+)
+
+// oracleBuild is the naive reference profiler (see file comment).
+func oracleBuild(blocks []uint64, n, cacheBlocks int) *Profile {
+	mask := uint64(gf2.Mask(n))
+	p := &Profile{N: n, CacheBlocks: cacheBlocks, Table: make([]uint64, 1<<uint(n))}
+	for i := range blocks {
+		x := blocks[i] & mask
+		p.Accesses++
+		prev := -1
+		for k := i - 1; k >= 0; k-- {
+			if blocks[k]&mask == x {
+				prev = k
+				break
+			}
+		}
+		if prev < 0 {
+			p.Compulsory++
+			continue
+		}
+		var between []uint64
+		seen := make(map[uint64]bool)
+		for k := i - 1; k > prev; k-- {
+			y := blocks[k] & mask
+			if !seen[y] {
+				seen[y] = true
+				between = append(between, y)
+			}
+		}
+		if len(between) > cacheBlocks {
+			p.Capacity++
+			continue
+		}
+		p.Candidates++
+		for _, y := range between {
+			p.Table[x^y]++
+			p.TotalPairs++
+		}
+	}
+	return p
+}
+
+// diffProfiles returns a description of the first field where two
+// profiles differ, or "" when they are bit-identical.
+func diffProfiles(got, want *Profile) string {
+	switch {
+	case got.N != want.N:
+		return "N differs"
+	case got.CacheBlocks != want.CacheBlocks:
+		return "CacheBlocks differs"
+	case got.Accesses != want.Accesses:
+		return "Accesses differs"
+	case got.Compulsory != want.Compulsory:
+		return "Compulsory differs"
+	case got.Capacity != want.Capacity:
+		return "Capacity differs"
+	case got.Candidates != want.Candidates:
+		return "Candidates differs"
+	case got.TotalPairs != want.TotalPairs:
+		return "TotalPairs differs"
+	}
+	for v := range want.Table {
+		if got.Table[v] != want.Table[v] {
+			return "Table differs"
+		}
+	}
+	return ""
+}
+
+// randomOracleTrace draws a trace that mixes locality regimes so all
+// three classifications (compulsory, capacity, conflict) occur: tight
+// loops, strides, and uniform noise over a space larger than 2^n (to
+// exercise the n-bit mask).
+func randomOracleTrace(r *rand.Rand) []uint64 {
+	length := 50 + r.Intn(350)
+	space := uint64(1) << uint(6+r.Intn(6)) // up to 2^11 > 2^n for small n
+	blocks := make([]uint64, 0, length)
+	for len(blocks) < length {
+		switch r.Intn(4) {
+		case 0: // tight loop over a small working set
+			set := 2 + r.Intn(6)
+			base := r.Uint64() % space
+			for rep := 0; rep < 2+r.Intn(8); rep++ {
+				for i := 0; i < set; i++ {
+					blocks = append(blocks, (base+uint64(i))%space)
+				}
+			}
+		case 1: // stride burst
+			stride := uint64(1) << uint(r.Intn(6))
+			base := r.Uint64() % space
+			for i := uint64(0); i < 12; i++ {
+				blocks = append(blocks, (base+i*stride)%space)
+			}
+		case 2: // revisit an old block after a long gap
+			if len(blocks) > 0 {
+				blocks = append(blocks, blocks[r.Intn(len(blocks))])
+			} else {
+				blocks = append(blocks, r.Uint64()%space)
+			}
+		default: // uniform noise
+			for i := 0; i < 6; i++ {
+				blocks = append(blocks, r.Uint64()%space)
+			}
+		}
+	}
+	return blocks[:length]
+}
+
+// TestDifferentialSequentialVsOracle checks Build ≡ oracle exactly on
+// over a thousand randomized traces across n and capacity settings.
+func TestDifferentialSequentialVsOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	trials := 1200
+	if testing.Short() {
+		trials = 200
+	}
+	for trial := 0; trial < trials; trial++ {
+		blocks := randomOracleTrace(r)
+		n := 4 + r.Intn(7)
+		cacheBlocks := 1 << uint(r.Intn(6))
+		got := Build(blocks, n, cacheBlocks)
+		want := oracleBuild(blocks, n, cacheBlocks)
+		if d := diffProfiles(got, want); d != "" {
+			t.Fatalf("trial %d (n=%d cap=%d len=%d): Build vs oracle: %s",
+				trial, n, cacheBlocks, len(blocks), d)
+		}
+	}
+}
+
+// TestDifferentialParallelVsSequential checks that BuildParallel and
+// BuildStream are bit-identical to Build — counters included — for
+// every worker count and for chunk sizes that force many shard
+// boundaries, on randomized traces.
+func TestDifferentialParallelVsSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	trials := 300
+	if testing.Short() {
+		trials = 60
+	}
+	for trial := 0; trial < trials; trial++ {
+		blocks := randomOracleTrace(r)
+		n := 4 + r.Intn(7)
+		cacheBlocks := 1 << uint(r.Intn(6))
+		want := Build(blocks, n, cacheBlocks)
+		for workers := 1; workers <= 8; workers++ {
+			got := BuildParallel(blocks, n, cacheBlocks, workers)
+			if d := diffProfiles(got, want); d != "" {
+				t.Fatalf("trial %d (n=%d cap=%d len=%d) workers=%d: %s",
+					trial, n, cacheBlocks, len(blocks), workers, d)
+			}
+		}
+		chunk := 1 + r.Intn(40)
+		got, err := BuildStream(sliceSource(blocks), n, cacheBlocks,
+			ParallelOptions{Workers: 1 + r.Intn(4), ChunkSize: chunk})
+		if err != nil {
+			t.Fatalf("trial %d: BuildStream: %v", trial, err)
+		}
+		if d := diffProfiles(got, want); d != "" {
+			t.Fatalf("trial %d (n=%d cap=%d len=%d) chunk=%d: stream: %s",
+				trial, n, cacheBlocks, len(blocks), chunk, d)
+		}
+	}
+}
+
+// sliceSource adapts an in-memory block slice to the BlockSource shape.
+func sliceSource(blocks []uint64) BlockSource {
+	pos := 0
+	return func(dst []uint64) (int, error) {
+		if pos >= len(blocks) {
+			return 0, io.EOF
+		}
+		k := copy(dst, blocks[pos:])
+		pos += k
+		return k, nil
+	}
+}

@@ -1,0 +1,337 @@
+package profile
+
+// Parallel sharded profiling. The Fig. 1 pass is sequential on its face
+// (the LRU stack is global state), but the conflict contribution of an
+// access depends only on the blocks above it on the stack — at most
+// cacheBlocks of them, by the capacity filter. A shard builder that
+// first replays a warmup window of the accesses immediately preceding
+// its shard (stack state only, no counting) therefore reproduces the
+// sequential classification of every shard access, provided the window
+// holds enough distinct blocks:
+//
+//   - If a block's previous access lies inside the warmup window or the
+//     shard, the blocks above it on the chunked stack are exactly those
+//     the sequential stack holds above it (both are determined by the
+//     accesses since its previous access), so the walk counts the same
+//     conflict vectors.
+//   - If a block's previous access lies before the warmup window, the
+//     window's distinct blocks were all accessed since, so with a
+//     window of > cacheBlocks distinct blocks the reuse distance
+//     exceeds the capacity filter: the sequential pass classifies the
+//     access as a capacity miss, contributing nothing to the histogram.
+//     The chunked builder classifies it as compulsory — also nothing —
+//     and the merge phase repairs the compulsory/capacity split (it
+//     knows which shard-local first touches were seen by earlier
+//     shards).
+//
+// Hence with the default overlap of cacheBlocks+1 distinct blocks the
+// merged profile is bit-identical to the sequential Build — counters
+// included. Smaller overlaps trade warmup cost for a documented,
+// one-sided error: the histogram can only undercount, by at most
+// cacheBlocks vectors per misclassified boundary access and at most
+// cacheBlocks such accesses per shard (see DESIGN.md §8).
+
+import (
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+
+	"xoridx/internal/gf2"
+)
+
+// ParallelOptions tunes the sharded profiling pipeline.
+type ParallelOptions struct {
+	// Workers is the number of concurrent shard builders. <= 0 selects
+	// GOMAXPROCS. Each worker holds a private 2^n-entry histogram, so
+	// memory is Workers × 8·2^n bytes while a build is in flight.
+	Workers int
+
+	// Overlap is the warmup depth in distinct blocks: each shard replays
+	// the shortest run of accesses preceding it that touches Overlap
+	// distinct blocks before counting its own accesses. 0 selects
+	// cacheBlocks+1, which makes the parallel profile bit-identical to
+	// the sequential one (see the package comment above). Values in
+	// (0, cacheBlocks] are approximate: the histogram can only
+	// undercount, and only at shard boundaries. Negative disables
+	// warmup entirely (independent shards; the worst case).
+	Overlap int
+
+	// ChunkSize is the shard length in accesses used by BuildStream
+	// (and by BuildParallelOpts when it is smaller than an even
+	// per-worker split). 0 selects a default of 64 K accesses.
+	ChunkSize int
+}
+
+// DefaultChunkSize is the shard length BuildStream uses when
+// ParallelOptions.ChunkSize is zero.
+const DefaultChunkSize = 1 << 16
+
+func (o ParallelOptions) withDefaults(cacheBlocks int) ParallelOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Overlap == 0 {
+		o.Overlap = cacheBlocks + 1
+	} else if o.Overlap < 0 {
+		o.Overlap = 0
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = DefaultChunkSize
+	}
+	return o
+}
+
+// BuildParallel is Build fanned out over workers: the trace is split
+// into contiguous shards, each profiled concurrently against a warmed
+// LRU stack, and the per-shard histograms are merged with boundary
+// reconciliation. The result is bit-identical to Build for every
+// worker count (the default overlap is exact).
+func BuildParallel(blocks []uint64, n, cacheBlocks, workers int) *Profile {
+	return BuildParallelOpts(blocks, n, cacheBlocks, ParallelOptions{Workers: workers})
+}
+
+// BuildParallelOpts is BuildParallel with explicit sharding controls.
+func BuildParallelOpts(blocks []uint64, n, cacheBlocks int, opt ParallelOptions) *Profile {
+	opt = opt.withDefaults(cacheBlocks)
+	workers := opt.Workers
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	if workers <= 1 {
+		return Build(blocks, n, cacheBlocks)
+	}
+	mask := uint64(gf2.Mask(n))
+	jobs := make([]shardJob, workers)
+	for w := 0; w < workers; w++ {
+		start := w * len(blocks) / workers
+		end := (w + 1) * len(blocks) / workers
+		ws := warmStart(blocks, start, opt.Overlap, mask)
+		jobs[w] = shardJob{idx: w, warm: blocks[ws:start], blocks: blocks[start:end]}
+	}
+	results := make([]shardResult, workers)
+	var wg sync.WaitGroup
+	for w := range jobs {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = buildShard(jobs[w], n, cacheBlocks, mask)
+		}(w)
+	}
+	wg.Wait()
+	rc := newReconciler(n, cacheBlocks)
+	for _, r := range results {
+		rc.add(r)
+	}
+	return rc.out
+}
+
+// BlockSource yields successive chunks of block addresses already
+// truncated to n bits, filling dst and returning how many it wrote.
+// It follows io.Reader conventions: (k, nil) with k > 0 while data
+// remains, then (0, io.EOF); (k > 0, io.EOF) is also accepted.
+// trace.Reader.ReadBlocks satisfies this shape via a closure.
+type BlockSource func(dst []uint64) (int, error)
+
+// BuildStream profiles a block stream with the sharded pipeline without
+// ever materializing the whole trace: the dispatcher reads ChunkSize
+// blocks at a time, carries the warmup window between chunks, and fans
+// the (warmup, chunk) jobs out to Workers shard builders. Merging is
+// in-order and incremental, so at most ~Workers shard histograms are
+// alive at once. The exactness guarantee matches BuildParallel: with
+// the default overlap the result is bit-identical to a sequential
+// Build of the same block sequence, for every worker count and chunk
+// size.
+func BuildStream(src BlockSource, n, cacheBlocks int, opt ParallelOptions) (*Profile, error) {
+	opt = opt.withDefaults(cacheBlocks)
+	mask := uint64(gf2.Mask(n))
+	jobs := make(chan shardJob, opt.Workers)
+	done := make(chan shardResult, opt.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				r := buildShard(job, n, cacheBlocks, mask)
+				r.idx = job.idx
+				done <- r
+			}
+		}()
+	}
+	// Collector: merge results in shard order as they arrive, buffering
+	// the out-of-order ones, so completed histograms are released
+	// instead of accumulating until the end of the stream.
+	rc := newReconciler(n, cacheBlocks)
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		pending := make(map[int]shardResult)
+		next := 0
+		for r := range done {
+			pending[r.idx] = r
+			for {
+				nr, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				rc.add(nr)
+				next++
+			}
+		}
+	}()
+
+	var tail []uint64
+	idx := 0
+	var srcErr error
+	for {
+		buf := make([]uint64, opt.ChunkSize)
+		k, err := src(buf)
+		if k > 0 {
+			chunk := buf[:k]
+			warm := append([]uint64(nil), tail...)
+			jobs <- shardJob{idx: idx, warm: warm, blocks: chunk}
+			idx++
+			tail = nextTail(tail, chunk, opt.Overlap, mask)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			srcErr = err
+			break
+		}
+		if k == 0 {
+			srcErr = errors.New("profile: block source returned no data and no error")
+			break
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	close(done)
+	<-collected
+	if srcErr != nil {
+		return nil, srcErr
+	}
+	return rc.out, nil
+}
+
+// shardJob is one contiguous trace window: warmup accesses (stack state
+// only) followed by the shard proper (counted).
+type shardJob struct {
+	idx    int
+	warm   []uint64
+	blocks []uint64
+}
+
+// shardResult carries a shard's histogram plus the reconciliation data
+// the merge phase needs: which blocks the shard classified as first
+// touches, and which distinct blocks the shard proper contains.
+type shardResult struct {
+	idx        int
+	p          *Profile
+	firstTouch []uint64
+	seen       map[uint64]struct{}
+}
+
+// buildShard profiles one shard: warmup replay, then the counted pass.
+func buildShard(job shardJob, n, cacheBlocks int, mask uint64) shardResult {
+	bd := NewBuilder(n, cacheBlocks)
+	for _, b := range job.warm {
+		bd.Warm(b)
+	}
+	res := shardResult{seen: make(map[uint64]struct{})}
+	for _, blk := range job.blocks {
+		b := blk & mask
+		if !bd.Seen(b) {
+			res.firstTouch = append(res.firstTouch, b)
+		}
+		bd.Add(b)
+		res.seen[b] = struct{}{}
+	}
+	res.p = bd.Finish()
+	return res
+}
+
+// reconciler merges shard results in trace order, repairing the
+// compulsory/capacity split at boundaries: a shard-local first touch of
+// a block some earlier shard already accessed is really a re-reference
+// whose reuse distance exceeded the warmup window — with an exact
+// overlap that means distance > cacheBlocks, which the sequential pass
+// counts as a capacity miss, not a compulsory one. Either way it
+// contributes nothing to the histogram, so only the two counters move.
+type reconciler struct {
+	out  *Profile
+	seen map[uint64]struct{}
+}
+
+func newReconciler(n, cacheBlocks int) *reconciler {
+	return &reconciler{
+		out:  NewBuilder(n, cacheBlocks).Finish(),
+		seen: make(map[uint64]struct{}),
+	}
+}
+
+// add folds the next shard (in trace order) into the merged profile.
+func (rc *reconciler) add(s shardResult) {
+	for _, b := range s.firstTouch {
+		if _, ok := rc.seen[b]; ok {
+			s.p.Compulsory--
+			s.p.Capacity++
+		}
+	}
+	if err := rc.out.Merge(s.p); err != nil {
+		// Shards are built with the reconciler's own n/cacheBlocks.
+		panic("profile: shard merge: " + err.Error())
+	}
+	for b := range s.seen {
+		rc.seen[b] = struct{}{}
+	}
+}
+
+// warmStart returns the start index of the shortest window ending just
+// before start that contains `distinct` distinct blocks, or 0 when the
+// whole prefix holds fewer (then the warmup is the entire prefix and
+// the shard sees exactly the sequential stack).
+func warmStart(blocks []uint64, start, distinct int, mask uint64) int {
+	if distinct <= 0 {
+		return start
+	}
+	seen := make(map[uint64]struct{}, distinct)
+	i := start
+	for i > 0 && len(seen) < distinct {
+		i--
+		seen[blocks[i]&mask] = struct{}{}
+	}
+	return i
+}
+
+// nextTail returns the warmup window for the chunk after `chunk`: the
+// shortest suffix of tail+chunk containing `distinct` distinct blocks
+// (the whole of tail+chunk when it holds fewer). The result is freshly
+// allocated; it never aliases tail or chunk, which may be in flight to
+// a shard builder.
+func nextTail(tail, chunk []uint64, distinct int, mask uint64) []uint64 {
+	if distinct <= 0 {
+		return nil
+	}
+	seen := make(map[uint64]struct{}, distinct)
+	for i := len(chunk) - 1; i >= 0; i-- {
+		seen[chunk[i]&mask] = struct{}{}
+		if len(seen) >= distinct {
+			return append([]uint64(nil), chunk[i:]...)
+		}
+	}
+	for i := len(tail) - 1; i >= 0; i-- {
+		seen[tail[i]&mask] = struct{}{}
+		if len(seen) >= distinct {
+			out := make([]uint64, 0, len(tail)-i+len(chunk))
+			out = append(out, tail[i:]...)
+			return append(out, chunk...)
+		}
+	}
+	out := make([]uint64, 0, len(tail)+len(chunk))
+	out = append(out, tail...)
+	return append(out, chunk...)
+}

@@ -1,0 +1,181 @@
+package profile
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func TestBuildParallelEmptyAndTiny(t *testing.T) {
+	for _, blocks := range [][]uint64{nil, {}, {5}, {5, 5}, {1, 2}} {
+		want := Build(blocks, 8, 4)
+		for workers := 1; workers <= 4; workers++ {
+			got := BuildParallel(blocks, 8, 4, workers)
+			if d := diffProfiles(got, want); d != "" {
+				t.Errorf("blocks=%v workers=%d: %s", blocks, workers, d)
+			}
+		}
+	}
+}
+
+func TestBuildParallelMoreWorkersThanAccesses(t *testing.T) {
+	blocks := []uint64{1, 2, 1, 3, 2, 1}
+	want := Build(blocks, 6, 4)
+	got := BuildParallel(blocks, 6, 4, 64)
+	if d := diffProfiles(got, want); d != "" {
+		t.Fatal(d)
+	}
+}
+
+// TestBuildParallelExactAtCapacityOverlap pins the documented guarantee
+// directly: any explicit Overlap > cacheBlocks distinct blocks is
+// exact, not just the default.
+func TestBuildParallelExactAtCapacityOverlap(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		blocks := randomOracleTrace(r)
+		cacheBlocks := 8
+		want := Build(blocks, 8, cacheBlocks)
+		for _, overlap := range []int{cacheBlocks + 1, cacheBlocks + 5, 4 * cacheBlocks} {
+			got := BuildParallelOpts(blocks, 8, cacheBlocks,
+				ParallelOptions{Workers: 4, Overlap: overlap})
+			if d := diffProfiles(got, want); d != "" {
+				t.Fatalf("trial %d overlap=%d: %s", trial, overlap, d)
+			}
+		}
+	}
+}
+
+// TestBuildParallelUndercountBound checks the documented error model
+// for short overlaps: the histogram and pair counters can only
+// undercount, never overcount, and Accesses is always exact.
+func TestBuildParallelUndercountBound(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		blocks := randomOracleTrace(r)
+		cacheBlocks := 16
+		want := Build(blocks, 8, cacheBlocks)
+		for _, overlap := range []int{-1, 1, 4, cacheBlocks / 2} {
+			got := BuildParallelOpts(blocks, 8, cacheBlocks,
+				ParallelOptions{Workers: 4, Overlap: overlap})
+			if got.Accesses != want.Accesses {
+				t.Fatalf("trial %d overlap=%d: Accesses %d != %d",
+					trial, overlap, got.Accesses, want.Accesses)
+			}
+			if got.TotalPairs > want.TotalPairs {
+				t.Fatalf("trial %d overlap=%d: overcounted pairs %d > %d",
+					trial, overlap, got.TotalPairs, want.TotalPairs)
+			}
+			for v := range want.Table {
+				if got.Table[v] > want.Table[v] {
+					t.Fatalf("trial %d overlap=%d: Table[%#x] overcounts %d > %d",
+						trial, overlap, v, got.Table[v], want.Table[v])
+				}
+			}
+		}
+	}
+}
+
+// A sabotaged warmup must still reproduce the sequential result when
+// the whole prefix fits in the warmup (first shard / short traces).
+func TestWarmStartReachesTraceStart(t *testing.T) {
+	blocks := []uint64{1, 1, 1, 1, 2, 1}
+	if ws := warmStart(blocks, 5, 10, 0xFF); ws != 0 {
+		t.Fatalf("warmStart = %d, want 0 (prefix has only 2 distinct blocks)", ws)
+	}
+	if ws := warmStart(blocks, 5, 2, 0xFF); ws != 3 {
+		// Scanning back from index 5: blocks[4]=2, blocks[3]=1 → 2 distinct.
+		t.Fatalf("warmStart = %d, want 3", ws)
+	}
+	if ws := warmStart(blocks, 5, 0, 0xFF); ws != 5 {
+		t.Fatalf("warmStart = %d, want 5 for zero overlap", ws)
+	}
+}
+
+func TestNextTailShortestSuffix(t *testing.T) {
+	mask := uint64(0xFF)
+	tail := []uint64{9, 8}
+	chunk := []uint64{1, 2, 1, 1}
+	// Two distinct blocks are found inside the chunk: suffix {2,1,1}.
+	got := nextTail(tail, chunk, 2, mask)
+	want := []uint64{2, 1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("nextTail = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nextTail = %v, want %v", got, want)
+		}
+	}
+	// Needing 3 distinct reaches into the tail: {8,1,2,1,1}.
+	got = nextTail(tail, chunk, 3, mask)
+	if len(got) != 5 || got[0] != 8 {
+		t.Fatalf("nextTail = %v, want [8 1 2 1 1]", got)
+	}
+	// Needing more than available returns everything.
+	got = nextTail(tail, chunk, 40, mask)
+	if len(got) != 6 || got[0] != 9 {
+		t.Fatalf("nextTail = %v, want full history", got)
+	}
+}
+
+func TestBuildStreamPropagatesSourceError(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	src := func(dst []uint64) (int, error) {
+		calls++
+		if calls == 1 {
+			dst[0], dst[1] = 1, 2
+			return 2, nil
+		}
+		return 0, boom
+	}
+	if _, err := BuildStream(src, 8, 4, ParallelOptions{Workers: 2, ChunkSize: 2}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestBuildStreamRejectsStuckSource(t *testing.T) {
+	src := func(dst []uint64) (int, error) { return 0, nil }
+	if _, err := BuildStream(src, 8, 4, ParallelOptions{}); err == nil {
+		t.Fatal("expected error for a source that makes no progress")
+	}
+}
+
+func TestBuildStreamFinalChunkWithEOF(t *testing.T) {
+	// A source may return (k > 0, io.EOF) on the last chunk.
+	blocks := []uint64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	pos := 0
+	src := func(dst []uint64) (int, error) {
+		k := copy(dst, blocks[pos:])
+		pos += k
+		if pos >= len(blocks) {
+			return k, io.EOF
+		}
+		return k, nil
+	}
+	got, err := BuildStream(src, 6, 4, ParallelOptions{Workers: 3, ChunkSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffProfiles(got, Build(blocks, 6, 4)); d != "" {
+		t.Fatal(d)
+	}
+}
+
+func TestParallelOptionsDefaults(t *testing.T) {
+	o := ParallelOptions{}.withDefaults(64)
+	if o.Workers < 1 {
+		t.Fatalf("Workers = %d", o.Workers)
+	}
+	if o.Overlap != 65 {
+		t.Fatalf("Overlap = %d, want cacheBlocks+1 = 65", o.Overlap)
+	}
+	if o.ChunkSize != DefaultChunkSize {
+		t.Fatalf("ChunkSize = %d", o.ChunkSize)
+	}
+	if o = (ParallelOptions{Overlap: -3}).withDefaults(64); o.Overlap != 0 {
+		t.Fatalf("negative Overlap should normalise to 0, got %d", o.Overlap)
+	}
+}

@@ -120,6 +120,30 @@ func (bd *Builder) Add(block uint64) {
 	bd.stack.MoveToTop(b)
 }
 
+// Warm replays one block access into the LRU stack without counting
+// anything: no conflict vectors, no bookkeeping. It reconstructs the
+// stack context at a shard boundary so a chunked builder classifies the
+// accesses of its own shard exactly as a sequential pass would (see
+// BuildParallel and DESIGN.md §8).
+func (bd *Builder) Warm(block uint64) {
+	if bd.done {
+		panic("profile: Warm after Finish")
+	}
+	b := block & bd.mask
+	if bd.stack.Contains(b) {
+		bd.stack.MoveToTop(b)
+	} else {
+		bd.stack.Push(b)
+	}
+}
+
+// Seen reports whether the block is on the builder's LRU stack, i.e.
+// has been passed to Add or Warm before. The next Add of an unseen
+// block will be classified as a compulsory miss.
+func (bd *Builder) Seen(block uint64) bool {
+	return bd.stack.Contains(block & bd.mask)
+}
+
 // Finish returns the accumulated profile; the builder must not be used
 // afterwards.
 func (bd *Builder) Finish() *Profile {
@@ -232,6 +256,9 @@ func (p *Profile) Merge(o *Profile) error {
 	}
 	if p.CacheBlocks != o.CacheBlocks {
 		return fmt.Errorf("profile: capacity filters differ (%d vs %d blocks)", o.CacheBlocks, p.CacheBlocks)
+	}
+	if len(p.Table) != len(o.Table) {
+		return fmt.Errorf("profile: table sizes differ (%d vs %d entries)", len(o.Table), len(p.Table))
 	}
 	for v, c := range o.Table {
 		p.Table[v] += c

@@ -3,7 +3,6 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -69,57 +68,15 @@ func Encode(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// Decode deserialises a trace written by Encode.
+// Decode deserialises a trace written by Encode. It is the in-memory
+// convenience form of the streaming Reader (see stream.go), which large
+// traces should prefer.
 func Decode(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(head) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", head)
-	}
-	nameLen, err := binary.ReadUvarint(br)
+	rd, err := NewReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading name length: %w", err)
+		return nil, err
 	}
-	if nameLen > 1<<20 {
-		return nil, errors.New("trace: unreasonable name length")
-	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
-	}
-	ops, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading ops: %w", err)
-	}
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading access count: %w", err)
-	}
-	t := &Trace{Name: string(name), Ops: ops}
-	if count < 1<<24 {
-		t.Accesses = make([]Access, 0, count)
-	}
-	var prev [3]uint64
-	for i := uint64(0); i < count; i++ {
-		kb, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("trace: access %d kind: %w", i, err)
-		}
-		if Kind(kb) > Fetch {
-			return nil, fmt.Errorf("trace: access %d invalid kind %d", i, kb)
-		}
-		delta, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: access %d delta: %w", i, err)
-		}
-		addr := uint64(int64(prev[kb]) + delta)
-		prev[kb] = addr
-		t.Accesses = append(t.Accesses, Access{Addr: addr, Kind: Kind(kb)})
-	}
-	return t, nil
+	return rd.ReadAll()
 }
 
 // EncodeText writes one "<kind> <hex addr>" line per access, preceded by

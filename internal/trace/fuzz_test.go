@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"io"
 	"testing"
+	"testing/iotest"
 )
 
 // FuzzDecode exercises the binary decoder with arbitrary input: it must
@@ -24,6 +26,22 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte("XTR1"))
 	f.Add([]byte("garbage"))
 	f.Add([]byte{})
+	// Truncations inside a record: multi-byte varint deltas cut short,
+	// so a chunked reader must fail cleanly when resumption mid-record
+	// runs out of bytes. wide's deltas span up to 9 bytes.
+	wide := &Trace{Name: "wide", Ops: 3}
+	wide.Append(0, Read)
+	wide.Append(1<<62, Read)
+	wide.Append(5, Write)
+	var wbuf bytes.Buffer
+	if err := Encode(&wbuf, wide); err != nil {
+		f.Fatal(err)
+	}
+	wfull := wbuf.Bytes()
+	f.Add(wfull)
+	f.Add(wfull[:len(wfull)-1]) // last delta truncated mid-varint
+	f.Add(wfull[:len(wfull)-5]) // mid-record cut inside the big delta
+	f.Add(wfull[:len(wfull)-10])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Decode(bytes.NewReader(data))
@@ -45,6 +63,72 @@ func FuzzDecode(f *testing.F) {
 			if tr.Accesses[i] != tr2.Accesses[i] {
 				t.Fatalf("round trip changed access %d", i)
 			}
+		}
+	})
+}
+
+// FuzzReaderChunked holds the streaming Reader to the Decode standard
+// on arbitrary bytes: both must accept the same inputs, and on
+// acceptance the Reader — driven with a fuzzer-chosen block-buffer size
+// over a one-byte-at-a-time underlying stream, so it resumes mid-record
+// constantly — must yield exactly the blocks Trace.Blocks computes from
+// the decoded trace.
+func FuzzReaderChunked(f *testing.F) {
+	valid := &Trace{Name: "chunk", Ops: 11}
+	valid.Append(0x1000, Read)
+	valid.Append(0x1004, Write)
+	valid.Append(1<<40, Fetch) // large delta: multi-byte varint records
+	valid.Append(0x1008, Read)
+	var buf bytes.Buffer
+	if err := Encode(&buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes(), uint8(1))
+	f.Add(buf.Bytes(), uint8(3))
+	f.Add(buf.Bytes()[:buf.Len()-2], uint8(2))
+	f.Add([]byte("XTR1"), uint8(7))
+
+	f.Fuzz(func(t *testing.T, data []byte, chunkRaw uint8) {
+		want, wantErr := Decode(bytes.NewReader(data))
+		rd, err := NewReader(iotest.OneByteReader(bytes.NewReader(data)))
+		if err != nil {
+			if wantErr == nil {
+				t.Fatalf("Decode accepted what NewReader rejected: %v", err)
+			}
+			return
+		}
+		chunk := 1 + int(chunkRaw)%16
+		var got []uint64
+		var readErr error
+		bufBlocks := make([]uint64, chunk)
+		for {
+			k, err := rd.ReadBlocks(bufBlocks, 4, 16)
+			got = append(got, bufBlocks[:k]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				readErr = err
+				break
+			}
+		}
+		if (readErr == nil) != (wantErr == nil) {
+			t.Fatalf("Reader err = %v, Decode err = %v", readErr, wantErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		wantBlocks := want.Blocks(4, 16)
+		if len(got) != len(wantBlocks) {
+			t.Fatalf("Reader yielded %d blocks, Decode %d", len(got), len(wantBlocks))
+		}
+		for i := range got {
+			if got[i] != wantBlocks[i] {
+				t.Fatalf("block %d: reader %#x, decode %#x", i, got[i], wantBlocks[i])
+			}
+		}
+		if rd.Name() != want.Name || rd.Ops() != want.Ops || rd.Len() != uint64(len(want.Accesses)) {
+			t.Fatal("reader header disagrees with decoded trace")
 		}
 	})
 }

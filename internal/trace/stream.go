@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"xoridx/internal/gf2"
+)
+
+// Reader streams accesses out of the binary format one record at a
+// time, without materializing the whole trace. It is the input side of
+// the chunked profiling pipeline (profile.BuildStream): a ROADMAP-scale
+// trace is decoded in fixed-size block chunks that are handed to the
+// sharded profile builders as they arrive.
+//
+// The header (name, ops, access count) is read eagerly by NewReader;
+// records are decoded lazily by Next / ReadBlocks. A Reader must not be
+// shared between goroutines.
+type Reader struct {
+	br    *bufio.Reader
+	name  string
+	ops   uint64
+	count uint64 // total accesses declared in the header
+	read  uint64 // accesses decoded so far
+	prev  [3]uint64
+}
+
+// NewReader parses the header of a binary-format trace and returns a
+// streaming reader positioned at the first access record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<20 {
+		return nil, errors.New("trace: unreasonable name length")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	ops, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading ops: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading access count: %w", err)
+	}
+	return &Reader{br: br, name: string(name), ops: ops, count: count}, nil
+}
+
+// Name returns the trace name from the header.
+func (r *Reader) Name() string { return r.name }
+
+// Ops returns the operation count from the header.
+func (r *Reader) Ops() uint64 { return r.ops }
+
+// Len returns the total number of accesses declared in the header.
+func (r *Reader) Len() uint64 { return r.count }
+
+// Pos returns the number of accesses decoded so far.
+func (r *Reader) Pos() uint64 { return r.read }
+
+// Next decodes the next access. After the last declared record it
+// returns io.EOF; any other error means a malformed or truncated trace.
+func (r *Reader) Next() (Access, error) {
+	if r.read >= r.count {
+		return Access{}, io.EOF
+	}
+	kb, err := r.br.ReadByte()
+	if err != nil {
+		return Access{}, fmt.Errorf("trace: access %d kind: %w", r.read, err)
+	}
+	if Kind(kb) > Fetch {
+		return Access{}, fmt.Errorf("trace: access %d invalid kind %d", r.read, kb)
+	}
+	delta, err := binary.ReadVarint(r.br)
+	if err != nil {
+		return Access{}, fmt.Errorf("trace: access %d delta: %w", r.read, err)
+	}
+	addr := uint64(int64(r.prev[kb]) + delta)
+	r.prev[kb] = addr
+	r.read++
+	return Access{Addr: addr, Kind: Kind(kb)}, nil
+}
+
+// ReadBlocks fills dst with the next block addresses truncated to n
+// bits — the form the profiling algorithm consumes (see Trace.Blocks) —
+// and returns how many it decoded. It returns (k, nil) with 0 < k <=
+// len(dst) while records remain, then (0, io.EOF) at the end of the
+// trace. Decoding can stop and resume mid-chunk at any record boundary,
+// so callers may use any buffer size, including 1.
+func (r *Reader) ReadBlocks(dst []uint64, blockBytes, n int) (int, error) {
+	if len(dst) == 0 {
+		return 0, errors.New("trace: ReadBlocks needs a non-empty buffer")
+	}
+	mask := uint64(gf2.Mask(n))
+	shift := uint(log2(blockBytes))
+	for i := range dst {
+		a, err := r.Next()
+		if err == io.EOF {
+			if i == 0 {
+				return 0, io.EOF
+			}
+			return i, nil
+		}
+		if err != nil {
+			return i, err
+		}
+		dst[i] = a.Addr >> shift & mask
+	}
+	return len(dst), nil
+}
+
+// ReadAll decodes every remaining access into an in-memory Trace —
+// Decode is NewReader + ReadAll.
+func (r *Reader) ReadAll() (*Trace, error) {
+	t := &Trace{Name: r.name, Ops: r.ops}
+	if remaining := r.count - r.read; remaining < 1<<24 {
+		t.Accesses = make([]Access, 0, remaining)
+	}
+	for {
+		a, err := r.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Accesses = append(t.Accesses, a)
+	}
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/iotest"
+)
+
+func streamTrace() *Trace {
+	t := &Trace{Name: "sample", Ops: 999}
+	t.Append(0x1000, Read)
+	t.Append(0x1004, Write)
+	t.Append(0x80000, Fetch)
+	t.Append(0x1008, Read)
+	t.Append(1<<40, Read) // large delta
+	t.Append(0x100C, Write)
+	return t
+}
+
+func encode(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReaderHeader(t *testing.T) {
+	tr := streamTrace()
+	rd, err := NewReader(bytes.NewReader(encode(t, tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Name() != "sample" || rd.Ops() != 999 || rd.Len() != 6 || rd.Pos() != 0 {
+		t.Fatalf("header: name=%q ops=%d len=%d pos=%d", rd.Name(), rd.Ops(), rd.Len(), rd.Pos())
+	}
+}
+
+func TestReaderNextMatchesDecode(t *testing.T) {
+	tr := streamTrace()
+	data := encode(t, tr)
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range tr.Accesses {
+		got, err := rd.Next()
+		if err != nil {
+			t.Fatalf("access %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("access %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("after end: err = %v, want io.EOF", err)
+	}
+	// EOF is sticky.
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("repeated Next after end: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderReadBlocksChunked(t *testing.T) {
+	tr := streamTrace()
+	data := encode(t, tr)
+	want := tr.Blocks(4, 16)
+	for _, chunk := range []int{1, 2, 3, 5, 100} {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []uint64
+		buf := make([]uint64, chunk)
+		for {
+			k, err := rd.ReadBlocks(buf, 4, 16)
+			got = append(got, buf[:k]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk=%d: %d blocks, want %d", chunk, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("chunk=%d block %d: %#x, want %#x", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReaderResumesMidRecordByteStream(t *testing.T) {
+	// A one-byte-at-a-time source forces the reader to resume decoding
+	// in the middle of multi-byte varint records.
+	tr := streamTrace()
+	rd, err := NewReader(iotest.OneByteReader(bytes.NewReader(encode(t, tr))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Accesses) != len(tr.Accesses) {
+		t.Fatalf("%d accesses, want %d", len(out.Accesses), len(tr.Accesses))
+	}
+	for i := range tr.Accesses {
+		if out.Accesses[i] != tr.Accesses[i] {
+			t.Fatalf("access %d differs", i)
+		}
+	}
+}
+
+func TestReaderTruncatedMidRecord(t *testing.T) {
+	data := encode(t, streamTrace())
+	for _, cut := range []int{1, 5} {
+		rd, err := NewReader(bytes.NewReader(data[:len(data)-cut]))
+		if err != nil {
+			t.Fatalf("cut=%d: header should parse: %v", cut, err)
+		}
+		if _, err := rd.ReadAll(); err == nil {
+			t.Fatalf("cut=%d: truncated trace decoded without error", cut)
+		}
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReaderEmptyBuffer(t *testing.T) {
+	rd, err := NewReader(bytes.NewReader(encode(t, streamTrace())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.ReadBlocks(nil, 4, 16); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+}
+
+func TestDecodeIsReaderReadAll(t *testing.T) {
+	data := encode(t, streamTrace())
+	a, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != b.Name || a.Ops != b.Ops || len(a.Accesses) != len(b.Accesses) {
+		t.Fatal("Decode and Reader.ReadAll disagree")
+	}
+}
