@@ -8,6 +8,7 @@ package xoridx
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -604,4 +605,92 @@ func BenchmarkBuildStream(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTune measures the end-to-end pipeline — Fig. 1 profiling,
+// §3.2 search, exact validation — on a 10M-access synthetic trace, in
+// both the check-free form (Tune) and the cancellable form (TuneCtx
+// with a live context and no sink). The final sub-benchmark writes
+// BENCH_pipeline.json recording the measured context-plumbing overhead;
+// the refactor's budget is < 2%.
+func BenchmarkTune(b *testing.B) {
+	const accesses = 10_000_000
+	tr := &trace.Trace{Name: "pipeline-bench"}
+	for _, blk := range synthProfileBlocks(accesses) {
+		tr.Append(blk*4, trace.Read)
+	}
+	cfg := core.Config{
+		CacheBytes: 4096,
+		BlockBytes: 4,
+		AddrBits:   16,
+		Family:     hash.FamilyPermutation,
+		MaxInputs:  2,
+	}
+	// Per-variant minimum single-run time: min-of-k is far more stable
+	// than a single sample when each run takes seconds.
+	best := map[string]time.Duration{}
+	measure := func(b *testing.B, name string, run func() error) {
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			if err := run(); err != nil {
+				b.Fatal(err)
+			}
+			elapsed := time.Since(start)
+			if cur, ok := best[name]; !ok || elapsed < cur {
+				best[name] = elapsed
+			}
+		}
+	}
+	b.Run("plain", func(b *testing.B) {
+		measure(b, "plain", func() error {
+			_, err := core.Tune(tr, cfg)
+			return err
+		})
+	})
+	b.Run("ctx", func(b *testing.B) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		measure(b, "ctx", func() error {
+			_, err := core.TuneCtx(ctx, tr, cfg, nil)
+			return err
+		})
+	})
+	b.Run("emit-baseline", func(b *testing.B) {
+		plain, ctx := best["plain"], best["ctx"]
+		if plain == 0 || ctx == 0 {
+			b.Skip("run the plain and ctx sub-benchmarks first")
+		}
+		overhead := (float64(ctx) - float64(plain)) / float64(plain) * 100
+		out := struct {
+			Benchmark   string  `json:"benchmark"`
+			Accesses    int     `json:"accesses"`
+			CacheBytes  int     `json:"cache_bytes"`
+			AddrBits    int     `json:"addr_bits"`
+			GoVersion   string  `json:"go_version"`
+			NumCPU      int     `json:"num_cpu"`
+			PlainMs     float64 `json:"tune_ms"`
+			CtxMs       float64 `json:"tune_ctx_ms"`
+			OverheadPct float64 `json:"ctx_overhead_pct"`
+			BudgetPct   float64 `json:"budget_pct"`
+		}{
+			Benchmark:   "BenchmarkTune",
+			Accesses:    accesses,
+			CacheBytes:  cfg.CacheBytes,
+			AddrBits:    cfg.AddrBits,
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			PlainMs:     float64(plain.Microseconds()) / 1000,
+			CtxMs:       float64(ctx.Microseconds()) / 1000,
+			OverheadPct: overhead,
+			BudgetPct:   2,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_pipeline.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(overhead, "ctx-overhead-%")
+	})
 }

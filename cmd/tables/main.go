@@ -20,14 +20,22 @@
 //	tables -table repl         # extension: replacement-policy ablation
 //	tables -table aslr         # extension: load-address robustness
 //	tables -scale 2            # larger workload inputs
+//	tables -table 2d -progress # stage/search progress on stderr
+//
+// Ctrl-C (SIGINT) cancels the run cleanly: the in-flight experiment
+// aborts within one hill-climbing move and the command reports the
+// cancellation instead of exiting mid-write.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
+	"xoridx/internal/core"
 	"xoridx/internal/experiments"
 )
 
@@ -37,12 +45,18 @@ func main() {
 	scale := flag.Int("scale", 1, "workload scale factor (>= 1)")
 	workers := flag.Int("workers", 0,
 		"per-trace parallel workers for profiling and search (0/1 = sequential, -1 = all cores); results are identical for any value")
+	progress := flag.Bool("progress", false, "report pipeline stages and search progress on stderr")
 	flag.Parse()
 	if *scale < 1 {
 		fmt.Fprintln(os.Stderr, "tables: -scale must be >= 1")
 		os.Exit(2)
 	}
-	experiments.Workers = *workers
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opt := experiments.Options{Workers: *workers}
+	if *progress {
+		opt.Events = progressSink(os.Stderr)
+	}
 	run := func(name string, fn func() error) {
 		start := time.Now()
 		if err := fn(); err != nil {
@@ -71,7 +85,7 @@ func main() {
 	if want("exp1") {
 		any = true
 		run("experiment 1", func() error {
-			rows, err := experiments.Experiment1(*scale)
+			rows, err := experiments.Experiment1Ctx(ctx, opt, *scale)
 			if err != nil {
 				return err
 			}
@@ -82,7 +96,7 @@ func main() {
 	if want("2d") {
 		any = true
 		run("table 2 (data)", func() error {
-			rows, err := experiments.Table2(false, *scale)
+			rows, err := experiments.Table2Ctx(ctx, opt, false, *scale)
 			if err != nil {
 				return err
 			}
@@ -93,7 +107,7 @@ func main() {
 	if want("2i") {
 		any = true
 		run("table 2 (instruction)", func() error {
-			rows, err := experiments.Table2(true, *scale)
+			rows, err := experiments.Table2Ctx(ctx, opt, true, *scale)
 			if err != nil {
 				return err
 			}
@@ -105,7 +119,7 @@ func main() {
 		any = true
 		run("table 2 (extra suite)", func() error {
 			for _, instr := range []bool{false, true} {
-				rows, err := experiments.Table2Extra(instr, *scale)
+				rows, err := experiments.Table2ExtraCtx(ctx, opt, instr, *scale)
 				if err != nil {
 					return err
 				}
@@ -118,7 +132,7 @@ func main() {
 	if want("3") {
 		any = true
 		run("table 3", func() error {
-			rows, err := experiments.Table3(*scale)
+			rows, err := experiments.Table3Ctx(ctx, opt, *scale)
 			if err != nil {
 				return err
 			}
@@ -129,7 +143,7 @@ func main() {
 	if want("cross") {
 		any = true
 		run("cross-application extension", func() error {
-			res, err := experiments.CrossApplication(nil, 4, *scale)
+			res, err := experiments.CrossApplicationCtx(ctx, opt, nil, 4, *scale)
 			if err != nil {
 				return err
 			}
@@ -140,7 +154,7 @@ func main() {
 	if want("assoc") {
 		any = true
 		run("associativity extension", func() error {
-			rows, err := experiments.AssociativityComparison(nil, 4, *scale)
+			rows, err := experiments.AssociativityComparisonCtx(ctx, opt, nil, 4, *scale)
 			if err != nil {
 				return err
 			}
@@ -151,7 +165,7 @@ func main() {
 	if want("fixed") {
 		any = true
 		run("fixed-vs-tuned extension", func() error {
-			rows, err := experiments.FixedVsTuned(nil, 4, *scale)
+			rows, err := experiments.FixedVsTunedCtx(ctx, opt, nil, 4, *scale)
 			if err != nil {
 				return err
 			}
@@ -162,7 +176,7 @@ func main() {
 	if want("aslr") {
 		any = true
 		run("ASLR robustness extension", func() error {
-			rows, err := experiments.ASLRRobustness("fft", 4, *scale,
+			rows, err := experiments.ASLRRobustnessCtx(ctx, opt, "fft", 4, *scale,
 				[]uint64{0, 0x1000, 0x10000, 0x3450, 0x81230})
 			if err != nil {
 				return err
@@ -174,7 +188,7 @@ func main() {
 	if want("repl") {
 		any = true
 		run("replacement ablation", func() error {
-			rows, err := experiments.ReplacementAblation(nil, 4, *scale)
+			rows, err := experiments.ReplacementAblationCtx(ctx, opt, nil, 4, *scale)
 			if err != nil {
 				return err
 			}
@@ -185,7 +199,7 @@ func main() {
 	if want("energy") {
 		any = true
 		run("energy extension", func() error {
-			rows, err := experiments.EnergyComparison(nil, 4, *scale)
+			rows, err := experiments.EnergyComparisonCtx(ctx, opt, nil, 4, *scale)
 			if err != nil {
 				return err
 			}
@@ -197,7 +211,7 @@ func main() {
 		any = true
 		run("miss-curve extension", func() error {
 			for _, bench := range []string{"fft", "rijndael"} {
-				pts, err := experiments.SizeSweep(bench, nil, *scale)
+				pts, err := experiments.SizeSweepCtx(ctx, opt, bench, nil, *scale)
 				if err != nil {
 					return err
 				}
@@ -210,7 +224,7 @@ func main() {
 	if want("phase") {
 		any = true
 		run("phase-reconfiguration extension", func() error {
-			rows, err := experiments.PhaseReconfiguration("fft", "adpcm_dec", 4, *scale,
+			rows, err := experiments.PhaseReconfigurationCtx(ctx, opt, "fft", "adpcm_dec", 4, *scale,
 				[]int{100, 1000, 10000, 100000})
 			if err != nil {
 				return err
@@ -223,4 +237,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tables: unknown table %q (want 1, 2d, 2i, 3, exp1, eq3, cross, assoc, phase, sweep, fixed, energy, repl, aslr, 2x, all)\n", *table)
 		os.Exit(2)
 	}
+}
+
+// progressSink renders pipeline events as single stderr lines. Several
+// experiments tune traces concurrently, so lines from different traces
+// may interleave; each line is still atomic.
+func progressSink(w *os.File) core.Sink {
+	return core.SinkFunc(func(e core.Event) {
+		switch e.Kind {
+		case core.StageStarted:
+			fmt.Fprintf(w, "[%s] started\n", e.Stage)
+		case core.StageFinished:
+			if e.Stage == core.StageSearch {
+				fmt.Fprintf(w, "[%s] finished: %d moves, %d evaluated, best estimate %d\n",
+					e.Stage, e.Iteration, e.Evaluated, e.Best)
+				return
+			}
+			fmt.Fprintf(w, "[%s] finished\n", e.Stage)
+		case core.SearchProgress:
+			fmt.Fprintf(w, "[%s] restart %d move %d: %d evaluated, best estimate %d\n",
+				e.Stage, e.Restart, e.Iteration, e.Evaluated, e.Best)
+		}
+	})
 }

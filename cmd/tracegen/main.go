@@ -63,12 +63,13 @@ func main() {
 	}
 
 	dst := os.Stdout
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err.Error())
 		}
-		defer f.Close()
+		outFile = f
 		dst = f
 	}
 	switch *format {
@@ -83,6 +84,13 @@ func main() {
 	}
 	if err != nil {
 		fatal(err.Error())
+	}
+	// An explicit, checked close: encode errors and close errors (the
+	// kernel flushing the file) both matter for a generator.
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fatal(err.Error())
+		}
 	}
 	s := tr.ComputeStats()
 	fmt.Fprintf(os.Stderr, "tracegen: %s/%s: %d accesses, %d ops, %d unique blocks\n",

@@ -14,6 +14,10 @@
 //	xoridx -trace fft.xtr -bitstream -verilog index.v        # hardware artefacts
 //	xoridx -trace fft.xtr -family general -algo anneal       # alternative search
 //	xoridx -trace fft.xtr -cache 4096 -workers -1            # sharded parallel profiling + search
+//	xoridx -trace fft.xtr -cache 4096 -progress              # stage/search progress on stderr
+//
+// Ctrl-C (SIGINT) cancels the pipeline cooperatively: the run aborts
+// within one hill-climbing move and exits with the cancellation error.
 //
 // Trace files may be in the binary, text or Dinero III format
 // (autodetected).
@@ -21,9 +25,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"xoridx/internal/cache"
 	"xoridx/internal/core"
@@ -53,7 +59,11 @@ func main() {
 	verilogFile := flag.String("verilog", "", "write a synthesizable Verilog module of the Fig. 2b network to this file")
 	loadFn := flag.String("apply", "", "skip the search: load a matrix from this file and evaluate it on the trace")
 	analyze := flag.Bool("analyze", false, "diagnose the trace's conflicts (hot vectors + concrete address pairs) instead of constructing a function")
+	progress := flag.Bool("progress", false, "report pipeline stages and search progress on stderr")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *traceFile == "" {
 		fmt.Fprintln(os.Stderr, "xoridx: -trace required")
@@ -96,7 +106,11 @@ func main() {
 		fatal(fmt.Errorf("unknown family %q", *family))
 	}
 
-	res, err := tuneWith(tr, cfg, *algo)
+	var events core.Sink
+	if *progress {
+		events = core.SinkFunc(printEvent)
+	}
+	res, err := tuneWith(ctx, tr, cfg, *algo, events)
 	if err != nil {
 		fatal(err)
 	}
@@ -150,7 +164,7 @@ func main() {
 			fatal(err)
 		}
 		if err := nl.EmitVerilog(f, "xoridx_index"); err != nil {
-			f.Close()
+			_ = f.Close() // surfacing the emit error matters more
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -165,11 +179,12 @@ func main() {
 // pipeline. The alternative algorithms (extensions; see DESIGN.md §7)
 // produce a matrix that is then validated — and guarded — exactly like
 // the paper's hill climber.
-func tuneWith(tr *trace.Trace, cfg core.Config, algo string) (*core.Result, error) {
+func tuneWith(ctx context.Context, tr *trace.Trace, cfg core.Config, algo string, events core.Sink) (*core.Result, error) {
+	pl := core.Pipeline{Config: cfg, Events: events}
 	if algo == "hillclimb" {
-		return core.Tune(tr, cfg)
+		return pl.Run(ctx, tr)
 	}
-	p, err := core.BuildProfile(tr, cfg)
+	p, err := pl.Profile(ctx, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -179,34 +194,39 @@ func tuneWith(tr *trace.Trace, cfg core.Config, algo string) (*core.Result, erro
 		if cfg.Family != hash.FamilyGeneralXOR {
 			return nil, fmt.Errorf("-algo anneal searches general XOR functions; use -family general")
 		}
-		sres, err = search.Anneal(p, cfg.SetBits(), search.AnnealOptions{Seed: cfg.Seed})
+		sres, err = search.AnnealCtx(ctx, p, cfg.SetBits(), search.AnnealOptions{Seed: cfg.Seed})
 	case "constructive":
 		if cfg.Family != hash.FamilyPermutation {
 			return nil, fmt.Errorf("-algo constructive builds permutation-based functions; use -family permutation")
 		}
-		sres, err = search.Constructive(p, cfg.SetBits(), cfg.MaxInputs, 64)
+		sres, err = search.ConstructiveCtx(ctx, p, cfg.SetBits(), cfg.MaxInputs, 64)
 	default:
 		return nil, fmt.Errorf("unknown -algo %q (hillclimb, anneal, constructive)", algo)
 	}
 	if err != nil {
 		return nil, err
 	}
-	// Hand the found matrix to the pipeline by re-running the guarded
-	// validation: build a single-candidate result via TuneProfiled on a
-	// zero-iteration search... simplest faithful route: validate here.
-	f, err := hash.NewXOR(sres.Matrix)
-	if err != nil {
-		return nil, err
+	// Hand the found matrix to the exact-simulation stage, which also
+	// applies the §6 fallback guard.
+	return pl.Validate(ctx, tr, p, sres)
+}
+
+// printEvent renders one pipeline event as a stderr line.
+func printEvent(e core.Event) {
+	switch e.Kind {
+	case core.StageStarted:
+		fmt.Fprintf(os.Stderr, "[%s] started\n", e.Stage)
+	case core.StageFinished:
+		if e.Stage == core.StageSearch {
+			fmt.Fprintf(os.Stderr, "[%s] finished: %d moves, %d evaluated, best estimate %d\n",
+				e.Stage, e.Iteration, e.Evaluated, e.Best)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "[%s] finished\n", e.Stage)
+	case core.SearchProgress:
+		fmt.Fprintf(os.Stderr, "[%s] restart %d move %d: %d evaluated, best estimate %d\n",
+			e.Stage, e.Restart, e.Iteration, e.Evaluated, e.Best)
 	}
-	res := &core.Result{Search: sres, Profile: p, Func: f}
-	res.Baseline = core.Simulate(tr, cfg, hash.Modulo(cfg.AddrBits, cfg.SetBits()))
-	res.Optimized = core.Simulate(tr, cfg, f)
-	if !cfg.NoFallback && res.Optimized.Misses > res.Baseline.Misses {
-		res.Func = hash.Modulo(cfg.AddrBits, cfg.SetBits())
-		res.Optimized = res.Baseline
-		res.UsedFallback = true
-	}
-	return res, nil
 }
 
 // applyMatrixFile evaluates a previously saved index function on a

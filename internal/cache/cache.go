@@ -11,11 +11,13 @@
 package cache
 
 import (
+	"context"
 	"fmt"
 
 	"xoridx/internal/hash"
 	"xoridx/internal/lru"
 	"xoridx/internal/trace"
+	"xoridx/internal/xerr"
 )
 
 // Replacement selects the victim policy for associative sets.
@@ -59,17 +61,17 @@ func (c Config) SetBits() int {
 
 func (c Config) validate() error {
 	if c.SizeBytes <= 0 || c.BlockBytes <= 0 || c.Ways <= 0 {
-		return fmt.Errorf("cache: non-positive geometry %+v", c)
+		return fmt.Errorf("cache: non-positive geometry %+v: %w", c, xerr.ErrInvalidGeometry)
 	}
 	if c.BlockBytes&(c.BlockBytes-1) != 0 {
-		return fmt.Errorf("cache: block size %d not a power of two", c.BlockBytes)
+		return fmt.Errorf("cache: block size %d not a power of two: %w", c.BlockBytes, xerr.ErrInvalidGeometry)
 	}
 	if c.SizeBytes%(c.BlockBytes*c.Ways) != 0 {
-		return fmt.Errorf("cache: size %d not divisible by ways*block", c.SizeBytes)
+		return fmt.Errorf("cache: size %d not divisible by ways*block: %w", c.SizeBytes, xerr.ErrInvalidGeometry)
 	}
 	s := c.Sets()
 	if s&(s-1) != 0 {
-		return fmt.Errorf("cache: set count %d not a power of two", s)
+		return fmt.Errorf("cache: set count %d not a power of two: %w", s, xerr.ErrInvalidGeometry)
 	}
 	return nil
 }
@@ -141,7 +143,7 @@ func New(cfg Config) (*Cache, error) {
 		idx = hash.Modulo(16, cfg.SetBits())
 	}
 	if idx.SetBits() != cfg.SetBits() {
-		return nil, fmt.Errorf("cache: index function has %d set bits, geometry needs %d", idx.SetBits(), cfg.SetBits())
+		return nil, fmt.Errorf("cache: index function has %d set bits, geometry needs %d: %w", idx.SetBits(), cfg.SetBits(), xerr.ErrInvalidGeometry)
 	}
 	sets := make([][]line, cfg.Sets())
 	backing := make([]line, cfg.Sets()*cfg.Ways)
@@ -263,12 +265,53 @@ func (c *Cache) Run(t *trace.Trace) Stats {
 	return c.stats
 }
 
+// ctxCheckEvery is the cancellation-check granularity of the simulation
+// loops, in accesses: one channel poll amortised over 8 K set lookups.
+const ctxCheckEvery = 8192
+
+// RunCtx is Run with cooperative cancellation: the loop checks ctx
+// every ctxCheckEvery accesses and returns the statistics accumulated
+// so far alongside a wrapped xerr.ErrCanceled when the context is done.
+func (c *Cache) RunCtx(ctx context.Context, t *trace.Trace) (Stats, error) {
+	for start := 0; start < len(t.Accesses); start += ctxCheckEvery {
+		if err := xerr.Check(ctx); err != nil {
+			return c.stats, err
+		}
+		end := start + ctxCheckEvery
+		if end > len(t.Accesses) {
+			end = len(t.Accesses)
+		}
+		for _, a := range t.Accesses[start:end] {
+			c.access(a.Addr/uint64(c.cfg.BlockBytes), a.Kind == trace.Write)
+		}
+	}
+	return c.stats, nil
+}
+
 // RunBlocks simulates a block-address read sequence.
 func (c *Cache) RunBlocks(blocks []uint64) Stats {
 	for _, b := range blocks {
 		c.AccessBlock(b)
 	}
 	return c.stats
+}
+
+// RunBlocksCtx is RunBlocks with cooperative cancellation on the same
+// terms as RunCtx.
+func (c *Cache) RunBlocksCtx(ctx context.Context, blocks []uint64) (Stats, error) {
+	for start := 0; start < len(blocks); start += ctxCheckEvery {
+		if err := xerr.Check(ctx); err != nil {
+			return c.stats, err
+		}
+		end := start + ctxCheckEvery
+		if end > len(blocks) {
+			end = len(blocks)
+		}
+		for _, b := range blocks[start:end] {
+			c.AccessBlock(b)
+		}
+	}
+	return c.stats, nil
 }
 
 // MemoryTraffic returns the number of block transfers to/from memory:
@@ -292,6 +335,19 @@ func SimulateBlocks(blocks []uint64, sizeBytes, blockBytes int, idx hash.Func) u
 	return c.stats.Misses
 }
 
+// SimulateBlocksCtx is SimulateBlocks with cooperative cancellation.
+func SimulateBlocksCtx(ctx context.Context, blocks []uint64, sizeBytes, blockBytes int, idx hash.Func) (uint64, error) {
+	c, err := New(Config{SizeBytes: sizeBytes, BlockBytes: blockBytes, Ways: 1, Index: idx})
+	if err != nil {
+		return 0, err
+	}
+	c.DisableClassification()
+	if _, err := c.RunBlocksCtx(ctx, blocks); err != nil {
+		return 0, err
+	}
+	return c.stats.Misses, nil
+}
+
 // Flush invalidates every line, as a reconfiguration of the index
 // function requires in real hardware (set indices change, so resident
 // lines become unreachable). Statistics and the compulsory-miss shadow
@@ -310,8 +366,8 @@ func (c *Cache) Flush() {
 // produce the same number of set bits.
 func (c *Cache) SetIndex(f hash.Func) error {
 	if f.SetBits() != c.cfg.SetBits() {
-		return fmt.Errorf("cache: new index function has %d set bits, geometry needs %d",
-			f.SetBits(), c.cfg.SetBits())
+		return fmt.Errorf("cache: new index function has %d set bits, geometry needs %d: %w",
+			f.SetBits(), c.cfg.SetBits(), xerr.ErrInvalidGeometry)
 	}
 	c.idx = f
 	c.Flush()

@@ -1,0 +1,70 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xoridx/internal/hash"
+	"xoridx/internal/trace"
+	"xoridx/internal/xerr"
+)
+
+func ctxTestTrace(n int) *trace.Trace {
+	tr := &trace.Trace{Name: "ctx"}
+	for i := 0; i < n; i++ {
+		tr.Append(uint64(i*64)&0xffff, trace.Read)
+	}
+	return tr
+}
+
+func TestRunCtxMatchesRun(t *testing.T) {
+	tr := ctxTestTrace(20000)
+	cfg := Config{SizeBytes: 1024, BlockBytes: 4, Ways: 1, Index: hash.Modulo(16, 8)}
+	want := MustNew(cfg).Run(tr)
+	got, err := MustNew(cfg).RunCtx(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("RunCtx stats %+v differ from Run %+v", got, want)
+	}
+}
+
+func TestRunCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := MustNew(Config{SizeBytes: 1024, BlockBytes: 4, Ways: 1, Index: hash.Modulo(16, 8)})
+	_, err := c.RunCtx(ctx, ctxTestTrace(10))
+	if !errors.Is(err, xerr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v must wrap ErrCanceled and context.Canceled", err)
+	}
+}
+
+func TestSimulateBlocksCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SimulateBlocksCtx(ctx, []uint64{1, 2, 3}, 256, 4, hash.Modulo(12, 6))
+	if !errors.Is(err, xerr.ErrCanceled) {
+		t.Fatalf("error %v must wrap ErrCanceled", err)
+	}
+	// An uncanceled run must agree with the plain helper.
+	want := SimulateBlocks([]uint64{1, 2, 3, 1, 2, 3}, 256, 4, hash.Modulo(12, 6))
+	got, err := SimulateBlocksCtx(context.Background(), []uint64{1, 2, 3, 1, 2, 3}, 256, 4, hash.Modulo(12, 6))
+	if err != nil || got != want {
+		t.Fatalf("SimulateBlocksCtx = %d, %v; want %d", got, err, want)
+	}
+}
+
+func TestInvalidGeometryTyped(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, BlockBytes: 4, Ways: 1},
+		{SizeBytes: 1000, BlockBytes: 3, Ways: 1},
+		{SizeBytes: 1024, BlockBytes: 4, Ways: 3},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); !errors.Is(err, xerr.ErrInvalidGeometry) {
+			t.Errorf("config %d: error %v must wrap ErrInvalidGeometry", i, err)
+		}
+	}
+}

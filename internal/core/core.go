@@ -10,13 +10,32 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strings"
 
 	"xoridx/internal/cache"
-	"xoridx/internal/gf2"
 	"xoridx/internal/hash"
 	"xoridx/internal/profile"
 	"xoridx/internal/search"
 	"xoridx/internal/trace"
+	"xoridx/internal/xerr"
+)
+
+// Sentinel errors of the pipeline, re-exported from internal/xerr so
+// downstream users can match them with errors.Is against any error the
+// core API returns, without importing the internal leaf package.
+var (
+	// ErrCanceled marks errors caused by context cancellation; such
+	// errors also wrap the context's own cause (context.Canceled or
+	// context.DeadlineExceeded).
+	ErrCanceled = xerr.ErrCanceled
+	// ErrInvalidGeometry marks impossible cache geometries.
+	ErrInvalidGeometry = xerr.ErrInvalidGeometry
+	// ErrInvalidOptions marks search/profiling options out of domain.
+	ErrInvalidOptions = xerr.ErrInvalidOptions
+	// ErrProfileMismatch marks profiles incompatible with the config.
+	ErrProfileMismatch = xerr.ErrProfileMismatch
+	// ErrFormat marks unparsable serialized input (traces, matrices).
+	ErrFormat = xerr.ErrFormat
 )
 
 // Config describes one tuning problem.
@@ -68,23 +87,23 @@ func (c Config) withDefaults() Config {
 
 func (c Config) validate() error {
 	if c.CacheBytes <= 0 {
-		return fmt.Errorf("core: CacheBytes must be positive")
+		return fmt.Errorf("core: CacheBytes must be positive: %w", xerr.ErrInvalidGeometry)
 	}
 	if c.BlockBytes <= 0 || c.BlockBytes&(c.BlockBytes-1) != 0 {
-		return fmt.Errorf("core: BlockBytes %d not a power of two", c.BlockBytes)
+		return fmt.Errorf("core: BlockBytes %d not a power of two: %w", c.BlockBytes, xerr.ErrInvalidGeometry)
 	}
 	blocks := c.CacheBytes / c.BlockBytes
 	if blocks <= 1 || blocks&(blocks-1) != 0 {
-		return fmt.Errorf("core: cache of %d blocks not a power of two > 1", blocks)
+		return fmt.Errorf("core: cache of %d blocks not a power of two > 1: %w", blocks, xerr.ErrInvalidGeometry)
 	}
 	if c.Ways < 1 || c.Ways&(c.Ways-1) != 0 || c.Ways > blocks {
-		return fmt.Errorf("core: %d ways invalid for a %d-block cache", c.Ways, blocks)
+		return fmt.Errorf("core: %d ways invalid for a %d-block cache: %w", c.Ways, blocks, xerr.ErrInvalidGeometry)
 	}
 	if blocks/c.Ways < 2 {
-		return fmt.Errorf("core: fully-associative geometry has no index to tune")
+		return fmt.Errorf("core: fully-associative geometry has no index to tune: %w", xerr.ErrInvalidGeometry)
 	}
 	if c.AddrBits < c.SetBits()+1 || c.AddrBits > 30 {
-		return fmt.Errorf("core: AddrBits %d out of range (need > set bits %d)", c.AddrBits, c.SetBits())
+		return fmt.Errorf("core: AddrBits %d out of range (need > set bits %d): %w", c.AddrBits, c.SetBits(), xerr.ErrInvalidGeometry)
 	}
 	return nil
 }
@@ -133,6 +152,10 @@ func (r *Result) MissesRemoved() float64 {
 }
 
 // Tune runs the full pipeline on a trace.
+//
+// Tune is the non-cancellable form of TuneCtx: it profiles, searches
+// and validates with context.Background() and no event sink, keeping
+// the pre-refactor hot paths check-free.
 func Tune(tr *trace.Trace, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -144,46 +167,77 @@ func Tune(tr *trace.Trace, cfg Config) (*Result, error) {
 
 // TuneProfiled runs search + validation with a pre-built profile,
 // letting callers amortise profiling across several searches (e.g. the
-// 2-in/4-in/16-in sweep of Table 2).
+// 2-in/4-in/16-in sweep of Table 2). It is the non-cancellable form of
+// TuneProfiledCtx.
 func TuneProfiled(tr *trace.Trace, p *profile.Profile, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if p.N != cfg.AddrBits {
-		return nil, fmt.Errorf("core: profile has n=%d, config wants %d", p.N, cfg.AddrBits)
-	}
-	if p.CacheBlocks != cfg.CacheBytes/cfg.BlockBytes {
-		return nil, fmt.Errorf("core: profile capacity filter %d blocks, config cache is %d blocks",
-			p.CacheBlocks, cfg.CacheBytes/cfg.BlockBytes)
+	if err := checkProfile(p, cfg); err != nil {
+		return nil, err
 	}
 	m := cfg.SetBits()
-	sres, err := search.Construct(p, m, search.Options{
-		Family:        cfg.Family,
-		MaxInputs:     cfg.MaxInputs,
-		MaxIterations: cfg.MaxIterations,
-		Restarts:      cfg.Restarts,
-		Seed:          cfg.Seed,
-		Workers:       cfg.profileWorkers(),
-	})
+	sres, err := search.Construct(p, m, cfg.searchOptions())
 	if err != nil {
 		return nil, err
 	}
+	return validateSearch(tr, p, cfg, sres)
+}
+
+// checkProfile verifies that a pre-built profile matches the config.
+func checkProfile(p *profile.Profile, cfg Config) error {
+	if p.N != cfg.AddrBits {
+		return fmt.Errorf("core: profile has n=%d, config wants %d: %w", p.N, cfg.AddrBits, xerr.ErrProfileMismatch)
+	}
+	if p.CacheBlocks != cfg.CacheBytes/cfg.BlockBytes {
+		return fmt.Errorf("core: profile capacity filter %d blocks, config cache is %d blocks: %w",
+			p.CacheBlocks, cfg.CacheBytes/cfg.BlockBytes, xerr.ErrProfileMismatch)
+	}
+	return nil
+}
+
+// searchOptions maps the config onto the search layer's options.
+func (c Config) searchOptions() search.Options {
+	return search.Options{
+		Family:        c.Family,
+		MaxInputs:     c.MaxInputs,
+		MaxIterations: c.MaxIterations,
+		Restarts:      c.Restarts,
+		Seed:          c.Seed,
+		Workers:       c.profileWorkers(),
+	}
+}
+
+// validateSearch turns a search result into the final Result: exact
+// baseline + optimized simulations and the §6 fallback guard.
+func validateSearch(tr *trace.Trace, p *profile.Profile, cfg Config, sres search.Result) (*Result, error) {
+	m := cfg.SetBits()
 	optFunc, err := hash.NewXOR(sres.Matrix)
 	if err != nil {
-		return nil, fmt.Errorf("core: search produced invalid matrix: %w", err)
+		return nil, errInvalidMatrix(err)
 	}
 	res := &Result{Search: sres, Profile: p}
 	res.Baseline = simulate(tr, cfg, hash.Modulo(cfg.AddrBits, m))
 	res.Optimized = simulate(tr, cfg, optFunc)
 	res.Func = optFunc
+	applyFallback(res, cfg, m)
+	return res, nil
+}
+
+func errInvalidMatrix(err error) error {
+	return fmt.Errorf("core: search produced invalid matrix: %w", err)
+}
+
+// applyFallback reverts to the conventional function when the searched
+// one would add misses (paper §6), unless disabled.
+func applyFallback(res *Result, cfg Config, m int) {
 	if !cfg.NoFallback && res.Optimized.Misses > res.Baseline.Misses {
 		// Paper §6: "one can revert to the conventional index function".
 		res.Func = hash.Modulo(cfg.AddrBits, m)
 		res.Optimized = res.Baseline
 		res.UsedFallback = true
 	}
-	return res, nil
 }
 
 // Simulate runs one exact simulation of the trace under the config's
@@ -195,20 +249,25 @@ func Simulate(tr *trace.Trace, cfg Config, f hash.Func) cache.Stats {
 }
 
 func simulate(tr *trace.Trace, cfg Config, f hash.Func) cache.Stats {
-	c := cache.MustNew(cache.Config{
+	c := cache.MustNew(cacheConfig(cfg, f))
+	c.DisableClassification()
+	return c.Run(tr)
+}
+
+func cacheConfig(cfg Config, f hash.Func) cache.Config {
+	return cache.Config{
 		SizeBytes:  cfg.CacheBytes,
 		BlockBytes: cfg.BlockBytes,
 		Ways:       cfg.Ways,
 		Index:      f,
-	})
-	c.DisableClassification()
-	return c.Run(tr)
+	}
 }
 
 // BuildProfile profiles a trace for the given configuration; exposed
 // so callers can share it across TuneProfiled calls. With Workers > 1
 // (or < 0 for all cores) the pass runs through the sharded pipeline,
-// which is bit-identical to the sequential one.
+// which is bit-identical to the sequential one. It is the
+// non-cancellable form of BuildProfileCtx.
 func BuildProfile(tr *trace.Trace, cfg Config) (*profile.Profile, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -235,12 +294,12 @@ func (c Config) profileWorkers() int {
 
 // DescribeFunction renders the selected function: family line, matrix,
 // and its null-space basis — the artefacts a hardware engineer needs to
-// program the Fig. 2 selector network.
+// program the Fig. 2 selector network. The result never carries a
+// trailing newline, so it composes cleanly with fmt.Println.
 func DescribeFunction(f hash.Func) string {
 	h := f.Matrix()
 	ns := h.NullSpace()
-	return fmt.Sprintf("%s\nmatrix (rows = address bits %d..0):\n%s\nnull space (%d vectors):\n%s",
-		f, h.N-1, h, nsSize(ns), ns)
+	s := fmt.Sprintf("%s\nmatrix (rows = address bits %d..0):\n%s\nnull space (%d vectors):\n%s",
+		f, h.N-1, h, ns.Size(), ns)
+	return strings.TrimRight(s, "\n")
 }
-
-func nsSize(ns gf2.Subspace) uint64 { return ns.Size() }

@@ -1,0 +1,257 @@
+package core
+
+// The staged, context-aware form of the pipeline. Tune runs the three
+// stages of the paper's construction algorithm — profile (Fig. 1),
+// search (§3.2), validate (§6) — as one blocking call; Pipeline exposes
+// them individually, threads a context through every hot loop beneath
+// them, and reports progress through an event sink. TuneCtx,
+// TuneProfiledCtx, BuildProfileCtx and SimulateCtx are the one-call
+// conveniences built on top of it.
+
+import (
+	"context"
+
+	"xoridx/internal/cache"
+	"xoridx/internal/hash"
+	"xoridx/internal/profile"
+	"xoridx/internal/search"
+	"xoridx/internal/trace"
+	"xoridx/internal/xerr"
+)
+
+// Stage identifies one pipeline stage in an Event.
+type Stage string
+
+// The three stages of the construction algorithm.
+const (
+	StageProfile  Stage = "profile"  // Fig. 1 LRU conflict-vector pass
+	StageSearch   Stage = "search"   // §3.2 design-space search
+	StageValidate Stage = "validate" // exact simulation + §6 fallback
+)
+
+// EventKind distinguishes the notifications a Sink receives.
+type EventKind int
+
+const (
+	// StageStarted is emitted once when a stage begins.
+	StageStarted EventKind = iota
+	// StageFinished is emitted once when a stage completes.
+	StageFinished
+	// SearchProgress is emitted after every hill-climbing move of the
+	// search stage. Restart, Iteration, Evaluated and Best are set.
+	SearchProgress
+)
+
+// Event is one progress notification from the pipeline.
+type Event struct {
+	Kind  EventKind
+	Stage Stage
+
+	// Search progress (Kind == SearchProgress, and on the search
+	// stage's StageFinished event as final totals).
+	Restart   int    // restart index (0 = the conventional start)
+	Iteration int    // hill-climbing moves taken
+	Evaluated int    // candidate evaluations performed
+	Best      uint64 // best Eq. 4 estimate so far
+}
+
+// Sink consumes pipeline events. Emit is called synchronously from the
+// stage goroutine, so implementations must be fast and must not block;
+// they also must be safe for concurrent use if the same Sink is shared
+// across concurrently running pipelines.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a plain function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// Pipeline runs the construction algorithm stage by stage. The zero
+// value is not usable; fill in Config. Events is optional.
+//
+// The one-call helpers cover the common case:
+//
+//	res, err := core.TuneCtx(ctx, tr, cfg)
+//
+// while the staged form lets a caller reuse a profile across several
+// searches, or interleave its own logic between stages:
+//
+//	pl := core.Pipeline{Config: cfg, Events: sink}
+//	p, err := pl.Profile(ctx, tr)        // Fig. 1
+//	sres, err := pl.Search(ctx, p)       // §3.2
+//	res, err := pl.Validate(ctx, tr, p, sres) // §6
+type Pipeline struct {
+	// Config describes the tuning problem; defaults are applied by each
+	// stage.
+	Config Config
+	// Events receives progress notifications; nil disables them.
+	Events Sink
+}
+
+// emit delivers e when a sink is installed.
+func (pl *Pipeline) emit(e Event) {
+	if pl.Events != nil {
+		pl.Events.Emit(e)
+	}
+}
+
+// Profile runs the Fig. 1 profiling stage: it extracts the block
+// sequence and builds the conflict-vector histogram, sharded across
+// Config.Workers when > 1 (bit-identical to the sequential pass).
+func (pl *Pipeline) Profile(ctx context.Context, tr *trace.Trace) (*profile.Profile, error) {
+	cfg := pl.Config.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pl.emit(Event{Kind: StageStarted, Stage: StageProfile})
+	blocks := tr.Blocks(cfg.BlockBytes, cfg.AddrBits)
+	var (
+		p   *profile.Profile
+		err error
+	)
+	if w := cfg.profileWorkers(); w > 1 {
+		p, err = profile.BuildParallelCtx(ctx, blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes,
+			profile.ParallelOptions{Workers: w})
+	} else {
+		p, err = profile.BuildCtx(ctx, blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pl.emit(Event{Kind: StageFinished, Stage: StageProfile})
+	return p, nil
+}
+
+// Search runs the §3.2 design-space search stage against a profile
+// built by Profile (or profile.Build directly). Hill-climbing progress
+// is reported through Events as SearchProgress events.
+func (pl *Pipeline) Search(ctx context.Context, p *profile.Profile) (search.Result, error) {
+	cfg := pl.Config.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return search.Result{}, err
+	}
+	if err := checkProfile(p, cfg); err != nil {
+		return search.Result{}, err
+	}
+	pl.emit(Event{Kind: StageStarted, Stage: StageSearch})
+	opt := cfg.searchOptions()
+	if pl.Events != nil {
+		opt.Progress = func(sp search.Progress) {
+			pl.emit(Event{
+				Kind:      SearchProgress,
+				Stage:     StageSearch,
+				Restart:   sp.Restart,
+				Iteration: sp.Iteration,
+				Evaluated: sp.Evaluated,
+				Best:      sp.Best,
+			})
+		}
+	}
+	sres, err := search.ConstructCtx(ctx, p, cfg.SetBits(), opt)
+	if err != nil {
+		return search.Result{}, err
+	}
+	pl.emit(Event{
+		Kind:      StageFinished,
+		Stage:     StageSearch,
+		Restart:   cfg.Restarts,
+		Iteration: sres.Iterations,
+		Evaluated: sres.Evaluated,
+		Best:      sres.Estimated,
+	})
+	return sres, nil
+}
+
+// Validate runs the exact-simulation stage: it simulates the searched
+// function and the conventional baseline over the trace and applies the
+// §6 fallback guard, producing the final Result.
+func (pl *Pipeline) Validate(ctx context.Context, tr *trace.Trace, p *profile.Profile, sres search.Result) (*Result, error) {
+	cfg := pl.Config.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := cfg.SetBits()
+	optFunc, err := hash.NewXOR(sres.Matrix)
+	if err != nil {
+		return nil, errInvalidMatrix(err)
+	}
+	pl.emit(Event{Kind: StageStarted, Stage: StageValidate})
+	res := &Result{Search: sres, Profile: p}
+	if res.Baseline, err = simulateCtx(ctx, tr, cfg, hash.Modulo(cfg.AddrBits, m)); err != nil {
+		return nil, err
+	}
+	if res.Optimized, err = simulateCtx(ctx, tr, cfg, optFunc); err != nil {
+		return nil, err
+	}
+	res.Func = optFunc
+	applyFallback(res, cfg, m)
+	pl.emit(Event{Kind: StageFinished, Stage: StageValidate})
+	return res, nil
+}
+
+// Run executes all three stages in order.
+func (pl *Pipeline) Run(ctx context.Context, tr *trace.Trace) (*Result, error) {
+	p, err := pl.Profile(ctx, tr)
+	if err != nil {
+		return nil, err
+	}
+	return pl.RunProfiled(ctx, tr, p)
+}
+
+// RunProfiled executes the search and validation stages with a
+// pre-built profile.
+func (pl *Pipeline) RunProfiled(ctx context.Context, tr *trace.Trace, p *profile.Profile) (*Result, error) {
+	sres, err := pl.Search(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Validate(ctx, tr, p, sres)
+}
+
+// TuneCtx is Tune with cooperative cancellation and optional progress
+// events: every stage checks ctx periodically (see DESIGN.md §9 for
+// the granularity per layer) and returns a wrapped ErrCanceled when it
+// is done. events may be nil.
+func TuneCtx(ctx context.Context, tr *trace.Trace, cfg Config, events Sink) (*Result, error) {
+	pl := Pipeline{Config: cfg, Events: events}
+	return pl.Run(ctx, tr)
+}
+
+// TuneProfiledCtx is TuneProfiled with cooperative cancellation and
+// optional progress events.
+func TuneProfiledCtx(ctx context.Context, tr *trace.Trace, p *profile.Profile, cfg Config, events Sink) (*Result, error) {
+	pl := Pipeline{Config: cfg, Events: events}
+	return pl.RunProfiled(ctx, tr, p)
+}
+
+// BuildProfileCtx is BuildProfile with cooperative cancellation.
+func BuildProfileCtx(ctx context.Context, tr *trace.Trace, cfg Config) (*profile.Profile, error) {
+	pl := Pipeline{Config: cfg}
+	return pl.Profile(ctx, tr)
+}
+
+// SimulateCtx is Simulate with cooperative cancellation: the simulation
+// loop polls ctx and returns the statistics so far alongside a wrapped
+// ErrCanceled when it is done.
+func SimulateCtx(ctx context.Context, tr *trace.Trace, cfg Config, f hash.Func) (cache.Stats, error) {
+	return simulateCtx(ctx, tr, cfg.withDefaults(), f)
+}
+
+func simulateCtx(ctx context.Context, tr *trace.Trace, cfg Config, f hash.Func) (cache.Stats, error) {
+	c, err := cache.New(cacheConfig(cfg, f))
+	if err != nil {
+		return cache.Stats{}, err
+	}
+	c.DisableClassification()
+	return c.RunCtx(ctx, tr)
+}
+
+// Check returns a wrapped ErrCanceled when ctx is done and nil
+// otherwise — the cancellation probe the pipeline layers use, exported
+// for callers that interleave their own work between stages.
+func Check(ctx context.Context) error {
+	return xerr.Check(ctx)
+}

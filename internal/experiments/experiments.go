@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -19,8 +20,13 @@ import (
 	"xoridx/internal/workloads"
 )
 
-// CacheSizesKB are the paper's three direct-mapped cache sizes.
-var CacheSizesKB = [3]int{1, 4, 16}
+// cacheSizesKB returns the paper's three direct-mapped cache sizes. A
+// function rather than a package var (arrays cannot be consts) keeps
+// the package free of mutable globals.
+func cacheSizesKB() [3]int { return [3]int{1, 4, 16} }
+
+// CacheSizes returns the paper's three direct-mapped cache sizes in KB.
+func CacheSizes() [3]int { return cacheSizesKB() }
 
 // AddrBits is the paper's n = 16 hashed address bits.
 const AddrBits = 16
@@ -28,13 +34,39 @@ const AddrBits = 16
 // BlockBytes is the paper's 4-byte cache block.
 const BlockBytes = 4
 
-// Workers is threaded into every experiment's core.Config: it shards
-// the profiling pass (profile.BuildParallel — bit-identical results for
-// any value) and parallelises the search where supported. The drivers
-// already fan out across benchmarks, so the default keeps each per-
-// trace pipeline sequential; cmd/tables -workers raises it when few
-// benchmarks are selected. Set it before launching a run.
-var Workers int
+// Options configures one experiment run. The zero value reproduces
+// the defaults of the old package-level knobs; there is no package
+// mutable state, so two drivers can run concurrently in one process
+// with different options.
+type Options struct {
+	// Workers is threaded into every per-trace core.Config: it shards
+	// the profiling pass (bit-identical results for any value) and
+	// parallelises the search where supported. The drivers already fan
+	// out across benchmarks, so 0 keeps each per-trace pipeline
+	// sequential; cmd/tables -workers raises it when few benchmarks are
+	// selected.
+	Workers int
+	// MaxParallel bounds the per-driver benchmark fan-out; <= 0 selects
+	// GOMAXPROCS.
+	MaxParallel int
+	// Events receives pipeline progress events from every tuning run
+	// the driver performs; nil disables them. Shared across concurrent
+	// per-benchmark pipelines, so implementations must be
+	// goroutine-safe.
+	Events core.Sink
+}
+
+// maxParallel resolves the benchmark fan-out bound.
+func (o Options) maxParallel() int {
+	if o.MaxParallel > 0 {
+		return o.MaxParallel
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
 
 // Table2Cell is one benchmark × cache-size entry of Table 2.
 type Table2Cell struct {
@@ -54,26 +86,48 @@ type Table2Row struct {
 // XOR-functions with 2, 4 and unlimited inputs. The final row returned
 // by Average is the paper's "average" row.
 func Table2(instruction bool, scale int) ([]Table2Row, error) {
-	return Table2For(nil, instruction, scale)
+	return Table2Ctx(context.Background(), Options{}, instruction, scale)
+}
+
+// Table2Ctx is Table2 with cancellation and options.
+func Table2Ctx(ctx context.Context, opt Options, instruction bool, scale int) ([]Table2Row, error) {
+	return Table2ForCtx(ctx, opt, nil, instruction, scale)
 }
 
 // Table2For runs Table 2 for a subset of benchmark names (nil = all),
 // used by the fast test and bench paths.
 func Table2For(names []string, instruction bool, scale int) ([]Table2Row, error) {
-	return Table2Suite(workloads.MediaSuite(), names, instruction, scale)
+	return Table2ForCtx(context.Background(), Options{}, names, instruction, scale)
+}
+
+// Table2ForCtx is Table2For with cancellation and options.
+func Table2ForCtx(ctx context.Context, opt Options, names []string, instruction bool, scale int) ([]Table2Row, error) {
+	return Table2SuiteCtx(ctx, opt, workloads.MediaSuite(), names, instruction, scale)
 }
 
 // Table2Extra runs the Table 2 protocol over the extra benchmark suite
 // (gsm, g721, epic, pegwit) — benchmarks from the same families the
 // paper's evaluation drew on but did not have table space for.
 func Table2Extra(instruction bool, scale int) ([]Table2Row, error) {
-	return Table2Suite(workloads.ExtraSuite(), nil, instruction, scale)
+	return Table2ExtraCtx(context.Background(), Options{}, instruction, scale)
+}
+
+// Table2ExtraCtx is Table2Extra with cancellation and options.
+func Table2ExtraCtx(ctx context.Context, opt Options, instruction bool, scale int) ([]Table2Row, error) {
+	return Table2SuiteCtx(ctx, opt, workloads.ExtraSuite(), nil, instruction, scale)
 }
 
 // Table2Suite is the generic driver behind Table2/Table2For/Table2Extra.
 // Benchmarks are processed in parallel (each row is independent); the
 // returned order matches the suite order.
 func Table2Suite(suite []workloads.Workload, names []string, instruction bool, scale int) ([]Table2Row, error) {
+	return Table2SuiteCtx(context.Background(), Options{}, suite, names, instruction, scale)
+}
+
+// Table2SuiteCtx is Table2Suite with cancellation and options. A
+// canceled context aborts every in-flight per-benchmark pipeline and
+// returns a wrapped core.ErrCanceled.
+func Table2SuiteCtx(ctx context.Context, opt Options, suite []workloads.Workload, names []string, instruction bool, scale int) ([]Table2Row, error) {
 	var selected []workloads.Workload
 	for _, w := range suite {
 		if nameSelected(names, w.Name) {
@@ -83,13 +137,17 @@ func Table2Suite(suite []workloads.Workload, names []string, instruction bool, s
 	rows := make([]Table2Row, len(selected))
 	errs := make([]error, len(selected))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
+	sem := make(chan struct{}, opt.maxParallel())
 	for i, w := range selected {
 		wg.Add(1)
 		go func(i int, w workloads.Workload) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := core.Check(ctx); err != nil {
+				errs[i] = err
+				return
+			}
 			var tr *trace.Trace
 			if instruction {
 				tr = w.Instr(scale)
@@ -97,8 +155,8 @@ func Table2Suite(suite []workloads.Workload, names []string, instruction bool, s
 				tr = w.Data(scale)
 			}
 			row := Table2Row{Bench: w.Name}
-			for si, kb := range CacheSizesKB {
-				cell, err := tuneCell(tr, kb*1024)
+			for si, kb := range cacheSizesKB() {
+				cell, err := tuneCell(ctx, opt, tr, kb*1024)
 				if err != nil {
 					errs[i] = fmt.Errorf("%s %dKB: %w", w.Name, kb, err)
 					return
@@ -117,26 +175,17 @@ func Table2Suite(suite []workloads.Workload, names []string, instruction bool, s
 	return rows, nil
 }
 
-// maxParallel bounds experiment fan-out to the machine's cores.
-func maxParallel() int {
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
-
 // tuneCell runs the 2-in/4-in/16-in sweep for one trace and cache size.
-func tuneCell(tr *trace.Trace, cacheBytes int) (Table2Cell, error) {
+func tuneCell(ctx context.Context, opt Options, tr *trace.Trace, cacheBytes int) (Table2Cell, error) {
 	cfg := core.Config{
 		CacheBytes: cacheBytes,
 		BlockBytes: BlockBytes,
 		AddrBits:   AddrBits,
-		Workers:    Workers,
+		Workers:    opt.Workers,
 		Family:     hash.FamilyPermutation,
 		NoFallback: true, // report raw results like the paper's tables
 	}
-	p, err := core.BuildProfile(tr, cfg)
+	p, err := core.BuildProfileCtx(ctx, tr, cfg)
 	if err != nil {
 		return Table2Cell{}, err
 	}
@@ -144,7 +193,7 @@ func tuneCell(tr *trace.Trace, cacheBytes int) (Table2Cell, error) {
 	for i, maxIn := range []int{2, 4, 0} {
 		c := cfg
 		c.MaxInputs = maxIn
-		res, err := core.TuneProfiled(tr, p, c)
+		res, err := core.TuneProfiledCtx(ctx, tr, p, c, opt.Events)
 		if err != nil {
 			return Table2Cell{}, err
 		}
@@ -161,7 +210,7 @@ func Table2Average(rows []Table2Row) Table2Row {
 	if len(rows) == 0 {
 		return avg
 	}
-	for si := range CacheSizesKB {
+	for si := range cacheSizesKB() {
 		for _, r := range rows {
 			avg.Cells[si].BaseMissesPerKOp += r.Cells[si].BaseMissesPerKOp
 			for k := 0; k < 3; k++ {
@@ -191,35 +240,40 @@ type Exp1Row struct {
 // 1/4/16 KB data caches — i.e. restricting the family costs almost
 // nothing.
 func Experiment1(scale int) ([]Exp1Row, error) {
+	return Experiment1Ctx(context.Background(), Options{}, scale)
+}
+
+// Experiment1Ctx is Experiment1 with cancellation and options.
+func Experiment1Ctx(ctx context.Context, opt Options, scale int) ([]Exp1Row, error) {
 	suite := workloads.MediaSuite()
 	traces := make([]*trace.Trace, len(suite))
 	for i, w := range suite {
 		traces[i] = w.Data(scale)
 	}
 	var rows []Exp1Row
-	for _, kb := range CacheSizesKB {
+	for _, kb := range cacheSizesKB() {
 		row := Exp1Row{CacheKB: kb}
 		for i := range suite {
 			cfg := core.Config{
 				CacheBytes: kb * 1024,
 				BlockBytes: BlockBytes,
 				AddrBits:   AddrBits,
-				Workers:    Workers,
+				Workers:    opt.Workers,
 				NoFallback: true,
 			}
-			p, err := core.BuildProfile(traces[i], cfg)
+			p, err := core.BuildProfileCtx(ctx, traces[i], cfg)
 			if err != nil {
 				return nil, err
 			}
 			gen := cfg
 			gen.Family = hash.FamilyGeneralXOR
-			gres, err := core.TuneProfiled(traces[i], p, gen)
+			gres, err := core.TuneProfiledCtx(ctx, traces[i], p, gen, opt.Events)
 			if err != nil {
 				return nil, err
 			}
 			perm := cfg
 			perm.Family = hash.FamilyPermutation
-			pres, err := core.TuneProfiled(traces[i], p, perm)
+			pres, err := core.TuneProfiledCtx(ctx, traces[i], p, perm, opt.Events)
 			if err != nil {
 				return nil, err
 			}
@@ -254,12 +308,22 @@ const Table3MaxTrace = 60000
 // Table3 reproduces paper Table 3 on the 4 KB direct-mapped data
 // cache.
 func Table3(scale int) ([]Table3Row, error) {
-	return Table3For(nil, scale)
+	return Table3Ctx(context.Background(), Options{}, scale)
+}
+
+// Table3Ctx is Table3 with cancellation and options.
+func Table3Ctx(ctx context.Context, opt Options, scale int) ([]Table3Row, error) {
+	return Table3ForCtx(ctx, opt, nil, scale)
 }
 
 // Table3For runs Table 3 for a subset of benchmark names (nil = all).
 // Rows are computed in parallel; order matches the suite.
 func Table3For(names []string, scale int) ([]Table3Row, error) {
+	return Table3ForCtx(context.Background(), Options{}, names, scale)
+}
+
+// Table3ForCtx is Table3For with cancellation and options.
+func Table3ForCtx(ctx context.Context, opt Options, names []string, scale int) ([]Table3Row, error) {
 	var selected []workloads.Workload
 	for _, w := range workloads.PowerStoneSuite() {
 		if nameSelected(names, w.Name) {
@@ -269,14 +333,14 @@ func Table3For(names []string, scale int) ([]Table3Row, error) {
 	rows := make([]Table3Row, len(selected))
 	errs := make([]error, len(selected))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
+	sem := make(chan struct{}, opt.maxParallel())
 	for i, w := range selected {
 		wg.Add(1)
 		go func(i int, w workloads.Workload) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			row, err := table3Row(w, scale)
+			row, err := table3Row(ctx, opt, w, scale)
 			rows[i], errs[i] = row, err
 		}(i, w)
 	}
@@ -290,7 +354,7 @@ func Table3For(names []string, scale int) ([]Table3Row, error) {
 }
 
 // table3Row computes one Table 3 row.
-func table3Row(w workloads.Workload, scale int) (Table3Row, error) {
+func table3Row(ctx context.Context, opt Options, w workloads.Workload, scale int) (Table3Row, error) {
 	const cacheBytes = 4 * 1024
 	const m = 10 // 4 KB / 4 B blocks
 	{
@@ -305,15 +369,15 @@ func table3Row(w workloads.Workload, scale int) (Table3Row, error) {
 			CacheBytes: cacheBytes,
 			BlockBytes: BlockBytes,
 			AddrBits:   AddrBits,
-			Workers:    Workers,
+			Workers:    opt.Workers,
 			NoFallback: true,
 		}
-		p, err := core.BuildProfile(tr, cfg)
+		p, err := core.BuildProfileCtx(ctx, tr, cfg)
 		if err != nil {
 			return Table3Row{}, err
 		}
 		// Baseline for all percentages: conventional modulo indexing.
-		base, err := core.TuneProfiled(tr, p, withFamily(cfg, hash.FamilyPermutation, 1))
+		base, err := core.TuneProfiledCtx(ctx, tr, p, withFamily(cfg, hash.FamilyPermutation, 1), opt.Events)
 		if err != nil {
 			return Table3Row{}, err
 		}
@@ -326,11 +390,11 @@ func table3Row(w workloads.Workload, scale int) (Table3Row, error) {
 		}
 
 		// Optimal bit-selecting: exact exhaustive simulation.
-		opt, err := optimal.ExactBitSelect(blocks, AddrBits, m)
+		optRes, err := optimal.ExactBitSelectCtx(ctx, blocks, AddrBits, m)
 		if err != nil {
 			return Table3Row{}, err
 		}
-		row.OptPct = pct(opt.Misses)
+		row.OptPct = pct(optRes.Misses)
 
 		// Heuristic families.
 		for _, fc := range []struct {
@@ -343,7 +407,7 @@ func table3Row(w workloads.Workload, scale int) (Table3Row, error) {
 			{hash.FamilyPermutation, 4, &row.In4Pct},
 			{hash.FamilyPermutation, 0, &row.In16},
 		} {
-			res, err := core.TuneProfiled(tr, p, withFamily(cfg, fc.family, fc.maxIn))
+			res, err := core.TuneProfiledCtx(ctx, tr, p, withFamily(cfg, fc.family, fc.maxIn), opt.Events)
 			if err != nil {
 				return Table3Row{}, err
 			}

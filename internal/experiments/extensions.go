@@ -18,6 +18,7 @@ package experiments
 //     of the same capacity.
 
 import (
+	"context"
 	"fmt"
 
 	"xoridx/internal/cache"
@@ -50,6 +51,11 @@ type CrossApplicationResult struct {
 // every function on every benchmark (nil names = a representative
 // four-benchmark subset).
 func CrossApplication(names []string, cacheKB, scale int) (*CrossApplicationResult, error) {
+	return CrossApplicationCtx(context.Background(), Options{}, names, cacheKB, scale)
+}
+
+// CrossApplicationCtx is CrossApplication with cancellation and options.
+func CrossApplicationCtx(ctx context.Context, opt Options, names []string, cacheKB, scale int) (*CrossApplicationResult, error) {
 	if len(names) == 0 {
 		names = []string{"fft", "adpcm_dec", "susan", "rijndael"}
 	}
@@ -57,7 +63,7 @@ func CrossApplication(names []string, cacheKB, scale int) (*CrossApplicationResu
 		CacheBytes: cacheKB * 1024,
 		BlockBytes: BlockBytes,
 		AddrBits:   AddrBits,
-		Workers:    Workers,
+		Workers:    opt.Workers,
 		Family:     hash.FamilyPermutation,
 		MaxInputs:  2,
 		NoFallback: true,
@@ -71,7 +77,7 @@ func CrossApplication(names []string, cacheKB, scale int) (*CrossApplicationResu
 			return nil, err
 		}
 		traces[i] = w.Data(scale)
-		res, err := core.Tune(traces[i], cfg)
+		res, err := core.TuneCtx(ctx, traces[i], cfg, opt.Events)
 		if err != nil {
 			return nil, fmt.Errorf("tuning for %s: %w", name, err)
 		}
@@ -82,7 +88,10 @@ func CrossApplication(names []string, cacheKB, scale int) (*CrossApplicationResu
 	for i, name := range names {
 		row := CrossRow{TunedFor: name, RemovedPct: make([]float64, len(names))}
 		for j := range names {
-			misses := simulateWith(traces[j], cfg, funcs[i])
+			misses, err := simulateWithCtx(ctx, traces[j], cfg, funcs[i])
+			if err != nil {
+				return nil, err
+			}
 			if baselines[j] > 0 {
 				row.RemovedPct[j] = 100 * (1 - float64(misses)/float64(baselines[j]))
 			}
@@ -127,6 +136,24 @@ func simulateWith(tr *trace.Trace, cfg core.Config, f hash.Func) uint64 {
 	return c.Run(tr).Misses
 }
 
+func simulateWithCtx(ctx context.Context, tr *trace.Trace, cfg core.Config, f hash.Func) (uint64, error) {
+	c, err := cache.New(cache.Config{
+		SizeBytes:  cfg.CacheBytes,
+		BlockBytes: cfg.BlockBytes,
+		Ways:       1,
+		Index:      f,
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.DisableClassification()
+	st, err := c.RunCtx(ctx, tr)
+	if err != nil {
+		return 0, err
+	}
+	return st.Misses, nil
+}
+
 // AssocRow compares organisations of equal capacity on one benchmark.
 type AssocRow struct {
 	Bench        string
@@ -143,6 +170,12 @@ type AssocRow struct {
 // AssociativityComparison runs the named benchmarks (nil = default
 // subset) on a cacheKB-sized cache under five organisations.
 func AssociativityComparison(names []string, cacheKB, scale int) ([]AssocRow, error) {
+	return AssociativityComparisonCtx(context.Background(), Options{}, names, cacheKB, scale)
+}
+
+// AssociativityComparisonCtx is AssociativityComparison with
+// cancellation and options.
+func AssociativityComparisonCtx(ctx context.Context, opt Options, names []string, cacheKB, scale int) ([]AssocRow, error) {
 	if len(names) == 0 {
 		names = []string{"fft", "adpcm_dec", "susan", "mpeg2_dec"}
 	}
@@ -158,11 +191,11 @@ func AssociativityComparison(names []string, cacheKB, scale int) ([]AssocRow, er
 			CacheBytes: cacheBytes,
 			BlockBytes: BlockBytes,
 			AddrBits:   AddrBits,
-			Workers:    Workers,
+			Workers:    opt.Workers,
 			Family:     hash.FamilyPermutation,
 			MaxInputs:  2,
 		}
-		res, err := core.Tune(tr, cfg)
+		res, err := core.TuneCtx(ctx, tr, cfg, opt.Events)
 		if err != nil {
 			return nil, err
 		}
@@ -183,7 +216,11 @@ func AssociativityComparison(names []string, cacheKB, scale int) ([]AssocRow, er
 			Index:      hash.Modulo(AddrBits, m2),
 		})
 		twoWay.DisableClassification()
-		row.TwoWay = twoWay.Run(tr).Misses
+		twoStats, err := twoWay.RunCtx(ctx, tr)
+		if err != nil {
+			return nil, err
+		}
+		row.TwoWay = twoStats.Misses
 
 		// 2-way skewed associative with the fixed inter-bank hashes of
 		// Seznec & Bodin: bank 0 conventional, bank 1 XORs high bits in.
@@ -218,7 +255,11 @@ func AssociativityComparison(names []string, cacheKB, scale int) ([]AssocRow, er
 			Index:      hash.Modulo(AddrBits, 0),
 		})
 		fa.DisableClassification()
-		row.FullyAssoc = fa.Run(tr).Misses
+		faStats, err := fa.RunCtx(ctx, tr)
+		if err != nil {
+			return nil, err
+		}
+		row.FullyAssoc = faStats.Misses
 
 		rows = append(rows, row)
 	}
@@ -244,6 +285,12 @@ type PhaseRow struct {
 // reconfiguration win must pay for the flushes, so it grows with the
 // quantum.
 func PhaseReconfiguration(benchA, benchB string, cacheKB, scale int, quanta []int) ([]PhaseRow, error) {
+	return PhaseReconfigurationCtx(context.Background(), Options{}, benchA, benchB, cacheKB, scale, quanta)
+}
+
+// PhaseReconfigurationCtx is PhaseReconfiguration with cancellation and
+// options.
+func PhaseReconfigurationCtx(ctx context.Context, opt Options, benchA, benchB string, cacheKB, scale int, quanta []int) ([]PhaseRow, error) {
 	wa, err := workloads.ByName(benchA)
 	if err != nil {
 		return nil, err
@@ -257,16 +304,16 @@ func PhaseReconfiguration(benchA, benchB string, cacheKB, scale int, quanta []in
 		CacheBytes: cacheKB * 1024,
 		BlockBytes: BlockBytes,
 		AddrBits:   AddrBits,
-		Workers:    Workers,
+		Workers:    opt.Workers,
 		Family:     hash.FamilyPermutation,
 		MaxInputs:  2,
 		NoFallback: true,
 	}
-	resA, err := core.Tune(ta, cfg)
+	resA, err := core.TuneCtx(ctx, ta, cfg, opt.Events)
 	if err != nil {
 		return nil, err
 	}
-	resB, err := core.Tune(tb, cfg)
+	resB, err := core.TuneCtx(ctx, tb, cfg, opt.Events)
 	if err != nil {
 		return nil, err
 	}
@@ -278,10 +325,12 @@ func PhaseReconfiguration(benchA, benchB string, cacheKB, scale int, quanta []in
 		row := PhaseRow{Quantum: q, Switches: len(switches)}
 
 		// (a) modulo throughout.
-		row.Modulo = simulateWith(merged, cfg, hash.Modulo(AddrBits, cfg.SetBits()))
+		if row.Modulo, err = simulateWithCtx(ctx, merged, cfg, hash.Modulo(AddrBits, cfg.SetBits())); err != nil {
+			return nil, err
+		}
 
 		// (b) one compromise function tuned on the merged trace.
-		comp, err := core.Tune(merged, cfg)
+		comp, err := core.TuneCtx(ctx, merged, cfg, opt.Events)
 		if err != nil {
 			return nil, err
 		}
@@ -299,6 +348,9 @@ func PhaseReconfiguration(benchA, benchB string, cacheKB, scale int, quanta []in
 		bounds := append(append([]int{}, switches...), merged.Len())
 		app := 0
 		for _, end := range bounds {
+			if err := core.Check(ctx); err != nil {
+				return nil, err
+			}
 			for i := cur; i < end; i++ {
 				c.Access(merged.Accesses[i].Addr)
 			}
@@ -331,6 +383,11 @@ type SweepPoint struct {
 // 2-way cache (hashing and associativity compose), and the FA-LRU
 // reference. It generalises the paper's three-size tables into a curve.
 func SizeSweep(bench string, sizes []int, scale int) ([]SweepPoint, error) {
+	return SizeSweepCtx(context.Background(), Options{}, bench, sizes, scale)
+}
+
+// SizeSweepCtx is SizeSweep with cancellation and options.
+func SizeSweepCtx(ctx context.Context, opt Options, bench string, sizes []int, scale int) ([]SweepPoint, error) {
 	w, err := workloads.ByName(bench)
 	if err != nil {
 		return nil, err
@@ -345,11 +402,11 @@ func SizeSweep(bench string, sizes []int, scale int) ([]SweepPoint, error) {
 			CacheBytes: size,
 			BlockBytes: BlockBytes,
 			AddrBits:   AddrBits,
-			Workers:    Workers,
+			Workers:    opt.Workers,
 			Family:     hash.FamilyPermutation,
 			MaxInputs:  2,
 		}
-		res, err := core.Tune(tr, cfg)
+		res, err := core.TuneCtx(ctx, tr, cfg, opt.Events)
 		if err != nil {
 			return nil, fmt.Errorf("%s @ %dB: %w", bench, size, err)
 		}
@@ -363,12 +420,12 @@ func SizeSweep(bench string, sizes []int, scale int) ([]SweepPoint, error) {
 		// a fresh function for the 2-way geometry (one fewer set bit).
 		cfg2 := cfg
 		cfg2.CacheBytes = size // same capacity, half the sets
-		p2, err := core.BuildProfile(tr, cfg2)
+		p2, err := core.BuildProfileCtx(ctx, tr, cfg2)
 		if err != nil {
 			return nil, err
 		}
 		m2 := cfg2.SetBits() - 1
-		res2, err := search.Construct(p2, m2, search.Options{Family: hash.FamilyPermutation, MaxInputs: 2})
+		res2, err := search.ConstructCtx(ctx, p2, m2, search.Options{Family: hash.FamilyPermutation, MaxInputs: 2})
 		if err != nil {
 			return nil, err
 		}
@@ -378,7 +435,11 @@ func SizeSweep(bench string, sizes []int, scale int) ([]SweepPoint, error) {
 		}
 		c2 := cache.MustNew(cache.Config{SizeBytes: size, BlockBytes: BlockBytes, Ways: 2, Index: f2})
 		c2.DisableClassification()
-		pt.TwoWayXOR = c2.Run(tr).Misses
+		twoXOR, err := c2.RunCtx(ctx, tr)
+		if err != nil {
+			return nil, err
+		}
+		pt.TwoWayXOR = twoXOR.Misses
 
 		pt.FullAssoc = lru.FAMisses(tr.Blocks(BlockBytes, AddrBits), size/BlockBytes)
 		out = append(out, pt)
@@ -401,6 +462,11 @@ type FixedRow struct {
 // FixedVsTuned runs the named benchmarks (nil = representative subset)
 // on a direct-mapped cache under the four index functions.
 func FixedVsTuned(names []string, cacheKB, scale int) ([]FixedRow, error) {
+	return FixedVsTunedCtx(context.Background(), Options{}, names, cacheKB, scale)
+}
+
+// FixedVsTunedCtx is FixedVsTuned with cancellation and options.
+func FixedVsTunedCtx(ctx context.Context, opt Options, names []string, cacheKB, scale int) ([]FixedRow, error) {
 	if len(names) == 0 {
 		names = []string{"fft", "adpcm_dec", "susan", "rijndael", "mpeg2_dec"}
 	}
@@ -416,11 +482,11 @@ func FixedVsTuned(names []string, cacheKB, scale int) ([]FixedRow, error) {
 			CacheBytes: cacheBytes,
 			BlockBytes: BlockBytes,
 			AddrBits:   AddrBits,
-			Workers:    Workers,
+			Workers:    opt.Workers,
 			Family:     hash.FamilyPermutation,
 			MaxInputs:  2,
 		}
-		res, err := core.Tune(tr, cfg)
+		res, err := core.TuneCtx(ctx, tr, cfg, opt.Events)
 		if err != nil {
 			return nil, err
 		}
@@ -433,11 +499,19 @@ func FixedVsTuned(names []string, cacheKB, scale int) ([]FixedRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		foldedMisses, err := simulateWithCtx(ctx, tr, cfg, folded)
+		if err != nil {
+			return nil, err
+		}
+		polyMisses, err := simulateWithCtx(ctx, tr, cfg, poly)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, FixedRow{
 			Bench:    name,
 			Modulo:   res.Baseline.Misses,
-			Folded:   simulateWith(tr, cfg, folded),
-			Poly:     simulateWith(tr, cfg, poly),
+			Folded:   foldedMisses,
+			Poly:     polyMisses,
 			Tuned:    res.Optimized.Misses,
 			Accesses: res.Baseline.Accesses,
 		})
@@ -461,6 +535,11 @@ type EnergyRow struct {
 // paper's §1 power motivation. Per-access energy uses the Fig. 2b
 // permutation network for the XOR column.
 func EnergyComparison(names []string, cacheKB, scale int) ([]EnergyRow, error) {
+	return EnergyComparisonCtx(context.Background(), Options{}, names, cacheKB, scale)
+}
+
+// EnergyComparisonCtx is EnergyComparison with cancellation and options.
+func EnergyComparisonCtx(ctx context.Context, opt Options, names []string, cacheKB, scale int) ([]EnergyRow, error) {
 	if len(names) == 0 {
 		names = []string{"fft", "adpcm_dec", "susan", "mpeg2_dec"}
 	}
@@ -477,25 +556,34 @@ func EnergyComparison(names []string, cacheKB, scale int) ([]EnergyRow, error) {
 			CacheBytes: cacheBytes,
 			BlockBytes: BlockBytes,
 			AddrBits:   AddrBits,
-			Workers:    Workers,
+			Workers:    opt.Workers,
 			Family:     hash.FamilyPermutation,
 			MaxInputs:  2,
 		}
-		res, err := core.Tune(tr, cfg)
+		res, err := core.TuneCtx(ctx, tr, cfg, opt.Events)
 		if err != nil {
 			return nil, err
 		}
 		m := cfg.SetBits()
 
 		// Re-run with full stats (Run tracks writes/writebacks).
-		runWith := func(ways int, f hash.Func) cache.Stats {
+		runWith := func(ways int, f hash.Func) (cache.Stats, error) {
 			c := cache.MustNew(cache.Config{SizeBytes: cacheBytes, BlockBytes: BlockBytes, Ways: ways, Index: f})
 			c.DisableClassification()
-			return c.Run(tr)
+			return c.RunCtx(ctx, tr)
 		}
-		sMod := runWith(1, hash.Modulo(AddrBits, m))
-		sXOR := runWith(1, res.Func)
-		sTwo := runWith(2, hash.Modulo(AddrBits, m-1))
+		sMod, err := runWith(1, hash.Modulo(AddrBits, m))
+		if err != nil {
+			return nil, err
+		}
+		sXOR, err := runWith(1, res.Func)
+		if err != nil {
+			return nil, err
+		}
+		sTwo, err := runWith(2, hash.Modulo(AddrBits, m-1))
+		if err != nil {
+			return nil, err
+		}
 
 		toMicro := 1e-6
 		eMod := em.TotalEnergy(sMod.Accesses, sMod.MemoryTraffic(),
@@ -528,6 +616,12 @@ type ReplRow struct {
 // 2-way caches of the given size: application-specific hashing attacks
 // the same misses replacement policies do, from the indexing side.
 func ReplacementAblation(names []string, cacheKB, scale int) ([]ReplRow, error) {
+	return ReplacementAblationCtx(context.Background(), Options{}, names, cacheKB, scale)
+}
+
+// ReplacementAblationCtx is ReplacementAblation with cancellation and
+// options.
+func ReplacementAblationCtx(ctx context.Context, opt Options, names []string, cacheKB, scale int) ([]ReplRow, error) {
 	if len(names) == 0 {
 		names = []string{"fft", "susan", "mpeg2_dec"}
 	}
@@ -543,38 +637,47 @@ func ReplacementAblation(names []string, cacheKB, scale int) ([]ReplRow, error) 
 		for v := 1; v < cacheBytes/BlockBytes/2; v <<= 1 {
 			m2++
 		}
-		run := func(repl cache.Replacement, f hash.Func, ways int) uint64 {
+		run := func(repl cache.Replacement, f hash.Func, ways int) (uint64, error) {
 			c := cache.MustNew(cache.Config{
 				SizeBytes: cacheBytes, BlockBytes: BlockBytes,
 				Ways: ways, Index: f, Repl: repl,
 			})
 			c.DisableClassification()
-			return c.Run(tr).Misses
+			st, err := c.RunCtx(ctx, tr)
+			return st.Misses, err
 		}
 		// Tune for the 2-way geometry.
-		res2, err := core.Tune(tr, core.Config{
+		res2, err := core.TuneCtx(ctx, tr, core.Config{
 			CacheBytes: cacheBytes, BlockBytes: BlockBytes, AddrBits: AddrBits,
-			Ways: 2, Family: hash.FamilyPermutation, MaxInputs: 2,
-		})
+			Ways: 2, Family: hash.FamilyPermutation, MaxInputs: 2, Workers: opt.Workers,
+		}, opt.Events)
 		if err != nil {
 			return nil, err
 		}
 		// And for the direct-mapped geometry.
-		res1, err := core.Tune(tr, core.Config{
+		res1, err := core.TuneCtx(ctx, tr, core.Config{
 			CacheBytes: cacheBytes, BlockBytes: BlockBytes, AddrBits: AddrBits,
-			Family: hash.FamilyPermutation, MaxInputs: 2,
-		})
+			Family: hash.FamilyPermutation, MaxInputs: 2, Workers: opt.Workers,
+		}, opt.Events)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, ReplRow{
-			Bench:   name,
-			LRUMod:  run(cache.LRU, hash.Modulo(AddrBits, m2), 2),
-			FIFOMod: run(cache.FIFO, hash.Modulo(AddrBits, m2), 2),
-			RandMod: run(cache.Random, hash.Modulo(AddrBits, m2), 2),
-			LRUXOR:  run(cache.LRU, res2.Func, 2),
-			DMXOR:   res1.Optimized.Misses,
-		})
+		row := ReplRow{Bench: name, DMXOR: res1.Optimized.Misses}
+		for _, rc := range []struct {
+			repl cache.Replacement
+			f    hash.Func
+			dst  *uint64
+		}{
+			{cache.LRU, hash.Modulo(AddrBits, m2), &row.LRUMod},
+			{cache.FIFO, hash.Modulo(AddrBits, m2), &row.FIFOMod},
+			{cache.Random, hash.Modulo(AddrBits, m2), &row.RandMod},
+			{cache.LRU, res2.Func, &row.LRUXOR},
+		} {
+			if *rc.dst, err = run(rc.repl, rc.f, 2); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -595,6 +698,11 @@ type ASLRRow struct {
 // intra-page conflict structure, so the tuned function should hold up;
 // re-tuning at the new base is the upper bound.
 func ASLRRobustness(bench string, cacheKB, scale int, deltas []uint64) ([]ASLRRow, error) {
+	return ASLRRobustnessCtx(context.Background(), Options{}, bench, cacheKB, scale, deltas)
+}
+
+// ASLRRobustnessCtx is ASLRRobustness with cancellation and options.
+func ASLRRobustnessCtx(ctx context.Context, opt Options, bench string, cacheKB, scale int, deltas []uint64) ([]ASLRRow, error) {
 	w, err := workloads.ByName(bench)
 	if err != nil {
 		return nil, err
@@ -604,21 +712,27 @@ func ASLRRobustness(bench string, cacheKB, scale int, deltas []uint64) ([]ASLRRo
 		CacheBytes: cacheKB * 1024,
 		BlockBytes: BlockBytes,
 		AddrBits:   AddrBits,
-		Workers:    Workers,
+		Workers:    opt.Workers,
 		Family:     hash.FamilyPermutation,
 		MaxInputs:  2,
 		NoFallback: true,
 	}
-	tuned, err := core.Tune(base, cfg)
+	tuned, err := core.TuneCtx(ctx, base, cfg, opt.Events)
 	if err != nil {
 		return nil, err
 	}
 	var rows []ASLRRow
 	for _, delta := range deltas {
 		moved := base.Rebase(delta)
-		baselineMisses := simulateWith(moved, cfg, hash.Modulo(AddrBits, cfg.SetBits()))
-		staleMisses := simulateWith(moved, cfg, tuned.Func)
-		re, err := core.Tune(moved, cfg)
+		baselineMisses, err := simulateWithCtx(ctx, moved, cfg, hash.Modulo(AddrBits, cfg.SetBits()))
+		if err != nil {
+			return nil, err
+		}
+		staleMisses, err := simulateWithCtx(ctx, moved, cfg, tuned.Func)
+		if err != nil {
+			return nil, err
+		}
+		re, err := core.TuneCtx(ctx, moved, cfg, opt.Events)
 		if err != nil {
 			return nil, err
 		}

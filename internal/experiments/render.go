@@ -26,14 +26,14 @@ func RenderTable2(w io.Writer, rows []Table2Row, instruction bool) {
 	}
 	fmt.Fprintf(w, "Table 2 (%s). Baseline misses/K-op and %% misses removed\n", kind)
 	fmt.Fprintf(w, "%-10s", "benchmark")
-	for _, kb := range CacheSizesKB {
+	for _, kb := range cacheSizesKB() {
 		fmt.Fprintf(w, " |%7s%2dKB %6s %6s %6s", "", kb, "2-in", "4-in", "16-in")
 	}
 	fmt.Fprintln(w)
 	all := append(append([]Table2Row{}, rows...), Table2Average(rows))
 	for _, r := range all {
 		fmt.Fprintf(w, "%-10s", r.Bench)
-		for si := range CacheSizesKB {
+		for si := range cacheSizesKB() {
 			c := r.Cells[si]
 			fmt.Fprintf(w, " | %9.1f %6.1f %6.1f %6.1f", c.BaseMissesPerKOp,
 				c.RemovedPct[0], c.RemovedPct[1], c.RemovedPct[2])

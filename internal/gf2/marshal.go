@@ -3,6 +3,8 @@ package gf2
 import (
 	"fmt"
 	"strings"
+
+	"xoridx/internal/xerr"
 )
 
 // MarshalText encodes the matrix in a small, diff-friendly text format:
@@ -26,30 +28,30 @@ func (h Matrix) MarshalText() ([]byte, error) {
 func (h *Matrix) UnmarshalText(data []byte) error {
 	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
 	if len(lines) == 0 {
-		return fmt.Errorf("gf2: empty matrix text")
+		return fmt.Errorf("gf2: empty matrix text: %w", xerr.ErrFormat)
 	}
 	var n, m int
 	if _, err := fmt.Sscanf(strings.TrimSpace(lines[0]), "gf2matrix n=%d m=%d", &n, &m); err != nil {
-		return fmt.Errorf("gf2: bad matrix header %q: %w", lines[0], err)
+		return fmt.Errorf("gf2: bad matrix header %q: %w: %w", lines[0], xerr.ErrFormat, err)
 	}
 	if n <= 0 || n > MaxBits || m < 0 || m > MaxBits {
-		return fmt.Errorf("gf2: dimensions n=%d m=%d out of range", n, m)
+		return fmt.Errorf("gf2: dimensions n=%d m=%d out of range: %w", n, m, xerr.ErrFormat)
 	}
 	if len(lines)-1 != m {
-		return fmt.Errorf("gf2: header says m=%d but found %d column lines", m, len(lines)-1)
+		return fmt.Errorf("gf2: header says m=%d but found %d column lines: %w", m, len(lines)-1, xerr.ErrFormat)
 	}
 	out := NewMatrix(n, m)
 	for i, line := range lines[1:] {
 		var idx int
 		var bitsStr string
 		if _, err := fmt.Sscanf(strings.TrimSpace(line), "col%d %s", &idx, &bitsStr); err != nil {
-			return fmt.Errorf("gf2: bad column line %q: %w", line, err)
+			return fmt.Errorf("gf2: bad column line %q: %w: %w", line, xerr.ErrFormat, err)
 		}
 		if idx != i {
-			return fmt.Errorf("gf2: column %d out of order (expected col%d)", idx, i)
+			return fmt.Errorf("gf2: column %d out of order (expected col%d): %w", idx, i, xerr.ErrFormat)
 		}
 		if len(bitsStr) != n {
-			return fmt.Errorf("gf2: column %d has %d bits, want %d", idx, len(bitsStr), n)
+			return fmt.Errorf("gf2: column %d has %d bits, want %d: %w", idx, len(bitsStr), n, xerr.ErrFormat)
 		}
 		v, err := ParseVec(bitsStr)
 		if err != nil {

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+
+	"xoridx/internal/xerr"
 )
 
 // Vec is a vector in GF(2)^n for n <= 64. Bit i is coordinate i.
@@ -91,7 +93,7 @@ func (v Vec) StringN(n int) string {
 // ParseVec parses a bit string (most significant bit first) into a Vec.
 func ParseVec(s string) (Vec, error) {
 	if len(s) == 0 || len(s) > MaxBits {
-		return 0, fmt.Errorf("gf2: bit string length %d out of range", len(s))
+		return 0, fmt.Errorf("gf2: bit string length %d out of range: %w", len(s), xerr.ErrFormat)
 	}
 	var v Vec
 	for _, c := range s {
@@ -101,7 +103,7 @@ func ParseVec(s string) (Vec, error) {
 		case '1':
 			v = v<<1 | 1
 		default:
-			return 0, fmt.Errorf("gf2: invalid bit character %q", c)
+			return 0, fmt.Errorf("gf2: invalid bit character %q: %w", c, xerr.ErrFormat)
 		}
 	}
 	return v, nil

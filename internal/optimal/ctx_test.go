@@ -1,0 +1,57 @@
+package optimal
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xoridx/internal/profile"
+	"xoridx/internal/xerr"
+)
+
+func optCtxBlocks() []uint64 {
+	blocks := make([]uint64, 2000)
+	for i := range blocks {
+		blocks[i] = uint64(i*64) & 0xfff
+	}
+	return blocks
+}
+
+func TestExactBitSelectCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ExactBitSelectCtx(ctx, optCtxBlocks(), 12, 6)
+	if !errors.Is(err, xerr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v must wrap ErrCanceled and context.Canceled", err)
+	}
+}
+
+func TestProfileBestBitSelectCtxCanceled(t *testing.T) {
+	p := profile.Build(optCtxBlocks(), 12, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ProfileBestBitSelectCtx(ctx, p, 6)
+	if !errors.Is(err, xerr.ErrCanceled) {
+		t.Fatalf("error %v must wrap ErrCanceled", err)
+	}
+}
+
+func TestExhaustiveXORCtxCanceled(t *testing.T) {
+	p := profile.Build(optCtxBlocks(), 10, 32)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ExhaustiveXORCtx(ctx, p, 5)
+	if !errors.Is(err, xerr.ErrCanceled) {
+		t.Fatalf("error %v must wrap ErrCanceled", err)
+	}
+}
+
+func TestOptimalTypedOptionErrors(t *testing.T) {
+	if _, err := ExactBitSelect(nil, 12, 0); !errors.Is(err, xerr.ErrInvalidOptions) {
+		t.Errorf("m=0 error %v must wrap ErrInvalidOptions", err)
+	}
+	p := profile.Build([]uint64{1, 2, 3}, 10, 32)
+	if _, err := ProfileBestBitSelect(p, 10); !errors.Is(err, xerr.ErrInvalidOptions) {
+		t.Errorf("m=n error %v must wrap ErrInvalidOptions", err)
+	}
+}

@@ -19,11 +19,13 @@
 package optimal
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
 	"xoridx/internal/gf2"
 	"xoridx/internal/profile"
+	"xoridx/internal/xerr"
 )
 
 // BitSelectResult reports an exhaustive bit-select search outcome.
@@ -58,12 +60,20 @@ func (r BitSelectResult) Matrix(n int) gf2.Matrix {
 // honest about the cost the paper reports ("the optimal algorithm is
 // very slow").
 func ExactBitSelect(blocks []uint64, n, m int) (BitSelectResult, error) {
+	return ExactBitSelectCtx(context.Background(), blocks, n, m)
+}
+
+// ExactBitSelectCtx is ExactBitSelect with cooperative cancellation:
+// ctx is checked once per candidate mask (each candidate is a full pass
+// over the trace, so per-candidate granularity bounds cancellation
+// latency to one simulation pass while costing nothing measurable).
+func ExactBitSelectCtx(ctx context.Context, blocks []uint64, n, m int) (BitSelectResult, error) {
 	if m <= 0 || m >= n || n > 16 {
-		return BitSelectResult{}, fmt.Errorf("optimal: unsupported dimensions n=%d m=%d", n, m)
+		return BitSelectResult{}, fmt.Errorf("optimal: unsupported dimensions n=%d m=%d: %w", n, m, xerr.ErrInvalidOptions)
 	}
 	for _, b := range blocks {
 		if b>>uint(n) != 0 {
-			return BitSelectResult{}, fmt.Errorf("optimal: block %#x exceeds %d bits", b, n)
+			return BitSelectResult{}, fmt.Errorf("optimal: block %#x exceeds %d bits: %w", b, n, xerr.ErrInvalidOptions)
 		}
 	}
 	masks := enumerateMasks(n, m)
@@ -72,6 +82,9 @@ func ExactBitSelect(blocks []uint64, n, m int) (BitSelectResult, error) {
 	var loTab, hiTab [256]uint16
 	best := BitSelectResult{Misses: ^uint64(0), Evaluated: len(masks)}
 	for _, mask := range masks {
+		if err := xerr.Check(ctx); err != nil {
+			return BitSelectResult{}, err
+		}
 		// Byte-wise PEXT decomposition: pext(b, mask) =
 		// loTab[b&0xFF] | hiTab[b>>8] << popcount(mask&0xFF).
 		loBits := bits.OnesCount64(mask & 0xFF)
@@ -102,14 +115,24 @@ func ExactBitSelect(blocks []uint64, n, m int) (BitSelectResult, error) {
 // the Eq. 4 estimate, scoring all C(n,m) candidates through a single
 // sum-over-subsets transform of the conflict table.
 func ProfileBestBitSelect(p *profile.Profile, m int) (BitSelectResult, error) {
+	return ProfileBestBitSelectCtx(context.Background(), p, m)
+}
+
+// ProfileBestBitSelectCtx is ProfileBestBitSelect with cooperative
+// cancellation, checked once per zeta-transform layer and once per
+// 8 K candidate masks.
+func ProfileBestBitSelectCtx(ctx context.Context, p *profile.Profile, m int) (BitSelectResult, error) {
 	n := p.N
 	if m <= 0 || m >= n {
-		return BitSelectResult{}, fmt.Errorf("optimal: m=%d out of range", m)
+		return BitSelectResult{}, fmt.Errorf("optimal: m=%d out of range: %w", m, xerr.ErrInvalidOptions)
 	}
 	// sos[x] = sum of Table[v] over v subset of x.
 	sos := make([]uint64, len(p.Table))
 	copy(sos, p.Table)
 	for bit := 0; bit < n; bit++ {
+		if err := xerr.Check(ctx); err != nil {
+			return BitSelectResult{}, err
+		}
 		step := 1 << uint(bit)
 		for x := range sos {
 			if x&step != 0 {
@@ -120,6 +143,11 @@ func ProfileBestBitSelect(p *profile.Profile, m int) (BitSelectResult, error) {
 	full := uint64(len(p.Table) - 1)
 	best := BitSelectResult{Misses: ^uint64(0)}
 	for mask := uint64(0); mask <= full; mask++ {
+		if mask&8191 == 0 {
+			if err := xerr.Check(ctx); err != nil {
+				return BitSelectResult{}, err
+			}
+		}
 		if bits.OnesCount64(mask) != m {
 			continue
 		}

@@ -1,10 +1,12 @@
 package optimal
 
 import (
+	"context"
 	"fmt"
 
 	"xoridx/internal/gf2"
 	"xoridx/internal/profile"
+	"xoridx/internal/xerr"
 )
 
 // This file addresses the paper's closing observation (§6.1/§7):
@@ -29,7 +31,7 @@ import (
 // so there is no deduplication step.
 func EnumerateSubspaces(n, d int, fn func(basis []gf2.Vec) bool) error {
 	if d < 0 || d > n || n > 30 {
-		return fmt.Errorf("optimal: cannot enumerate dim-%d subspaces of GF(2)^%d", d, n)
+		return fmt.Errorf("optimal: cannot enumerate dim-%d subspaces of GF(2)^%d: %w", d, n, xerr.ErrInvalidOptions)
 	}
 	if d == 0 {
 		fn(nil)
@@ -125,21 +127,34 @@ type XORResult struct {
 // realistic sizes, provided here as a calibration tool for the
 // heuristic search.
 func ExhaustiveXOR(p *profile.Profile, m int) (XORResult, error) {
+	return ExhaustiveXORCtx(context.Background(), p, m)
+}
+
+// ExhaustiveXORCtx is ExhaustiveXOR with cooperative cancellation,
+// checked every 8 K subspaces (each evaluation walks the full conflict
+// table, so the check overhead is noise).
+func ExhaustiveXORCtx(ctx context.Context, p *profile.Profile, m int) (XORResult, error) {
 	n := p.N
 	d := n - m
 	if m <= 0 || m >= n {
-		return XORResult{}, fmt.Errorf("optimal: m=%d out of range", m)
+		return XORResult{}, fmt.Errorf("optimal: m=%d out of range: %w", m, xerr.ErrInvalidOptions)
 	}
 	// Refuse design spaces beyond ~2^27 subspaces (minutes of work):
 	// the whole point of the paper's heuristic is that realistic sizes
 	// (n=16: 6.3e19 null spaces) are out of exhaustive reach.
 	spaceSize := gf2.GaussianBinomial(n, d)
 	if spaceSize.BitLen() > 27 {
-		return XORResult{}, fmt.Errorf("optimal: n=%d m=%d has %v null spaces; too many for exhaustive search", n, m, spaceSize)
+		return XORResult{}, fmt.Errorf("optimal: n=%d m=%d has %v null spaces; too many for exhaustive search: %w", n, m, spaceSize, xerr.ErrInvalidOptions)
 	}
 	best := XORResult{Estimated: ^uint64(0)}
 	bestBasis := make([]gf2.Vec, 0, d)
+	var ctxErr error
 	err := EnumerateSubspaces(n, d, func(basis []gf2.Vec) bool {
+		if best.Evaluated&8191 == 0 {
+			if ctxErr = xerr.Check(ctx); ctxErr != nil {
+				return false
+			}
+		}
 		best.Evaluated++
 		est := p.EstimateBasis(basis)
 		if est < best.Estimated {
@@ -150,6 +165,9 @@ func ExhaustiveXOR(p *profile.Profile, m int) (XORResult, error) {
 	})
 	if err != nil {
 		return XORResult{}, err
+	}
+	if ctxErr != nil {
+		return XORResult{}, ctxErr
 	}
 	best.Matrix = gf2.MatrixWithNullSpace(gf2.Span(n, bestBasis...))
 	return best, nil

@@ -1,0 +1,35 @@
+package profile
+
+import (
+	"context"
+
+	"xoridx/internal/xerr"
+)
+
+// ctxCheckEvery is the cancellation-check granularity of the profiling
+// hot loops, in block accesses. One check per 8 K accesses keeps the
+// overhead unmeasurable (a single channel poll amortised over thousands
+// of LRU-stack operations) while still bounding the cancellation
+// latency to well under a millisecond of work.
+const ctxCheckEvery = 8192
+
+// BuildCtx is Build with cooperative cancellation: the pass checks ctx
+// every ctxCheckEvery accesses and returns a wrapped xerr.ErrCanceled
+// when the context is done. The produced profile is identical to
+// Build's for an uncanceled run.
+func BuildCtx(ctx context.Context, blocks []uint64, n, cacheBlocks int) (*Profile, error) {
+	bd := NewBuilder(n, cacheBlocks)
+	for start := 0; start < len(blocks); start += ctxCheckEvery {
+		if err := xerr.Check(ctx); err != nil {
+			return nil, err
+		}
+		end := start + ctxCheckEvery
+		if end > len(blocks) {
+			end = len(blocks)
+		}
+		for _, blk := range blocks[start:end] {
+			bd.Add(blk)
+		}
+	}
+	return bd.Finish(), nil
+}

@@ -1,0 +1,113 @@
+package profile
+
+import (
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"xoridx/internal/xerr"
+)
+
+// syntheticBlocks builds a block sequence long enough that every shard
+// of a parallel build crosses the amortised cancellation check at least
+// once (ctxCheckEvery accesses).
+func syntheticBlocks(n int) []uint64 {
+	blocks := make([]uint64, n)
+	for i := range blocks {
+		blocks[i] = uint64(i*67+i/3) & 0xfff
+	}
+	return blocks
+}
+
+// waitGoroutines retries until the goroutine count drops back to the
+// baseline, failing the test if it does not within the deadline.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func wantCanceled(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("want cancellation error, got nil")
+	}
+	if !errors.Is(err, xerr.ErrCanceled) {
+		t.Fatalf("error %v does not wrap xerr.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestBuildCtxMatchesBuild(t *testing.T) {
+	blocks := syntheticBlocks(20000)
+	want := Build(blocks, 12, 64)
+	got, err := BuildCtx(context.Background(), blocks, 12, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffProfiles(got, want); d != "" {
+		t.Fatal(d)
+	}
+}
+
+func TestBuildCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := BuildCtx(ctx, syntheticBlocks(100), 12, 64)
+	wantCanceled(t, err)
+}
+
+func TestBuildParallelCtxCanceled(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// 2 workers x 10000 accesses: each shard crosses the periodic check.
+	_, err := BuildParallelCtx(ctx, syntheticBlocks(20000), 12, 64, ParallelOptions{Workers: 2})
+	wantCanceled(t, err)
+	waitGoroutines(t, baseline)
+}
+
+func TestBuildStreamCtxCanceledBeforeRead(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := func(dst []uint64) (int, error) {
+		t.Error("source must not be read under a canceled context")
+		return 0, io.EOF
+	}
+	_, err := BuildStreamCtx(ctx, src, 12, 64, ParallelOptions{Workers: 2})
+	wantCanceled(t, err)
+	waitGoroutines(t, baseline)
+}
+
+func TestBuildStreamCtxCanceledMidStream(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	blocks := syntheticBlocks(1 << 14)
+	reads := 0
+	src := func(dst []uint64) (int, error) {
+		reads++
+		if reads == 2 {
+			cancel() // the dispatcher must notice before the next read
+		}
+		k := copy(dst, blocks)
+		return k, nil
+	}
+	_, err := BuildStreamCtx(ctx, src, 12, 64, ParallelOptions{Workers: 2, ChunkSize: len(blocks)})
+	wantCanceled(t, err)
+	if reads > 3 {
+		t.Errorf("dispatcher kept reading after cancellation: %d reads", reads)
+	}
+	waitGoroutines(t, baseline)
+}

@@ -37,7 +37,7 @@ func FuzzBuildParallelWorkers(f *testing.F) {
 	f.Add(stride, uint8(8), uint8(16))
 
 	f.Fuzz(func(t *testing.T, data []byte, nRaw, capRaw uint8) {
-		n := 4 + int(nRaw)%8             // 4..11
+		n := 4 + int(nRaw)%8              // 4..11
 		cacheBlocks := 1 + int(capRaw)%64 // 1..64
 		blocks := fuzzBlocks(data)
 		want := Build(blocks, n, cacheBlocks)

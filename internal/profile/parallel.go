@@ -32,12 +32,14 @@ package profile
 // cacheBlocks such accesses per shard (see DESIGN.md §8).
 
 import (
-	"errors"
+	"context"
+	"fmt"
 	"io"
 	"runtime"
 	"sync"
 
 	"xoridx/internal/gf2"
+	"xoridx/internal/xerr"
 )
 
 // ParallelOptions tunes the sharded profiling pipeline.
@@ -93,13 +95,27 @@ func BuildParallel(blocks []uint64, n, cacheBlocks, workers int) *Profile {
 
 // BuildParallelOpts is BuildParallel with explicit sharding controls.
 func BuildParallelOpts(blocks []uint64, n, cacheBlocks int, opt ParallelOptions) *Profile {
+	p, err := BuildParallelCtx(context.Background(), blocks, n, cacheBlocks, opt)
+	if err != nil {
+		// Background is never canceled, and cancellation is the only
+		// error source of the in-memory parallel build.
+		panic("profile: " + err.Error())
+	}
+	return p
+}
+
+// BuildParallelCtx is BuildParallelOpts with cooperative cancellation:
+// every shard builder checks ctx while it works, so a canceled context
+// stops all workers within ctxCheckEvery accesses each and the call
+// returns a wrapped xerr.ErrCanceled with no goroutines left behind.
+func BuildParallelCtx(ctx context.Context, blocks []uint64, n, cacheBlocks int, opt ParallelOptions) (*Profile, error) {
 	opt = opt.withDefaults(cacheBlocks)
 	workers := opt.Workers
 	if workers > len(blocks) {
 		workers = len(blocks)
 	}
 	if workers <= 1 {
-		return Build(blocks, n, cacheBlocks)
+		return BuildCtx(ctx, blocks, n, cacheBlocks)
 	}
 	mask := uint64(gf2.Mask(n))
 	jobs := make([]shardJob, workers)
@@ -110,20 +126,26 @@ func BuildParallelOpts(blocks []uint64, n, cacheBlocks int, opt ParallelOptions)
 		jobs[w] = shardJob{idx: w, warm: blocks[ws:start], blocks: blocks[start:end]}
 	}
 	results := make([]shardResult, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := range jobs {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = buildShard(jobs[w], n, cacheBlocks, mask)
+			results[w], errs[w] = buildShardCtx(ctx, jobs[w], n, cacheBlocks, mask)
 		}(w)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	rc := newReconciler(n, cacheBlocks)
 	for _, r := range results {
 		rc.add(r)
 	}
-	return rc.out
+	return rc.out, nil
 }
 
 // BlockSource yields successive chunks of block addresses already
@@ -143,6 +165,16 @@ type BlockSource func(dst []uint64) (int, error)
 // Build of the same block sequence, for every worker count and chunk
 // size.
 func BuildStream(src BlockSource, n, cacheBlocks int, opt ParallelOptions) (*Profile, error) {
+	return BuildStreamCtx(context.Background(), src, n, cacheBlocks, opt)
+}
+
+// BuildStreamCtx is BuildStream with cooperative cancellation: the
+// dispatcher checks ctx before reading each chunk and every in-flight
+// shard builder checks it while profiling, so a canceled context stops
+// the whole fan-out within ctxCheckEvery accesses per worker. All
+// goroutines are joined before the call returns a wrapped
+// xerr.ErrCanceled — cancellation never leaks workers.
+func BuildStreamCtx(ctx context.Context, src BlockSource, n, cacheBlocks int, opt ParallelOptions) (*Profile, error) {
 	opt = opt.withDefaults(cacheBlocks)
 	mask := uint64(gf2.Mask(n))
 	jobs := make(chan shardJob, opt.Workers)
@@ -153,17 +185,21 @@ func BuildStream(src BlockSource, n, cacheBlocks int, opt ParallelOptions) (*Pro
 		go func() {
 			defer wg.Done()
 			for job := range jobs {
-				r := buildShard(job, n, cacheBlocks, mask)
+				r, err := buildShardCtx(ctx, job, n, cacheBlocks, mask)
 				r.idx = job.idx
+				r.err = err
 				done <- r
 			}
 		}()
 	}
 	// Collector: merge results in shard order as they arrive, buffering
 	// the out-of-order ones, so completed histograms are released
-	// instead of accumulating until the end of the stream.
+	// instead of accumulating until the end of the stream. Errored
+	// shards still advance the in-order cursor — otherwise a canceled
+	// shard would stall every later result in the pending map.
 	rc := newReconciler(n, cacheBlocks)
 	collected := make(chan struct{})
+	var shardErr error
 	go func() {
 		defer close(collected)
 		pending := make(map[int]shardResult)
@@ -176,7 +212,13 @@ func BuildStream(src BlockSource, n, cacheBlocks int, opt ParallelOptions) (*Pro
 					break
 				}
 				delete(pending, next)
-				rc.add(nr)
+				if nr.err != nil {
+					if shardErr == nil {
+						shardErr = nr.err
+					}
+				} else if shardErr == nil {
+					rc.add(nr)
+				}
 				next++
 			}
 		}
@@ -186,6 +228,10 @@ func BuildStream(src BlockSource, n, cacheBlocks int, opt ParallelOptions) (*Pro
 	idx := 0
 	var srcErr error
 	for {
+		if err := xerr.Check(ctx); err != nil {
+			srcErr = err
+			break
+		}
 		buf := make([]uint64, opt.ChunkSize)
 		k, err := src(buf)
 		if k > 0 {
@@ -203,7 +249,7 @@ func BuildStream(src BlockSource, n, cacheBlocks int, opt ParallelOptions) (*Pro
 			break
 		}
 		if k == 0 {
-			srcErr = errors.New("profile: block source returned no data and no error")
+			srcErr = fmt.Errorf("profile: block source returned no data and no error: %w", xerr.ErrFormat)
 			break
 		}
 	}
@@ -213,6 +259,9 @@ func BuildStream(src BlockSource, n, cacheBlocks int, opt ParallelOptions) (*Pro
 	<-collected
 	if srcErr != nil {
 		return nil, srcErr
+	}
+	if shardErr != nil {
+		return nil, shardErr
 	}
 	return rc.out, nil
 }
@@ -227,22 +276,38 @@ type shardJob struct {
 
 // shardResult carries a shard's histogram plus the reconciliation data
 // the merge phase needs: which blocks the shard classified as first
-// touches, and which distinct blocks the shard proper contains.
+// touches, and which distinct blocks the shard proper contains. err is
+// set (and the rest left zero) when the shard's build was canceled.
 type shardResult struct {
 	idx        int
 	p          *Profile
 	firstTouch []uint64
 	seen       map[uint64]struct{}
+	err        error
 }
 
-// buildShard profiles one shard: warmup replay, then the counted pass.
-func buildShard(job shardJob, n, cacheBlocks int, mask uint64) shardResult {
+// buildShardCtx profiles one shard: warmup replay, then the counted
+// pass, checking ctx every ctxCheckEvery accesses across both.
+func buildShardCtx(ctx context.Context, job shardJob, n, cacheBlocks int, mask uint64) (shardResult, error) {
 	bd := NewBuilder(n, cacheBlocks)
+	tick := 0
 	for _, b := range job.warm {
+		if tick++; tick >= ctxCheckEvery {
+			tick = 0
+			if err := xerr.Check(ctx); err != nil {
+				return shardResult{}, err
+			}
+		}
 		bd.Warm(b)
 	}
 	res := shardResult{seen: make(map[uint64]struct{})}
 	for _, blk := range job.blocks {
+		if tick++; tick >= ctxCheckEvery {
+			tick = 0
+			if err := xerr.Check(ctx); err != nil {
+				return shardResult{}, err
+			}
+		}
 		b := blk & mask
 		if !bd.Seen(b) {
 			res.firstTouch = append(res.firstTouch, b)
@@ -251,7 +316,7 @@ func buildShard(job shardJob, n, cacheBlocks int, mask uint64) shardResult {
 		res.seen[b] = struct{}{}
 	}
 	res.p = bd.Finish()
-	return res
+	return res, nil
 }
 
 // reconciler merges shard results in trace order, repairing the

@@ -24,6 +24,7 @@ import (
 
 	"xoridx/internal/gf2"
 	"xoridx/internal/lru"
+	"xoridx/internal/xerr"
 )
 
 // Profile is the conflict-vector histogram gathered from one trace.
@@ -252,13 +253,13 @@ func tz(x uint64) int {
 // (it models time-sharing with a flush at every switch).
 func (p *Profile) Merge(o *Profile) error {
 	if p.N != o.N {
-		return fmt.Errorf("profile: cannot merge n=%d into n=%d", o.N, p.N)
+		return fmt.Errorf("profile: cannot merge n=%d into n=%d: %w", o.N, p.N, xerr.ErrProfileMismatch)
 	}
 	if p.CacheBlocks != o.CacheBlocks {
-		return fmt.Errorf("profile: capacity filters differ (%d vs %d blocks)", o.CacheBlocks, p.CacheBlocks)
+		return fmt.Errorf("profile: capacity filters differ (%d vs %d blocks): %w", o.CacheBlocks, p.CacheBlocks, xerr.ErrProfileMismatch)
 	}
 	if len(p.Table) != len(o.Table) {
-		return fmt.Errorf("profile: table sizes differ (%d vs %d entries)", len(o.Table), len(p.Table))
+		return fmt.Errorf("profile: table sizes differ (%d vs %d entries): %w", len(o.Table), len(p.Table), xerr.ErrProfileMismatch)
 	}
 	for v, c := range o.Table {
 		p.Table[v] += c

@@ -1,12 +1,13 @@
 package search
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"math/rand"
 
 	"xoridx/internal/gf2"
 	"xoridx/internal/profile"
+	"xoridx/internal/xerr"
 )
 
 // Simulated annealing over null spaces — one of the "improved search
@@ -33,6 +34,12 @@ type AnnealOptions struct {
 // conventional null space; unlike Construct the result is stochastic —
 // run it with several seeds and keep the best.
 func Anneal(p *profile.Profile, m int, opt AnnealOptions) (Result, error) {
+	return AnnealCtx(context.Background(), p, m, opt)
+}
+
+// AnnealCtx is Anneal with cooperative cancellation, checked every
+// ctxCheckEvery proposal steps.
+func AnnealCtx(ctx context.Context, p *profile.Profile, m int, opt AnnealOptions) (Result, error) {
 	n := p.N
 	if m <= 0 || m >= n {
 		return Result{}, errOutOfRange(m, n)
@@ -57,6 +64,11 @@ func Anneal(p *profile.Profile, m int, opt AnnealOptions) (Result, error) {
 
 	hps := cur.Hyperplanes(nil)
 	for step := 0; step < opt.Steps; step++ {
+		if step&(ctxCheckEvery-1) == 0 {
+			if err := xerr.Check(ctx); err != nil {
+				return Result{}, err
+			}
+		}
 		// Exponential cooling to ~1% of the initial temperature.
 		frac := float64(step) / float64(opt.Steps)
 		temp := opt.InitialTemp * math.Pow(0.01, frac)
@@ -92,8 +104,4 @@ func Anneal(p *profile.Profile, m int, opt AnnealOptions) (Result, error) {
 	res.Matrix = gf2.MatrixWithNullSpace(best)
 	res.Estimated = bestEst
 	return res, nil
-}
-
-func errOutOfRange(m, n int) error {
-	return fmt.Errorf("search: m=%d out of range (0, %d)", m, n)
 }

@@ -1,10 +1,11 @@
 package search
 
 import (
-	"fmt"
+	"context"
 
 	"xoridx/internal/gf2"
 	"xoridx/internal/profile"
+	"xoridx/internal/xerr"
 )
 
 // Constructive covering heuristic, in the spirit of the bit-selecting
@@ -21,9 +22,16 @@ import (
 // maxInputs inputs per XOR (0 = unlimited) by covering the hotVectors
 // most frequent conflict vectors.
 func Constructive(p *profile.Profile, m int, maxInputs, hotVectors int) (Result, error) {
+	return ConstructiveCtx(context.Background(), p, m, maxInputs, hotVectors)
+}
+
+// ConstructiveCtx is Constructive with cooperative cancellation,
+// checked once per hot vector (each vector scores at most m·(n−m)
+// candidate edits, so the latency bound is a fraction of a move).
+func ConstructiveCtx(ctx context.Context, p *profile.Profile, m int, maxInputs, hotVectors int) (Result, error) {
 	n := p.N
 	if m <= 0 || m >= n {
-		return Result{}, fmt.Errorf("search: m=%d out of range (0, %d)", m, n)
+		return Result{}, errOutOfRange(m, n)
 	}
 	if hotVectors <= 0 {
 		hotVectors = 64
@@ -37,6 +45,9 @@ func Constructive(p *profile.Profile, m int, maxInputs, hotVectors int) (Result,
 	cur := p.EstimateMatrix(h)
 
 	for _, vc := range p.HotVectors(hotVectors) {
+		if err := xerr.Check(ctx); err != nil {
+			return Result{}, err
+		}
 		v := vc.Vec
 		if h.Apply(v) != 0 {
 			continue // already outside the null space

@@ -12,7 +12,7 @@ import (
 // within a column. Evaluation goes through the null space estimate;
 // visited null spaces are memoised so equivalent matrices are scored
 // once (the paper's motivation for the null-space representation).
-func (s *state) climbPermutation(start int) Result {
+func (s *state) climbPermutation(start int) (Result, error) {
 	n, m := s.n, s.m
 	maxExtra := n // effectively unlimited
 	if s.opt.MaxInputs > 0 {
@@ -63,7 +63,7 @@ func (s *state) climbPermutation(start int) Result {
 // "in exactly the same way" as the other searches per paper §3.2).
 // Neighbors toggle one (column, bit) entry subject to the weight bound;
 // rank-deficient states are rejected during evaluation.
-func (s *state) climbGeneralLimited(start int) Result {
+func (s *state) climbGeneralLimited(start int) (Result, error) {
 	n, m := s.n, s.m
 	maxIn := s.opt.MaxInputs
 	cur := gf2.Identity(n, m)
@@ -101,7 +101,7 @@ func (s *state) climbGeneralLimited(start int) Result {
 // states are m-subsets of the n address bits, starting from the low m
 // bits (the conventional selection); neighbors swap one selected bit
 // for one unselected bit.
-func (s *state) climbBitSelect(start int) Result {
+func (s *state) climbBitSelect(start int) (Result, error) {
 	n, m := s.n, s.m
 	positions := make([]int, m)
 	for i := range positions {
@@ -131,13 +131,18 @@ func (s *state) climbBitSelect(start int) Result {
 
 // climbMatrix is the generic steepest-descent loop over matrix states.
 // neighbors must emit every neighbor of h.
-func (s *state) climbMatrix(cur gf2.Matrix, neighbors func(h gf2.Matrix, emit func(gf2.Matrix))) Result {
+func (s *state) climbMatrix(cur gf2.Matrix, neighbors func(h gf2.Matrix, emit func(gf2.Matrix))) (Result, error) {
 	res := Result{}
 	curEst := s.p.EstimateMatrix(cur)
 	// Estimate memo keyed by canonical null space: distinct matrices
 	// with the same null space incur the same misses (paper Eq. 2), so
 	// they are scored at most once across the whole climb.
 	memo := map[string]uint64{cur.NullSpace().Key(): curEst}
+	// The neighbor callback cannot return an error, so a cancellation
+	// observed inside it is parked in ctxErr; every later callback then
+	// returns immediately and the loop surfaces the error after the
+	// enumeration unwinds — still well within one hill-climbing move.
+	var ctxErr error
 	for {
 		if s.capIterations(res.Iterations) {
 			break
@@ -147,6 +152,12 @@ func (s *state) climbMatrix(cur gf2.Matrix, neighbors func(h gf2.Matrix, emit fu
 		curKey := cur.NullSpace().Key()
 		seenThisRound := map[string]bool{curKey: true}
 		neighbors(cur, func(nb gf2.Matrix) {
+			if ctxErr != nil {
+				return
+			}
+			if ctxErr = s.checkEvery(); ctxErr != nil {
+				return
+			}
 			ns := nb.NullSpace()
 			if ns.Dim() != s.n-s.m {
 				return // rank-deficient: invalid index function
@@ -167,16 +178,20 @@ func (s *state) climbMatrix(cur gf2.Matrix, neighbors func(h gf2.Matrix, emit fu
 				best = &nb
 			}
 		})
+		if ctxErr != nil {
+			return Result{}, ctxErr
+		}
 		if best == nil {
 			break
 		}
 		cur = *best
 		curEst = bestEst
 		res.Iterations++
+		s.emit(res.Iterations, res.Evaluated, curEst)
 	}
 	res.Matrix = cur
 	res.Estimated = curEst
-	return res
+	return res, nil
 }
 
 // extraCount counts inputs above the identity bit in a permutation

@@ -9,7 +9,7 @@ import (
 // functions. start==0 begins at the conventional null space
 // span(e_m..e_{n−1}); start>0 begins at a random subspace of the same
 // dimension.
-func (s *state) climbNullSpace(start int) Result {
+func (s *state) climbNullSpace(start int) (Result, error) {
 	n, m := s.n, s.m
 	d := n - m
 	cur := gf2.SpanUnits(n, m, n)
@@ -39,6 +39,9 @@ func (s *state) climbNullSpace(start int) Result {
 			copy(basisBuf, w.Basis)
 			// Enumerate all non-zero combinations of free positions.
 			for x := uint64(1); x < 1<<uint(len(free)); x++ {
+				if err := s.checkEvery(); err != nil {
+					return Result{}, err
+				}
 				rep := scatter(x, free)
 				if cur.Contains(rep) {
 					continue // rep ∈ N: span(W, rep) == N, not a neighbor
@@ -58,10 +61,11 @@ func (s *state) climbNullSpace(start int) Result {
 		cur = gf2.Span(n, bestBasis...)
 		curEst = bestEst
 		res.Iterations++
+		s.emit(res.Iterations, res.Evaluated, curEst)
 	}
 	res.Matrix = gf2.MatrixWithNullSpace(cur)
 	res.Estimated = curEst
-	return res
+	return res, nil
 }
 
 // randomSubspace returns a uniform-ish random d-dimensional subspace.

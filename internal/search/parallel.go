@@ -1,10 +1,12 @@
 package search
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
 	"xoridx/internal/gf2"
+	"xoridx/internal/xerr"
 )
 
 // The null-space neighbourhood at n=16, d=8 holds ~130 K candidates per
@@ -43,17 +45,24 @@ func (c candidate) better(o candidate) bool {
 
 // bestNeighborParallel scores every neighbor of cur across workers and
 // returns the best candidate strictly below curEst, if any.
-func (s *state) bestNeighborParallel(cur gf2.Subspace, curEst uint64, hps []gf2.Subspace, workers int) (candidate, int) {
+// Cancellation is errgroup-style: every worker polls a context derived
+// from the search's; the first worker to observe cancellation cancels
+// the derived context so its siblings stop at their next poll, the
+// goroutines are all joined, and the error is returned.
+func (s *state) bestNeighborParallel(cur gf2.Subspace, curEst uint64, hps []gf2.Subspace, workers int) (candidate, int, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(hps) {
 		workers = len(hps)
 	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
 	n := s.n
 	d := n - s.m
 	results := make([]candidate, workers)
 	counts := make([]int, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -71,6 +80,13 @@ func (s *state) bestNeighborParallel(cur gf2.Subspace, curEst uint64, hps []gf2.
 				free := freePositions(n, pivots)
 				copy(basisBuf, hp.Basis)
 				for x := uint64(1); x < 1<<uint(len(free)); x++ {
+					if evaluated&(ctxCheckEvery-1) == 0 {
+						if err := xerr.Check(ctx); err != nil {
+							errs[w] = err
+							cancel() // stop the sibling workers promptly
+							return
+						}
+					}
 					rep := scatter(x, free)
 					if cur.Contains(rep) {
 						continue
@@ -92,6 +108,17 @@ func (s *state) bestNeighborParallel(cur gf2.Subspace, curEst uint64, hps []gf2.
 		}(w)
 	}
 	wg.Wait()
+	// Prefer a cancellation of the search's own context over the derived
+	// one: the first worker to fail canceled ctx for its siblings, and
+	// their secondary errors would otherwise mask the cause.
+	if err := xerr.Check(s.ctx); err != nil {
+		return candidate{}, 0, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return candidate{}, 0, err
+		}
+	}
 	merged := candidate{}
 	total := 0
 	for w := range results {
@@ -100,11 +127,11 @@ func (s *state) bestNeighborParallel(cur gf2.Subspace, curEst uint64, hps []gf2.
 			merged = results[w]
 		}
 	}
-	return merged, total
+	return merged, total, nil
 }
 
 // climbNullSpaceParallel is the multi-worker variant of climbNullSpace.
-func (s *state) climbNullSpaceParallel(start int) Result {
+func (s *state) climbNullSpaceParallel(start int) (Result, error) {
 	n, m := s.n, s.m
 	d := n - m
 	cur := gf2.SpanUnits(n, m, n)
@@ -118,7 +145,10 @@ func (s *state) climbNullSpaceParallel(start int) Result {
 			break
 		}
 		hps := cur.Hyperplanes(nil)
-		best, evaluated := s.bestNeighborParallel(cur, curEst, hps, s.opt.Workers)
+		best, evaluated, err := s.bestNeighborParallel(cur, curEst, hps, s.opt.Workers)
+		if err != nil {
+			return Result{}, err
+		}
 		res.Evaluated += evaluated
 		if !best.valid {
 			break
@@ -128,8 +158,9 @@ func (s *state) climbNullSpaceParallel(start int) Result {
 		cur = gf2.Span(n, basis...)
 		curEst = best.est
 		res.Iterations++
+		s.emit(res.Iterations, res.Evaluated, curEst)
 	}
 	res.Matrix = gf2.MatrixWithNullSpace(cur)
 	res.Estimated = curEst
-	return res
+	return res, nil
 }

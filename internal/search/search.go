@@ -20,15 +20,22 @@
 //
 //   - Bit-selecting functions ("1-in") are searched over m-subsets of
 //     the address bits with single-position swap neighbors.
+//
+// Every search has a context-aware variant (ConstructCtx, AnnealCtx,
+// ConstructiveCtx) that checks for cancellation between candidate
+// evaluations and returns a wrapped xerr.ErrCanceled within one
+// hill-climbing move of the context being canceled.
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"xoridx/internal/gf2"
 	"xoridx/internal/hash"
 	"xoridx/internal/profile"
+	"xoridx/internal/xerr"
 )
 
 // Options configures a search.
@@ -51,6 +58,19 @@ type Options struct {
 	// that many goroutines, < 0 = GOMAXPROCS. Results are identical to
 	// the sequential search.
 	Workers int
+	// Progress, when non-nil, receives a Progress snapshot after every
+	// hill-climbing move (and at the end of each climb). It is called
+	// synchronously from the search goroutine; keep it fast.
+	Progress func(Progress)
+}
+
+// Progress is one search progress snapshot, delivered through
+// Options.Progress after each hill-climbing move.
+type Progress struct {
+	Restart   int    // restart index (0 = the conventional start)
+	Iteration int    // moves taken within this climb
+	Evaluated int    // candidate evaluations within this climb so far
+	Best      uint64 // best estimate found in this climb so far
 }
 
 // Result reports the outcome of a search.
@@ -72,14 +92,23 @@ func (r Result) Improvement() float64 {
 }
 
 // Construct searches for an m-set-bit index function minimising the
-// profile's miss estimate.
+// profile's miss estimate. It is ConstructCtx with a background
+// context.
 func Construct(p *profile.Profile, m int, opt Options) (Result, error) {
+	return ConstructCtx(context.Background(), p, m, opt)
+}
+
+// ConstructCtx is Construct with cooperative cancellation: the climbs
+// check ctx between candidate evaluations (every ctxCheckEvery of
+// them), so a canceled context aborts the search within one
+// hill-climbing move and the call returns a wrapped xerr.ErrCanceled.
+func ConstructCtx(ctx context.Context, p *profile.Profile, m int, opt Options) (Result, error) {
 	n := p.N
 	if m <= 0 || m >= n {
-		return Result{}, fmt.Errorf("search: m=%d out of range (0, %d)", m, n)
+		return Result{}, errOutOfRange(m, n)
 	}
 	if opt.MaxInputs < 0 {
-		return Result{}, fmt.Errorf("search: negative MaxInputs")
+		return Result{}, fmt.Errorf("search: negative MaxInputs: %w", xerr.ErrInvalidOptions)
 	}
 	if opt.Family == hash.FamilyPermutation && opt.MaxInputs == 1 {
 		// A 1-input permutation-based function is exactly modulo indexing.
@@ -89,7 +118,7 @@ func Construct(p *profile.Profile, m int, opt Options) (Result, error) {
 			Baseline:  p.EstimateConventional(m),
 		}, nil
 	}
-	var climb func(s *state, start int) Result
+	var climb func(s *state, start int) (Result, error)
 	switch opt.Family {
 	case hash.FamilyGeneralXOR:
 		switch {
@@ -107,34 +136,71 @@ func Construct(p *profile.Profile, m int, opt Options) (Result, error) {
 	case hash.FamilyBitSelect:
 		climb = (*state).climbBitSelect
 	default:
-		return Result{}, fmt.Errorf("search: unknown family %v", opt.Family)
+		return Result{}, fmt.Errorf("search: unknown family %v: %w", opt.Family, xerr.ErrInvalidOptions)
 	}
-	s := &state{p: p, n: n, m: m, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
-	best := climb(s, 0)
-	for r := 1; r <= opt.Restarts; r++ {
-		if cand := climb(s, r); cand.Estimated < best.Estimated {
-			iters, evals := best.Iterations, best.Evaluated
+	s := &state{ctx: ctx, p: p, n: n, m: m, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+	// Run every climb, keep the best result, and accumulate the
+	// iteration/evaluation totals exactly once per climb.
+	var best Result
+	totalIters, totalEvals := 0, 0
+	for r := 0; r <= opt.Restarts; r++ {
+		s.restart = r
+		cand, err := climb(s, r)
+		if err != nil {
+			return Result{}, err
+		}
+		totalIters += cand.Iterations
+		totalEvals += cand.Evaluated
+		if r == 0 || cand.Estimated < best.Estimated {
 			best = cand
-			best.Iterations += iters
-			best.Evaluated += evals
-		} else {
-			best.Iterations += cand.Iterations
-			best.Evaluated += cand.Evaluated
 		}
 	}
+	best.Iterations = totalIters
+	best.Evaluated = totalEvals
 	best.Baseline = p.EstimateConventional(m)
 	return best, nil
 }
 
+// ctxCheckEvery is the cancellation-check granularity in candidate
+// evaluations. Each evaluation walks up to 2^(n−m) profile entries, so
+// one poll per 1 K evaluations is unmeasurable yet keeps the
+// cancellation latency far below a single hill-climbing move.
+const ctxCheckEvery = 1024
+
 // state carries shared search context.
 type state struct {
-	p   *profile.Profile
-	n   int
-	m   int
-	opt Options
-	rng *rand.Rand
+	ctx     context.Context
+	p       *profile.Profile
+	n       int
+	m       int
+	opt     Options
+	rng     *rand.Rand
+	restart int // current restart index, for Progress snapshots
+	tick    int // evaluations since the last ctx check
 }
 
 func (s *state) capIterations(iter int) bool {
 	return s.opt.MaxIterations > 0 && iter >= s.opt.MaxIterations
+}
+
+// checkEvery polls the context once per ctxCheckEvery calls. Call it
+// before each candidate evaluation.
+func (s *state) checkEvery() error {
+	if s.tick++; s.tick < ctxCheckEvery {
+		return nil
+	}
+	s.tick = 0
+	return xerr.Check(s.ctx)
+}
+
+// emit delivers a Progress snapshot for the current climb, if a sink is
+// installed.
+func (s *state) emit(iteration, evaluated int, best uint64) {
+	if s.opt.Progress != nil {
+		s.opt.Progress(Progress{Restart: s.restart, Iteration: iteration, Evaluated: evaluated, Best: best})
+	}
+}
+
+func errOutOfRange(m, n int) error {
+	return fmt.Errorf("search: m=%d out of range (0, %d): %w", m, n, xerr.ErrInvalidOptions)
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"xoridx/internal/xerr"
 )
 
 // Binary format:
@@ -54,7 +56,7 @@ func Encode(w io.Writer, t *Trace) error {
 	var prev [3]uint64
 	for _, a := range t.Accesses {
 		if a.Kind > Fetch {
-			return fmt.Errorf("trace: cannot encode kind %d", a.Kind)
+			return fmt.Errorf("trace: cannot encode kind %d: %w", a.Kind, xerr.ErrFormat)
 		}
 		if err := bw.WriteByte(byte(a.Kind)); err != nil {
 			return err
@@ -115,7 +117,7 @@ func DecodeText(r io.Reader) (*Trace, error) {
 			}
 			if len(fields) >= 3 && fields[1] == "ops" {
 				if _, err := fmt.Sscanf(fields[2], "%d", &t.Ops); err != nil {
-					return nil, fmt.Errorf("trace: line %d: bad ops: %w", lineNo, err)
+					return nil, fmt.Errorf("trace: line %d: bad ops: %w: %w", lineNo, xerr.ErrFormat, err)
 				}
 			}
 			continue
@@ -123,7 +125,7 @@ func DecodeText(r io.Reader) (*Trace, error) {
 		var kindStr string
 		var addr uint64
 		if _, err := fmt.Sscanf(line, "%s %x", &kindStr, &addr); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			return nil, fmt.Errorf("trace: line %d: %w: %w", lineNo, xerr.ErrFormat, err)
 		}
 		var kind Kind
 		switch kindStr {
@@ -134,7 +136,7 @@ func DecodeText(r io.Reader) (*Trace, error) {
 		case "F":
 			kind = Fetch
 		default:
-			return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, kindStr)
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q: %w", lineNo, kindStr, xerr.ErrFormat)
 		}
 		t.Accesses = append(t.Accesses, Access{Addr: addr, Kind: kind})
 	}
@@ -162,7 +164,7 @@ func EncodeDinero(w io.Writer, t *Trace) error {
 		case Fetch:
 			label = '2'
 		default:
-			return fmt.Errorf("trace: cannot encode kind %d as din", a.Kind)
+			return fmt.Errorf("trace: cannot encode kind %d as din: %w", a.Kind, xerr.ErrFormat)
 		}
 		if _, err := fmt.Fprintf(bw, "%c %x\n", label, a.Addr); err != nil {
 			return err
@@ -188,7 +190,7 @@ func DecodeDinero(r io.Reader) (*Trace, error) {
 		var label int
 		var addr uint64
 		if _, err := fmt.Sscanf(line, "%d %x", &label, &addr); err != nil {
-			return nil, fmt.Errorf("trace: din line %d: %w", lineNo, err)
+			return nil, fmt.Errorf("trace: din line %d: %w: %w", lineNo, xerr.ErrFormat, err)
 		}
 		var kind Kind
 		switch label {
@@ -199,7 +201,7 @@ func DecodeDinero(r io.Reader) (*Trace, error) {
 		case 2:
 			kind = Fetch
 		default:
-			return nil, fmt.Errorf("trace: din line %d: unsupported label %d", lineNo, label)
+			return nil, fmt.Errorf("trace: din line %d: unsupported label %d: %w", lineNo, label, xerr.ErrFormat)
 		}
 		t.Accesses = append(t.Accesses, Access{Addr: addr, Kind: kind})
 	}

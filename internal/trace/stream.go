@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"xoridx/internal/gf2"
+	"xoridx/internal/xerr"
 )
 
 // Reader streams accesses out of the binary format one record at a
@@ -34,29 +35,29 @@ func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, fmt.Errorf("trace: reading magic: %w: %w", xerr.ErrFormat, err)
 	}
 	if string(head) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", head)
+		return nil, fmt.Errorf("trace: bad magic %q: %w", head, xerr.ErrFormat)
 	}
 	nameLen, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading name length: %w", err)
+		return nil, fmt.Errorf("trace: reading name length: %w: %w", xerr.ErrFormat, err)
 	}
 	if nameLen > 1<<20 {
-		return nil, errors.New("trace: unreasonable name length")
+		return nil, fmt.Errorf("trace: unreasonable name length: %w", xerr.ErrFormat)
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
+		return nil, fmt.Errorf("trace: reading name: %w: %w", xerr.ErrFormat, err)
 	}
 	ops, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading ops: %w", err)
+		return nil, fmt.Errorf("trace: reading ops: %w: %w", xerr.ErrFormat, err)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading access count: %w", err)
+		return nil, fmt.Errorf("trace: reading access count: %w: %w", xerr.ErrFormat, err)
 	}
 	return &Reader{br: br, name: string(name), ops: ops, count: count}, nil
 }
@@ -81,14 +82,14 @@ func (r *Reader) Next() (Access, error) {
 	}
 	kb, err := r.br.ReadByte()
 	if err != nil {
-		return Access{}, fmt.Errorf("trace: access %d kind: %w", r.read, err)
+		return Access{}, fmt.Errorf("trace: access %d kind: %w: %w", r.read, xerr.ErrFormat, err)
 	}
 	if Kind(kb) > Fetch {
-		return Access{}, fmt.Errorf("trace: access %d invalid kind %d", r.read, kb)
+		return Access{}, fmt.Errorf("trace: access %d invalid kind %d: %w", r.read, kb, xerr.ErrFormat)
 	}
 	delta, err := binary.ReadVarint(r.br)
 	if err != nil {
-		return Access{}, fmt.Errorf("trace: access %d delta: %w", r.read, err)
+		return Access{}, fmt.Errorf("trace: access %d delta: %w: %w", r.read, xerr.ErrFormat, err)
 	}
 	addr := uint64(int64(r.prev[kb]) + delta)
 	r.prev[kb] = addr

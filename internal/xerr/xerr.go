@@ -1,0 +1,63 @@
+// Package xerr defines the error taxonomy shared by every layer of the
+// tuning pipeline. Each sentinel classifies one failure mode; concrete
+// errors wrap a sentinel with fmt.Errorf("...: %w", ...) so callers —
+// and the future service layers that must map failures to responses —
+// can branch with errors.Is without parsing message strings.
+//
+// The package is a leaf (it imports only the standard library) so that
+// gf2, trace, profile, cache, search, optimal and core can all share
+// one vocabulary without import cycles. Package core re-exports the
+// sentinels a downstream user is expected to match against.
+package xerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrCanceled reports that a context was canceled (or timed out)
+	// while a pipeline stage was running. Errors wrapping it also wrap
+	// the context's own error, so errors.Is(err, context.Canceled) or
+	// errors.Is(err, context.DeadlineExceeded) hold as appropriate.
+	ErrCanceled = errors.New("canceled")
+
+	// ErrInvalidGeometry reports a cache geometry that cannot exist:
+	// non-power-of-two sizes, too few sets, an index function whose
+	// set-bit count does not match the cache, and the like.
+	ErrInvalidGeometry = errors.New("invalid geometry")
+
+	// ErrInvalidOptions reports search or profiling options outside
+	// their domain (m out of range, negative MaxInputs, an unknown
+	// function family, ...).
+	ErrInvalidOptions = errors.New("invalid options")
+
+	// ErrProfileMismatch reports a profile that is incompatible with
+	// the configuration or profile it is being combined with (different
+	// address width or capacity filter).
+	ErrProfileMismatch = errors.New("profile mismatch")
+
+	// ErrFormat reports unparsable or corrupt serialized input: trace
+	// files, matrix text, block sources that violate their contract.
+	ErrFormat = errors.New("bad format")
+)
+
+// Canceled wraps the context's cause in ErrCanceled. Call it only when
+// ctx is known to be done.
+func Canceled(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}
+
+// Check returns a wrapped ErrCanceled when ctx is done and nil
+// otherwise. It is the single cancellation point used by every hot
+// loop; on the context.Background() path (Done() == nil) it compiles
+// to a select that always takes the default branch.
+func Check(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return Canceled(ctx)
+	default:
+		return nil
+	}
+}
