@@ -52,6 +52,7 @@ func main() {
 	maxInputs := flag.Int("maxinputs", 2, "max XOR inputs per set-index bit (0 = unlimited)")
 	restarts := flag.Int("restarts", 0, "extra random hill-climbing restarts")
 	workers := flag.Int("workers", 1, "parallel workers for profiling and search (1 = sequential, -1 = all cores); results are identical for any value")
+	noIncremental := flag.Bool("no-incremental", false, "score every search candidate with a full Gray-code walk instead of the memoized coset-sum evaluator; results are identical, only slower")
 	noFallback := flag.Bool("nofallback", false, "disable the revert-to-conventional guard")
 	verbose := flag.Bool("verbose", false, "print the profile and search details")
 	bitstream := flag.Bool("bitstream", false, "emit the Fig. 2b configuration bitstream for the selected function (permutation family, maxinputs <= 2)")
@@ -86,14 +87,15 @@ func main() {
 		return
 	}
 	cfg := core.Config{
-		CacheBytes: *cacheBytes,
-		Ways:       *ways,
-		BlockBytes: *blockBytes,
-		AddrBits:   *addrBits,
-		MaxInputs:  *maxInputs,
-		Restarts:   *restarts,
-		NoFallback: *noFallback,
-		Workers:    *workers,
+		CacheBytes:    *cacheBytes,
+		Ways:          *ways,
+		BlockBytes:    *blockBytes,
+		AddrBits:      *addrBits,
+		MaxInputs:     *maxInputs,
+		Restarts:      *restarts,
+		NoFallback:    *noFallback,
+		Workers:       *workers,
+		NoIncremental: *noIncremental,
 	}
 	switch *family {
 	case "permutation":
@@ -126,8 +128,10 @@ func main() {
 		for _, vc := range p.HotVectors(8) {
 			fmt.Printf("  %s x%d\n", vc.Vec.StringN(p.N), vc.Count)
 		}
-		fmt.Printf("search: %d moves, %d candidates evaluated, estimate %d (baseline %d)\n\n",
+		fmt.Printf("search: %d moves, %d candidates evaluated, estimate %d (baseline %d)\n",
 			res.Search.Iterations, res.Search.Evaluated, res.Search.Estimated, res.Search.Baseline)
+		fmt.Printf("search cost: %d histogram lookups, %d memo hits\n\n",
+			res.Search.Lookups, res.Search.MemoHits)
 	}
 	fmt.Println(core.DescribeFunction(res.Func))
 	fmt.Println()

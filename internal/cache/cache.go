@@ -13,6 +13,7 @@ package cache
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"xoridx/internal/hash"
 	"xoridx/internal/lru"
@@ -49,14 +50,16 @@ func (c Config) Blocks() int { return c.SizeBytes / c.BlockBytes }
 // Sets returns the number of sets.
 func (c Config) Sets() int { return c.Blocks() / c.Ways }
 
-// SetBits returns log2(Sets).
+// SetBits returns log2(Sets), exact for the power-of-two set counts
+// every valid Config has. For a non-power-of-two set count it returns
+// -1 instead of the silent ceil(log2) it used to report; validate
+// rejects such geometries before any simulator consumes the value.
 func (c Config) SetBits() int {
 	s := c.Sets()
-	bits := 0
-	for v := 1; v < s; v <<= 1 {
-		bits++
+	if s <= 0 || s&(s-1) != 0 {
+		return -1
 	}
-	return bits
+	return bits.TrailingZeros(uint(s))
 }
 
 func (c Config) validate() error {
@@ -161,7 +164,11 @@ func New(cfg Config) (*Cache, error) {
 	}, nil
 }
 
-// MustNew is New panicking on error.
+// MustNew is New panicking on error — the regexp.MustCompile
+// convention, for configurations known valid by construction (fixed
+// geometries in tests and experiment tables). Library code handling
+// caller-supplied configurations should use New and propagate the
+// wrapped xerr.ErrInvalidGeometry instead.
 func MustNew(cfg Config) *Cache {
 	c, err := New(cfg)
 	if err != nil {

@@ -484,3 +484,24 @@ func TestReplacementDeterministic(t *testing.T) {
 		t.Fatal("random replacement must be deterministic across runs")
 	}
 }
+
+func TestSetBitsExact(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want int
+	}{
+		{Config{SizeBytes: 4096, BlockBytes: 4, Ways: 1}, 10},
+		{Config{SizeBytes: 4096, BlockBytes: 4, Ways: 4}, 8},
+		{Config{SizeBytes: 4096, BlockBytes: 64, Ways: 1}, 6},
+		{Config{SizeBytes: 4, BlockBytes: 4, Ways: 1}, 0}, // one set
+		// Invalid geometries: sets not a positive power of two.
+		{Config{SizeBytes: 12, BlockBytes: 4, Ways: 1}, -1}, // 3 sets
+		{Config{SizeBytes: 0, BlockBytes: 4, Ways: 1}, -1},
+		{Config{SizeBytes: 4096, BlockBytes: 4, Ways: 3}, -1}, // 341 sets
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.SetBits(); got != tc.want {
+			t.Errorf("SetBits(%+v) = %d, want %d", tc.cfg, got, tc.want)
+		}
+	}
+}

@@ -70,6 +70,11 @@ type Config struct {
 	// evaluation where the algorithm supports it. 0 or 1 = sequential;
 	// < 0 = one worker per core.
 	Workers int
+	// NoIncremental disables the search phase's memoized coset-sum
+	// evaluator, scoring every candidate with a full Gray-code walk as
+	// the original implementation did. Results are identical; the knob
+	// exists for benchmarking and differential testing.
+	NoIncremental bool
 }
 
 func (c Config) withDefaults() Config {
@@ -102,8 +107,9 @@ func (c Config) validate() error {
 	if blocks/c.Ways < 2 {
 		return fmt.Errorf("core: fully-associative geometry has no index to tune: %w", xerr.ErrInvalidGeometry)
 	}
-	if c.AddrBits < c.SetBits()+1 || c.AddrBits > 30 {
-		return fmt.Errorf("core: AddrBits %d out of range (need > set bits %d): %w", c.AddrBits, c.SetBits(), xerr.ErrInvalidGeometry)
+	if c.AddrBits < c.SetBits()+1 || c.AddrBits > profile.MaxBits {
+		return fmt.Errorf("core: AddrBits %d out of range (need > set bits %d, <= %d): %w",
+			c.AddrBits, c.SetBits(), profile.MaxBits, xerr.ErrInvalidGeometry)
 	}
 	return nil
 }
@@ -161,7 +167,10 @@ func Tune(tr *trace.Trace, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	p := buildProfile(tr, cfg)
+	p, err := buildProfile(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
 	return TuneProfiled(tr, p, cfg)
 }
 
@@ -206,6 +215,7 @@ func (c Config) searchOptions() search.Options {
 		Restarts:      c.Restarts,
 		Seed:          c.Seed,
 		Workers:       c.profileWorkers(),
+		NoIncremental: c.NoIncremental,
 	}
 }
 
@@ -273,15 +283,15 @@ func BuildProfile(tr *trace.Trace, cfg Config) (*profile.Profile, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return buildProfile(tr, cfg), nil
+	return buildProfile(tr, cfg)
 }
 
-func buildProfile(tr *trace.Trace, cfg Config) *profile.Profile {
+func buildProfile(tr *trace.Trace, cfg Config) (*profile.Profile, error) {
 	blocks := tr.Blocks(cfg.BlockBytes, cfg.AddrBits)
 	if w := cfg.profileWorkers(); w > 1 {
 		return profile.BuildParallel(blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes, w)
 	}
-	return profile.Build(blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes)
+	return profile.Build(blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes), nil
 }
 
 // profileWorkers resolves the Workers knob: < 0 means one per core.

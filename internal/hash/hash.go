@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"xoridx/internal/gf2"
+	"xoridx/internal/xerr"
 )
 
 // Func is a cache index/tag function pair over n-bit block addresses.
@@ -59,7 +60,8 @@ type XOR struct {
 // the constructed tag is exactly the conventional high-order selection.
 func NewXOR(h gf2.Matrix) (*XOR, error) {
 	if h.Rank() != h.M {
-		return nil, fmt.Errorf("hash: index matrix rank %d < %d; some sets would be unreachable", h.Rank(), h.M)
+		return nil, fmt.Errorf("hash: index matrix rank %d < %d; some sets would be unreachable: %w",
+			h.Rank(), h.M, xerr.ErrInvalidGeometry)
 	}
 	tag, err := completeTag(h)
 	if err != nil {
@@ -68,7 +70,11 @@ func NewXOR(h gf2.Matrix) (*XOR, error) {
 	return &XOR{h: h, tag: tag}, nil
 }
 
-// MustXOR is NewXOR for matrices known to be valid; it panics on error.
+// MustXOR is NewXOR for matrices known valid by construction (e.g. the
+// identity behind Modulo); it panics on error, following the
+// regexp.MustCompile convention. Code handling caller-supplied or
+// searched matrices should use NewXOR and propagate the wrapped
+// xerr.ErrInvalidGeometry instead.
 func MustXOR(h gf2.Matrix) *XOR {
 	f, err := NewXOR(h)
 	if err != nil {
@@ -93,7 +99,8 @@ func completeTag(h gf2.Matrix) (gf2.Matrix, error) {
 	}
 	if len(positions) != n-m {
 		// Cannot happen when rank(H) == m: unit vectors span GF(2)^n.
-		return gf2.Matrix{}, fmt.Errorf("hash: could not complete tag (got %d of %d bits)", len(positions), n-m)
+		return gf2.Matrix{}, fmt.Errorf("hash: could not complete tag (got %d of %d bits): %w",
+			len(positions), n-m, xerr.ErrInvalidGeometry)
 	}
 	// Emit tag bits in ascending address-bit order so the
 	// permutation-based case yields exactly block>>m.

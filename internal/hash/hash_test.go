@@ -1,11 +1,13 @@
 package hash
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 
 	"xoridx/internal/gf2"
+	"xoridx/internal/xerr"
 )
 
 func TestModulo(t *testing.T) {
@@ -25,8 +27,8 @@ func TestModulo(t *testing.T) {
 
 func TestNewXORRejectsRankDeficient(t *testing.T) {
 	h := gf2.MatrixFromCols(8, []gf2.Vec{0b11, 0b11})
-	if _, err := NewXOR(h); err == nil {
-		t.Fatal("rank-deficient matrix must be rejected")
+	if _, err := NewXOR(h); !errors.Is(err, xerr.ErrInvalidGeometry) {
+		t.Fatalf("rank-deficient matrix: err = %v, want wrapped ErrInvalidGeometry", err)
 	}
 }
 

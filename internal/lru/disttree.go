@@ -12,12 +12,10 @@ package lru
 // "how many blocks were accessed more recently than time t" in
 // O(log u).
 type DistanceTree struct {
-	root   *treapNode
-	byBlk  map[uint64]*treapNode
-	clock  uint64
-	rngSt  uint64
-	frees  []*treapNode
-	nAlloc int
+	root  *treapNode
+	byBlk map[uint64]*treapNode
+	clock uint64
+	rngSt uint64
 }
 
 type treapNode struct {
@@ -142,7 +140,6 @@ func (t *DistanceTree) Touch(block uint64) int {
 		return dist
 	}
 	n := &treapNode{time: now, block: block, prio: t.rand(), size: 1}
-	t.nAlloc++
 	t.byBlk[block] = n
 	t.insert(n)
 	return dist

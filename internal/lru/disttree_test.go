@@ -136,3 +136,21 @@ func BenchmarkDistanceTreeTouch(b *testing.B) {
 		d.Touch(blocks[i&(len(blocks)-1)])
 	}
 }
+
+// TestTouchSteadyStateAllocs pins the node-reuse behaviour: once every
+// block has been touched, re-touching reuses the removed treap node, so
+// the steady state allocates nothing.
+func TestTouchSteadyStateAllocs(t *testing.T) {
+	d := NewDistanceTree()
+	for b := uint64(0); b < 64; b++ {
+		d.Touch(b)
+	}
+	var i uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		d.Touch(i % 64)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Touch allocates %.1f per op; removed nodes must be reused", allocs)
+	}
+}

@@ -1,0 +1,64 @@
+package optimal
+
+import (
+	"context"
+	"fmt"
+
+	"xoridx/internal/gf2"
+	"xoridx/internal/profile"
+	"xoridx/internal/xerr"
+)
+
+// VerifyDeltaIdentity exhaustively cross-checks the incremental
+// estimator's coset identity (DESIGN.md §10) against brute-force Eq. 4
+// evaluation: for every d-dimensional null space V of GF(2)^n and every
+// hyperplane W ⊂ V,
+//
+//	EstimateBasis(V) == EstimateBasis(W) + EstimateDelta(W, rep)
+//
+// for any representative rep ∈ V∖W, because V is the disjoint union of
+// span(W) and span(W)⊕rep. The search engine's correctness — and its
+// bit-identical-results guarantee — rests on this integer identity; the
+// enumeration here is the same one ExhaustiveXOR trusts, making this
+// the oracle-grade check. Returns the number of (V, W) pairs verified.
+// Feasibility mirrors EnumerateSubspaces (small n only).
+func VerifyDeltaIdentity(ctx context.Context, p *profile.Profile, d int) (int, error) {
+	n := p.N
+	if d <= 0 || d >= n {
+		return 0, fmt.Errorf("optimal: null-space dimension d=%d out of range (0, %d): %w", d, n, xerr.ErrInvalidOptions)
+	}
+	checked := 0
+	var failure error
+	var hps []gf2.Subspace
+	err := EnumerateSubspaces(n, d, func(basis []gf2.Vec) bool {
+		if checked&1023 == 0 {
+			if failure = xerr.Check(ctx); failure != nil {
+				return false
+			}
+		}
+		v := gf2.Span(n, basis...)
+		want := p.EstimateBasis(basis)
+		hps = v.Hyperplanes(hps[:0])
+		for _, w := range hps {
+			var rep gf2.Vec
+			for _, b := range v.Basis {
+				if !w.Contains(b) {
+					rep = b
+					break
+				}
+			}
+			got := p.EstimateBasis(w.Basis) + p.EstimateDelta(w.Basis, rep)
+			if got != want {
+				failure = fmt.Errorf("optimal: delta identity violated for V=%v W=%v rep=%v: %d + delta != %d",
+					v.Basis, w.Basis, rep, p.EstimateBasis(w.Basis), want)
+				return false
+			}
+			checked++
+		}
+		return true
+	})
+	if err != nil {
+		return checked, err
+	}
+	return checked, failure
+}

@@ -126,6 +126,12 @@ func ProfileBestBitSelectCtx(ctx context.Context, p *profile.Profile, m int) (Bi
 	if m <= 0 || m >= n {
 		return BitSelectResult{}, fmt.Errorf("optimal: m=%d out of range: %w", m, xerr.ErrInvalidOptions)
 	}
+	if p.Table == nil {
+		// The zeta transform needs the dense 2^n table; a sparse profile
+		// is by definition too wide for it.
+		return BitSelectResult{}, fmt.Errorf("optimal: profile n=%d uses the sparse backend; the subset-sum transform needs a flat table (n <= %d): %w",
+			n, profile.MaxFlatBits, xerr.ErrInvalidOptions)
+	}
 	// sos[x] = sum of Table[v] over v subset of x.
 	sos := make([]uint64, len(p.Table))
 	copy(sos, p.Table)

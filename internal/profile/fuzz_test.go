@@ -42,7 +42,7 @@ func FuzzBuildParallelWorkers(f *testing.F) {
 		blocks := fuzzBlocks(data)
 		want := Build(blocks, n, cacheBlocks)
 		for workers := 1; workers <= 8; workers++ {
-			got := BuildParallel(blocks, n, cacheBlocks, workers)
+			got := mustParallel(t, blocks, n, cacheBlocks, workers)
 			if d := diffProfiles(got, want); d != "" {
 				t.Fatalf("workers=%d n=%d cap=%d len=%d: %s",
 					workers, n, cacheBlocks, len(blocks), d)

@@ -168,7 +168,7 @@ func TestDifferentialParallelVsSequential(t *testing.T) {
 		cacheBlocks := 1 << uint(r.Intn(6))
 		want := Build(blocks, n, cacheBlocks)
 		for workers := 1; workers <= 8; workers++ {
-			got := BuildParallel(blocks, n, cacheBlocks, workers)
+			got := mustParallel(t, blocks, n, cacheBlocks, workers)
 			if d := diffProfiles(got, want); d != "" {
 				t.Fatalf("trial %d (n=%d cap=%d len=%d) workers=%d: %s",
 					trial, n, cacheBlocks, len(blocks), workers, d)

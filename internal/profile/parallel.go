@@ -88,27 +88,28 @@ func (o ParallelOptions) withDefaults(cacheBlocks int) ParallelOptions {
 // into contiguous shards, each profiled concurrently against a warmed
 // LRU stack, and the per-shard histograms are merged with boundary
 // reconciliation. The result is bit-identical to Build for every
-// worker count (the default overlap is exact).
-func BuildParallel(blocks []uint64, n, cacheBlocks, workers int) *Profile {
+// worker count (the default overlap is exact). Errors carry wrapped
+// xerr sentinels (ErrInvalidOptions for an out-of-domain geometry).
+func BuildParallel(blocks []uint64, n, cacheBlocks, workers int) (*Profile, error) {
 	return BuildParallelOpts(blocks, n, cacheBlocks, ParallelOptions{Workers: workers})
 }
 
 // BuildParallelOpts is BuildParallel with explicit sharding controls.
-func BuildParallelOpts(blocks []uint64, n, cacheBlocks int, opt ParallelOptions) *Profile {
-	p, err := BuildParallelCtx(context.Background(), blocks, n, cacheBlocks, opt)
-	if err != nil {
-		// Background is never canceled, and cancellation is the only
-		// error source of the in-memory parallel build.
-		panic("profile: " + err.Error())
-	}
-	return p
+func BuildParallelOpts(blocks []uint64, n, cacheBlocks int, opt ParallelOptions) (*Profile, error) {
+	return BuildParallelCtx(context.Background(), blocks, n, cacheBlocks, opt)
 }
 
 // BuildParallelCtx is BuildParallelOpts with cooperative cancellation:
 // every shard builder checks ctx while it works, so a canceled context
 // stops all workers within ctxCheckEvery accesses each and the call
 // returns a wrapped xerr.ErrCanceled with no goroutines left behind.
+// The geometry is validated before any worker starts, so an invalid
+// (n, cacheBlocks) surfaces as a wrapped xerr.ErrInvalidOptions instead
+// of a builder panic inside a goroutine.
 func BuildParallelCtx(ctx context.Context, blocks []uint64, n, cacheBlocks int, opt ParallelOptions) (*Profile, error) {
+	if err := ValidateGeometry(n, cacheBlocks); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults(cacheBlocks)
 	workers := opt.Workers
 	if workers > len(blocks) {
@@ -143,7 +144,9 @@ func BuildParallelCtx(ctx context.Context, blocks []uint64, n, cacheBlocks int, 
 	}
 	rc := newReconciler(n, cacheBlocks)
 	for _, r := range results {
-		rc.add(r)
+		if err := rc.add(r); err != nil {
+			return nil, err
+		}
 	}
 	return rc.out, nil
 }
@@ -175,6 +178,9 @@ func BuildStream(src BlockSource, n, cacheBlocks int, opt ParallelOptions) (*Pro
 // goroutines are joined before the call returns a wrapped
 // xerr.ErrCanceled — cancellation never leaks workers.
 func BuildStreamCtx(ctx context.Context, src BlockSource, n, cacheBlocks int, opt ParallelOptions) (*Profile, error) {
+	if err := ValidateGeometry(n, cacheBlocks); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults(cacheBlocks)
 	mask := uint64(gf2.Mask(n))
 	jobs := make(chan shardJob, opt.Workers)
@@ -217,7 +223,9 @@ func BuildStreamCtx(ctx context.Context, src BlockSource, n, cacheBlocks int, op
 						shardErr = nr.err
 					}
 				} else if shardErr == nil {
-					rc.add(nr)
+					if err := rc.add(nr); err != nil {
+						shardErr = err
+					}
 				}
 				next++
 			}
@@ -339,7 +347,11 @@ func newReconciler(n, cacheBlocks int) *reconciler {
 }
 
 // add folds the next shard (in trace order) into the merged profile.
-func (rc *reconciler) add(s shardResult) {
+// A merge failure (a shard built with a different geometry — impossible
+// through the exported builders, reachable if the reconciler is ever
+// reused across configurations) is returned as Merge's wrapped
+// xerr.ErrProfileMismatch rather than panicking in library code.
+func (rc *reconciler) add(s shardResult) error {
 	for _, b := range s.firstTouch {
 		if _, ok := rc.seen[b]; ok {
 			s.p.Compulsory--
@@ -347,12 +359,12 @@ func (rc *reconciler) add(s shardResult) {
 		}
 	}
 	if err := rc.out.Merge(s.p); err != nil {
-		// Shards are built with the reconciler's own n/cacheBlocks.
-		panic("profile: shard merge: " + err.Error())
+		return fmt.Errorf("profile: shard merge: %w", err)
 	}
 	for b := range s.seen {
 		rc.seen[b] = struct{}{}
 	}
+	return nil
 }
 
 // warmStart returns the start index of the shortest window ending just

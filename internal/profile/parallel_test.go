@@ -5,13 +5,36 @@ import (
 	"io"
 	"math/rand"
 	"testing"
+
+	"xoridx/internal/xerr"
 )
+
+// mustParallel unwraps BuildParallel for tests where the geometry is
+// known to be valid.
+func mustParallel(t testing.TB, blocks []uint64, n, cacheBlocks, workers int) *Profile {
+	t.Helper()
+	p, err := BuildParallel(blocks, n, cacheBlocks, workers)
+	if err != nil {
+		t.Fatalf("BuildParallel(n=%d cap=%d workers=%d): %v", n, cacheBlocks, workers, err)
+	}
+	return p
+}
+
+// mustParallelOpts is mustParallel with explicit options.
+func mustParallelOpts(t testing.TB, blocks []uint64, n, cacheBlocks int, opt ParallelOptions) *Profile {
+	t.Helper()
+	p, err := BuildParallelOpts(blocks, n, cacheBlocks, opt)
+	if err != nil {
+		t.Fatalf("BuildParallelOpts(n=%d cap=%d %+v): %v", n, cacheBlocks, opt, err)
+	}
+	return p
+}
 
 func TestBuildParallelEmptyAndTiny(t *testing.T) {
 	for _, blocks := range [][]uint64{nil, {}, {5}, {5, 5}, {1, 2}} {
 		want := Build(blocks, 8, 4)
 		for workers := 1; workers <= 4; workers++ {
-			got := BuildParallel(blocks, 8, 4, workers)
+			got := mustParallel(t, blocks, 8, 4, workers)
 			if d := diffProfiles(got, want); d != "" {
 				t.Errorf("blocks=%v workers=%d: %s", blocks, workers, d)
 			}
@@ -22,9 +45,27 @@ func TestBuildParallelEmptyAndTiny(t *testing.T) {
 func TestBuildParallelMoreWorkersThanAccesses(t *testing.T) {
 	blocks := []uint64{1, 2, 1, 3, 2, 1}
 	want := Build(blocks, 6, 4)
-	got := BuildParallel(blocks, 6, 4, 64)
+	got := mustParallel(t, blocks, 6, 4, 64)
 	if d := diffProfiles(got, want); d != "" {
 		t.Fatal(d)
+	}
+}
+
+// TestBuildParallelRejectsInvalidGeometry pins the satellite bugfix:
+// an out-of-domain geometry is a wrapped xerr.ErrInvalidOptions error,
+// not a panic inside a worker goroutine.
+func TestBuildParallelRejectsInvalidGeometry(t *testing.T) {
+	for _, tc := range []struct{ n, cacheBlocks int }{
+		{0, 4}, {-1, 4}, {65, 4}, {8, 0}, {8, -2},
+	} {
+		if _, err := BuildParallel([]uint64{1, 2, 3}, tc.n, tc.cacheBlocks, 3); !errors.Is(err, xerr.ErrInvalidOptions) {
+			t.Errorf("BuildParallel(n=%d cap=%d) err = %v, want ErrInvalidOptions",
+				tc.n, tc.cacheBlocks, err)
+		}
+		if _, err := BuildStream(sliceSource([]uint64{1, 2}), tc.n, tc.cacheBlocks, ParallelOptions{}); !errors.Is(err, xerr.ErrInvalidOptions) {
+			t.Errorf("BuildStream(n=%d cap=%d) err = %v, want ErrInvalidOptions",
+				tc.n, tc.cacheBlocks, err)
+		}
 	}
 }
 
@@ -38,7 +79,7 @@ func TestBuildParallelExactAtCapacityOverlap(t *testing.T) {
 		cacheBlocks := 8
 		want := Build(blocks, 8, cacheBlocks)
 		for _, overlap := range []int{cacheBlocks + 1, cacheBlocks + 5, 4 * cacheBlocks} {
-			got := BuildParallelOpts(blocks, 8, cacheBlocks,
+			got := mustParallelOpts(t, blocks, 8, cacheBlocks,
 				ParallelOptions{Workers: 4, Overlap: overlap})
 			if d := diffProfiles(got, want); d != "" {
 				t.Fatalf("trial %d overlap=%d: %s", trial, overlap, d)
@@ -57,7 +98,7 @@ func TestBuildParallelUndercountBound(t *testing.T) {
 		cacheBlocks := 16
 		want := Build(blocks, 8, cacheBlocks)
 		for _, overlap := range []int{-1, 1, 4, cacheBlocks / 2} {
-			got := BuildParallelOpts(blocks, 8, cacheBlocks,
+			got := mustParallelOpts(t, blocks, 8, cacheBlocks,
 				ParallelOptions{Workers: 4, Overlap: overlap})
 			if got.Accesses != want.Accesses {
 				t.Fatalf("trial %d overlap=%d: Accesses %d != %d",

@@ -12,10 +12,13 @@
 //	misses(H) = Σ_{v ∈ N(H)} misses(v)              (Eq. 4)
 //
 // conflict misses, because x and y land in the same set exactly when
-// x⊕y lies in the null space N(H) (Eq. 2). The histogram is stored as a
-// flat 2^n table so a candidate null space of dimension d is scored
-// with a 2^d-step Gray-code walk — the trick that makes hill climbing
-// over the design space affordable.
+// x⊕y lies in the null space N(H) (Eq. 2). For n up to MaxFlatBits the
+// histogram is stored as a flat 2^n table so a candidate null space of
+// dimension d is scored with a 2^d-step Gray-code walk — the trick that
+// makes hill climbing over the design space affordable. Wider addresses
+// switch to a sparse map backend automatically: a trace of length L
+// touches at most L·cacheBlocks distinct conflict vectors regardless of
+// n, so the histogram support stays bounded while 2^n does not.
 package profile
 
 import (
@@ -27,11 +30,26 @@ import (
 	"xoridx/internal/xerr"
 )
 
+// MaxFlatBits is the widest hashed-address width stored as a flat
+// table (128 MB of counters). NewBuilder selects the sparse map
+// backend beyond it.
+const MaxFlatBits = 24
+
+// MaxBits is the widest supported hashed-address width (block
+// addresses are uint64).
+const MaxBits = 64
+
 // Profile is the conflict-vector histogram gathered from one trace.
+//
+// Exactly one backend is populated: Table for n <= MaxFlatBits, Sparse
+// beyond that. Code that indexes Table directly only works on flat
+// profiles; use At, ForEachNonZero or Support to stay
+// backend-agnostic.
 type Profile struct {
-	N           int      // hashed address bits; vectors are truncated to N bits
-	CacheBlocks int      // capacity filter used during profiling
-	Table       []uint64 // misses(v) for every v in [0, 2^N)
+	N           int               // hashed address bits; vectors are truncated to N bits
+	CacheBlocks int               // capacity filter used during profiling
+	Table       []uint64          // flat backend: misses(v) for every v in [0, 2^N); nil when sparse
+	Sparse      map[uint64]uint64 // sparse backend: misses(v) for nonzero entries only; nil when flat
 
 	// Bookkeeping from the profiling pass.
 	Accesses   uint64 // trace length
@@ -64,20 +82,48 @@ type Builder struct {
 }
 
 // NewBuilder starts an empty profile with the given hashed-address
-// width and capacity filter.
+// width and capacity filter. It panics on out-of-range arguments (the
+// constructor convention; the parallel builders validate and return
+// wrapped errors instead — see ValidateGeometry). Widths up to
+// MaxFlatBits get the flat table backend; wider profiles are sparse.
 func NewBuilder(n, cacheBlocks int) *Builder {
-	if n <= 0 || n > 30 {
-		panic(fmt.Sprintf("profile: n=%d out of supported range (flat table is 2^n entries)", n))
+	if err := ValidateGeometry(n, cacheBlocks); err != nil {
+		panic(err)
+	}
+	return newBuilder(n, cacheBlocks, n > MaxFlatBits)
+}
+
+// NewSparseBuilder is NewBuilder forcing the sparse map backend at any
+// width — useful for tests and for memory-constrained callers whose
+// histogram support is known to be small.
+func NewSparseBuilder(n, cacheBlocks int) *Builder {
+	if err := ValidateGeometry(n, cacheBlocks); err != nil {
+		panic(err)
+	}
+	return newBuilder(n, cacheBlocks, true)
+}
+
+// ValidateGeometry checks a (n, cacheBlocks) profiling geometry,
+// returning a wrapped xerr.ErrInvalidOptions when it is out of domain.
+func ValidateGeometry(n, cacheBlocks int) error {
+	if n <= 0 || n > MaxBits {
+		return fmt.Errorf("profile: n=%d outside (0, %d]: %w", n, MaxBits, xerr.ErrInvalidOptions)
 	}
 	if cacheBlocks <= 0 {
-		panic("profile: cacheBlocks must be positive")
+		return fmt.Errorf("profile: cacheBlocks=%d must be positive: %w", cacheBlocks, xerr.ErrInvalidOptions)
+	}
+	return nil
+}
+
+func newBuilder(n, cacheBlocks int, sparse bool) *Builder {
+	p := &Profile{N: n, CacheBlocks: cacheBlocks}
+	if sparse {
+		p.Sparse = make(map[uint64]uint64)
+	} else {
+		p.Table = make([]uint64, 1<<uint(n))
 	}
 	return &Builder{
-		p: &Profile{
-			N:           n,
-			CacheBlocks: cacheBlocks,
-			Table:       make([]uint64, 1<<uint(n)),
-		},
+		p:     p,
 		mask:  uint64(gf2.Mask(n)),
 		stack: lru.NewStack(),
 	}
@@ -102,7 +148,7 @@ func (bd *Builder) Add(block uint64) {
 	// b within that limit, the reuse distance exceeds the cache
 	// capacity and the access is a capacity miss.
 	_, reached := bd.stack.WalkAbove(b, p.CacheBlocks, func(y uint64) bool {
-		p.Table[b^y]++
+		p.inc(b ^ y)
 		p.TotalPairs++
 		return true
 	})
@@ -113,7 +159,7 @@ func (bd *Builder) Add(block uint64) {
 		// must be rolled back; re-walk the same prefix to undo.
 		p.Capacity++
 		bd.stack.WalkAbove(b, p.CacheBlocks, func(y uint64) bool {
-			p.Table[b^y]--
+			p.dec(b ^ y)
 			p.TotalPairs--
 			return true
 		})
@@ -152,43 +198,147 @@ func (bd *Builder) Finish() *Profile {
 	return bd.p
 }
 
+// At returns misses(v), the histogram count of one conflict vector,
+// regardless of backend.
+func (p *Profile) At(v gf2.Vec) uint64 {
+	if p.Table != nil {
+		return p.Table[v]
+	}
+	return p.Sparse[uint64(v)]
+}
+
+// inc/dec adjust one histogram entry on the active backend; dec keeps
+// the sparse map free of zero entries so its size is the support size.
+func (p *Profile) inc(v uint64) {
+	if p.Table != nil {
+		p.Table[v]++
+		return
+	}
+	p.Sparse[v]++
+}
+
+func (p *Profile) dec(v uint64) {
+	if p.Table != nil {
+		p.Table[v]--
+		return
+	}
+	if c := p.Sparse[v]; c <= 1 {
+		delete(p.Sparse, v)
+	} else {
+		p.Sparse[v] = c - 1
+	}
+}
+
+// ForEachNonZero calls fn for every nonzero histogram entry. Order is
+// ascending for the flat backend and unspecified for the sparse one;
+// use Support when a deterministic order matters.
+func (p *Profile) ForEachNonZero(fn func(v gf2.Vec, count uint64)) {
+	if p.Table != nil {
+		for v, c := range p.Table {
+			if c != 0 {
+				fn(gf2.Vec(v), c)
+			}
+		}
+		return
+	}
+	for v, c := range p.Sparse {
+		fn(gf2.Vec(v), c)
+	}
+}
+
+// Support returns the nonzero (vector, count) entries of the histogram
+// in ascending vector order — the working set the incremental search
+// engine sweeps per hyperplane instead of Gray-walking 2^d entries per
+// candidate.
+func (p *Profile) Support() []VectorCount {
+	var out []VectorCount
+	p.ForEachNonZero(func(v gf2.Vec, c uint64) {
+		out = append(out, VectorCount{Vec: v, Count: c})
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Vec < out[j].Vec })
+	return out
+}
+
 // EstimateSubspace returns misses(H) per Eq. 4 for a hash function
 // whose null space is the given subspace. Cost: 2^dim table reads via a
-// Gray-code walk (Subspace.Members order).
+// Gray-code walk (Subspace.Members order) while the dimension is
+// enumerable; for larger null spaces it scans the histogram support and
+// tests membership instead, which lifts the old dim <= 28 panic.
 func (p *Profile) EstimateSubspace(ns gf2.Subspace) uint64 {
 	if ns.N != p.N {
 		panic(fmt.Sprintf("profile: subspace ambient %d != profile n %d", ns.N, p.N))
 	}
-	d := ns.Dim()
-	if d > 28 {
-		panic("profile: null space too large to enumerate")
+	if ns.Dim() > maxWalkDim {
+		return p.estimateSupport(ns.Basis)
 	}
-	// Exclude v = 0: a block never conflicts with itself; Table[0] is
-	// always zero anyway because x != y on the stack walk.
-	var sum uint64
-	cur := gf2.Vec(0)
-	sum += p.Table[0]
-	for i := uint64(1); i < uint64(1)<<uint(d); i++ {
-		cur ^= ns.Basis[tz(i)]
-		sum += p.Table[cur]
-	}
-	return sum
+	return p.walkSum(ns.Basis)
 }
+
+// maxWalkDim bounds the Gray-code walk: past 2^28 entries the
+// support-scan route is both feasible and faster.
+const maxWalkDim = 28
 
 // EstimateBasis scores a null space given directly as a basis slice
 // (vectors need not be canonical, only independent). This avoids
 // constructing a Subspace in the search inner loop.
 func (p *Profile) EstimateBasis(basis []gf2.Vec) uint64 {
-	d := len(basis)
-	if d > 28 {
-		panic("profile: basis too large to enumerate")
+	if len(basis) > maxWalkDim {
+		// Membership tests need a canonical basis; build one.
+		return p.estimateSupport(gf2.Span(p.N, basis...).Basis)
 	}
-	var sum uint64
+	return p.walkSum(basis)
+}
+
+// walkSum Gray-walks span(basis) against the histogram. The v = 0 term
+// is included for symmetry but always zero: a block never conflicts
+// with itself (x != y on the stack walk).
+func (p *Profile) walkSum(basis []gf2.Vec) uint64 {
+	sum := p.At(0)
 	cur := gf2.Vec(0)
-	sum += p.Table[0]
-	for i := uint64(1); i < uint64(1)<<uint(d); i++ {
+	for i := uint64(1); i < uint64(1)<<uint(len(basis)); i++ {
 		cur ^= basis[tz(i)]
-		sum += p.Table[cur]
+		sum += p.At(cur)
+	}
+	return sum
+}
+
+// estimateSupport sums misses(v) over the support vectors lying in
+// span(basis); basis must be canonical (distinct leading bits). Cost:
+// one reduction per nonzero histogram entry, independent of dimension.
+func (p *Profile) estimateSupport(basis []gf2.Vec) uint64 {
+	var sum uint64
+	p.ForEachNonZero(func(v gf2.Vec, c uint64) {
+		if gf2.Reduce(v, basis) == 0 {
+			sum += c
+		}
+	})
+	return sum
+}
+
+// EstimateDelta returns Σ misses(v) over the coset span(w) ⊕ rep — the
+// incremental term of DESIGN.md §10: a neighbour span(W, rep) of a null
+// space splits into span(W) ∪ (span(W) ⊕ rep), so its Eq. 4 estimate is
+// the hyperplane's partial sum plus this delta. Cost: 2^len(w) reads,
+// half of re-walking the full neighbour (falling back to a support scan
+// when w itself is too large to enumerate).
+func (p *Profile) EstimateDelta(w []gf2.Vec, rep gf2.Vec) uint64 {
+	rep &= gf2.Mask(p.N)
+	if len(w) > maxWalkDim {
+		sp := gf2.Span(p.N, w...)
+		want := gf2.Reduce(rep, sp.Basis)
+		var sum uint64
+		p.ForEachNonZero(func(v gf2.Vec, c uint64) {
+			if gf2.Reduce(v, sp.Basis) == want {
+				sum += c
+			}
+		})
+		return sum
+	}
+	sum := p.At(rep)
+	cur := rep
+	for i := uint64(1); i < uint64(1)<<uint(len(w)); i++ {
+		cur ^= w[tz(i)]
+		sum += p.At(cur)
 	}
 	return sum
 }
@@ -207,13 +357,10 @@ func (p *Profile) EstimateConventional(m int) uint64 {
 // HotVectors returns the k most frequent conflict vectors with their
 // counts, descending. Useful for diagnosis and for seeding searches.
 func (p *Profile) HotVectors(k int) []VectorCount {
-	out := make([]VectorCount, 0, k)
-	for v, c := range p.Table {
-		if c == 0 {
-			continue
-		}
-		out = append(out, VectorCount{Vec: gf2.Vec(v), Count: c})
-	}
+	var out []VectorCount
+	p.ForEachNonZero(func(v gf2.Vec, c uint64) {
+		out = append(out, VectorCount{Vec: v, Count: c})
+	})
 	sortVectorCounts(out)
 	if len(out) > k {
 		out = out[:k]
@@ -258,11 +405,20 @@ func (p *Profile) Merge(o *Profile) error {
 	if p.CacheBlocks != o.CacheBlocks {
 		return fmt.Errorf("profile: capacity filters differ (%d vs %d blocks): %w", o.CacheBlocks, p.CacheBlocks, xerr.ErrProfileMismatch)
 	}
+	if (p.Table == nil) != (o.Table == nil) {
+		return fmt.Errorf("profile: histogram backends differ (flat vs sparse): %w", xerr.ErrProfileMismatch)
+	}
 	if len(p.Table) != len(o.Table) {
 		return fmt.Errorf("profile: table sizes differ (%d vs %d entries): %w", len(o.Table), len(p.Table), xerr.ErrProfileMismatch)
 	}
-	for v, c := range o.Table {
-		p.Table[v] += c
+	if p.Table != nil {
+		for v, c := range o.Table {
+			p.Table[v] += c
+		}
+	} else {
+		for v, c := range o.Sparse {
+			p.Sparse[v] += c
+		}
 	}
 	p.Accesses += o.Accesses
 	p.Compulsory += o.Compulsory

@@ -11,7 +11,7 @@ import (
 
 func TestBuildValidation(t *testing.T) {
 	for name, fn := range map[string]func(){
-		"n too large":   func() { Build(nil, 31, 16) },
+		"n too large":   func() { Build(nil, MaxBits+1, 16) },
 		"n zero":        func() { Build(nil, 0, 16) },
 		"no cap filter": func() { Build(nil, 8, 0) },
 	} {

@@ -78,7 +78,12 @@ func checkAllBuilders(t *testing.T, blocks []uint64) bool {
 				t.Logf("n=%d cap=%d: Build vs oracle: %s", n, cacheBlocks, d)
 				return false
 			}
-			if d := diffProfiles(BuildParallel(blocks, n, cacheBlocks, 5), want); d != "" {
+			gotPar, err := BuildParallel(blocks, n, cacheBlocks, 5)
+			if err != nil {
+				t.Logf("n=%d cap=%d: BuildParallel: %v", n, cacheBlocks, err)
+				return false
+			}
+			if d := diffProfiles(gotPar, want); d != "" {
 				t.Logf("n=%d cap=%d: BuildParallel vs oracle: %s", n, cacheBlocks, d)
 				return false
 			}

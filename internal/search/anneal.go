@@ -60,8 +60,13 @@ func AnnealCtx(ctx context.Context, p *profile.Profile, m int, opt AnnealOptions
 	}
 	best := cur
 	bestEst := curEst
-	res := Result{Baseline: baseline}
+	res := Result{Baseline: baseline, Lookups: uint64(1) << uint(d)}
 
+	// The annealer samples hyperplanes of whatever null space the walk
+	// currently sits in, so the memoized coset tables pay off whenever
+	// the walk lingers or returns: a resampled (hyperplane, vector)
+	// proposal costs two array reads instead of a 2^d walk.
+	ev := newNullEvaluator(p)
 	hps := cur.Hyperplanes(nil)
 	for step := 0; step < opt.Steps; step++ {
 		if step&(ctxCheckEvery-1) == 0 {
@@ -87,7 +92,7 @@ func AnnealCtx(ctx context.Context, p *profile.Profile, m int, opt AnnealOptions
 		if cand.Dim() != d {
 			continue
 		}
-		candEst := p.EstimateSubspace(cand)
+		candEst := ev.estimateExtend(ev.table(hp), v)
 		res.Evaluated++
 		delta := float64(candEst) - float64(curEst)
 		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
@@ -103,5 +108,7 @@ func AnnealCtx(ctx context.Context, p *profile.Profile, m int, opt AnnealOptions
 	}
 	res.Matrix = gf2.MatrixWithNullSpace(best)
 	res.Estimated = bestEst
+	res.Lookups += ev.lookups.Load()
+	res.MemoHits = ev.hits.Load()
 	return res, nil
 }

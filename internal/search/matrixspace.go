@@ -132,7 +132,8 @@ func (s *state) climbBitSelect(start int) (Result, error) {
 // climbMatrix is the generic steepest-descent loop over matrix states.
 // neighbors must emit every neighbor of h.
 func (s *state) climbMatrix(cur gf2.Matrix, neighbors func(h gf2.Matrix, emit func(gf2.Matrix))) (Result, error) {
-	res := Result{}
+	walkCost := uint64(1) << uint(s.n-s.m)
+	res := Result{Lookups: walkCost}
 	curEst := s.p.EstimateMatrix(cur)
 	// Estimate memo keyed by canonical null space: distinct matrices
 	// with the same null space incur the same misses (paper Eq. 2), so
@@ -172,6 +173,9 @@ func (s *state) climbMatrix(cur gf2.Matrix, neighbors func(h gf2.Matrix, emit fu
 				est = s.p.EstimateSubspace(ns)
 				memo[key] = est
 				res.Evaluated++
+				res.Lookups += walkCost
+			} else {
+				res.MemoHits++
 			}
 			if est < bestEst {
 				bestEst = est

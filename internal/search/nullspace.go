@@ -8,7 +8,10 @@ import (
 // spaces of dimension n−m, the paper's search for general XOR
 // functions. start==0 begins at the conventional null space
 // span(e_m..e_{n−1}); start>0 begins at a random subspace of the same
-// dimension.
+// dimension. With s.ev set, candidates are scored through the
+// incremental coset-sum evaluator instead of full Gray-code walks —
+// the estimates are the same integers, so the trajectory, the final
+// matrix and Evaluated are bit-identical to the brute path.
 func (s *state) climbNullSpace(start int) (Result, error) {
 	n, m := s.n, s.m
 	d := n - m
@@ -18,7 +21,7 @@ func (s *state) climbNullSpace(start int) (Result, error) {
 	}
 	curEst := s.p.EstimateSubspace(cur)
 
-	res := Result{}
+	res := Result{Lookups: uint64(1) << uint(d)}
 	basisBuf := make([]gf2.Vec, d)
 	for {
 		if s.capIterations(res.Iterations) {
@@ -30,12 +33,19 @@ func (s *state) climbNullSpace(start int) (Result, error) {
 		// outside cur, enumerated once per neighbor via canonical coset
 		// representatives (vectors supported on W's non-pivot bits).
 		for _, w := range cur.Hyperplanes(nil) {
-			// Non-pivot bit positions of W.
-			var pivots gf2.Vec
-			for _, b := range w.Basis {
-				pivots |= leading(b)
+			var tb *hpTable
+			var free []int
+			if s.ev != nil {
+				tb = s.ev.table(w)
+				free = tb.free
+			} else {
+				// Non-pivot bit positions of W.
+				var pivots gf2.Vec
+				for _, b := range w.Basis {
+					pivots |= leading(b)
+				}
+				free = freePositions(n, pivots)
 			}
-			free := freePositions(n, pivots)
 			copy(basisBuf, w.Basis)
 			// Enumerate all non-zero combinations of free positions.
 			for x := uint64(1); x < 1<<uint(len(free)); x++ {
@@ -46,11 +56,18 @@ func (s *state) climbNullSpace(start int) (Result, error) {
 				if cur.Contains(rep) {
 					continue // rep ∈ N: span(W, rep) == N, not a neighbor
 				}
-				basisBuf[d-1] = rep
-				est := s.p.EstimateBasis(basisBuf)
+				var est uint64
+				if tb != nil {
+					est = s.ev.estimateAt(tb, x, rep)
+				} else {
+					basisBuf[d-1] = rep
+					est = s.p.EstimateBasis(basisBuf)
+					res.Lookups += uint64(1) << uint(d)
+				}
 				res.Evaluated++
 				if est < bestEst {
 					bestEst = est
+					basisBuf[d-1] = rep
 					bestBasis = append(bestBasis[:0], basisBuf...)
 				}
 			}

@@ -49,7 +49,7 @@ func (c candidate) better(o candidate) bool {
 // from the search's; the first worker to observe cancellation cancels
 // the derived context so its siblings stop at their next poll, the
 // goroutines are all joined, and the error is returned.
-func (s *state) bestNeighborParallel(cur gf2.Subspace, curEst uint64, hps []gf2.Subspace, workers int) (candidate, int, error) {
+func (s *state) bestNeighborParallel(cur gf2.Subspace, curEst uint64, hps []gf2.Subspace, workers int) (candidate, int, uint64, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -62,6 +62,7 @@ func (s *state) bestNeighborParallel(cur gf2.Subspace, curEst uint64, hps []gf2.
 	d := n - s.m
 	results := make([]candidate, workers)
 	counts := make([]int, workers)
+	lookups := make([]uint64, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -73,11 +74,21 @@ func (s *state) bestNeighborParallel(cur gf2.Subspace, curEst uint64, hps []gf2.
 			evaluated := 0
 			for hpIdx := w; hpIdx < len(hps); hpIdx += workers {
 				hp := hps[hpIdx]
-				var pivots gf2.Vec
-				for _, b := range hp.Basis {
-					pivots |= leading(b)
+				var tb *hpTable
+				var free []int
+				if s.ev != nil {
+					// Workers own disjoint hyperplane strides, so no
+					// table is ever built twice within a move; across
+					// moves and restarts the shared memo serves hits.
+					tb = s.ev.table(hp)
+					free = tb.free
+				} else {
+					var pivots gf2.Vec
+					for _, b := range hp.Basis {
+						pivots |= leading(b)
+					}
+					free = freePositions(n, pivots)
 				}
-				free := freePositions(n, pivots)
 				copy(basisBuf, hp.Basis)
 				for x := uint64(1); x < 1<<uint(len(free)); x++ {
 					if evaluated&(ctxCheckEvery-1) == 0 {
@@ -91,8 +102,14 @@ func (s *state) bestNeighborParallel(cur gf2.Subspace, curEst uint64, hps []gf2.
 					if cur.Contains(rep) {
 						continue
 					}
-					basisBuf[d-1] = rep
-					est := s.p.EstimateBasis(basisBuf)
+					var est uint64
+					if tb != nil {
+						est = s.ev.estimateAt(tb, x, rep)
+					} else {
+						basisBuf[d-1] = rep
+						est = s.p.EstimateBasis(basisBuf)
+						lookups[w] += uint64(1) << uint(d)
+					}
 					evaluated++
 					cand := candidate{est: est, hpIdx: hpIdx, rep: rep, valid: true}
 					if est < best.est || (est == best.est && best.valid && cand.better(best)) {
@@ -112,22 +129,24 @@ func (s *state) bestNeighborParallel(cur gf2.Subspace, curEst uint64, hps []gf2.
 	// one: the first worker to fail canceled ctx for its siblings, and
 	// their secondary errors would otherwise mask the cause.
 	if err := xerr.Check(s.ctx); err != nil {
-		return candidate{}, 0, err
+		return candidate{}, 0, 0, err
 	}
 	for _, err := range errs {
 		if err != nil {
-			return candidate{}, 0, err
+			return candidate{}, 0, 0, err
 		}
 	}
 	merged := candidate{}
 	total := 0
+	var reads uint64
 	for w := range results {
 		total += counts[w]
+		reads += lookups[w]
 		if results[w].better(merged) {
 			merged = results[w]
 		}
 	}
-	return merged, total, nil
+	return merged, total, reads, nil
 }
 
 // climbNullSpaceParallel is the multi-worker variant of climbNullSpace.
@@ -139,17 +158,18 @@ func (s *state) climbNullSpaceParallel(start int) (Result, error) {
 		cur = s.randomSubspace(d)
 	}
 	curEst := s.p.EstimateSubspace(cur)
-	res := Result{}
+	res := Result{Lookups: uint64(1) << uint(d)}
 	for {
 		if s.capIterations(res.Iterations) {
 			break
 		}
 		hps := cur.Hyperplanes(nil)
-		best, evaluated, err := s.bestNeighborParallel(cur, curEst, hps, s.opt.Workers)
+		best, evaluated, reads, err := s.bestNeighborParallel(cur, curEst, hps, s.opt.Workers)
 		if err != nil {
 			return Result{}, err
 		}
 		res.Evaluated += evaluated
+		res.Lookups += reads
 		if !best.valid {
 			break
 		}

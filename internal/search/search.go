@@ -58,6 +58,12 @@ type Options struct {
 	// that many goroutines, < 0 = GOMAXPROCS. Results are identical to
 	// the sequential search.
 	Workers int
+	// NoIncremental disables the memoized coset-sum evaluator of the
+	// general-XOR null-space search and scores every neighbor with a
+	// full Gray-code walk, as the original implementation did. Results
+	// are bit-identical either way; this knob exists for differential
+	// testing and benchmarking.
+	NoIncremental bool
 	// Progress, when non-nil, receives a Progress snapshot after every
 	// hill-climbing move (and at the end of each climb). It is called
 	// synchronously from the search goroutine; keep it fast.
@@ -80,6 +86,14 @@ type Result struct {
 	Baseline   uint64     // estimated conflict misses of modulo indexing
 	Iterations int        // hill-climbing moves taken (all climbs)
 	Evaluated  int        // candidate evaluations performed
+	// Lookups counts histogram-read work units spent scoring
+	// candidates: 2^k entries per Gray-code walk, the support entries
+	// swept per memoized coset table, and two reads per table-served
+	// candidate (see DESIGN.md §10). The baseline estimate is excluded.
+	Lookups uint64
+	// MemoHits counts candidate scores served from a memoized
+	// hyperplane table or null-space key instead of the histogram.
+	MemoHits uint64
 }
 
 // Improvement returns the estimated fraction of conflict misses removed
@@ -139,10 +153,17 @@ func ConstructCtx(ctx context.Context, p *profile.Profile, m int, opt Options) (
 		return Result{}, fmt.Errorf("search: unknown family %v: %w", opt.Family, xerr.ErrInvalidOptions)
 	}
 	s := &state{ctx: ctx, p: p, n: n, m: m, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+	if opt.Family == hash.FamilyGeneralXOR && opt.MaxInputs == 0 && !opt.NoIncremental {
+		// The unconstrained null-space climbs share one incremental
+		// evaluator: its hyperplane tables persist across moves,
+		// restarts and workers.
+		s.ev = newNullEvaluator(p)
+	}
 	// Run every climb, keep the best result, and accumulate the
 	// iteration/evaluation totals exactly once per climb.
 	var best Result
 	totalIters, totalEvals := 0, 0
+	var totalLookups, totalHits uint64
 	for r := 0; r <= opt.Restarts; r++ {
 		s.restart = r
 		cand, err := climb(s, r)
@@ -151,12 +172,20 @@ func ConstructCtx(ctx context.Context, p *profile.Profile, m int, opt Options) (
 		}
 		totalIters += cand.Iterations
 		totalEvals += cand.Evaluated
+		totalLookups += cand.Lookups
+		totalHits += cand.MemoHits
 		if r == 0 || cand.Estimated < best.Estimated {
 			best = cand
 		}
 	}
 	best.Iterations = totalIters
 	best.Evaluated = totalEvals
+	best.Lookups = totalLookups
+	best.MemoHits = totalHits
+	if s.ev != nil {
+		best.Lookups += s.ev.lookups.Load()
+		best.MemoHits += s.ev.hits.Load()
+	}
 	best.Baseline = p.EstimateConventional(m)
 	return best, nil
 }
@@ -175,8 +204,9 @@ type state struct {
 	m       int
 	opt     Options
 	rng     *rand.Rand
-	restart int // current restart index, for Progress snapshots
-	tick    int // evaluations since the last ctx check
+	ev      *nullEvaluator // incremental estimator; nil for the brute path
+	restart int            // current restart index, for Progress snapshots
+	tick    int            // evaluations since the last ctx check
 }
 
 func (s *state) capIterations(iter int) bool {
