@@ -15,9 +15,13 @@
 //	xoridx -trace fft.xtr -family general -algo anneal       # alternative search
 //	xoridx -trace fft.xtr -cache 4096 -workers -1            # sharded parallel profiling + search
 //	xoridx -trace fft.xtr -cache 4096 -progress              # stage/search progress on stderr
+//	xoridx -trace fft.xtr -checkpoint run                    # crash snapshots -> run.{profile,search}.ckpt
+//	xoridx -trace fft.xtr -checkpoint run -resume            # continue a killed run, bit-identically
 //
 // Ctrl-C (SIGINT) cancels the pipeline cooperatively: the run aborts
-// within one hill-climbing move and exits with the cancellation error.
+// within one hill-climbing move, prints the best-so-far function marked
+// degraded, and exits with the cancellation error; with -checkpoint the
+// interrupted state is on disk and -resume continues it.
 //
 // Trace files may be in the binary, text or Dinero III format
 // (autodetected).
@@ -33,6 +37,7 @@ import (
 
 	"xoridx/internal/cache"
 	"xoridx/internal/core"
+	"xoridx/internal/faultio"
 	"xoridx/internal/gf2"
 	"xoridx/internal/hash"
 	"xoridx/internal/netlist"
@@ -61,6 +66,9 @@ func main() {
 	loadFn := flag.String("apply", "", "skip the search: load a matrix from this file and evaluate it on the trace")
 	analyze := flag.Bool("analyze", false, "diagnose the trace's conflicts (hot vectors + concrete address pairs) instead of constructing a function")
 	progress := flag.Bool("progress", false, "report pipeline stages and search progress on stderr")
+	checkpoint := flag.String("checkpoint", "", "base path for crash snapshots: profiling state goes to <path>.profile.ckpt and search state to <path>.search.ckpt, written atomically; restart a killed run with -resume")
+	resume := flag.Bool("resume", false, "continue from the checkpoint files under -checkpoint (missing files mean a cold start); the resumed run is bit-identical to an uninterrupted one")
+	retries := flag.Int("retries", 0, "retry budget for transient trace I/O failures, with capped exponential backoff")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -70,7 +78,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xoridx: -trace required")
 		os.Exit(2)
 	}
-	tr, err := readTrace(*traceFile)
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "xoridx: -resume needs -checkpoint")
+		os.Exit(2)
+	}
+	tr, err := readTraceRetry(ctx, *traceFile, *retries)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,15 +99,17 @@ func main() {
 		return
 	}
 	cfg := core.Config{
-		CacheBytes:    *cacheBytes,
-		Ways:          *ways,
-		BlockBytes:    *blockBytes,
-		AddrBits:      *addrBits,
-		MaxInputs:     *maxInputs,
-		Restarts:      *restarts,
-		NoFallback:    *noFallback,
-		Workers:       *workers,
-		NoIncremental: *noIncremental,
+		CacheBytes:     *cacheBytes,
+		Ways:           *ways,
+		BlockBytes:     *blockBytes,
+		AddrBits:       *addrBits,
+		MaxInputs:      *maxInputs,
+		Restarts:       *restarts,
+		NoFallback:     *noFallback,
+		Workers:        *workers,
+		NoIncremental:  *noIncremental,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
 	}
 	switch *family {
 	case "permutation":
@@ -114,6 +128,18 @@ func main() {
 	}
 	res, err := tuneWith(ctx, tr, cfg, *algo, events)
 	if err != nil {
+		if res != nil && res.Degraded && res.Func != nil {
+			// Anytime contract: an interrupted run still reports the best
+			// function it reached, clearly marked as unvalidated.
+			fmt.Printf("search interrupted after %d moves (%d candidates evaluated); best-so-far estimate %d (baseline %d)\n",
+				res.Search.Iterations, res.Search.Evaluated, res.Search.Estimated, res.Search.Baseline)
+			fmt.Println("NOTE: result is degraded — not exactly validated, not necessarily a local optimum")
+			fmt.Println()
+			fmt.Println(core.DescribeFunction(res.Func))
+			if *checkpoint != "" {
+				fmt.Printf("\nresume with: -trace %s -checkpoint %s -resume\n", *traceFile, *checkpoint)
+			}
+		}
 		fatal(err)
 	}
 	stats := tr.ComputeStats()
@@ -208,6 +234,15 @@ func tuneWith(ctx context.Context, tr *trace.Trace, cfg core.Config, algo string
 		return nil, fmt.Errorf("unknown -algo %q (hillclimb, anneal, constructive)", algo)
 	}
 	if err != nil {
+		if sres.Degraded && sres.Matrix.Cols != nil {
+			// The alternative searches honour the same anytime contract
+			// as the hill climber: surface their best-so-far function.
+			res := &core.Result{Search: sres, Profile: p, Degraded: true}
+			if f, ferr := hash.NewXOR(sres.Matrix); ferr == nil {
+				res.Func = f
+			}
+			return res, err
+		}
 		return nil, err
 	}
 	// Hand the found matrix to the exact-simulation stage, which also
@@ -308,6 +343,25 @@ func emitBitstream(f hash.Func, n, m int) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// readTraceRetry loads the trace under the -retries budget: transient
+// I/O failures (errors wrapping core.ErrIO, e.g. from a flaky network
+// filesystem surfaced by a fault-aware reader) are retried with capped
+// exponential backoff; decode errors and missing files fail at once.
+func readTraceRetry(ctx context.Context, path string, retries int) (*trace.Trace, error) {
+	if retries <= 0 {
+		return readTrace(path)
+	}
+	policy := faultio.DefaultPolicy
+	policy.MaxRetries = retries
+	var tr *trace.Trace
+	err := policy.Do(ctx, func() error {
+		var err error
+		tr, err = readTrace(path)
+		return err
+	})
+	return tr, err
 }
 
 // readTrace loads any of the three trace formats, sniffing the first

@@ -34,8 +34,15 @@ var (
 	ErrInvalidOptions = xerr.ErrInvalidOptions
 	// ErrProfileMismatch marks profiles incompatible with the config.
 	ErrProfileMismatch = xerr.ErrProfileMismatch
-	// ErrFormat marks unparsable serialized input (traces, matrices).
+	// ErrFormat marks unparsable serialized input (traces, matrices,
+	// checkpoint snapshots).
 	ErrFormat = xerr.ErrFormat
+	// ErrIO marks transient I/O failures that a retry policy may
+	// recover (see internal/faultio); permanent failures never wrap it.
+	ErrIO = xerr.ErrIO
+	// ErrPanic marks a recovered panic in a parallel worker, converted
+	// to an error instead of crashing the process.
+	ErrPanic = xerr.ErrPanic
 )
 
 // Config describes one tuning problem.
@@ -75,6 +82,20 @@ type Config struct {
 	// the original implementation did. Results are identical; the knob
 	// exists for benchmarking and differential testing.
 	NoIncremental bool
+	// CheckpointPath, when non-empty, is the base path for crash
+	// snapshots: the profiling stage writes <path>.profile.ckpt and the
+	// search stage <path>.search.ckpt, both atomically, so a killed run
+	// restarted with Resume continues where it stopped (bit-identical
+	// to an uninterrupted run). Checkpointed profiling runs through the
+	// sequential builder regardless of Workers.
+	CheckpointPath string
+	// CheckpointEvery is the profiling snapshot cadence in trace
+	// accesses (0 selects the profile layer's default, ~1M). The search
+	// stage snapshots after every hill-climbing move.
+	CheckpointEvery int
+	// Resume restores existing checkpoint files under CheckpointPath
+	// before each stage runs; missing files mean a cold start.
+	Resume bool
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +166,12 @@ type Result struct {
 	// Profile is the conflict-vector histogram (reusable across
 	// families and input bounds for the same trace and cache size).
 	Profile *profile.Profile
+	// Degraded is set on a best-so-far result returned alongside a
+	// cancellation error: the search was interrupted (Search.Degraded
+	// tells how many moves completed) or exact validation did not
+	// finish (Baseline/Optimized are then zero). Func still holds a
+	// valid index function — just not a validated local optimum.
+	Degraded bool
 }
 
 // MissesRemoved returns the fraction of baseline misses eliminated by
@@ -208,7 +235,7 @@ func checkProfile(p *profile.Profile, cfg Config) error {
 
 // searchOptions maps the config onto the search layer's options.
 func (c Config) searchOptions() search.Options {
-	return search.Options{
+	opt := search.Options{
 		Family:        c.Family,
 		MaxInputs:     c.MaxInputs,
 		MaxIterations: c.MaxIterations,
@@ -217,7 +244,16 @@ func (c Config) searchOptions() search.Options {
 		Workers:       c.profileWorkers(),
 		NoIncremental: c.NoIncremental,
 	}
+	if c.CheckpointPath != "" {
+		opt.CheckpointPath = c.searchCheckpointPath()
+		opt.Resume = c.Resume
+	}
+	return opt
 }
+
+// Stage checkpoint files under the configured base path.
+func (c Config) profileCheckpointPath() string { return c.CheckpointPath + ".profile.ckpt" }
+func (c Config) searchCheckpointPath() string  { return c.CheckpointPath + ".search.ckpt" }
 
 // validateSearch turns a search result into the final Result: exact
 // baseline + optimized simulations and the §6 fallback guard.

@@ -10,6 +10,7 @@ package core
 
 import (
 	"context"
+	"io"
 
 	"xoridx/internal/cache"
 	"xoridx/internal/hash"
@@ -101,6 +102,12 @@ func (pl *Pipeline) emit(e Event) {
 // Profile runs the Fig. 1 profiling stage: it extracts the block
 // sequence and builds the conflict-vector histogram, sharded across
 // Config.Workers when > 1 (bit-identical to the sequential pass).
+//
+// With Config.CheckpointPath set the stage runs through the sequential
+// checkpointed builder, snapshotting every CheckpointEvery accesses;
+// Resume continues from an existing snapshot. On cancellation the
+// sequential paths return the partial profile so far — marked Degraded
+// and exact for the prefix it covers — alongside the error.
 func (pl *Pipeline) Profile(ctx context.Context, tr *trace.Trace) (*profile.Profile, error) {
 	cfg := pl.Config.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -112,14 +119,31 @@ func (pl *Pipeline) Profile(ctx context.Context, tr *trace.Trace) (*profile.Prof
 		p   *profile.Profile
 		err error
 	)
-	if w := cfg.profileWorkers(); w > 1 {
+	switch w := cfg.profileWorkers(); {
+	case cfg.CheckpointPath != "":
+		rest := blocks
+		src := func(dst []uint64) (int, error) {
+			if len(rest) == 0 {
+				return 0, io.EOF
+			}
+			k := copy(dst, rest)
+			rest = rest[k:]
+			return k, nil
+		}
+		p, err = profile.BuildCheckpointedCtx(ctx, src, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes,
+			profile.CheckpointOptions{
+				Path:   cfg.profileCheckpointPath(),
+				Every:  uint64(cfg.CheckpointEvery),
+				Resume: cfg.Resume,
+			})
+	case w > 1:
 		p, err = profile.BuildParallelCtx(ctx, blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes,
 			profile.ParallelOptions{Workers: w})
-	} else {
+	default:
 		p, err = profile.BuildCtx(ctx, blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes)
 	}
 	if err != nil {
-		return nil, err
+		return p, err
 	}
 	pl.emit(Event{Kind: StageFinished, Stage: StageProfile})
 	return p, nil
@@ -152,7 +176,9 @@ func (pl *Pipeline) Search(ctx context.Context, p *profile.Profile) (search.Resu
 	}
 	sres, err := search.ConstructCtx(ctx, p, cfg.SetBits(), opt)
 	if err != nil {
-		return search.Result{}, err
+		// sres may carry a Degraded best-so-far matrix; pass it up so
+		// an interrupted pipeline still yields a usable function.
+		return sres, err
 	}
 	pl.emit(Event{
 		Kind:      StageFinished,
@@ -179,14 +205,20 @@ func (pl *Pipeline) Validate(ctx context.Context, tr *trace.Trace, p *profile.Pr
 		return nil, errInvalidMatrix(err)
 	}
 	pl.emit(Event{Kind: StageStarted, Stage: StageValidate})
-	res := &Result{Search: sres, Profile: p}
+	res := &Result{Search: sres, Profile: p, Func: optFunc}
 	if res.Baseline, err = simulateCtx(ctx, tr, cfg, hash.Modulo(cfg.AddrBits, m)); err != nil {
-		return nil, err
+		// The searched function is intact — only its exact validation
+		// (and the §6 fallback guard) is missing. Hand it back Degraded
+		// with zeroed simulation stats rather than dropping it.
+		res.Baseline = cache.Stats{}
+		res.Degraded = true
+		return res, err
 	}
 	if res.Optimized, err = simulateCtx(ctx, tr, cfg, optFunc); err != nil {
-		return nil, err
+		res.Baseline, res.Optimized = cache.Stats{}, cache.Stats{}
+		res.Degraded = true
+		return res, err
 	}
-	res.Func = optFunc
 	applyFallback(res, cfg, m)
 	pl.emit(Event{Kind: StageFinished, Stage: StageValidate})
 	return res, nil
@@ -203,9 +235,21 @@ func (pl *Pipeline) Run(ctx context.Context, tr *trace.Trace) (*Result, error) {
 
 // RunProfiled executes the search and validation stages with a
 // pre-built profile.
+//
+// On cancellation the returned *Result is non-nil whenever the search
+// produced a usable best-so-far matrix: it is tagged Degraded, its
+// Search field tells how many moves and evaluations completed, and it
+// is returned alongside the wrapped ErrCanceled.
 func (pl *Pipeline) RunProfiled(ctx context.Context, tr *trace.Trace, p *profile.Profile) (*Result, error) {
 	sres, err := pl.Search(ctx, p)
 	if err != nil {
+		if sres.Degraded && sres.Matrix.Cols != nil {
+			res := &Result{Search: sres, Profile: p, Degraded: true}
+			if f, ferr := hash.NewXOR(sres.Matrix); ferr == nil {
+				res.Func = f
+			}
+			return res, err
+		}
 		return nil, err
 	}
 	return pl.Validate(ctx, tr, p, sres)

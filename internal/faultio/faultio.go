@@ -1,0 +1,162 @@
+// Package faultio injects deterministic, seedable I/O faults under any
+// io.Reader and provides the retry policy that recovers from the
+// transient ones.
+//
+// The package serves two roles. In tests it is the adversary: a
+// Schedule drives transient read errors, short reads, truncation and
+// bit corruption into the byte stream beneath the trace decoder, so
+// the pipeline's recovery paths are exercised reproducibly (the same
+// seed and read pattern inject the same faults). In production code it
+// is the shield: Policy.Do retries exactly the errors classified
+// transient (wrapping xerr.ErrIO) with capped exponential backoff and
+// deterministic jitter, and RetryReader applies that policy below a
+// decoder so record parsing never observes a recoverable fault.
+//
+// The fault taxonomy follows the error classes of internal/xerr:
+//
+//   - transient errors wrap xerr.ErrIO — retrying may succeed, and the
+//     injected reader consumes no data when it raises one;
+//   - truncation surfaces as io.ErrUnexpectedEOF from whatever decoder
+//     hits the early end — retrying cannot help;
+//   - corruption flips payload bits and is only detectable by the
+//     consumer (CRC envelopes, format validation) as xerr.ErrFormat.
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"xoridx/internal/xerr"
+)
+
+// Schedule is a deterministic fault plan for one Reader. The zero
+// value injects nothing. Rates are per Read call, decided by a rand
+// stream derived from Seed, so a given (Schedule, read pattern) pair
+// always faults identically — the property the differential tests
+// rely on.
+type Schedule struct {
+	// Seed drives every injection decision.
+	Seed int64
+
+	// Transient is the probability (0..1] that a Read call fails with
+	// a wrapped xerr.ErrIO before consuming anything. A retry of the
+	// same call proceeds normally (subject to its own dice roll).
+	Transient float64
+
+	// MaxTransients caps the injected transient errors; 0 means
+	// unlimited. A cap lets tests guarantee that a bounded retry
+	// policy always wins eventually.
+	MaxTransients int
+
+	// ShortRead is the probability that a successful Read returns
+	// fewer bytes than requested (at least 1). Legal io.Reader
+	// behaviour — included because real pipes and sockets do it and
+	// decoders must not care.
+	ShortRead float64
+
+	// CorruptBit is the probability that a successful Read flips one
+	// random bit of the data it returns.
+	CorruptBit float64
+
+	// TruncateAfter forces a permanent EOF once this many bytes have
+	// been delivered; 0 disables truncation.
+	TruncateAfter int64
+}
+
+// Validate rejects schedules outside their domain with a wrapped
+// xerr.ErrInvalidOptions (defensive option validation: a mistyped rate
+// should fail loudly, not silently never fire or always fire).
+func (s Schedule) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"Transient", s.Transient}, {"ShortRead", s.ShortRead}, {"CorruptBit", s.CorruptBit}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faultio: %s rate %v outside [0, 1]: %w", r.name, r.v, xerr.ErrInvalidOptions)
+		}
+	}
+	if s.MaxTransients < 0 {
+		return fmt.Errorf("faultio: negative MaxTransients %d: %w", s.MaxTransients, xerr.ErrInvalidOptions)
+	}
+	if s.TruncateAfter < 0 {
+		return fmt.Errorf("faultio: negative TruncateAfter %d: %w", s.TruncateAfter, xerr.ErrInvalidOptions)
+	}
+	return nil
+}
+
+// Stats counts the faults a Reader has injected so far.
+type Stats struct {
+	Transients     int   // transient errors raised
+	ShortReads     int   // reads shortened
+	FlippedBits    int   // payload bits corrupted
+	Truncated      bool  // permanent early EOF reached
+	BytesDelivered int64 // bytes successfully returned to the consumer
+}
+
+// Reader wraps an io.Reader with an injection Schedule.
+type Reader struct {
+	r     io.Reader
+	sched Schedule
+	rng   *rand.Rand
+	stats Stats
+}
+
+// NewReader validates the schedule and wraps r with it.
+func NewReader(r io.Reader, sched Schedule) (*Reader, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	return &Reader{r: r, sched: sched, rng: rand.New(rand.NewSource(sched.Seed))}, nil
+}
+
+// Stats returns the injection counters so far.
+func (f *Reader) Stats() Stats { return f.stats }
+
+// Transient reports whether the schedule can still raise a transient
+// error (i.e. MaxTransients has not been exhausted).
+func (f *Reader) transientArmed() bool {
+	return f.sched.Transient > 0 &&
+		(f.sched.MaxTransients == 0 || f.stats.Transients < f.sched.MaxTransients)
+}
+
+// Read implements io.Reader under the fault schedule. Transient
+// failures consume no underlying data; every other path delegates to
+// the wrapped reader and then post-processes the returned bytes.
+func (f *Reader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return f.r.Read(p)
+	}
+	if f.sched.TruncateAfter > 0 && f.stats.BytesDelivered >= f.sched.TruncateAfter {
+		f.stats.Truncated = true
+		return 0, io.EOF
+	}
+	if f.transientArmed() && f.rng.Float64() < f.sched.Transient {
+		f.stats.Transients++
+		return 0, fmt.Errorf("faultio: injected transient read error #%d at offset %d: %w",
+			f.stats.Transients, f.stats.BytesDelivered, xerr.ErrIO)
+	}
+	if f.sched.TruncateAfter > 0 {
+		if room := f.sched.TruncateAfter - f.stats.BytesDelivered; int64(len(p)) > room {
+			p = p[:room]
+		}
+	}
+	if f.sched.ShortRead > 0 && len(p) > 1 && f.rng.Float64() < f.sched.ShortRead {
+		f.stats.ShortReads++
+		p = p[:1+f.rng.Intn(len(p)-1)]
+	}
+	n, err := f.r.Read(p)
+	if n > 0 && f.sched.CorruptBit > 0 && f.rng.Float64() < f.sched.CorruptBit {
+		f.stats.FlippedBits++
+		p[f.rng.Intn(n)] ^= 1 << uint(f.rng.Intn(8))
+	}
+	f.stats.BytesDelivered += int64(n)
+	return n, err
+}
+
+// IsTransient reports whether err belongs to the retryable class (it
+// wraps xerr.ErrIO).
+func IsTransient(err error) bool {
+	return errors.Is(err, xerr.ErrIO)
+}

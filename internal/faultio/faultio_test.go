@@ -1,0 +1,245 @@
+package faultio
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"xoridx/internal/xerr"
+)
+
+func TestScheduleValidate(t *testing.T) {
+	bad := []Schedule{
+		{Transient: -0.1},
+		{Transient: 1.5},
+		{ShortRead: 2},
+		{CorruptBit: -1},
+		{MaxTransients: -1},
+		{TruncateAfter: -5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); !errors.Is(err, xerr.ErrInvalidOptions) {
+			t.Errorf("schedule %d: error %v does not wrap ErrInvalidOptions", i, err)
+		}
+		if _, err := NewReader(bytes.NewReader(nil), s); err == nil {
+			t.Errorf("schedule %d accepted by NewReader", i)
+		}
+	}
+	if err := (Schedule{}).Validate(); err != nil {
+		t.Errorf("zero schedule rejected: %v", err)
+	}
+}
+
+// TestDeterminism: the same schedule over the same read pattern must
+// inject identical faults and deliver identical bytes.
+func TestDeterminism(t *testing.T) {
+	data := bytes.Repeat([]byte("abcdefgh"), 512)
+	run := func() ([]byte, Stats) {
+		fr, err := NewReader(bytes.NewReader(data), Schedule{
+			Seed: 42, Transient: 0.1, ShortRead: 0.3, CorruptBit: 0.05,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []byte
+		buf := make([]byte, 64)
+		for {
+			n, err := fr.Read(buf)
+			out = append(out, buf[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil && !IsTransient(err) {
+				t.Fatal(err)
+			}
+		}
+		return out, fr.Stats()
+	}
+	out1, st1 := run()
+	out2, st2 := run()
+	if !bytes.Equal(out1, out2) {
+		t.Error("same schedule delivered different bytes")
+	}
+	if st1 != st2 {
+		t.Errorf("same schedule injected different faults: %+v vs %+v", st1, st2)
+	}
+	if st1.Transients == 0 || st1.ShortReads == 0 || st1.FlippedBits == 0 {
+		t.Errorf("schedule injected nothing interesting: %+v", st1)
+	}
+}
+
+// TestTransientConsumesNothing: a transient failure must not lose
+// data — draining with retries yields the uncorrupted input.
+func TestTransientConsumesNothing(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	fr, err := NewReader(bytes.NewReader(data), Schedule{Seed: 7, Transient: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	buf := make([]byte, 5)
+	for {
+		n, err := fr.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil && !IsTransient(err) {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out, data) {
+		t.Errorf("data lost across transients: got %q", out)
+	}
+	if fr.Stats().Transients == 0 {
+		t.Error("no transients injected at rate 0.5")
+	}
+}
+
+func TestTruncateAfter(t *testing.T) {
+	data := bytes.Repeat([]byte{1}, 100)
+	fr, err := NewReader(bytes.NewReader(data), Schedule{TruncateAfter: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 37 {
+		t.Errorf("delivered %d bytes, want 37", len(out))
+	}
+	if !fr.Stats().Truncated {
+		t.Error("Truncated flag not set")
+	}
+}
+
+func TestMaxTransients(t *testing.T) {
+	fr, err := NewReader(bytes.NewReader(bytes.Repeat([]byte{1}, 4096)),
+		Schedule{Seed: 1, Transient: 1, MaxTransients: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	failures := 0
+	for {
+		_, err := fr.Read(buf)
+		if err == io.EOF {
+			break
+		}
+		if IsTransient(err) {
+			failures++
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if failures != 3 {
+		t.Errorf("injected %d transients, want exactly 3", failures)
+	}
+}
+
+func TestPolicyDoRetriesOnlyTransient(t *testing.T) {
+	calls := 0
+	err := Policy{MaxRetries: 5}.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return xerr.ErrIO
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("transient retry: err=%v calls=%d, want nil/3", err, calls)
+	}
+
+	calls = 0
+	permanent := errors.New("disk on fire")
+	err = Policy{MaxRetries: 5}.Do(context.Background(), func() error {
+		calls++
+		return permanent
+	})
+	if !errors.Is(err, permanent) || calls != 1 {
+		t.Errorf("permanent error: err=%v calls=%d, want immediate return", err, calls)
+	}
+
+	calls = 0
+	err = Policy{MaxRetries: 2}.Do(context.Background(), func() error {
+		calls++
+		return xerr.ErrIO
+	})
+	if !errors.Is(err, xerr.ErrIO) || calls != 3 {
+		t.Errorf("exhausted retries: err=%v calls=%d, want ErrIO after 3 calls", err, calls)
+	}
+}
+
+func TestPolicyDoContextAware(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := Policy{MaxRetries: 10, BaseDelay: time.Hour}.Do(ctx, func() error {
+		return xerr.ErrIO
+	})
+	if !errors.Is(err, xerr.ErrCanceled) {
+		t.Errorf("error %v does not wrap ErrCanceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("canceled backoff still slept")
+	}
+}
+
+func TestPolicyDelayCappedAndJittered(t *testing.T) {
+	p := Policy{MaxRetries: 10, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, JitterSeed: 3}
+	rng := rand.New(rand.NewSource(3))
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := p.delay(attempt, rng)
+		if d > p.MaxDelay {
+			t.Errorf("attempt %d: delay %v exceeds cap %v", attempt, d, p.MaxDelay)
+		}
+		if d < p.BaseDelay/2 {
+			t.Errorf("attempt %d: delay %v below base/2", attempt, d)
+		}
+	}
+}
+
+func TestRetryReaderDrainsFaultyStream(t *testing.T) {
+	data := bytes.Repeat([]byte("stream payload "), 256)
+	fr, err := NewReader(bytes.NewReader(data), Schedule{Seed: 9, Transient: 0.4, ShortRead: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewRetryReader(context.Background(), fr, Policy{MaxRetries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Error("retry reader lost or reordered data")
+	}
+	if rr.Retried == 0 {
+		t.Error("no retries recorded under a 0.4 transient rate")
+	}
+}
+
+func TestRetryReaderGivesUp(t *testing.T) {
+	fr, err := NewReader(bytes.NewReader(bytes.Repeat([]byte{1}, 64)),
+		Schedule{Seed: 2, Transient: 1}) // every read fails
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewRetryReader(context.Background(), fr, Policy{MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = io.ReadAll(rr)
+	if !errors.Is(err, xerr.ErrIO) {
+		t.Errorf("error %v does not wrap ErrIO after exhausting retries", err)
+	}
+}

@@ -1,0 +1,144 @@
+package faultio
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"xoridx/internal/xerr"
+)
+
+// Policy is a capped-exponential-backoff retry policy for transient
+// I/O errors. The zero value retries nothing (one attempt, no delay);
+// DefaultPolicy is the production shape.
+type Policy struct {
+	// MaxRetries is the number of re-attempts after the first failure;
+	// 0 disables retrying.
+	MaxRetries int
+
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it. 0 means no delay (the test configuration).
+	BaseDelay time.Duration
+
+	// MaxDelay caps the doubled delay; 0 means uncapped.
+	MaxDelay time.Duration
+
+	// JitterSeed derives the deterministic jitter stream. Jitter
+	// spreads each delay uniformly over [delay/2, delay] so a fleet of
+	// retriers does not thunder in phase; a fixed seed keeps tests
+	// reproducible.
+	JitterSeed int64
+}
+
+// DefaultPolicy retries 4 times over roughly 1.5 s worst case.
+var DefaultPolicy = Policy{MaxRetries: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 800 * time.Millisecond}
+
+// Validate rejects out-of-domain policies with a wrapped
+// xerr.ErrInvalidOptions.
+func (p Policy) Validate() error {
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("faultio: negative MaxRetries %d: %w", p.MaxRetries, xerr.ErrInvalidOptions)
+	}
+	if p.BaseDelay < 0 || p.MaxDelay < 0 {
+		return fmt.Errorf("faultio: negative retry delay (base %v, max %v): %w", p.BaseDelay, p.MaxDelay, xerr.ErrInvalidOptions)
+	}
+	return nil
+}
+
+// delay returns the backoff before retry attempt (1-based), jittered.
+func (p Policy) delay(attempt int, rng *rand.Rand) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	// Uniform over [d/2, d].
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
+
+// Do runs op, retrying transient failures (errors wrapping xerr.ErrIO)
+// under the policy. Non-transient errors return immediately. The
+// backoff sleep is context-aware: a canceled context converts the
+// pending retry into a wrapped xerr.ErrCanceled that also carries the
+// last transient error.
+func (p Policy) Do(ctx context.Context, op func() error) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(p.JitterSeed))
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt >= p.MaxRetries {
+			return fmt.Errorf("faultio: giving up after %d retries: %w", p.MaxRetries, err)
+		}
+		if serr := sleepCtx(ctx, p.delay(attempt+1, rng)); serr != nil {
+			return fmt.Errorf("%w (while backing off from: %v)", serr, err)
+		}
+	}
+}
+
+// sleepCtx sleeps for d unless ctx is done first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return xerr.Check(ctx)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return xerr.Canceled(ctx)
+	case <-t.C:
+		return nil
+	}
+}
+
+// RetryReader wraps r so that transient Read errors are retried in
+// place under the policy: the decoder above it only ever sees clean
+// data, permanent errors, or cancellation. Because a transient fault
+// consumes no data (the Reader contract in this package, and the
+// behaviour of real EINTR/EIO-returning file systems on retry), the
+// repeated Read resumes exactly where the failed one left off.
+type RetryReader struct {
+	ctx    context.Context
+	r      io.Reader
+	policy Policy
+	// Retried counts transient errors absorbed; exposed for
+	// observability in the CLI's -retries path.
+	Retried int
+}
+
+// NewRetryReader validates the policy and wraps r.
+func NewRetryReader(ctx context.Context, r io.Reader, policy Policy) (*RetryReader, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	return &RetryReader{ctx: ctx, r: r, policy: policy}, nil
+}
+
+// Read implements io.Reader with transparent retry of transient
+// failures.
+func (rr *RetryReader) Read(p []byte) (n int, err error) {
+	err = rr.policy.Do(rr.ctx, func() error {
+		var opErr error
+		n, opErr = rr.r.Read(p)
+		if IsTransient(opErr) {
+			rr.Retried++
+		}
+		return opErr
+	})
+	return n, err
+}

@@ -13,6 +13,8 @@
 // O(log u) per access where u is the number of live blocks.
 package lru
 
+import "fmt"
+
 // node is a doubly-linked list element of the stack.
 type node struct {
 	block      uint64
@@ -33,6 +35,22 @@ type Stack struct {
 // NewStack returns an empty LRU stack.
 func NewStack() *Stack {
 	return &Stack{byBlock: make(map[uint64]*node)}
+}
+
+// NewStackFrom rebuilds a stack from a top-to-bottom block listing —
+// the inverse of Blocks, used to restore profiling state from a
+// checkpoint. Blocks must be distinct; a duplicate means the snapshot
+// is corrupt and is reported rather than panicking.
+func NewStackFrom(topToBottom []uint64) (*Stack, error) {
+	s := NewStack()
+	for i := len(topToBottom) - 1; i >= 0; i-- {
+		b := topToBottom[i]
+		if s.Contains(b) {
+			return nil, fmt.Errorf("lru: duplicate block %#x in stack snapshot", b)
+		}
+		s.Push(b)
+	}
+	return s, nil
 }
 
 // Len returns the number of distinct blocks on the stack.

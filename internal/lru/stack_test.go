@@ -166,3 +166,44 @@ func TestStackMatchesReferenceModel(t *testing.T) {
 		}
 	}
 }
+
+func TestNewStackFromRoundTrip(t *testing.T) {
+	s := NewStack()
+	for _, b := range []uint64{10, 20, 30, 20, 40, 10} {
+		s.Touch(b)
+	}
+	snapshot := s.Blocks()
+	restored, err := NewStackFrom(snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.Blocks()
+	if len(got) != len(snapshot) {
+		t.Fatalf("restored %d blocks, want %d", len(got), len(snapshot))
+	}
+	for i := range snapshot {
+		if got[i] != snapshot[i] {
+			t.Fatalf("block %d: %#x, want %#x", i, got[i], snapshot[i])
+		}
+	}
+	// The restored stack must behave identically going forward.
+	if d1, d2 := s.Touch(30), restored.Touch(30); d1 != d2 {
+		t.Fatalf("restored stack diverges: distance %d vs %d", d2, d1)
+	}
+}
+
+func TestNewStackFromRejectsDuplicates(t *testing.T) {
+	if _, err := NewStackFrom([]uint64{1, 2, 1}); err == nil {
+		t.Fatal("duplicate block accepted")
+	}
+}
+
+func TestNewStackFromEmpty(t *testing.T) {
+	s, err := NewStackFrom(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("empty snapshot restored %d blocks", s.Len())
+	}
+}

@@ -14,14 +14,18 @@ import (
 const ctxCheckEvery = 8192
 
 // BuildCtx is Build with cooperative cancellation: the pass checks ctx
-// every ctxCheckEvery accesses and returns a wrapped xerr.ErrCanceled
-// when the context is done. The produced profile is identical to
-// Build's for an uncanceled run.
+// every ctxCheckEvery accesses and, when the context is done, returns
+// the partial profile accumulated so far (marked Degraded, its
+// Accesses counter telling how far it got) alongside a wrapped
+// xerr.ErrCanceled. The produced profile is identical to Build's for
+// an uncanceled run.
 func BuildCtx(ctx context.Context, blocks []uint64, n, cacheBlocks int) (*Profile, error) {
 	bd := NewBuilder(n, cacheBlocks)
 	for start := 0; start < len(blocks); start += ctxCheckEvery {
 		if err := xerr.Check(ctx); err != nil {
-			return nil, err
+			p := bd.Finish()
+			p.Degraded = true
+			return p, err
 		}
 		end := start + ctxCheckEvery
 		if end > len(blocks) {

@@ -38,6 +38,7 @@ import (
 	"runtime"
 	"sync"
 
+	"xoridx/internal/faultio"
 	"xoridx/internal/gf2"
 	"xoridx/internal/xerr"
 )
@@ -63,6 +64,14 @@ type ParallelOptions struct {
 	// (and by BuildParallelOpts when it is smaller than an even
 	// per-worker split). 0 selects a default of 64 K accesses.
 	ChunkSize int
+
+	// Retry, when MaxRetries > 0, makes BuildStream retry transient
+	// source failures (errors wrapping xerr.ErrIO) in place under the
+	// policy instead of failing the build. Blocks delivered alongside a
+	// transient error are profiled before the fault is retried; the
+	// zero value disables retrying (a transient error fails the build
+	// like any other).
+	Retry faultio.Policy
 }
 
 // DefaultChunkSize is the shard length BuildStream uses when
@@ -133,7 +142,9 @@ func BuildParallelCtx(ctx context.Context, blocks []uint64, n, cacheBlocks int, 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w], errs[w] = buildShardCtx(ctx, jobs[w], n, cacheBlocks, mask)
+			results[w], errs[w] = recoverShard(jobs[w].idx, func() (shardResult, error) {
+				return buildShardCtx(ctx, jobs[w], n, cacheBlocks, mask)
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -181,7 +192,13 @@ func BuildStreamCtx(ctx context.Context, src BlockSource, n, cacheBlocks int, op
 	if err := ValidateGeometry(n, cacheBlocks); err != nil {
 		return nil, err
 	}
+	if err := opt.Retry.Validate(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults(cacheBlocks)
+	if opt.Retry.MaxRetries > 0 {
+		src = RetrySource(ctx, src, opt.Retry)
+	}
 	mask := uint64(gf2.Mask(n))
 	jobs := make(chan shardJob, opt.Workers)
 	done := make(chan shardResult, opt.Workers)
@@ -191,7 +208,9 @@ func BuildStreamCtx(ctx context.Context, src BlockSource, n, cacheBlocks int, op
 		go func() {
 			defer wg.Done()
 			for job := range jobs {
-				r, err := buildShardCtx(ctx, job, n, cacheBlocks, mask)
+				r, err := recoverShard(job.idx, func() (shardResult, error) {
+					return buildShardCtx(ctx, job, n, cacheBlocks, mask)
+				})
 				r.idx = job.idx
 				r.err = err
 				done <- r
@@ -272,6 +291,21 @@ func BuildStreamCtx(ctx context.Context, src BlockSource, n, cacheBlocks int, op
 		return nil, shardErr
 	}
 	return rc.out, nil
+}
+
+// recoverShard runs one shard build, converting a worker panic into a
+// wrapped xerr.ErrPanic instead of crashing the process: the fan-out
+// then drains normally (no leaked goroutines, no half-merged
+// histogram) and the caller sees an ordinary error it can match with
+// errors.Is.
+func recoverShard(idx int, build func() (shardResult, error)) (res shardResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = shardResult{}
+			err = xerr.Panicked(fmt.Sprintf("profile: shard %d", idx), r)
+		}
+	}()
+	return build()
 }
 
 // shardJob is one contiguous trace window: warmup accesses (stack state

@@ -57,6 +57,14 @@ type Profile struct {
 	Capacity   uint64 // accesses filtered as capacity misses
 	Candidates uint64 // accesses that contributed conflict vectors
 	TotalPairs uint64 // total conflict-vector increments
+
+	// Degraded marks a partial profile: the build was canceled (or hit
+	// its deadline) and returned its best-so-far histogram alongside
+	// the error instead of discarding the work. Accesses then counts
+	// how far into the trace the pass got. A degraded profile is exact
+	// for the prefix it covers and safe to search over, but its
+	// estimates undercount the full trace.
+	Degraded bool
 }
 
 // Build runs the Fig. 1 profiling algorithm over a block-address
@@ -425,5 +433,6 @@ func (p *Profile) Merge(o *Profile) error {
 	p.Capacity += o.Capacity
 	p.Candidates += o.Candidates
 	p.TotalPairs += o.TotalPairs
+	p.Degraded = p.Degraded || o.Degraded
 	return nil
 }

@@ -71,7 +71,14 @@ func AnnealCtx(ctx context.Context, p *profile.Profile, m int, opt AnnealOptions
 	for step := 0; step < opt.Steps; step++ {
 		if step&(ctxCheckEvery-1) == 0 {
 			if err := xerr.Check(ctx); err != nil {
-				return Result{}, err
+				// Anytime contract: hand back the best state the walk
+				// reached, tagged Degraded, alongside the error.
+				res.Matrix = gf2.MatrixWithNullSpace(best)
+				res.Estimated = bestEst
+				res.Lookups += ev.lookups.Load()
+				res.MemoHits = ev.hits.Load()
+				res.Degraded = true
+				return res, err
 			}
 		}
 		// Exponential cooling to ~1% of the initial temperature.

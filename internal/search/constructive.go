@@ -46,7 +46,12 @@ func ConstructiveCtx(ctx context.Context, p *profile.Profile, m int, maxInputs, 
 
 	for _, vc := range p.HotVectors(hotVectors) {
 		if err := xerr.Check(ctx); err != nil {
-			return Result{}, err
+			// Anytime contract: the partially-patched function is still
+			// a valid index matrix — return it tagged Degraded.
+			res.Matrix = h
+			res.Estimated = cur
+			res.Degraded = true
+			return res, err
 		}
 		v := vc.Vec
 		if h.Apply(v) != 0 {

@@ -183,7 +183,12 @@ func (s *state) climbMatrix(cur gf2.Matrix, neighbors func(h gf2.Matrix, emit fu
 			}
 		})
 		if ctxErr != nil {
-			return Result{}, ctxErr
+			// Interrupted: return the best state reached so far, tagged
+			// Degraded, alongside the error — the anytime contract.
+			res.Matrix = cur
+			res.Estimated = curEst
+			res.Degraded = true
+			return res, ctxErr
 		}
 		if best == nil {
 			break

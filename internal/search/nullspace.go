@@ -15,13 +15,33 @@ import (
 func (s *state) climbNullSpace(start int) (Result, error) {
 	n, m := s.n, s.m
 	d := n - m
-	cur := gf2.SpanUnits(n, m, n)
-	if start > 0 {
-		cur = s.randomSubspace(d)
+	var res Result
+	var cur gf2.Subspace
+	var curEst uint64
+	if sn := s.takeResume(); sn != nil {
+		// Continue the checkpointed climb from its recorded state: the
+		// score is in the snapshot, so nothing is re-estimated, and
+		// steepest descent from here is the uninterrupted trajectory.
+		cur = gf2.Span(n, sn.Basis...)
+		curEst = sn.CurEst
+		res.Iterations = sn.ClimbIterations
+		res.Evaluated = sn.ClimbEvaluated
+	} else {
+		cur = gf2.SpanUnits(n, m, n)
+		if start > 0 {
+			cur = s.randomSubspace(d)
+		}
+		curEst = s.p.EstimateSubspace(cur)
+		res.Lookups = uint64(1) << uint(d)
 	}
-	curEst := s.p.EstimateSubspace(cur)
-
-	res := Result{Lookups: uint64(1) << uint(d)}
+	// degraded tags the best-so-far state for an interrupted return:
+	// the caller still gets a valid matrix.
+	degraded := func() Result {
+		res.Matrix = gf2.MatrixWithNullSpace(cur)
+		res.Estimated = curEst
+		res.Degraded = true
+		return res
+	}
 	basisBuf := make([]gf2.Vec, d)
 	for {
 		if s.capIterations(res.Iterations) {
@@ -50,7 +70,7 @@ func (s *state) climbNullSpace(start int) (Result, error) {
 			// Enumerate all non-zero combinations of free positions.
 			for x := uint64(1); x < 1<<uint(len(free)); x++ {
 				if err := s.checkEvery(); err != nil {
-					return Result{}, err
+					return degraded(), err
 				}
 				rep := scatter(x, free)
 				if cur.Contains(rep) {
@@ -79,6 +99,9 @@ func (s *state) climbNullSpace(start int) (Result, error) {
 		curEst = bestEst
 		res.Iterations++
 		s.emit(res.Iterations, res.Evaluated, curEst)
+		if err := s.maybeCheckpoint(cur, curEst, &res); err != nil {
+			return degraded(), err
+		}
 	}
 	res.Matrix = gf2.MatrixWithNullSpace(cur)
 	res.Estimated = curEst

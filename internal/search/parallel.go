@@ -2,6 +2,8 @@ package search
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -69,6 +71,15 @@ func (s *state) bestNeighborParallel(cur gf2.Subspace, curEst uint64, hps []gf2.
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// A panicking worker must not take the process down: convert
+			// the panic into a wrapped xerr.ErrPanic, stop the siblings,
+			// and let the join below surface it as an ordinary error.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = xerr.Panicked(fmt.Sprintf("search: neighbor worker %d", w), r)
+					cancel()
+				}
+			}()
 			basisBuf := make([]gf2.Vec, d)
 			best := candidate{est: curEst}
 			evaluated := 0
@@ -131,10 +142,21 @@ func (s *state) bestNeighborParallel(cur gf2.Subspace, curEst uint64, hps []gf2.
 	if err := xerr.Check(s.ctx); err != nil {
 		return candidate{}, 0, 0, err
 	}
+	// With the search's context healthy, any cancellation recorded by a
+	// worker is secondary — it observed the derived context after a
+	// panicking sibling canceled it. Prefer the cause (the panic) over
+	// such echoes, whatever the worker order.
+	var firstErr error
 	for _, err := range errs {
-		if err != nil {
-			return candidate{}, 0, 0, err
+		if err == nil {
+			continue
 		}
+		if firstErr == nil || (errors.Is(firstErr, xerr.ErrCanceled) && !errors.Is(err, xerr.ErrCanceled)) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return candidate{}, 0, 0, firstErr
 	}
 	merged := candidate{}
 	total := 0
@@ -153,12 +175,28 @@ func (s *state) bestNeighborParallel(cur gf2.Subspace, curEst uint64, hps []gf2.
 func (s *state) climbNullSpaceParallel(start int) (Result, error) {
 	n, m := s.n, s.m
 	d := n - m
-	cur := gf2.SpanUnits(n, m, n)
-	if start > 0 {
-		cur = s.randomSubspace(d)
+	var res Result
+	var cur gf2.Subspace
+	var curEst uint64
+	if sn := s.takeResume(); sn != nil {
+		cur = gf2.Span(n, sn.Basis...)
+		curEst = sn.CurEst
+		res.Iterations = sn.ClimbIterations
+		res.Evaluated = sn.ClimbEvaluated
+	} else {
+		cur = gf2.SpanUnits(n, m, n)
+		if start > 0 {
+			cur = s.randomSubspace(d)
+		}
+		curEst = s.p.EstimateSubspace(cur)
+		res.Lookups = uint64(1) << uint(d)
 	}
-	curEst := s.p.EstimateSubspace(cur)
-	res := Result{Lookups: uint64(1) << uint(d)}
+	degraded := func() Result {
+		res.Matrix = gf2.MatrixWithNullSpace(cur)
+		res.Estimated = curEst
+		res.Degraded = true
+		return res
+	}
 	for {
 		if s.capIterations(res.Iterations) {
 			break
@@ -166,7 +204,7 @@ func (s *state) climbNullSpaceParallel(start int) (Result, error) {
 		hps := cur.Hyperplanes(nil)
 		best, evaluated, reads, err := s.bestNeighborParallel(cur, curEst, hps, s.opt.Workers)
 		if err != nil {
-			return Result{}, err
+			return degraded(), err
 		}
 		res.Evaluated += evaluated
 		res.Lookups += reads
@@ -179,6 +217,9 @@ func (s *state) climbNullSpaceParallel(start int) (Result, error) {
 		curEst = best.est
 		res.Iterations++
 		s.emit(res.Iterations, res.Evaluated, curEst)
+		if err := s.maybeCheckpoint(cur, curEst, &res); err != nil {
+			return degraded(), err
+		}
 	}
 	res.Matrix = gf2.MatrixWithNullSpace(cur)
 	res.Estimated = curEst

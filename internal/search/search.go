@@ -31,6 +31,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 
 	"xoridx/internal/gf2"
 	"xoridx/internal/hash"
@@ -68,6 +69,23 @@ type Options struct {
 	// hill-climbing move (and at the end of each climb). It is called
 	// synchronously from the search goroutine; keep it fast.
 	Progress func(Progress)
+	// CheckpointPath, when non-empty, makes the search write its state
+	// to this file atomically — after every CheckpointEvery moves for
+	// the general-XOR null-space climbs, and at every restart boundary
+	// for all families — so a killed run can continue with Resume.
+	CheckpointPath string
+	// CheckpointEvery is the mid-climb snapshot cadence in
+	// hill-climbing moves; 0 selects every move. Ignored without
+	// CheckpointPath.
+	CheckpointEvery int
+	// Resume loads CheckpointPath (if it exists) and continues the
+	// search from the recorded state. The resumed run is bit-identical
+	// to an uninterrupted one: restart randomisation is derived per
+	// restart index, and steepest descent is deterministic from any
+	// snapshot state. The snapshot must match the search's geometry,
+	// family, MaxInputs and Seed (wrapped xerr.ErrProfileMismatch
+	// otherwise).
+	Resume bool
 }
 
 // Progress is one search progress snapshot, delivered through
@@ -94,6 +112,13 @@ type Result struct {
 	// MemoHits counts candidate scores served from a memoized
 	// hyperplane table or null-space key instead of the histogram.
 	MemoHits uint64
+	// Degraded marks a best-so-far result returned from a canceled or
+	// deadline-expired search: Matrix and Estimated hold the best
+	// state reached before the interruption (at worst the climb's
+	// starting point), and Iterations/Evaluated tell how much work was
+	// completed. A degraded result is always a valid index function —
+	// just not necessarily a local optimum.
+	Degraded bool
 }
 
 // Improvement returns the estimated fraction of conflict misses removed
@@ -124,6 +149,12 @@ func ConstructCtx(ctx context.Context, p *profile.Profile, m int, opt Options) (
 	if opt.MaxInputs < 0 {
 		return Result{}, fmt.Errorf("search: negative MaxInputs: %w", xerr.ErrInvalidOptions)
 	}
+	if opt.CheckpointEvery < 0 {
+		return Result{}, fmt.Errorf("search: negative CheckpointEvery: %w", xerr.ErrInvalidOptions)
+	}
+	if opt.Resume && opt.CheckpointPath == "" {
+		return Result{}, fmt.Errorf("search: Resume needs a CheckpointPath: %w", xerr.ErrInvalidOptions)
+	}
 	if opt.Family == hash.FamilyPermutation && opt.MaxInputs == 1 {
 		// A 1-input permutation-based function is exactly modulo indexing.
 		return Result{
@@ -152,42 +183,96 @@ func ConstructCtx(ctx context.Context, p *profile.Profile, m int, opt Options) (
 	default:
 		return Result{}, fmt.Errorf("search: unknown family %v: %w", opt.Family, xerr.ErrInvalidOptions)
 	}
-	s := &state{ctx: ctx, p: p, n: n, m: m, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+	s := &state{ctx: ctx, p: p, n: n, m: m, opt: opt}
 	if opt.Family == hash.FamilyGeneralXOR && opt.MaxInputs == 0 && !opt.NoIncremental {
 		// The unconstrained null-space climbs share one incremental
 		// evaluator: its hyperplane tables persist across moves,
 		// restarts and workers.
 		s.ev = newNullEvaluator(p)
 	}
-	// Run every climb, keep the best result, and accumulate the
-	// iteration/evaluation totals exactly once per climb.
-	var best Result
-	totalIters, totalEvals := 0, 0
-	var totalLookups, totalHits uint64
-	for r := 0; r <= opt.Restarts; r++ {
-		s.restart = r
-		cand, err := climb(s, r)
-		if err != nil {
+	startRestart := 0
+	if opt.Resume {
+		sn, err := LoadSnapshot(opt.CheckpointPath)
+		switch {
+		case err == nil:
+			if sn.N != n || sn.M != m || sn.Family != opt.Family ||
+				sn.MaxInputs != opt.MaxInputs || sn.Seed != opt.Seed {
+				return Result{}, fmt.Errorf("search: snapshot is for n=%d m=%d family=%v maxInputs=%d seed=%d, "+
+					"not this search: %w", sn.N, sn.M, sn.Family, sn.MaxInputs, sn.Seed, xerr.ErrProfileMismatch)
+			}
+			if sn.HaveClimb && climbResumable(opt) != nil {
+				return Result{}, climbResumable(opt)
+			}
+			startRestart = sn.Restart
+			s.haveBest = sn.HaveBest
+			if sn.HaveBest {
+				s.best = Result{Matrix: sn.Best, Estimated: sn.BestEst}
+			}
+			s.totIters, s.totEvals = sn.Iterations, sn.Evaluated
+			s.totLookups, s.totHits = sn.Lookups, sn.MemoHits
+			if sn.HaveClimb {
+				s.resume = sn
+			}
+		case os.IsNotExist(err):
+			// Cold start: no snapshot yet.
+		default:
 			return Result{}, err
 		}
-		totalIters += cand.Iterations
-		totalEvals += cand.Evaluated
-		totalLookups += cand.Lookups
-		totalHits += cand.MemoHits
-		if r == 0 || cand.Estimated < best.Estimated {
-			best = cand
+	}
+	// Run every climb, keep the best result, and accumulate the
+	// iteration/evaluation totals exactly once per climb. Each restart
+	// derives its own RNG from (Seed, restart index), so restart r is
+	// reproducible without replaying restarts 0..r-1 — the property
+	// checkpoint resume depends on.
+	for r := startRestart; r <= opt.Restarts; r++ {
+		s.restart = r
+		s.rng = rand.New(rand.NewSource(restartSeed(opt.Seed, r)))
+		cand, err := climb(s, r)
+		if err != nil {
+			// The climb's best-so-far (Degraded) still folds into the
+			// final answer: the caller gets a usable matrix plus the
+			// cancellation error, not just the error.
+			s.fold(cand)
+			out := s.finalize(p, m)
+			out.Degraded = true
+			return out, err
+		}
+		s.fold(cand)
+		if opt.CheckpointPath != "" {
+			// Restart boundary: the next run skips this climb entirely.
+			if err := SaveSnapshot(opt.CheckpointPath, s.boundarySnapshot(r+1)); err != nil {
+				out := s.finalize(p, m)
+				out.Degraded = true
+				return out, err
+			}
 		}
 	}
-	best.Iterations = totalIters
-	best.Evaluated = totalEvals
-	best.Lookups = totalLookups
-	best.MemoHits = totalHits
-	if s.ev != nil {
-		best.Lookups += s.ev.lookups.Load()
-		best.MemoHits += s.ev.hits.Load()
+	return s.finalize(p, m), nil
+}
+
+// climbResumable reports (as an error) why mid-climb resume is not
+// available for the configured climb: only the general-XOR null-space
+// searches carry their whole state in a basis. Matrix-family snapshots
+// are written at restart boundaries only, so a mid-climb snapshot for
+// one means the file is corrupt or hand-edited.
+func climbResumable(opt Options) error {
+	if opt.Family == hash.FamilyGeneralXOR && opt.MaxInputs == 0 {
+		return nil
 	}
-	best.Baseline = p.EstimateConventional(m)
-	return best, nil
+	return fmt.Errorf("search: snapshot carries mid-climb state but family %v checkpoints at restart boundaries only: %w",
+		opt.Family, xerr.ErrFormat)
+}
+
+// restartSeed derives restart r's private RNG seed (splitmix64 over
+// the search seed and the restart index).
+func restartSeed(seed int64, r int) int64 {
+	z := uint64(seed) + uint64(r)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // ctxCheckEvery is the cancellation-check granularity in candidate
@@ -207,6 +292,93 @@ type state struct {
 	ev      *nullEvaluator // incremental estimator; nil for the brute path
 	restart int            // current restart index, for Progress snapshots
 	tick    int            // evaluations since the last ctx check
+
+	// Accumulators over completed climbs (plus, on a resumed run, the
+	// completed work recorded in the snapshot).
+	best       Result
+	haveBest   bool
+	totIters   int
+	totEvals   int
+	totLookups uint64
+	totHits    uint64
+
+	// resume holds mid-climb state loaded from a snapshot; the first
+	// null-space climb consumes it (takeResume) instead of starting
+	// from scratch.
+	resume *Snapshot
+}
+
+// fold accumulates one climb's outcome into the cross-restart state.
+func (s *state) fold(cand Result) {
+	s.totIters += cand.Iterations
+	s.totEvals += cand.Evaluated
+	s.totLookups += cand.Lookups
+	s.totHits += cand.MemoHits
+	if cand.Matrix.Cols == nil {
+		return // climb aborted before producing any state
+	}
+	if !s.haveBest || cand.Estimated < s.best.Estimated {
+		s.best = cand
+		s.haveBest = true
+	}
+}
+
+// finalize assembles the cross-restart accumulators into the returned
+// Result.
+func (s *state) finalize(p *profile.Profile, m int) Result {
+	out := s.best
+	out.Iterations = s.totIters
+	out.Evaluated = s.totEvals
+	out.Lookups = s.totLookups
+	out.MemoHits = s.totHits
+	if s.ev != nil {
+		out.Lookups += s.ev.lookups.Load()
+		out.MemoHits += s.ev.hits.Load()
+	}
+	out.Baseline = p.EstimateConventional(m)
+	return out
+}
+
+// takeResume hands the pending mid-climb snapshot to the climb that
+// consumes it (exactly once).
+func (s *state) takeResume() *Snapshot {
+	sn := s.resume
+	s.resume = nil
+	return sn
+}
+
+// boundarySnapshot captures the state at a restart boundary:
+// nextRestart is the first climb a resumed run still has to do.
+func (s *state) boundarySnapshot(nextRestart int) *Snapshot {
+	return &Snapshot{
+		N: s.n, M: s.m, Family: s.opt.Family, MaxInputs: s.opt.MaxInputs, Seed: s.opt.Seed,
+		Restart:  nextRestart,
+		HaveBest: s.haveBest, Best: s.best.Matrix, BestEst: s.best.Estimated,
+		Iterations: s.totIters, Evaluated: s.totEvals,
+		Lookups: s.totLookups, MemoHits: s.totHits,
+	}
+}
+
+// maybeCheckpoint persists mid-climb state after a hill-climbing move
+// of the null-space climbs, at the configured cadence.
+func (s *state) maybeCheckpoint(cur gf2.Subspace, curEst uint64, res *Result) error {
+	if s.opt.CheckpointPath == "" {
+		return nil
+	}
+	every := s.opt.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	if res.Iterations%every != 0 {
+		return nil
+	}
+	sn := s.boundarySnapshot(s.restart)
+	sn.HaveClimb = true
+	sn.Basis = append([]gf2.Vec(nil), cur.Basis...)
+	sn.CurEst = curEst
+	sn.ClimbIterations = res.Iterations
+	sn.ClimbEvaluated = res.Evaluated
+	return SaveSnapshot(s.opt.CheckpointPath, sn)
 }
 
 func (s *state) capIterations(iter int) bool {

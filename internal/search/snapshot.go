@@ -1,0 +1,261 @@
+package search
+
+// Checkpoint/resume for the design-space search. A Snapshot captures
+// everything a killed search needs to continue bit-identically: the
+// accumulators over completed climbs (best matrix, totals), the index
+// of the in-progress restart, and — for the general-XOR null-space
+// climbs, whose state is just a subspace — the current basis and
+// score mid-climb. Steepest descent is deterministic from any such
+// state, and restart randomisation is derived per restart index
+// (restartSeed), so a resumed search walks the exact trajectory the
+// uninterrupted one would have (the differential test in
+// snapshot_test.go compares the two move for move).
+//
+// The matrix-family climbs (permutation, bit-select, fan-in-limited
+// general XOR) checkpoint at restart boundaries only: their state is a
+// matrix plus a score memo that is cheap to rebuild but large to
+// persist, so the snapshot granularity is one climb.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"xoridx/internal/ckpt"
+	"xoridx/internal/gf2"
+	"xoridx/internal/hash"
+	"xoridx/internal/xerr"
+)
+
+const (
+	snapshotMagic   = "XSP1"
+	snapshotVersion = 1
+)
+
+// Snapshot is the serialisable state of an interrupted search.
+type Snapshot struct {
+	// Search identity: a snapshot only resumes a search with the same
+	// geometry, family, fan-in bound and seed (anything else would
+	// splice two different trajectories together).
+	N, M      int
+	Family    hash.Family
+	MaxInputs int
+	Seed      int64
+
+	// Restart is the index of the in-progress climb; completed climbs
+	// are folded into the accumulators below.
+	Restart int
+
+	// Best-so-far across completed climbs. HaveBest is false when the
+	// search was interrupted during its very first climb.
+	HaveBest bool
+	Best     gf2.Matrix
+	BestEst  uint64
+
+	// Work accumulators over completed climbs.
+	Iterations int
+	Evaluated  int
+	Lookups    uint64
+	MemoHits   uint64
+
+	// In-progress climb state (general-XOR null-space search only):
+	// the current null-space basis, its score, and the moves and
+	// evaluations already spent in this climb. HaveClimb false means
+	// the climb restarts from its (deterministic) starting point.
+	HaveClimb       bool
+	Basis           []gf2.Vec
+	CurEst          uint64
+	ClimbIterations int
+	ClimbEvaluated  int
+}
+
+// Encode writes the snapshot inside the versioned, CRC-checked ckpt
+// envelope.
+func (sn *Snapshot) Encode(w io.Writer) error {
+	return ckpt.Write(w, snapshotMagic, snapshotVersion, func(b *bytes.Buffer) error {
+		var buf [binary.MaxVarintLen64]byte
+		put := func(v uint64) { b.Write(buf[:binary.PutUvarint(buf[:], v)]) }
+		flag := func(v bool) {
+			if v {
+				b.WriteByte(1)
+			} else {
+				b.WriteByte(0)
+			}
+		}
+		put(uint64(sn.N))
+		put(uint64(sn.M))
+		b.WriteByte(byte(sn.Family))
+		put(uint64(sn.MaxInputs))
+		put(uint64(sn.Seed))
+		put(uint64(sn.Restart))
+		flag(sn.HaveBest)
+		if sn.HaveBest {
+			for _, col := range sn.Best.Cols {
+				put(uint64(col))
+			}
+			put(sn.BestEst)
+		}
+		put(uint64(sn.Iterations))
+		put(uint64(sn.Evaluated))
+		put(sn.Lookups)
+		put(sn.MemoHits)
+		flag(sn.HaveClimb)
+		if sn.HaveClimb {
+			put(uint64(len(sn.Basis)))
+			for _, v := range sn.Basis {
+				put(uint64(v))
+			}
+			put(sn.CurEst)
+			put(uint64(sn.ClimbIterations))
+			put(uint64(sn.ClimbEvaluated))
+		}
+		return nil
+	})
+}
+
+// DecodeSnapshot reads and validates a search snapshot. Corruption —
+// at the envelope layer or in the decoded structure (an impossible
+// geometry, a dependent basis, a rank-deficient best matrix) — returns
+// a wrapped xerr.ErrFormat.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	version, payload, err := ckpt.Read(r, snapshotMagic)
+	if err != nil {
+		return nil, err
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("search: snapshot version %d, this build reads %d: %w",
+			version, snapshotVersion, xerr.ErrFormat)
+	}
+	d := &snapReader{b: payload}
+	sn := &Snapshot{}
+	sn.N = int(d.uvarint("n"))
+	sn.M = int(d.uvarint("m"))
+	sn.Family = hash.Family(d.byte("family"))
+	sn.MaxInputs = int(d.uvarint("maxInputs"))
+	sn.Seed = int64(d.uvarint("seed"))
+	sn.Restart = int(d.uvarint("restart"))
+	if d.err != nil {
+		return nil, d.err
+	}
+	if sn.N <= 0 || sn.N > gf2.MaxBits || sn.M <= 0 || sn.M >= sn.N {
+		return nil, fmt.Errorf("search: snapshot geometry n=%d m=%d out of domain: %w", sn.N, sn.M, xerr.ErrFormat)
+	}
+	if sn.Family < hash.FamilyBitSelect || sn.Family > hash.FamilyGeneralXOR {
+		return nil, fmt.Errorf("search: snapshot family %d unknown: %w", int(sn.Family), xerr.ErrFormat)
+	}
+	if sn.MaxInputs < 0 || sn.Restart < 0 {
+		return nil, fmt.Errorf("search: snapshot counters negative: %w", xerr.ErrFormat)
+	}
+	mask := gf2.Mask(sn.N)
+	sn.HaveBest = d.byte("haveBest") == 1
+	if d.err == nil && sn.HaveBest {
+		cols := make([]gf2.Vec, sn.M)
+		for i := range cols {
+			cols[i] = gf2.Vec(d.uvarint("best column"))
+			if d.err == nil && cols[i] > mask {
+				return nil, fmt.Errorf("search: snapshot best column %#x exceeds %d bits: %w", cols[i], sn.N, xerr.ErrFormat)
+			}
+		}
+		sn.BestEst = d.uvarint("best estimate")
+		if d.err != nil {
+			return nil, d.err
+		}
+		sn.Best = gf2.Matrix{N: sn.N, M: sn.M, Cols: cols}
+		if sn.Best.Rank() != sn.M {
+			return nil, fmt.Errorf("search: snapshot best matrix is rank-deficient: %w", xerr.ErrFormat)
+		}
+	}
+	sn.Iterations = int(d.uvarint("iterations"))
+	sn.Evaluated = int(d.uvarint("evaluated"))
+	sn.Lookups = d.uvarint("lookups")
+	sn.MemoHits = d.uvarint("memo hits")
+	sn.HaveClimb = d.byte("haveClimb") == 1
+	if d.err != nil {
+		return nil, d.err
+	}
+	if sn.HaveClimb {
+		dim := int(d.uvarint("basis length"))
+		if d.err != nil {
+			return nil, d.err
+		}
+		if dim != sn.N-sn.M {
+			return nil, fmt.Errorf("search: snapshot basis dimension %d, null space needs %d: %w",
+				dim, sn.N-sn.M, xerr.ErrFormat)
+		}
+		sn.Basis = make([]gf2.Vec, dim)
+		for i := range sn.Basis {
+			sn.Basis[i] = gf2.Vec(d.uvarint("basis vector"))
+			if d.err == nil && sn.Basis[i] > mask {
+				return nil, fmt.Errorf("search: snapshot basis vector %#x exceeds %d bits: %w", sn.Basis[i], sn.N, xerr.ErrFormat)
+			}
+		}
+		sn.CurEst = d.uvarint("current estimate")
+		sn.ClimbIterations = int(d.uvarint("climb iterations"))
+		sn.ClimbEvaluated = int(d.uvarint("climb evaluations"))
+		if d.err != nil {
+			return nil, d.err
+		}
+		if gf2.Span(sn.N, sn.Basis...).Dim() != dim {
+			return nil, fmt.Errorf("search: snapshot basis is dependent: %w", xerr.ErrFormat)
+		}
+	}
+	if d.rem() != 0 {
+		return nil, fmt.Errorf("search: %d trailing bytes after snapshot payload: %w", d.rem(), xerr.ErrFormat)
+	}
+	return sn, nil
+}
+
+// snapReader decodes snapshot payload primitives, latching the first
+// failure as a wrapped xerr.ErrFormat.
+type snapReader struct {
+	b   []byte
+	err error
+}
+
+func (d *snapReader) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, k := binary.Uvarint(d.b)
+	if k <= 0 {
+		d.err = fmt.Errorf("search: snapshot %s: truncated or overlong varint: %w", what, xerr.ErrFormat)
+		return 0
+	}
+	d.b = d.b[k:]
+	return v
+}
+
+func (d *snapReader) byte(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.err = fmt.Errorf("search: snapshot %s: truncated: %w", what, xerr.ErrFormat)
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *snapReader) rem() int { return len(d.b) }
+
+// SaveSnapshot writes the snapshot to path atomically (temp file +
+// rename).
+func SaveSnapshot(path string, sn *Snapshot) error {
+	return ckpt.WriteFileAtomic(path, sn.Encode)
+}
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot. A missing
+// file surfaces as the usual fs.ErrNotExist so callers can treat "no
+// snapshot yet" as a cold start.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeSnapshot(f)
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"fmt"
+
+	"xoridx/internal/xerr"
+)
+
+// FormatError reports corrupt or truncated binary trace input. It
+// wraps xerr.ErrFormat (match with errors.Is) and carries the exact
+// position of the failure, so an operator — or a recovery tool — can
+// tell a file truncated at record 1 044 (salvage the prefix) from one
+// whose header never parsed (discard it).
+type FormatError struct {
+	// Offset is the byte offset into the encoded stream where the
+	// failed structure starts (for record errors, the record's first
+	// byte).
+	Offset int64
+	// Record is the index of the access record being decoded, and
+	// HaveRecord distinguishes record-level failures from header-level
+	// ones (where Record is meaningless).
+	Record     uint64
+	HaveRecord bool
+	// What names the structure that failed to decode.
+	What string
+	// Err is the underlying cause, if any (e.g. io.ErrUnexpectedEOF).
+	Err error
+}
+
+// Error implements error.
+func (e *FormatError) Error() string {
+	where := fmt.Sprintf("header %s at byte offset %d", e.What, e.Offset)
+	if e.HaveRecord {
+		where = fmt.Sprintf("access %d %s at byte offset %d", e.Record, e.What, e.Offset)
+	}
+	if e.Err != nil {
+		return fmt.Sprintf("trace: %s: %v: %v", where, xerr.ErrFormat, e.Err)
+	}
+	return fmt.Sprintf("trace: %s: %v", where, xerr.ErrFormat)
+}
+
+// Unwrap exposes both the format classification and the underlying
+// cause to errors.Is/As.
+func (e *FormatError) Unwrap() []error {
+	if e.Err == nil {
+		return []error{xerr.ErrFormat}
+	}
+	return []error{xerr.ErrFormat, e.Err}
+}

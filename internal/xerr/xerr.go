@@ -39,14 +39,36 @@ var (
 	ErrProfileMismatch = errors.New("profile mismatch")
 
 	// ErrFormat reports unparsable or corrupt serialized input: trace
-	// files, matrix text, block sources that violate their contract.
+	// files, matrix text, checkpoint snapshots, block sources that
+	// violate their contract.
 	ErrFormat = errors.New("bad format")
+
+	// ErrIO reports a transient I/O failure: a read that may well
+	// succeed if repeated (EIO from flaky media, an interrupted network
+	// mount, an injected fault). It is the retryable class — the
+	// faultio retry policy repeats exactly the operations whose errors
+	// wrap it. Corrupt *content* is ErrFormat, not ErrIO: retrying
+	// cannot fix bytes that parsed wrong.
+	ErrIO = errors.New("transient i/o failure")
+
+	// ErrPanic reports a panic recovered in a worker goroutine and
+	// converted to an error so a parallel pipeline fails cleanly
+	// instead of crashing the process. The wrapped message carries the
+	// panic value.
+	ErrPanic = errors.New("worker panic")
 )
 
 // Canceled wraps the context's cause in ErrCanceled. Call it only when
 // ctx is known to be done.
 func Canceled(ctx context.Context) error {
 	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}
+
+// Panicked wraps a recovered panic value in ErrPanic, naming the stage
+// that hosted the worker. Use it from a deferred recover in goroutines
+// whose failure must surface as an error on the main path.
+func Panicked(stage string, v any) error {
+	return fmt.Errorf("%s: panic: %v: %w", stage, v, ErrPanic)
 }
 
 // Check returns a wrapped ErrCanceled when ctx is done and nil
