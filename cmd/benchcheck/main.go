@@ -1,0 +1,153 @@
+// Command benchcheck validates a BENCH_profile.json emitted by the
+// profiling benchmarks (BenchmarkBuild / BenchmarkBuildParallel in
+// bench_test.go): it fails with a non-zero exit on malformed JSON,
+// missing sections, or nonsensical numbers, so CI catches a benchmark
+// that silently emitted garbage.
+//
+// Usage:
+//
+//	benchcheck [-perf] [BENCH_profile.json]
+//
+// With -perf it additionally enforces the PR 5 performance contract:
+// the capacity-heavy workload must run at least 2x faster than the
+// pre-overhaul reference builder and no workload may regress more than
+// 5% against it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// The mirror of bench_test.go's benchProfileFile schema. Unknown fields
+// are rejected so a drifting emitter fails loudly here instead of
+// producing a file nobody validates.
+type benchFile struct {
+	Benchmark   string       `json:"benchmark"`
+	N           int          `json:"n"`
+	CacheBlocks int          `json:"cache_blocks"`
+	GoVersion   string       `json:"go_version"`
+	NumCPU      int          `json:"num_cpu"`
+	Sequential  []seqResult  `json:"sequential"`
+	Parallel    []paraResult `json:"parallel"`
+}
+
+type seqResult struct {
+	Workload       string  `json:"workload"`
+	Accesses       int     `json:"accesses"`
+	NewAccessPerMs float64 `json:"new_accesses_per_ms"`
+	RefAccessPerMs float64 `json:"ref_accesses_per_ms"`
+	SpeedupVsRef   float64 `json:"speedup_vs_ref"`
+}
+
+type paraResult struct {
+	Workers     int     `json:"workers"`
+	AccessPerMs float64 `json:"accesses_per_ms"`
+	SpeedupVs1  float64 `json:"speedup_vs_1"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	perf := flag.Bool("perf", false, "also enforce the hot-path speedup contract (capacity-heavy >= 2x, no workload below 0.95x)")
+	flag.Parse()
+	path := "BENCH_profile.json"
+	if flag.NArg() > 1 {
+		fail("usage: benchcheck [-perf] [BENCH_profile.json]")
+	}
+	if flag.NArg() == 1 {
+		path = flag.Arg(0)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var f benchFile
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		fail("%s: malformed JSON: %v", path, err)
+	}
+	if err := validate(&f, *perf); err != nil {
+		fail("%s: %v", path, err)
+	}
+	fmt.Printf("benchcheck: %s OK (%d sequential workloads, %d parallel points)\n",
+		path, len(f.Sequential), len(f.Parallel))
+}
+
+func validate(f *benchFile, perf bool) error {
+	if f.Benchmark == "" {
+		return fmt.Errorf("empty benchmark name")
+	}
+	if f.N <= 0 || f.N > 64 {
+		return fmt.Errorf("n = %d out of range", f.N)
+	}
+	if f.CacheBlocks <= 0 {
+		return fmt.Errorf("cache_blocks = %d out of range", f.CacheBlocks)
+	}
+	if f.GoVersion == "" {
+		return fmt.Errorf("empty go_version")
+	}
+	if f.NumCPU <= 0 {
+		return fmt.Errorf("num_cpu = %d out of range", f.NumCPU)
+	}
+	if len(f.Sequential) == 0 {
+		return fmt.Errorf("no sequential section — run BenchmarkBuild with -benchtime=1x first")
+	}
+	seen := map[string]bool{}
+	for i, s := range f.Sequential {
+		if s.Workload == "" {
+			return fmt.Errorf("sequential[%d]: empty workload name", i)
+		}
+		if seen[s.Workload] {
+			return fmt.Errorf("sequential[%d]: duplicate workload %q", i, s.Workload)
+		}
+		seen[s.Workload] = true
+		if s.Accesses <= 0 {
+			return fmt.Errorf("sequential[%q]: accesses = %d", s.Workload, s.Accesses)
+		}
+		if s.NewAccessPerMs <= 0 || s.RefAccessPerMs <= 0 {
+			return fmt.Errorf("sequential[%q]: non-positive throughput (new %.3f, ref %.3f)",
+				s.Workload, s.NewAccessPerMs, s.RefAccessPerMs)
+		}
+		if s.SpeedupVsRef <= 0 {
+			return fmt.Errorf("sequential[%q]: speedup_vs_ref = %.3f", s.Workload, s.SpeedupVsRef)
+		}
+	}
+	if len(f.Parallel) == 0 {
+		return fmt.Errorf("no parallel section — run BenchmarkBuildParallel with -benchtime=1x first")
+	}
+	for i, p := range f.Parallel {
+		if p.Workers <= 0 {
+			return fmt.Errorf("parallel[%d]: workers = %d", i, p.Workers)
+		}
+		if p.AccessPerMs <= 0 {
+			return fmt.Errorf("parallel[workers=%d]: accesses_per_ms = %.3f", p.Workers, p.AccessPerMs)
+		}
+		if p.SpeedupVs1 <= 0 {
+			return fmt.Errorf("parallel[workers=%d]: speedup_vs_1 = %.3f", p.Workers, p.SpeedupVs1)
+		}
+	}
+	if !perf {
+		return nil
+	}
+	if !seen["capacity-heavy"] {
+		return fmt.Errorf("perf contract: no capacity-heavy workload in sequential section")
+	}
+	for _, s := range f.Sequential {
+		if s.Workload == "capacity-heavy" && s.SpeedupVsRef < 2 {
+			return fmt.Errorf("perf contract: capacity-heavy speedup %.3fx < 2x", s.SpeedupVsRef)
+		}
+		if s.SpeedupVsRef < 0.95 {
+			return fmt.Errorf("perf contract: %q regresses to %.3fx (< 0.95x) of the reference",
+				s.Workload, s.SpeedupVsRef)
+		}
+	}
+	return nil
+}

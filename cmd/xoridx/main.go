@@ -17,6 +17,7 @@
 //	xoridx -trace fft.xtr -cache 4096 -progress              # stage/search progress on stderr
 //	xoridx -trace fft.xtr -checkpoint run                    # crash snapshots -> run.{profile,search}.ckpt
 //	xoridx -trace fft.xtr -checkpoint run -resume            # continue a killed run, bit-identically
+//	xoridx -trace fft.xtr -cpuprofile cpu.pb -memprofile mem.pb  # pprof the pipeline
 //
 // Ctrl-C (SIGINT) cancels the pipeline cooperatively: the run aborts
 // within one hill-climbing move, prints the best-so-far function marked
@@ -34,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	"xoridx/internal/cache"
 	"xoridx/internal/core"
@@ -69,6 +72,8 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "base path for crash snapshots: profiling state goes to <path>.profile.ckpt and search state to <path>.search.ckpt, written atomically; restart a killed run with -resume")
 	resume := flag.Bool("resume", false, "continue from the checkpoint files under -checkpoint (missing files mean a cold start); the resumed run is bit-identical to an uninterrupted one")
 	retries := flag.Int("retries", 0, "retry budget for transient trace I/O failures, with capped exponential backoff")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -77,6 +82,32 @@ func main() {
 	if *traceFile == "" {
 		fmt.Fprintln(os.Stderr, "xoridx: -trace required")
 		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Deferred so the snapshot covers the whole pipeline, whichever
+		// path (apply / analyze / construct) the run takes.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "xoridx: -resume needs -checkpoint")

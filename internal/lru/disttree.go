@@ -1,153 +1,177 @@
 package lru
 
+import "sort"
+
 // DistanceTree computes exact LRU stack distances in O(log u) per
-// access using an order-statistics treap keyed by last-access time
-// (Olken's algorithm). The stack distance of an access is the number of
-// distinct blocks referenced since the previous access to the same
-// block — precisely the LRU-stack depth, but without the linear walk of
-// Stack.Depth.
+// access using Olken's order-statistics approach. The stack distance of
+// an access is the number of distinct blocks referenced since the
+// previous access to the same block — precisely the LRU-stack depth,
+// but without the linear walk of Stack.Depth.
 //
-// The treap stores one node per live block, keyed by the virtual time
-// of its most recent access; the subtree-size augmentation answers
-// "how many blocks were accessed more recently than time t" in
-// O(log u).
+// The order statistics live in a Fenwick (binary indexed) tree over
+// virtual access times: each live block owns one set slot at the time
+// of its most recent access, so "how many blocks were accessed more
+// recently than time t" is one prefix query. A Fenwick tree beats the
+// treap this structure used before PR 5 on constants — a handful of
+// sequential int32 adds per access, no per-node heap allocation, no
+// recursion — which matters because the profiling distance gate
+// (DESIGN.md §12) runs it once per trace access. The virtual clock
+// only moves forward, so when it reaches the end of the array the
+// live times are compacted back to 1..u (amortized O(1): the array is
+// kept at least 4x the live population).
 type DistanceTree struct {
-	root  *treapNode
-	byBlk map[uint64]*treapNode
-	clock uint64
-	rngSt uint64
+	fen     []int32           // Fenwick tree over time slots 1..len-1
+	byBlk   map[uint64]uint64 // block -> time of most recent access
+	clock   uint64            // last assigned virtual time
+	scratch []blockTime       // compaction buffer, reused across runs
 }
 
-type treapNode struct {
-	time        uint64 // key: last access time (unique)
-	block       uint64
-	prio        uint64 // heap priority
-	size        int    // subtree size
-	left, right *treapNode
+type blockTime struct {
+	block, time uint64
 }
+
+// minTreeSlots is the initial (and minimum) Fenwick array length.
+const minTreeSlots = 4096
+
+// Gate is the three-way classification returned by TouchGate.
+type Gate int8
+
+const (
+	// GateCold marks a first-ever access (stack distance -1).
+	GateCold Gate = iota
+	// GateWithin marks a reuse distance <= the gate limit.
+	GateWithin
+	// GateBeyond marks a reuse distance > the gate limit.
+	GateBeyond
+)
 
 // NewDistanceTree returns an empty tree.
 func NewDistanceTree() *DistanceTree {
-	return &DistanceTree{byBlk: make(map[uint64]*treapNode), rngSt: 0x9E3779B97F4A7C15}
+	return &DistanceTree{
+		fen:   make([]int32, minTreeSlots),
+		byBlk: make(map[uint64]uint64),
+	}
 }
 
 // Len returns the number of live (ever-touched) blocks.
 func (t *DistanceTree) Len() int { return len(t.byBlk) }
 
-// rand is a small xorshift64* generator; determinism keeps tests stable.
-func (t *DistanceTree) rand() uint64 {
-	t.rngSt ^= t.rngSt >> 12
-	t.rngSt ^= t.rngSt << 25
-	t.rngSt ^= t.rngSt >> 27
-	return t.rngSt * 0x2545F4914F6CDD1D
+// add updates the Fenwick tree at time slot i.
+func (t *DistanceTree) add(i uint64, delta int32) {
+	for ; i < uint64(len(t.fen)); i += i & (-i) {
+		t.fen[i] += delta
+	}
 }
 
-func size(n *treapNode) int {
-	if n == nil {
-		return 0
+// prefix returns the number of set time slots <= i.
+func (t *DistanceTree) prefix(i uint64) int {
+	s := int32(0)
+	for ; i > 0; i &= i - 1 {
+		s += t.fen[i]
 	}
-	return n.size
+	return int(s)
 }
 
-func (n *treapNode) update() { n.size = 1 + size(n.left) + size(n.right) }
-
-// split divides the tree into (< time) and (>= time).
-func split(n *treapNode, time uint64) (l, r *treapNode) {
-	if n == nil {
-		return nil, nil
+// begin claims the next virtual time for block, compacting first when
+// the clock would run off the array. It returns the block's previous
+// time and whether the block was live.
+func (t *DistanceTree) begin(block uint64) (old uint64, ok bool) {
+	if t.clock+1 >= uint64(len(t.fen)) {
+		t.compact()
 	}
-	if n.time < time {
-		n.right, r = split(n.right, time)
-		n.update()
-		return n, r
-	}
-	l, n.left = split(n.left, time)
-	n.update()
-	return l, n
-}
-
-func merge(l, r *treapNode) *treapNode {
-	if l == nil {
-		return r
-	}
-	if r == nil {
-		return l
-	}
-	if l.prio > r.prio {
-		l.right = merge(l.right, r)
-		l.update()
-		return l
-	}
-	r.left = merge(l, r.left)
-	r.update()
-	return r
-}
-
-// countGreater returns the number of nodes with time > time.
-func (t *DistanceTree) countGreater(time uint64) int {
-	count := 0
-	for n := t.root; n != nil; {
-		if n.time > time {
-			count += 1 + size(n.right)
-			n = n.left
-		} else {
-			n = n.right
-		}
-	}
-	return count
-}
-
-// remove deletes the node with the exact time key.
-func (t *DistanceTree) remove(time uint64) *treapNode {
-	var removed *treapNode
-	var rec func(n *treapNode) *treapNode
-	rec = func(n *treapNode) *treapNode {
-		if n == nil {
-			return nil
-		}
-		if n.time == time {
-			removed = n
-			return merge(n.left, n.right)
-		}
-		if time < n.time {
-			n.left = rec(n.left)
-		} else {
-			n.right = rec(n.right)
-		}
-		n.update()
-		return n
-	}
-	t.root = rec(t.root)
-	return removed
+	old, ok = t.byBlk[block]
+	t.clock++
+	t.byBlk[block] = t.clock
+	return old, ok
 }
 
 // Touch records an access to block and returns its stack distance: the
 // number of distinct blocks accessed since its previous access, or -1
 // for a first-ever access.
 func (t *DistanceTree) Touch(block uint64) int {
-	t.clock++
-	now := t.clock
-	dist := -1
-	if old, ok := t.byBlk[block]; ok {
-		dist = t.countGreater(old.time)
-		n := t.remove(old.time)
-		// Reuse the removed node for the new insertion.
-		n.time = now
-		n.prio = t.rand()
-		n.left, n.right = nil, nil
-		n.size = 1
-		t.insert(n)
-		return dist
+	old, ok := t.begin(block)
+	if !ok {
+		t.add(t.clock, 1)
+		return -1
 	}
-	n := &treapNode{time: now, block: block, prio: t.rand(), size: 1}
-	t.byBlk[block] = n
-	t.insert(n)
-	return dist
+	// Every live block owns exactly one set slot and block's is still
+	// at old, so the blocks accessed since are the live ones beyond it.
+	d := len(t.byBlk) - t.prefix(old)
+	t.add(old, -1)
+	t.add(t.clock, 1)
+	return d
 }
 
-func (t *DistanceTree) insert(n *treapNode) {
-	l, r := split(t.root, n.time)
-	t.root = merge(merge(l, n), r)
+// TouchGate records an access and classifies its stack distance against
+// limit without always computing it: when the raw access gap since the
+// block's previous touch is at most limit, the distance (which never
+// exceeds the gap) must be within, and the prefix query is skipped
+// entirely. This is the profiling fast path — tight loops whose reuse
+// fits the capacity filter pay only the two Fenwick point updates.
+func (t *DistanceTree) TouchGate(block uint64, limit int) Gate {
+	old, ok := t.begin(block)
+	if !ok {
+		t.add(t.clock, 1)
+		return GateCold
+	}
+	within := t.clock-old-1 <= uint64(limit)
+	if !within {
+		within = len(t.byBlk)-t.prefix(old) <= limit
+	}
+	t.add(old, -1)
+	t.add(t.clock, 1)
+	if within {
+		return GateWithin
+	}
+	return GateBeyond
+}
+
+// Record notes an access without classifying it (the warmup form of
+// Touch: recency state only, no distance query). It reports whether
+// the block was cold.
+func (t *DistanceTree) Record(block uint64) (cold bool) {
+	old, ok := t.begin(block)
+	if ok {
+		t.add(old, -1)
+	}
+	t.add(t.clock, 1)
+	return !ok
+}
+
+// compact renumbers the live blocks' times to 1..u in recency order and
+// resizes the Fenwick array to keep at least 4x headroom, so the
+// amortized cost per access stays O(log u).
+func (t *DistanceTree) compact() {
+	t.scratch = t.scratch[:0]
+	for b, tm := range t.byBlk {
+		t.scratch = append(t.scratch, blockTime{block: b, time: tm})
+	}
+	sort.Slice(t.scratch, func(i, j int) bool { return t.scratch[i].time < t.scratch[j].time })
+	u := len(t.scratch)
+	size := minTreeSlots
+	for size <= 4*u {
+		size <<= 1
+	}
+	if size != len(t.fen) {
+		t.fen = make([]int32, size)
+	} else {
+		for i := range t.fen {
+			t.fen[i] = 0
+		}
+	}
+	for i, bt := range t.scratch {
+		t.byBlk[bt.block] = uint64(i + 1)
+	}
+	// Build the all-ones prefix over slots 1..u in O(size).
+	for i := 1; i <= u; i++ {
+		t.fen[i] = 1
+	}
+	for i := 1; i < len(t.fen); i++ {
+		if j := i + i&(-i); j < len(t.fen) {
+			t.fen[j] += t.fen[i]
+		}
+	}
+	t.clock = uint64(u)
 }
 
 // FAMisses counts misses of a fully-associative LRU cache with the

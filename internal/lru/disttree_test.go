@@ -137,9 +137,9 @@ func BenchmarkDistanceTreeTouch(b *testing.B) {
 	}
 }
 
-// TestTouchSteadyStateAllocs pins the node-reuse behaviour: once every
-// block has been touched, re-touching reuses the removed treap node, so
-// the steady state allocates nothing.
+// TestTouchSteadyStateAllocs pins the steady-state cost: once every
+// block has been touched, an access is two Fenwick point updates and a
+// prefix query over preallocated storage, so it allocates nothing.
 func TestTouchSteadyStateAllocs(t *testing.T) {
 	d := NewDistanceTree()
 	for b := uint64(0); b < 64; b++ {

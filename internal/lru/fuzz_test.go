@@ -1,0 +1,63 @@
+package lru
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzStackRoundTrip round-trips arbitrary access sequences through the
+// arena stack's snapshot representation: drive a stack with fuzzer-
+// chosen touches and removes, snapshot it with Blocks, rebuild it with
+// NewStackFrom, and require the rebuilt arena to be observably
+// identical — same listing, same membership, and identical behaviour
+// under a further shared access suffix. This is the lru half of the
+// profiling checkpoint codec contract (profile snapshots persist
+// exactly this listing).
+func FuzzStackRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 2, 0, 1, 0})
+	f.Add([]byte{0xFF, 0x01, 0xFF, 0x01, 0x03, 0x02})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		s := NewStack()
+		for i := 0; i+1 < len(data); i += 2 {
+			v := binary.LittleEndian.Uint16(data[i:])
+			b := uint64(v >> 1)
+			if v&1 == 1 && s.Contains(b) {
+				s.Remove(b)
+				continue
+			}
+			s.Touch(b)
+		}
+		snapshot := s.Blocks()
+		restored, err := NewStackFrom(snapshot)
+		if err != nil {
+			t.Fatalf("snapshot of a live stack rejected: %v", err)
+		}
+		if restored.Len() != s.Len() {
+			t.Fatalf("restored Len = %d, want %d", restored.Len(), s.Len())
+		}
+		got := restored.Blocks()
+		for i := range snapshot {
+			if got[i] != snapshot[i] {
+				t.Fatalf("block %d: %#x, want %#x", i, got[i], snapshot[i])
+			}
+		}
+		// The restored stack must behave identically under further use.
+		for i := 0; i+1 < len(data) && i < 64; i += 2 {
+			b := uint64(binary.LittleEndian.Uint16(data[i:]))
+			if d1, d2 := s.Touch(b), restored.Touch(b); d1 != d2 {
+				t.Fatalf("restored stack diverges at suffix access %d: %d vs %d", i/2, d2, d1)
+			}
+		}
+		// Duplicates in a snapshot must still be rejected.
+		if len(snapshot) > 0 {
+			if _, err := NewStackFrom(append([]uint64{snapshot[len(snapshot)-1]}, snapshot...)); err == nil {
+				t.Fatal("duplicated snapshot accepted")
+			}
+		}
+	})
+}

@@ -8,33 +8,55 @@
 // vectors; because it only walks when the reuse distance is at most the
 // cache capacity, the walk is bounded by the cache size in blocks.
 //
+// Stack is arena-backed: nodes live in one growable slab of int32-linked
+// entries instead of individually heap-allocated list elements, so a
+// profiling pass performs zero per-block allocations after the slab
+// warms up and the recency walk reads nearby slab entries instead of
+// chasing scattered pointers (DESIGN.md §12).
+//
 // For exact reuse (stack) distances without a bounded walk, DistanceTree
-// implements Olken's order-statistics approach with a treap, giving
-// O(log u) per access where u is the number of live blocks.
+// implements Olken's order-statistics approach over a Fenwick tree,
+// giving O(log u) per access where u is the number of live blocks.
 package lru
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
-// node is a doubly-linked list element of the stack.
-type node struct {
-	block      uint64
-	prev, next *node // prev is toward the top (more recent)
+// Node is one arena slot of a Stack: a block address and the int32
+// slab indices of its neighbours (Prev toward the top, i.e. more
+// recent). Exported so the profiling hot loop can walk the slab
+// directly via Raw without a callback per element.
+type Node struct {
+	Block      uint64
+	Prev, Next int32 // nilIdx terminates
 }
+
+// nilIdx is the arena's null link.
+const nilIdx = int32(-1)
 
 // Stack is an LRU stack of block addresses with O(1) membership lookup
 // and O(k) enumeration of the k blocks above a given block.
 //
 // The zero value is not usable; call NewStack.
 type Stack struct {
-	byBlock map[uint64]*node
-	top     *node
-	bottom  *node
+	nodes   []Node
+	byBlock map[uint64]int32
+	top     int32
+	bottom  int32
+	free    int32 // freelist head, linked through Next
 	size    int
 }
 
 // NewStack returns an empty LRU stack.
 func NewStack() *Stack {
-	return &Stack{byBlock: make(map[uint64]*node)}
+	return &Stack{
+		byBlock: make(map[uint64]int32),
+		top:     nilIdx,
+		bottom:  nilIdx,
+		free:    nilIdx,
+	}
 }
 
 // NewStackFrom rebuilds a stack from a top-to-bottom block listing —
@@ -43,6 +65,7 @@ func NewStack() *Stack {
 // is corrupt and is reported rather than panicking.
 func NewStackFrom(topToBottom []uint64) (*Stack, error) {
 	s := NewStack()
+	s.nodes = make([]Node, 0, len(topToBottom))
 	for i := len(topToBottom) - 1; i >= 0; i-- {
 		b := topToBottom[i]
 		if s.Contains(b) {
@@ -62,48 +85,112 @@ func (s *Stack) Contains(block uint64) bool {
 	return ok
 }
 
+// alloc takes a slot from the freelist or grows the slab.
+func (s *Stack) alloc(block uint64) int32 {
+	if s.free != nilIdx {
+		idx := s.free
+		s.free = s.nodes[idx].Next
+		s.nodes[idx] = Node{Block: block, Prev: nilIdx, Next: nilIdx}
+		return idx
+	}
+	if len(s.nodes) >= math.MaxInt32 {
+		panic("lru: stack exceeds 2^31-1 blocks")
+	}
+	s.nodes = append(s.nodes, Node{Block: block, Prev: nilIdx, Next: nilIdx})
+	return int32(len(s.nodes) - 1)
+}
+
 // Push puts a new block on top of the stack. The block must not already
 // be present (use Touch for the general case).
 func (s *Stack) Push(block uint64) {
 	if _, ok := s.byBlock[block]; ok {
 		panic("lru: Push of block already on stack")
 	}
-	n := &node{block: block, next: s.top}
-	if s.top != nil {
-		s.top.prev = n
+	idx := s.alloc(block)
+	s.nodes[idx].Next = s.top
+	if s.top != nilIdx {
+		s.nodes[s.top].Prev = idx
 	}
-	s.top = n
-	if s.bottom == nil {
-		s.bottom = n
+	s.top = idx
+	if s.bottom == nilIdx {
+		s.bottom = idx
 	}
-	s.byBlock[block] = n
+	s.byBlock[block] = idx
 	s.size++
+}
+
+// unlink detaches the node at idx from the recency list without
+// touching the membership map or the freelist.
+func (s *Stack) unlink(idx int32) {
+	n := s.nodes[idx]
+	if n.Prev != nilIdx {
+		s.nodes[n.Prev].Next = n.Next
+	} else {
+		s.top = n.Next
+	}
+	if n.Next != nilIdx {
+		s.nodes[n.Next].Prev = n.Prev
+	} else {
+		s.bottom = n.Prev
+	}
 }
 
 // MoveToTop moves an existing block to the top of the stack.
 func (s *Stack) MoveToTop(block uint64) {
-	n, ok := s.byBlock[block]
+	idx, ok := s.byBlock[block]
 	if !ok {
 		panic("lru: MoveToTop of block not on stack")
 	}
-	if s.top == n {
+	s.MoveIndexToTop(idx)
+}
+
+// MoveIndexToTop is MoveToTop addressed by arena slot — pairs with
+// Index and Raw in hot loops that have already resolved the block, so
+// the move costs no second map lookup.
+func (s *Stack) MoveIndexToTop(idx int32) {
+	if s.top == idx {
 		return
 	}
-	// Unlink.
-	if n.prev != nil {
-		n.prev.next = n.next
+	s.unlink(idx)
+	s.nodes[idx].Prev = nilIdx
+	s.nodes[idx].Next = s.top
+	s.nodes[s.top].Prev = idx
+	s.top = idx
+}
+
+// Remove deletes a block from the stack, returning its arena slot to
+// the freelist for reuse by a later Push. The profiling pass never
+// evicts, but bounded simulations (and tests exercising slab reuse) do.
+func (s *Stack) Remove(block uint64) {
+	idx, ok := s.byBlock[block]
+	if !ok {
+		panic("lru: Remove of block not on stack")
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
-	}
-	if s.bottom == n {
-		s.bottom = n.prev
-	}
-	// Relink at top.
-	n.prev = nil
-	n.next = s.top
-	s.top.prev = n
-	s.top = n
+	s.unlink(idx)
+	delete(s.byBlock, block)
+	s.nodes[idx] = Node{Next: s.free}
+	s.free = idx
+	s.size--
+}
+
+// Raw exposes the arena slab and the index of the top node (nilIdx when
+// empty) so a hot loop can walk the recency list inline:
+//
+//	nodes, top := s.Raw()
+//	for i := top; i != target; i = nodes[i].Next { ... nodes[i].Block ... }
+//
+// The returned slice aliases the stack's storage and is invalidated by
+// the next Push (append may move the slab); callers must treat it as
+// read-only and must not hold it across mutations.
+func (s *Stack) Raw() (nodes []Node, top int32) {
+	return s.nodes, s.top
+}
+
+// Index returns the arena slot of a block and whether it is present —
+// the slab-level counterpart of Contains, for callers walking via Raw.
+func (s *Stack) Index(block uint64) (int32, bool) {
+	idx, ok := s.byBlock[block]
+	return idx, ok
 }
 
 // WalkAbove calls fn for every block strictly above the given block on
@@ -120,14 +207,14 @@ func (s *Stack) WalkAbove(block uint64, limit int, fn func(above uint64) bool) (
 	if !ok {
 		panic("lru: WalkAbove of block not on stack")
 	}
-	for n := s.top; n != nil; n = n.next {
-		if n == target {
+	for i := s.top; i != nilIdx; i = s.nodes[i].Next {
+		if i == target {
 			return visited, true
 		}
 		if limit >= 0 && visited >= limit {
 			return visited, false
 		}
-		if fn != nil && !fn(n.block) {
+		if fn != nil && !fn(s.nodes[i].Block) {
 			return visited, false
 		}
 		visited++
@@ -162,8 +249,8 @@ func (s *Stack) Touch(block uint64) (distance int) {
 // Blocks returns all blocks from top to bottom. Intended for tests.
 func (s *Stack) Blocks() []uint64 {
 	out := make([]uint64, 0, s.size)
-	for n := s.top; n != nil; n = n.next {
-		out = append(out, n.block)
+	for i := s.top; i != nilIdx; i = s.nodes[i].Next {
+		out = append(out, s.nodes[i].Block)
 	}
 	return out
 }

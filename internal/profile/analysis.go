@@ -40,46 +40,39 @@ func AnalyzeConflicts(blocks []uint64, n, cacheBlocks, topVectors, topPairs int)
 	for _, vc := range hot {
 		hotSet[uint64(vc.Vec)] = true
 	}
-	// Second pass: same stack walk, but count pairs for hot vectors.
+	// Second pass: same distance-gated walk as Build, but counting
+	// pairs for hot vectors. The Olken gate classifies each access
+	// before the stack is touched, so capacity misses contribute
+	// nothing and — unlike the old walk-then-undo scheme — cost no
+	// stack traversal at all.
 	pairs := make(map[[2]uint64]uint64)
 	mask := p.maskValue()
 	stack := lru.NewStack()
+	tree := lru.NewDistanceTree()
 	for _, raw := range blocks {
 		b := raw & mask
-		if !stack.Contains(b) {
+		switch tree.TouchGate(b, cacheBlocks) {
+		case lru.GateCold:
 			stack.Push(b)
 			continue
-		}
-		_, reached := stack.WalkAbove(b, cacheBlocks, func(y uint64) bool {
-			if hotSet[b^y] {
-				k := [2]uint64{b, y}
-				if k[0] > k[1] {
-					k[0], k[1] = k[1], k[0]
-				}
-				pairs[k]++
-			}
-			return true
-		})
-		if !reached {
-			// Capacity miss: undo, mirroring Build's rollback.
-			stack.WalkAbove(b, cacheBlocks, func(y uint64) bool {
+		case lru.GateWithin:
+			target, _ := stack.Index(b)
+			nodes, top := stack.Raw()
+			for i := top; i != target; i = nodes[i].Next {
+				y := nodes[i].Block
 				if hotSet[b^y] {
-					k := [2]uint64{b, y}
-					if k[0] > k[1] {
-						k[0], k[1] = k[1], k[0]
+					key := [2]uint64{b, y}
+					if key[0] > key[1] {
+						key[0], key[1] = key[1], key[0]
 					}
-					pairs[k]--
+					pairs[key]++
 				}
-				return true
-			})
+			}
 		}
 		stack.MoveToTop(b)
 	}
 	out := &Analysis{Profile: p}
 	for k, c := range pairs {
-		if c == 0 {
-			continue
-		}
 		out.HotPairs = append(out.HotPairs, PairCount{
 			BlockA: k[0], BlockB: k[1], Vector: k[0] ^ k[1], Count: c,
 		})

@@ -23,6 +23,7 @@ package profile
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"xoridx/internal/gf2"
@@ -82,12 +83,40 @@ func Build(blocks []uint64, n, cacheBlocks int) *Profile {
 // Builder accumulates a Profile incrementally, one block access at a
 // time — the streaming form of Build for traces too large to hold in
 // memory (feed it straight from a trace decoder).
+//
+// The hot path is distance-gated (DESIGN.md §12): every access first
+// classifies its reuse distance against the capacity filter with one
+// Olken order-statistics query (or none, when the raw access gap
+// already proves the distance fits), so a
+// capacity miss is classified without visiting a single stack entry
+// and a conflict candidate walks the arena stack exactly once, with
+// no rollback path.
 type Builder struct {
 	p     *Profile
 	mask  uint64
 	stack *lru.Stack
+	tree  *lru.DistanceTree
+	stats BuildStats
 	done  bool
 }
+
+// BuildStats exposes the hot-path probes of a Builder: how many stack
+// walks it performed and how much work the distance gate skipped. The
+// invariants the tests pin are CandidateWalks == Profile.Candidates,
+// WalkSteps == Profile.TotalPairs (every visited entry contributes
+// exactly one histogram increment — a rollback scheme would visit
+// capacity-miss prefixes twice on top of that), and
+// GatedCapacityMisses == Profile.Capacity (no capacity miss ever
+// touches the stack). Counters restart at zero on a checkpoint
+// restore; they probe the live pass, not the snapshot.
+type BuildStats struct {
+	CandidateWalks      uint64 // stack walks performed: exactly one per conflict candidate
+	WalkSteps           uint64 // stack entries visited across all walks
+	GatedCapacityMisses uint64 // capacity misses resolved by the gate alone
+}
+
+// Stats returns the builder's hot-path probe counters.
+func (bd *Builder) Stats() BuildStats { return bd.stats }
 
 // NewBuilder starts an empty profile with the given hashed-address
 // width and capacity filter. It panics on out-of-range arguments (the
@@ -134,6 +163,7 @@ func newBuilder(n, cacheBlocks int, sparse bool) *Builder {
 		p:     p,
 		mask:  uint64(gf2.Mask(n)),
 		stack: lru.NewStack(),
+		tree:  lru.NewDistanceTree(),
 	}
 }
 
@@ -145,34 +175,49 @@ func (bd *Builder) Add(block uint64) {
 	p := bd.p
 	b := block & bd.mask
 	p.Accesses++
-	if !bd.stack.Contains(b) {
+	// Distance gate: one O(log u) order-statistics query (skipped
+	// entirely when the raw access gap already proves the distance is
+	// within the filter) classifies the access before any stack entry
+	// is visited. A capacity miss — which the old code paid a bounded
+	// walk plus a full rollback re-walk to discover — now costs no
+	// walk at all.
+	switch bd.tree.TouchGate(b, p.CacheBlocks) {
+	case lru.GateCold:
 		// Compulsory miss: no conflict information.
 		p.Compulsory++
 		bd.stack.Push(b)
 		return
-	}
-	// Walk the blocks above b. The capacity filter means we never need
-	// to walk more than cacheBlocks entries: if the walk does not reach
-	// b within that limit, the reuse distance exceeds the cache
-	// capacity and the access is a capacity miss.
-	_, reached := bd.stack.WalkAbove(b, p.CacheBlocks, func(y uint64) bool {
-		p.inc(b ^ y)
-		p.TotalPairs++
-		return true
-	})
-	if reached {
-		p.Candidates++
-	} else {
-		// Capacity miss: the vectors counted during the aborted walk
-		// must be rolled back; re-walk the same prefix to undo.
+	case lru.GateBeyond:
 		p.Capacity++
-		bd.stack.WalkAbove(b, p.CacheBlocks, func(y uint64) bool {
-			p.dec(b ^ y)
-			p.TotalPairs--
-			return true
-		})
+		bd.stats.GatedCapacityMisses++
+		bd.stack.MoveToTop(b)
+		return
 	}
-	bd.stack.MoveToTop(b)
+	// Conflict candidate: the blocks above b are exactly the blocks
+	// accessed since its previous access, and the gate guarantees the
+	// walk reaches b within the filter. Walk them once, accumulating
+	// straight into the active backend — no callback, no per-element
+	// backend branch, no undo path — and batch the pair bookkeeping.
+	target, _ := bd.stack.Index(b)
+	nodes, top := bd.stack.Raw()
+	d := uint64(0)
+	if tbl := p.Table; tbl != nil {
+		for i := top; i != target; i = nodes[i].Next {
+			tbl[b^nodes[i].Block]++
+			d++
+		}
+	} else {
+		sp := p.Sparse
+		for i := top; i != target; i = nodes[i].Next {
+			sp[b^nodes[i].Block]++
+			d++
+		}
+	}
+	p.TotalPairs += d
+	p.Candidates++
+	bd.stats.CandidateWalks++
+	bd.stats.WalkSteps += d
+	bd.stack.MoveIndexToTop(target)
 }
 
 // Warm replays one block access into the LRU stack without counting
@@ -185,10 +230,10 @@ func (bd *Builder) Warm(block uint64) {
 		panic("profile: Warm after Finish")
 	}
 	b := block & bd.mask
-	if bd.stack.Contains(b) {
-		bd.stack.MoveToTop(b)
-	} else {
+	if bd.tree.Record(b) {
 		bd.stack.Push(b)
+	} else {
+		bd.stack.MoveToTop(b)
 	}
 }
 
@@ -215,28 +260,6 @@ func (p *Profile) At(v gf2.Vec) uint64 {
 	return p.Sparse[uint64(v)]
 }
 
-// inc/dec adjust one histogram entry on the active backend; dec keeps
-// the sparse map free of zero entries so its size is the support size.
-func (p *Profile) inc(v uint64) {
-	if p.Table != nil {
-		p.Table[v]++
-		return
-	}
-	p.Sparse[v]++
-}
-
-func (p *Profile) dec(v uint64) {
-	if p.Table != nil {
-		p.Table[v]--
-		return
-	}
-	if c := p.Sparse[v]; c <= 1 {
-		delete(p.Sparse, v)
-	} else {
-		p.Sparse[v] = c - 1
-	}
-}
-
 // ForEachNonZero calls fn for every nonzero histogram entry. Order is
 // ascending for the flat backend and unspecified for the sparse one;
 // use Support when a deterministic order matters.
@@ -257,12 +280,30 @@ func (p *Profile) ForEachNonZero(fn func(v gf2.Vec, count uint64)) {
 // Support returns the nonzero (vector, count) entries of the histogram
 // in ascending vector order — the working set the incremental search
 // engine sweeps per hyperplane instead of Gray-walking 2^d entries per
-// candidate.
+// candidate. The result is allocated exactly once: the flat backend
+// counts its nonzero entries in a first pass (and is already in
+// ascending order, so no sort is needed), the sparse backend sizes the
+// slice from the map population.
 func (p *Profile) Support() []VectorCount {
-	var out []VectorCount
-	p.ForEachNonZero(func(v gf2.Vec, c uint64) {
-		out = append(out, VectorCount{Vec: v, Count: c})
-	})
+	if p.Table != nil {
+		nonzero := 0
+		for _, c := range p.Table {
+			if c != 0 {
+				nonzero++
+			}
+		}
+		out := make([]VectorCount, 0, nonzero)
+		for v, c := range p.Table {
+			if c != 0 {
+				out = append(out, VectorCount{Vec: gf2.Vec(v), Count: c})
+			}
+		}
+		return out
+	}
+	out := make([]VectorCount, 0, len(p.Sparse))
+	for v, c := range p.Sparse {
+		out = append(out, VectorCount{Vec: gf2.Vec(v), Count: c})
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Vec < out[j].Vec })
 	return out
 }
@@ -304,7 +345,7 @@ func (p *Profile) walkSum(basis []gf2.Vec) uint64 {
 	sum := p.At(0)
 	cur := gf2.Vec(0)
 	for i := uint64(1); i < uint64(1)<<uint(len(basis)); i++ {
-		cur ^= basis[tz(i)]
+		cur ^= basis[bits.TrailingZeros64(i)]
 		sum += p.At(cur)
 	}
 	return sum
@@ -345,7 +386,7 @@ func (p *Profile) EstimateDelta(w []gf2.Vec, rep gf2.Vec) uint64 {
 	sum := p.At(rep)
 	cur := rep
 	for i := uint64(1); i < uint64(1)<<uint(len(w)); i++ {
-		cur ^= w[tz(i)]
+		cur ^= w[bits.TrailingZeros64(i)]
 		sum += p.At(cur)
 	}
 	return sum
@@ -389,15 +430,6 @@ func sortVectorCounts(v []VectorCount) {
 		}
 		return v[i].Vec < v[j].Vec
 	})
-}
-
-func tz(x uint64) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
 }
 
 // Merge adds another profile's conflict histogram and bookkeeping into
