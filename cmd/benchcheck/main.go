@@ -8,10 +8,18 @@
 //
 //	benchcheck [-perf] [BENCH_profile.json]
 //
-// With -perf it additionally enforces the PR 5 performance contract:
-// the capacity-heavy workload must run at least 2x faster than the
-// pre-overhaul reference builder and no workload may regress more than
-// 5% against it.
+// With -perf it additionally enforces the performance contracts:
+//
+//   - Sequential (PR 5): the capacity-heavy workload must run at least
+//     2x faster than the pre-overhaul reference builder and no workload
+//     may regress more than 5% against it.
+//   - Parallel: the baseline must come from a multi-core runner
+//     (num_cpu >= 2 — a single-core recording cannot witness parallel
+//     speedup and is rejected as stale), each workload's speedup_vs_1
+//     must be monotone non-decreasing in the worker count up to num_cpu
+//     (3% tolerance for measurement noise), and the capacity-heavy
+//     workload must reach at least 1.6x at 4 workers when the runner
+//     has 4 or more CPUs.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // The mirror of bench_test.go's benchProfileFile schema. Unknown fields
@@ -44,6 +53,7 @@ type seqResult struct {
 }
 
 type paraResult struct {
+	Workload    string  `json:"workload"`
 	Workers     int     `json:"workers"`
 	AccessPerMs float64 `json:"accesses_per_ms"`
 	SpeedupVs1  float64 `json:"speedup_vs_1"`
@@ -123,15 +133,36 @@ func validate(f *benchFile, perf bool) error {
 	if len(f.Parallel) == 0 {
 		return fmt.Errorf("no parallel section — run BenchmarkBuildParallel with -benchtime=1x first")
 	}
+	byWorkload := map[string][]paraResult{}
+	seenPoint := map[string]bool{}
 	for i, p := range f.Parallel {
+		if p.Workload == "" {
+			return fmt.Errorf("parallel[%d]: empty workload tag", i)
+		}
 		if p.Workers <= 0 {
 			return fmt.Errorf("parallel[%d]: workers = %d", i, p.Workers)
 		}
+		key := fmt.Sprintf("%s/%d", p.Workload, p.Workers)
+		if seenPoint[key] {
+			return fmt.Errorf("parallel[%d]: duplicate point %s", i, key)
+		}
+		seenPoint[key] = true
 		if p.AccessPerMs <= 0 {
-			return fmt.Errorf("parallel[workers=%d]: accesses_per_ms = %.3f", p.Workers, p.AccessPerMs)
+			return fmt.Errorf("parallel[%s]: accesses_per_ms = %.3f", key, p.AccessPerMs)
 		}
 		if p.SpeedupVs1 <= 0 {
-			return fmt.Errorf("parallel[workers=%d]: speedup_vs_1 = %.3f", p.Workers, p.SpeedupVs1)
+			return fmt.Errorf("parallel[%s]: speedup_vs_1 = %.3f", key, p.SpeedupVs1)
+		}
+		byWorkload[p.Workload] = append(byWorkload[p.Workload], p)
+	}
+	for name, rows := range byWorkload {
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Workers < rows[j].Workers })
+		byWorkload[name] = rows
+		if rows[0].Workers != 1 {
+			return fmt.Errorf("parallel[%q]: no workers=1 row to anchor speedup_vs_1", name)
+		}
+		if s := rows[0].SpeedupVs1; s < 0.999 || s > 1.001 {
+			return fmt.Errorf("parallel[%q]: workers=1 speedup_vs_1 = %.3f, want 1", name, s)
 		}
 	}
 	if !perf {
@@ -147,6 +178,56 @@ func validate(f *benchFile, perf bool) error {
 		if s.SpeedupVsRef < 0.95 {
 			return fmt.Errorf("perf contract: %q regresses to %.3fx (< 0.95x) of the reference",
 				s.Workload, s.SpeedupVsRef)
+		}
+	}
+	return validateParallelPerf(f, byWorkload)
+}
+
+// monotoneTolerance absorbs run-to-run measurement noise in the
+// monotone-speedup rule: adding workers (up to the core count) may not
+// lose more than 3% over the previous point.
+const monotoneTolerance = 0.97
+
+// validateParallelPerf enforces the multi-worker half of the -perf
+// contract against the workload-grouped parallel rows (already sorted
+// by worker count, each anchored at workers=1).
+func validateParallelPerf(f *benchFile, byWorkload map[string][]paraResult) error {
+	if f.NumCPU < 2 {
+		return fmt.Errorf("perf contract: parallel baseline recorded with num_cpu = %d — "+
+			"a single-core recording cannot witness parallel speedup; rerecord on a multi-core runner",
+			f.NumCPU)
+	}
+	if byWorkload["capacity-heavy"] == nil {
+		return fmt.Errorf("perf contract: no capacity-heavy workload in parallel section")
+	}
+	for name, rows := range byWorkload {
+		prev := rows[0]
+		for _, p := range rows[1:] {
+			if p.Workers > f.NumCPU {
+				// Oversubscribed points are informational: speedup may
+				// legitimately flatten or dip past the core count.
+				break
+			}
+			if p.SpeedupVs1 < prev.SpeedupVs1*monotoneTolerance {
+				return fmt.Errorf("perf contract: %q speedup not monotone: %.3fx at %d workers after %.3fx at %d",
+					name, p.SpeedupVs1, p.Workers, prev.SpeedupVs1, prev.Workers)
+			}
+			prev = p
+		}
+	}
+	if f.NumCPU >= 4 {
+		ok := false
+		for _, p := range byWorkload["capacity-heavy"] {
+			if p.Workers == 4 {
+				ok = true
+				if p.SpeedupVs1 < 1.6 {
+					return fmt.Errorf("perf contract: capacity-heavy speedup %.3fx at 4 workers < 1.6x",
+						p.SpeedupVs1)
+				}
+			}
+		}
+		if !ok {
+			return fmt.Errorf("perf contract: capacity-heavy has no workers=4 row on a %d-CPU runner", f.NumCPU)
 		}
 	}
 	return nil

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// goodFile returns a baseline that passes every rule, for the negative
+// tests to perturb.
+func goodFile() *benchFile {
+	return &benchFile{
+		Benchmark:   "BenchmarkBuild+BenchmarkBuildParallel",
+		N:           16,
+		CacheBlocks: 1024,
+		GoVersion:   "go1.24.0",
+		NumCPU:      8,
+		Sequential: []seqResult{
+			{Workload: "capacity-heavy", Accesses: 300000, NewAccessPerMs: 9000, RefAccessPerMs: 3000, SpeedupVsRef: 3.0},
+			{Workload: "mixed", Accesses: 1000000, NewAccessPerMs: 8000, RefAccessPerMs: 7000, SpeedupVsRef: 1.14},
+		},
+		Parallel: []paraResult{
+			{Workload: "capacity-heavy", Workers: 1, AccessPerMs: 9000, SpeedupVs1: 1.0},
+			{Workload: "capacity-heavy", Workers: 2, AccessPerMs: 16000, SpeedupVs1: 1.78},
+			{Workload: "capacity-heavy", Workers: 4, AccessPerMs: 27000, SpeedupVs1: 3.0},
+			{Workload: "capacity-heavy", Workers: 8, AccessPerMs: 41000, SpeedupVs1: 4.56},
+			{Workload: "mixed", Workers: 1, AccessPerMs: 8000, SpeedupVs1: 1.0},
+			{Workload: "mixed", Workers: 2, AccessPerMs: 13000, SpeedupVs1: 1.63},
+			{Workload: "mixed", Workers: 4, AccessPerMs: 21000, SpeedupVs1: 2.63},
+			{Workload: "mixed", Workers: 8, AccessPerMs: 30000, SpeedupVs1: 3.75},
+		},
+	}
+}
+
+func TestValidateAcceptsGoodBaseline(t *testing.T) {
+	for _, perf := range []bool{false, true} {
+		if err := validate(goodFile(), perf); err != nil {
+			t.Fatalf("perf=%v: %v", perf, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		perf    bool
+		mutate  func(*benchFile)
+		wantSub string
+	}{
+		{
+			name: "single-core parallel baseline",
+			perf: true,
+			mutate: func(f *benchFile) {
+				f.NumCPU = 1
+				// A 1-CPU recording has flat speedups — plausible-looking,
+				// but the num_cpu rule must reject it before the curve is
+				// even examined.
+				for i := range f.Parallel {
+					f.Parallel[i].SpeedupVs1 = 1.0
+					f.Parallel[i].AccessPerMs = f.Parallel[0].AccessPerMs
+				}
+			},
+			wantSub: "num_cpu = 1",
+		},
+		{
+			name: "non-monotone speedup within core count",
+			perf: true,
+			mutate: func(f *benchFile) {
+				f.Parallel[2].SpeedupVs1 = 1.5 // 4 workers slower than 2
+			},
+			wantSub: "not monotone",
+		},
+		{
+			name: "monotone tolerance absorbs small dips",
+			perf: true,
+			mutate: func(f *benchFile) {
+				f.Parallel[3].SpeedupVs1 = f.Parallel[2].SpeedupVs1 * 0.99
+			},
+			wantSub: "", // within the 3% noise band: accepted
+		},
+		{
+			name: "oversubscribed dip is informational",
+			perf: true,
+			mutate: func(f *benchFile) {
+				f.NumCPU = 4
+				f.Parallel[3].SpeedupVs1 = 2.0 // 8 workers > num_cpu may dip
+				f.Parallel[7].SpeedupVs1 = 2.0
+			},
+			wantSub: "",
+		},
+		{
+			name: "capacity-heavy below 1.6x at 4 workers",
+			perf: true,
+			mutate: func(f *benchFile) {
+				f.Parallel[1].SpeedupVs1 = 1.1
+				f.Parallel[2].SpeedupVs1 = 1.2
+				f.Parallel[3].SpeedupVs1 = 1.3
+			},
+			wantSub: "< 1.6x",
+		},
+		{
+			name: "missing workers=1 anchor",
+			perf: false,
+			mutate: func(f *benchFile) {
+				f.Parallel = f.Parallel[1:4]
+			},
+			wantSub: "no workers=1 row",
+		},
+		{
+			name: "workers=1 speedup not 1",
+			perf: false,
+			mutate: func(f *benchFile) {
+				f.Parallel[0].SpeedupVs1 = 1.2
+			},
+			wantSub: "want 1",
+		},
+		{
+			name: "untagged parallel row",
+			perf: false,
+			mutate: func(f *benchFile) {
+				f.Parallel[0].Workload = ""
+			},
+			wantSub: "empty workload tag",
+		},
+		{
+			name: "duplicate parallel point",
+			perf: false,
+			mutate: func(f *benchFile) {
+				f.Parallel[1] = f.Parallel[0]
+			},
+			wantSub: "duplicate point",
+		},
+		{
+			name: "missing capacity-heavy parallel rows",
+			perf: true,
+			mutate: func(f *benchFile) {
+				f.Parallel = f.Parallel[4:]
+			},
+			wantSub: "no capacity-heavy workload in parallel section",
+		},
+		{
+			name: "no workers=4 row on a multi-core runner",
+			perf: true,
+			mutate: func(f *benchFile) {
+				f.Parallel = append(f.Parallel[:2], f.Parallel[3:]...)
+			},
+			wantSub: "no workers=4 row",
+		},
+		{
+			name: "sequential contract still enforced",
+			perf: true,
+			mutate: func(f *benchFile) {
+				f.Sequential[0].SpeedupVsRef = 1.5
+			},
+			wantSub: "< 2x",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := goodFile()
+			tc.mutate(f)
+			err := validate(f, tc.perf)
+			if tc.wantSub == "" {
+				if err != nil {
+					t.Fatalf("unexpected rejection: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted a baseline that should fail with %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}

@@ -103,11 +103,13 @@ func (pl *Pipeline) emit(e Event) {
 // sequence and builds the conflict-vector histogram, sharded across
 // Config.Workers when > 1 (bit-identical to the sequential pass).
 //
-// With Config.CheckpointPath set the stage runs through the sequential
-// checkpointed builder, snapshotting every CheckpointEvery accesses;
+// With Config.CheckpointPath set the stage runs through the
+// checkpointed builder — sharded when Workers > 1, sequential
+// otherwise; the snapshot format is shared, so either can resume the
+// other's snapshot — snapshotting every CheckpointEvery accesses;
 // Resume continues from an existing snapshot. On cancellation the
-// sequential paths return the partial profile so far — marked Degraded
-// and exact for the prefix it covers — alongside the error.
+// checkpointed paths return the partial profile so far — marked
+// Degraded and exact for the prefix it covers — alongside the error.
 func (pl *Pipeline) Profile(ctx context.Context, tr *trace.Trace) (*profile.Profile, error) {
 	cfg := pl.Config.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -130,12 +132,19 @@ func (pl *Pipeline) Profile(ctx context.Context, tr *trace.Trace) (*profile.Prof
 			rest = rest[k:]
 			return k, nil
 		}
-		p, err = profile.BuildCheckpointedCtx(ctx, src, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes,
-			profile.CheckpointOptions{
-				Path:   cfg.profileCheckpointPath(),
-				Every:  uint64(cfg.CheckpointEvery),
-				Resume: cfg.Resume,
-			})
+		copt := profile.CheckpointOptions{
+			Path:   cfg.profileCheckpointPath(),
+			Every:  uint64(cfg.CheckpointEvery),
+			Resume: cfg.Resume,
+		}
+		if w > 1 {
+			// Checkpointing and sharding compose: the snapshot format is
+			// shared, so a sequential snapshot resumes sharded and back.
+			p, err = profile.BuildStreamCheckpointedCtx(ctx, src, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes,
+				profile.ParallelOptions{Workers: w}, copt)
+		} else {
+			p, err = profile.BuildCheckpointedCtx(ctx, src, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes, copt)
+		}
 	case w > 1:
 		p, err = profile.BuildParallelCtx(ctx, blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes,
 			profile.ParallelOptions{Workers: w})

@@ -201,7 +201,7 @@ func Restore(r io.Reader) (*Builder, error) {
 	// prove it).
 	bd.tree = lru.NewDistanceTree()
 	for i := len(stack) - 1; i >= 0; i-- {
-		bd.tree.Touch(stack[i])
+		bd.tree.Record(stack[i])
 	}
 	return bd, nil
 }
@@ -392,6 +392,92 @@ func BuildCheckpointedCtx(ctx context.Context, src BlockSource, n, cacheBlocks i
 		}
 	}
 	return bd.Finish(), nil
+}
+
+// BuildStreamCheckpointedCtx is the sharded analog of
+// BuildCheckpointedCtx: BuildStreamCtx's worker fan-out plus periodic
+// atomic snapshots of the reconciled prefix. The snapshot format is the
+// sequential one — the reconciler's (profile, boundary stack) pair at a
+// shard boundary is exactly a sequential Builder's state at that access
+// position — so sequential and parallel runs can resume each other's
+// snapshots, and a resumed build is bit-identical to an uninterrupted
+// one even when the resume uses different worker counts or chunk sizes
+// (shard boundaries don't affect the result). On cancellation the
+// reconciled prefix is snapshotted (when Path is set) and returned
+// Degraded alongside the wrapped ErrCanceled, mirroring the sequential
+// semantics; note the parallel Degraded profile covers the reconciled
+// chunk prefix, not every access the workers had consumed.
+//
+// Sharding, backend and retry controls come from opt; copt supplies
+// Path, Every and Resume (its Retry and ChunkSize are fallbacks used
+// only when opt leaves them zero).
+func BuildStreamCheckpointedCtx(ctx context.Context, src BlockSource, n, cacheBlocks int, opt ParallelOptions, copt CheckpointOptions) (*Profile, error) {
+	ck := &streamCheckpoint{path: copt.Path, every: copt.Every, resume: copt.Resume}
+	if ck.every == 0 {
+		ck.every = DefaultCheckpointEvery
+	}
+	if opt.Retry.MaxRetries == 0 {
+		opt.Retry = copt.Retry
+	}
+	if opt.ChunkSize <= 0 {
+		opt.ChunkSize = copt.ChunkSize
+	}
+	return buildStream(ctx, src, n, cacheBlocks, opt, ck)
+}
+
+// checkpoint writes the reconciled prefix with the sequential snapshot
+// codec: (out, bound) at a shard boundary carries the same counters,
+// stack and histogram a sequential Builder would hold at that access
+// position, down to the stackLen == Compulsory invariant Restore
+// re-validates.
+func (rc *reconciler) checkpoint(w io.Writer) error {
+	bd := &Builder{p: rc.out, stack: rc.bound}
+	return bd.Checkpoint(w)
+}
+
+func (rc *reconciler) checkpointFile(path string) error {
+	return ckpt.WriteFileAtomic(path, rc.checkpoint)
+}
+
+// restore seeds the reconciler from an existing snapshot when resuming:
+// the merged-so-far profile and the boundary stack are exactly what the
+// snapshot stores. A missing file is a cold start; geometry or backend
+// mismatches are rejected before any worker starts.
+func (rc *reconciler) restore(ck *streamCheckpoint, n, cacheBlocks int, sparse bool) error {
+	if !ck.resume || ck.path == "" {
+		return nil
+	}
+	restored, err := RestoreFile(ck.path)
+	switch {
+	case err == nil:
+	case os.IsNotExist(err):
+		return nil
+	default:
+		return err
+	}
+	if restored.p.N != n || restored.p.CacheBlocks != cacheBlocks {
+		return fmt.Errorf("profile: snapshot geometry (n=%d, %d blocks) does not match build (n=%d, %d blocks): %w",
+			restored.p.N, restored.p.CacheBlocks, n, cacheBlocks, xerr.ErrProfileMismatch)
+	}
+	if (restored.p.Sparse != nil) != sparse {
+		return fmt.Errorf("profile: snapshot histogram backend does not match build options: %w", xerr.ErrProfileMismatch)
+	}
+	rc.out = restored.p
+	rc.bound = restored.stack
+	return nil
+}
+
+// degraded snapshots and returns the reconciled prefix when a
+// checkpointed stream build is canceled, mirroring
+// BuildCheckpointedCtx's graceful degradation.
+func (rc *reconciler) degraded(ck *streamCheckpoint, cause error) (*Profile, error) {
+	if ck.path != "" {
+		if werr := rc.checkpointFile(ck.path); werr != nil {
+			return nil, fmt.Errorf("profile: snapshotting on cancellation: %w (after %w)", werr, cause)
+		}
+	}
+	rc.out.Degraded = true
+	return rc.out, cause
 }
 
 // RetrySource wraps a BlockSource so transient failures (errors

@@ -403,14 +403,196 @@ func TestBuildCtxReturnsDegradedPartial(t *testing.T) {
 	}
 }
 
-func TestRecoverShardConvertsPanic(t *testing.T) {
-	_, err := recoverShard(3, func() (shardResult, error) { panic("boom") })
-	if !errors.Is(err, xerr.ErrPanic) {
-		t.Fatalf("recovered panic: err = %v, want wrapped ErrPanic", err)
+func TestShardRunConvertsPanic(t *testing.T) {
+	testShardHook = func(int) { panic("boom") }
+	defer func() { testShardHook = nil }()
+	s := &shardState{idx: 3, blocks: []uint64{1, 2, 3}}
+	s.run(context.Background(), 8, 4, false)
+	if !errors.Is(s.err, xerr.ErrPanic) {
+		t.Fatalf("recovered panic: err = %v, want wrapped ErrPanic", s.err)
 	}
-	if got := err.Error(); !bytes.Contains([]byte(got), []byte("shard 3")) || !bytes.Contains([]byte(got), []byte("boom")) {
+	if got := s.err.Error(); !bytes.Contains([]byte(got), []byte("shard 3")) || !bytes.Contains([]byte(got), []byte("boom")) {
 		t.Fatalf("panic error %q does not identify the shard and cause", got)
 	}
+	if s.p != nil {
+		t.Fatal("panicked shard must not hand back a profile")
+	}
+}
+
+// TestBuildStreamCheckpointedKillResume is the parallel analog of
+// TestBuildCheckpointedKillResume, with a twist the sequential test
+// cannot express: every resume attempt uses a different worker count
+// and chunk size, so convergence also proves the snapshot is
+// boundary-placement independent (a shard edge is not part of the
+// reconciled state).
+func TestBuildStreamCheckpointedKillResume(t *testing.T) {
+	blocks := syntheticBlocks(40000)
+	want := Build(blocks, 12, 64)
+	path := filepath.Join(t.TempDir(), "profile.ckpt")
+	kills := []int{900, 11000, 26000}
+	var got *Profile
+	for attempt := 0; got == nil || got.Degraded; attempt++ {
+		if attempt > len(kills)+1 {
+			t.Fatal("resume did not converge")
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		src := sliceSource(blocks)
+		if attempt < len(kills) {
+			src = cancelAfterSource(blocks, kills[attempt], cancel)
+		}
+		p, err := BuildStreamCheckpointedCtx(ctx, src, 12, 64,
+			ParallelOptions{Workers: 1 + attempt, ChunkSize: 300 + 170*attempt},
+			CheckpointOptions{Path: path, Every: 1500, Resume: true})
+		if attempt < len(kills) {
+			wantCanceled(t, err)
+			if p == nil || !p.Degraded {
+				t.Fatalf("kill %d: no degraded partial returned (p=%v err=%v)", attempt, p, err)
+			}
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		got = p
+		cancel()
+	}
+	if d := diffProfiles(got, want); d != "" {
+		t.Fatalf("resumed parallel profile differs from uninterrupted build: %s", d)
+	}
+}
+
+func TestBuildStreamCheckpointedMatchesBuildWithoutPath(t *testing.T) {
+	blocks := syntheticBlocks(20000)
+	want := Build(blocks, 12, 64)
+	got, err := BuildStreamCheckpointedCtx(context.Background(), sliceSource(blocks), 12, 64,
+		ParallelOptions{Workers: 3, ChunkSize: 640}, CheckpointOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffProfiles(got, want); d != "" {
+		t.Fatal(d)
+	}
+}
+
+// TestParallelSequentialSnapshotInterop pins the design claim that a
+// reconciler's (profile, boundary stack) state at a shard boundary IS a
+// sequential Builder state: a parallel run's snapshot resumes under the
+// sequential builder and vice versa, both converging bit-identically.
+func TestParallelSequentialSnapshotInterop(t *testing.T) {
+	blocks := syntheticBlocks(30000)
+	want := Build(blocks, 12, 64)
+
+	// Parallel partial → sequential finish.
+	path := filepath.Join(t.TempDir(), "p2s.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	p, err := BuildStreamCheckpointedCtx(ctx, cancelAfterSource(blocks, 12000, cancel), 12, 64,
+		ParallelOptions{Workers: 4, ChunkSize: 512},
+		CheckpointOptions{Path: path, Every: 2000, Resume: true})
+	cancel()
+	wantCanceled(t, err)
+	if p == nil || !p.Degraded {
+		t.Fatalf("killed parallel run returned p=%v err=%v, want a degraded partial", p, err)
+	}
+	got, err := BuildCheckpointedCtx(context.Background(), sliceSource(blocks), 12, 64,
+		CheckpointOptions{Path: path, Resume: true, ChunkSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffProfiles(got, want); d != "" {
+		t.Fatalf("sequential resume of a parallel snapshot differs: %s", d)
+	}
+
+	// Sequential partial → parallel finish.
+	path2 := filepath.Join(t.TempDir(), "s2p.ckpt")
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	p2, err := BuildCheckpointedCtx(ctx2, cancelAfterSource(blocks, 9000, cancel2), 12, 64,
+		CheckpointOptions{Path: path2, Every: 1000, Resume: true, ChunkSize: 256})
+	cancel2()
+	wantCanceled(t, err)
+	if p2 == nil || !p2.Degraded {
+		t.Fatalf("killed sequential run returned p=%v err=%v, want a degraded partial", p2, err)
+	}
+	got2, err := BuildStreamCheckpointedCtx(context.Background(), sliceSource(blocks), 12, 64,
+		ParallelOptions{Workers: 3, ChunkSize: 777},
+		CheckpointOptions{Path: path2, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffProfiles(got2, want); d != "" {
+		t.Fatalf("parallel resume of a sequential snapshot differs: %s", d)
+	}
+}
+
+func TestBuildStreamCheckpointedGeometryMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.ckpt")
+	bd := NewBuilder(12, 64)
+	bd.Add(1)
+	if err := CheckpointFile(path, bd); err != nil {
+		t.Fatal(err)
+	}
+	_, err := BuildStreamCheckpointedCtx(context.Background(), sliceSource([]uint64{1}), 10, 64,
+		ParallelOptions{Workers: 2}, CheckpointOptions{Path: path, Resume: true})
+	if !errors.Is(err, xerr.ErrProfileMismatch) {
+		t.Fatalf("geometry mismatch: err = %v, want wrapped ErrProfileMismatch", err)
+	}
+	// Same geometry, different backend: also a mismatch, not corruption.
+	_, err = BuildStreamCheckpointedCtx(context.Background(), sliceSource([]uint64{1}), 12, 64,
+		ParallelOptions{Workers: 2, ForceSparse: true}, CheckpointOptions{Path: path, Resume: true})
+	if !errors.Is(err, xerr.ErrProfileMismatch) {
+		t.Fatalf("backend mismatch: err = %v, want wrapped ErrProfileMismatch", err)
+	}
+}
+
+// TestStreamShardTransientFaultIsolated injects faultio-style transient
+// failures only while one shard's chunk range is being read: with a
+// retry policy the build must succeed bit-identically (the fault never
+// reaches the shard builders), and without one it must fail with the
+// classified ErrIO — not a secondary cancellation — and a nil profile.
+func TestStreamShardTransientFaultIsolated(t *testing.T) {
+	blocks := syntheticBlocks(8192)
+	want := Build(blocks, 12, 64)
+	const chunk = 1024 // faults land inside shard 2's range [2048, 3072)
+	mkSrc := func(maxFaults int, faults *int) BlockSource {
+		pos := 0
+		return func(dst []uint64) (int, error) {
+			if pos >= len(blocks) {
+				return 0, io.EOF
+			}
+			if pos >= 2*chunk && pos < 3*chunk && *faults < maxFaults {
+				*faults++
+				return 0, xerr.ErrIO
+			}
+			k := copy(dst, blocks[pos:])
+			pos += k
+			return k, nil
+		}
+	}
+	baseline := runtime.NumGoroutine()
+	faults := 0
+	p, err := BuildStreamCtx(context.Background(), mkSrc(3, &faults), 12, 64,
+		ParallelOptions{Workers: 4, ChunkSize: chunk, Retry: faultio.Policy{MaxRetries: 5}})
+	if err != nil {
+		t.Fatalf("retried transient shard fault failed the build: %v", err)
+	}
+	if faults == 0 {
+		t.Fatal("fault injection never fired")
+	}
+	if d := diffProfiles(p, want); d != "" {
+		t.Fatalf("profile differs across an isolated shard fault: %s", d)
+	}
+	waitGoroutines(t, baseline)
+
+	faults = 0
+	p, err = BuildStreamCtx(context.Background(), mkSrc(100, &faults), 12, 64,
+		ParallelOptions{Workers: 4, ChunkSize: chunk})
+	if p != nil {
+		t.Fatal("failed build must not return a profile")
+	}
+	if !errors.Is(err, xerr.ErrIO) {
+		t.Fatalf("err = %v, want wrapped ErrIO", err)
+	}
+	if errors.Is(err, xerr.ErrCanceled) {
+		t.Fatalf("err = %v, the I/O failure must not be reported as a cancellation", err)
+	}
+	waitGoroutines(t, baseline)
 }
 
 // TestStreamFaultMatrix drives the full streaming pipeline (faulty

@@ -90,6 +90,53 @@ func TestBuildStreamCtxCanceledBeforeRead(t *testing.T) {
 	waitGoroutines(t, baseline)
 }
 
+// TestBuildParallelCtxCancelDuringExchange cancels from inside the last
+// shard's hook while the earlier shards are finishing: cancellation
+// lands in the window where completed shards are handing their gate
+// summaries to the reconciler. The call must surface ErrCanceled,
+// return no profile, and leave no goroutine behind.
+func TestBuildParallelCtxCancelDuringExchange(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	testShardHook = func(idx int) {
+		if idx == 3 {
+			cancel()
+		}
+	}
+	defer func() { testShardHook = nil }()
+	// 4 shards x 30000 accesses: every shard crosses the periodic check.
+	p, err := BuildParallelCtx(ctx, syntheticBlocks(120000), 12, 64, ParallelOptions{Workers: 4})
+	wantCanceled(t, err)
+	if p != nil {
+		t.Fatal("canceled parallel build must not return a profile")
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestBuildStreamCtxCancelDuringMerge cancels from a late chunk's hook,
+// after earlier chunks have already been absorbed by the collector —
+// cancellation mid-reconciliation, not mid-read. Without a checkpoint
+// the stream build must drop the partial state entirely.
+func TestBuildStreamCtxCancelDuringMerge(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	testShardHook = func(idx int) {
+		if idx == 5 {
+			cancel()
+		}
+	}
+	defer func() { testShardHook = nil }()
+	p, err := BuildStreamCtx(ctx, sliceSource(syntheticBlocks(100000)), 12, 64,
+		ParallelOptions{Workers: 3, ChunkSize: 8192})
+	wantCanceled(t, err)
+	if p != nil {
+		t.Fatal("canceled stream build without a checkpoint must not return a profile")
+	}
+	waitGoroutines(t, baseline)
+}
+
 func TestBuildStreamCtxCanceledMidStream(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())

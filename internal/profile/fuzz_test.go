@@ -1,7 +1,10 @@
 package profile
 
 import (
+	"context"
 	"encoding/binary"
+	"path/filepath"
+	"sort"
 	"testing"
 )
 
@@ -55,6 +58,101 @@ func FuzzBuildParallelWorkers(f *testing.F) {
 		}
 		if d := diffProfiles(got, want); d != "" {
 			t.Fatalf("stream n=%d cap=%d len=%d: %s", n, cacheBlocks, len(blocks), d)
+		}
+	})
+}
+
+// FuzzShardMerge drives the reconciler directly with fuzz-chosen shard
+// boundaries — including empty shards, single-access shards, and cut
+// points nowhere near a ChunkSize multiple, which the public builders
+// can never produce — and asserts the gate-summary exchange still
+// reconciles to the exact sequential profile with exact walk stats.
+func FuzzShardMerge(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 1, 0, 2, 0, 1, 0}, []byte{1, 3}, uint8(6), uint8(2))
+	f.Add([]byte{}, []byte{}, uint8(8), uint8(4))
+	f.Add([]byte{5, 0, 5, 0, 5, 0, 9, 0, 5, 0}, []byte{0, 0, 5}, uint8(4), uint8(1))
+
+	f.Fuzz(func(t *testing.T, data, cuts []byte, nRaw, capRaw uint8) {
+		n := 4 + int(nRaw)%8
+		cacheBlocks := 1 + int(capRaw)%64
+		blocks := fuzzBlocks(data)
+		want := Build(blocks, n, cacheBlocks)
+
+		cutSet := map[int]struct{}{}
+		for _, c := range cuts {
+			cutSet[int(c)%(len(blocks)+1)] = struct{}{}
+		}
+		points := make([]int, 0, len(cutSet)+1)
+		for c := range cutSet {
+			points = append(points, c)
+		}
+		sort.Ints(points)
+		points = append(points, len(blocks))
+
+		rc := newReconciler(n, cacheBlocks, false)
+		prev := 0
+		for idx, cut := range points {
+			s := &shardState{idx: idx, blocks: blocks[prev:cut]}
+			s.run(context.Background(), n, cacheBlocks, false)
+			if s.err != nil {
+				t.Fatal(s.err)
+			}
+			if err := rc.absorb(s); err != nil {
+				t.Fatal(err)
+			}
+			prev = cut
+		}
+		if d := diffProfiles(rc.out, want); d != "" {
+			t.Fatalf("n=%d cap=%d len=%d cuts=%v: %s", n, cacheBlocks, len(blocks), points, d)
+		}
+		st := rc.stats
+		if st.CandidateWalks != want.Candidates || st.WalkSteps != want.TotalPairs ||
+			st.GatedCapacityMisses != want.Capacity {
+			t.Fatalf("stats probes broken: %+v vs candidates=%d pairs=%d capacity=%d",
+				st, want.Candidates, want.TotalPairs, want.Capacity)
+		}
+	})
+}
+
+// FuzzParallelCheckpointResume kills a checkpointed parallel build at a
+// fuzz-chosen point in the source, then resumes from the snapshot with
+// a different worker count and chunk size. The resumed profile must be
+// bit-identical to an uninterrupted sequential Build — chunk-boundary
+// invariance of the snapshot is part of the contract.
+func FuzzParallelCheckpointResume(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 1, 0, 2, 0}, uint16(2), uint8(3), uint8(9))
+	f.Add([]byte{}, uint16(0), uint8(0), uint8(0))
+	var loop []byte
+	for i := 0; i < 200; i++ {
+		loop = append(loop, byte(i%17), 0)
+	}
+	f.Add(loop, uint16(77), uint8(2), uint8(31))
+
+	f.Fuzz(func(t *testing.T, data []byte, killRaw uint16, wRaw, chunkRaw uint8) {
+		const n, cacheBlocks = 10, 16
+		blocks := fuzzBlocks(data)
+		want := Build(blocks, n, cacheBlocks)
+		path := filepath.Join(t.TempDir(), "fuzz.ckpt")
+
+		kill := 0
+		if len(blocks) > 0 {
+			kill = int(killRaw) % len(blocks)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		BuildStreamCheckpointedCtx(ctx, cancelAfterSource(blocks, kill, cancel), n, cacheBlocks,
+			ParallelOptions{Workers: 1 + int(wRaw)%4, ChunkSize: 1 + int(chunkRaw)%64},
+			CheckpointOptions{Path: path, Every: 1 + uint64(killRaw)%97, Resume: true})
+		cancel()
+
+		got, err := BuildStreamCheckpointedCtx(context.Background(), sliceSource(blocks), n, cacheBlocks,
+			ParallelOptions{Workers: 1 + int(chunkRaw)%5, ChunkSize: 1 + int(wRaw)%77},
+			CheckpointOptions{Path: path, Resume: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := diffProfiles(got, want); d != "" {
+			t.Fatalf("n=%d cap=%d len=%d kill=%d: resumed differs: %s",
+				n, cacheBlocks, len(blocks), kill, d)
 		}
 	})
 }

@@ -66,8 +66,57 @@ func oracleBuild(blocks []uint64, n, cacheBlocks int) *Profile {
 }
 
 // diffProfiles returns a description of the first field where two
-// profiles differ, or "" when they are bit-identical.
+// profiles differ, or "" when they are bit-identical. Both backends are
+// compared exactly; mixing a flat and a sparse profile is itself a
+// difference (use diffProfilesAny for cross-backend comparisons).
 func diffProfiles(got, want *Profile) string {
+	if d := diffCounters(got, want); d != "" {
+		return d
+	}
+	if (got.Table == nil) != (want.Table == nil) {
+		return "backend differs"
+	}
+	if want.Table != nil {
+		for v := range want.Table {
+			if got.Table[v] != want.Table[v] {
+				return "Table differs"
+			}
+		}
+		return ""
+	}
+	if len(got.Sparse) != len(want.Sparse) {
+		return "Sparse support size differs"
+	}
+	for v, c := range want.Sparse {
+		if got.Sparse[v] != c {
+			return "Sparse differs"
+		}
+	}
+	return ""
+}
+
+// diffProfilesAny compares two profiles that may use different
+// histogram backends: counters exactly, then every histogram entry via
+// the backend-agnostic accessors.
+func diffProfilesAny(got, want *Profile) string {
+	if d := diffCounters(got, want); d != "" {
+		return d
+	}
+	mismatch := ""
+	want.ForEachNonZero(func(v gf2.Vec, c uint64) {
+		if mismatch == "" && got.At(v) != c {
+			mismatch = "histogram differs"
+		}
+	})
+	got.ForEachNonZero(func(v gf2.Vec, c uint64) {
+		if mismatch == "" && want.At(v) != c {
+			mismatch = "histogram differs"
+		}
+	})
+	return mismatch
+}
+
+func diffCounters(got, want *Profile) string {
 	switch {
 	case got.N != want.N:
 		return "N differs"
@@ -83,11 +132,6 @@ func diffProfiles(got, want *Profile) string {
 		return "Candidates differs"
 	case got.TotalPairs != want.TotalPairs:
 		return "TotalPairs differs"
-	}
-	for v := range want.Table {
-		if got.Table[v] != want.Table[v] {
-			return "Table differs"
-		}
 	}
 	return ""
 }
@@ -183,6 +227,94 @@ func TestDifferentialParallelVsSequential(t *testing.T) {
 		if d := diffProfiles(got, want); d != "" {
 			t.Fatalf("trial %d (n=%d cap=%d len=%d) chunk=%d: stream: %s",
 				trial, n, cacheBlocks, len(blocks), chunk, d)
+		}
+	}
+}
+
+// TestDifferentialShardedMatrix is the full cross-implementation race
+// for the gate-summary scheme: on every trial one randomized trace
+// (locality-mixed or shard-boundary-adversarial) is profiled by the
+// sequential Build, the pre-overhaul sequential reference (refBuild),
+// the retained warmup/overlap parallel reference (refBuildParallel),
+// the new sharded BuildParallel at a random worker count in {1..16},
+// and BuildStream at a random chunk size — across all three histogram
+// backends (flat, forced-sparse, wide-n sparse) — and every result must
+// be bit-identical, counters and BuildStats walk-count probes included.
+func TestDifferentialShardedMatrix(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	trials := 520
+	if testing.Short() {
+		trials = 100
+	}
+	for trial := 0; trial < trials; trial++ {
+		backend := trial % 3 // 0: flat, 1: forced sparse, 2: wide-n sparse
+		n := 4 + r.Intn(7)
+		if backend == 2 {
+			n = MaxFlatBits + 4 + r.Intn(8)
+		}
+		sparse := backend != 0
+		cacheBlocks := 1 << uint(r.Intn(6))
+		var blocks []uint64
+		if trial%2 == 0 {
+			blocks = randomOracleTrace(r)
+		} else {
+			period := cacheBlocks + r.Intn(2*cacheBlocks+1)
+			blocks = boundaryTrace(r, period, 200+r.Intn(600))
+		}
+		if backend == 2 {
+			// Spread the low-entropy generator output across the wide
+			// mask so conflict vectors actually exceed MaxFlatBits.
+			for i := range blocks {
+				blocks[i] |= blocks[i] << 13
+			}
+		}
+
+		var want *Profile
+		if sparse {
+			want = NewSparseBuilder(n, cacheBlocks).finishBlocks(blocks)
+		} else {
+			want = Build(blocks, n, cacheBlocks)
+		}
+		if d := diffProfiles(refBuild(blocks, n, cacheBlocks, sparse), want); d != "" {
+			t.Fatalf("trial %d (n=%d cap=%d sparse=%v): refBuild vs sequential: %s",
+				trial, n, cacheBlocks, sparse, d)
+		}
+
+		workers := 1 + r.Intn(16)
+		var st BuildStats
+		got := mustParallelOpts(t, blocks, n, cacheBlocks,
+			ParallelOptions{Workers: workers, ForceSparse: sparse, Stats: &st})
+		if d := diffProfiles(got, want); d != "" {
+			t.Fatalf("trial %d (n=%d cap=%d sparse=%v len=%d) workers=%d: sharded vs sequential: %s",
+				trial, n, cacheBlocks, sparse, len(blocks), workers, d)
+		}
+		if st.CandidateWalks != got.Candidates || st.WalkSteps != got.TotalPairs ||
+			st.GatedCapacityMisses != got.Capacity {
+			t.Fatalf("trial %d workers=%d: stats probes broken: %+v vs candidates=%d pairs=%d capacity=%d",
+				trial, workers, st, got.Candidates, got.TotalPairs, got.Capacity)
+		}
+		refPar := refBuildParallel(blocks, n, cacheBlocks, sparse, 1+r.Intn(8))
+		if d := diffProfiles(got, refPar); d != "" {
+			t.Fatalf("trial %d workers=%d: sharded vs retained warmup reference: %s",
+				trial, workers, d)
+		}
+
+		chunk := 1 + r.Intn(48)
+		gs, err := BuildStream(sliceSource(blocks), n, cacheBlocks,
+			ParallelOptions{Workers: 1 + r.Intn(5), ChunkSize: chunk, ForceSparse: sparse})
+		if err != nil {
+			t.Fatalf("trial %d: BuildStream: %v", trial, err)
+		}
+		if d := diffProfiles(gs, want); d != "" {
+			t.Fatalf("trial %d (n=%d cap=%d sparse=%v len=%d) chunk=%d: stream vs sequential: %s",
+				trial, n, cacheBlocks, sparse, len(blocks), chunk, d)
+		}
+
+		if backend == 0 {
+			if d := diffProfiles(want, oracleBuild(blocks, n, cacheBlocks)); d != "" {
+				t.Fatalf("trial %d (n=%d cap=%d): sequential vs oracle: %s",
+					trial, n, cacheBlocks, d)
+			}
 		}
 	}
 }

@@ -1,69 +1,90 @@
 package profile
 
-// Parallel sharded profiling. The Fig. 1 pass is sequential on its face
-// (the LRU stack is global state), but the conflict contribution of an
-// access depends only on the blocks above it on the stack — at most
-// cacheBlocks of them, by the capacity filter. A shard builder that
-// first replays a warmup window of the accesses immediately preceding
-// its shard (stack state only, no counting) therefore reproduces the
-// sequential classification of every shard access, provided the window
-// holds enough distinct blocks:
+// Parallel sharded profiling via gate-summary exchange (DESIGN.md §13).
 //
-//   - If a block's previous access lies inside the warmup window or the
-//     shard, the blocks above it on the chunked stack are exactly those
-//     the sequential stack holds above it (both are determined by the
-//     accesses since its previous access), so the walk counts the same
-//     conflict vectors.
-//   - If a block's previous access lies before the warmup window, the
-//     window's distinct blocks were all accessed since, so with a
-//     window of > cacheBlocks distinct blocks the reuse distance
-//     exceeds the capacity filter: the sequential pass classifies the
-//     access as a capacity miss, contributing nothing to the histogram.
-//     The chunked builder classifies it as compulsory — also nothing —
-//     and the merge phase repairs the compulsory/capacity split (it
-//     knows which shard-local first touches were seen by earlier
-//     shards).
+// The Fig. 1 pass is sequential on its face — the LRU stack is global
+// state — but almost none of that state matters across a shard
+// boundary. Each shard runs the plain arena-stack Builder from cold,
+// with zero per-access overhead over the sequential pass, and exports
+// two things the sequential pass would have needed from it:
 //
-// Hence with the default overlap of cacheBlocks+1 distinct blocks the
-// merged profile is bit-identical to the sequential Build — counters
-// included. Smaller overlaps trade warmup cost for a documented,
-// one-sided error: the histogram can only undercount, by at most
-// cacheBlocks vectors per misclassified boundary access and at most
-// cacheBlocks such accesses per shard (see DESIGN.md §8).
+//   - its distinct blocks in first-touch order (the arena slab order),
+//   - its distinct blocks in final recency order (its exit LRU stack).
+//
+// That pair is a lru.GateSummary. A single in-order reconciliation
+// pass over the summaries repairs the only classifications a cold
+// shard can get wrong — its apparent first touches:
+//
+//   - Every non-first-touch access has its previous access inside the
+//     shard, so the blocks above it on the shard stack are exactly the
+//     blocks the sequential stack holds above it. Intra-shard
+//     classifications and histogram contributions are bit-identical to
+//     the sequential pass.
+//   - A shard's j-th first touch of block b that an earlier shard
+//     already accessed is really a re-reference. Its sequential reuse
+//     distance is |prefix_j ∪ above(b)|, where prefix_j is the shard's
+//     j first-touched blocks before it (all accessed since b's previous
+//     access) and above(b) the blocks above b on the reconciler's
+//     boundary stack — the sequential LRU stack at the shard's start.
+//     With j > cacheBlocks the distance already exceeds the filter, so
+//     the miss flips compulsory→capacity with no walk at all; otherwise
+//     a bounded boundary-stack walk (skipping prefix_j members, early
+//     exiting once the union exceeds the filter) either flips it to
+//     capacity or counts the conflict pairs b⊕y the cold shard omitted.
+//   - Replaying the shard's recency order bottom-up over the boundary
+//     stack then yields the sequential LRU stack at the shard's end,
+//     because an LRU stack depends only on the order of last accesses.
+//
+// At most cacheBlocks+1 first touches per shard can reach the walk, and
+// each walk visits at most ~2·cacheBlocks entries, so reconciliation is
+// O(cacheBlocks²) per boundary — independent of shard length. Histogram
+// increments commute, so the merged profile is bit-identical to the
+// sequential Build — histogram, every counter, and the BuildStats
+// probes — for every worker count and chunk size. This replaces the
+// PR 1 warmup-replay scheme (retained verbatim in refparallel_test.go
+// as a differential reference), which paid a per-access map write in
+// every shard and re-profiled an overlap window per boundary.
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
 
 	"xoridx/internal/faultio"
-	"xoridx/internal/gf2"
+	"xoridx/internal/lru"
 	"xoridx/internal/xerr"
 )
 
 // ParallelOptions tunes the sharded profiling pipeline.
 type ParallelOptions struct {
 	// Workers is the number of concurrent shard builders. <= 0 selects
-	// GOMAXPROCS. Each worker holds a private 2^n-entry histogram, so
-	// memory is Workers × 8·2^n bytes while a build is in flight.
+	// GOMAXPROCS. Each worker holds a private histogram, so memory is
+	// Workers × 8·2^n bytes (flat backend) while a build is in flight.
 	Workers int
 
-	// Overlap is the warmup depth in distinct blocks: each shard replays
-	// the shortest run of accesses preceding it that touches Overlap
-	// distinct blocks before counting its own accesses. 0 selects
-	// cacheBlocks+1, which makes the parallel profile bit-identical to
-	// the sequential one (see the package comment above). Values in
-	// (0, cacheBlocks] are approximate: the histogram can only
-	// undercount, and only at shard boundaries. Negative disables
-	// warmup entirely (independent shards; the worst case).
-	Overlap int
-
-	// ChunkSize is the shard length in accesses used by BuildStream
-	// (and by BuildParallelOpts when it is smaller than an even
-	// per-worker split). 0 selects a default of 64 K accesses.
+	// ChunkSize is the shard length in accesses used by BuildStream.
+	// 0 selects DefaultChunkSize. The dispatcher fills every chunk to
+	// exactly this length (short source reads are topped up), so shard
+	// boundaries — and therefore gate-summary exchange points — land at
+	// fixed multiples of ChunkSize regardless of the source's read
+	// granularity. Only the final chunk may be short.
 	ChunkSize int
+
+	// ForceSparse selects the sparse histogram backend at any width,
+	// like NewSparseBuilder does for the sequential pass.
+	ForceSparse bool
+
+	// Stats, when non-nil, receives the merged hot-path probe counters
+	// on success: the sum of every shard's BuildStats plus the
+	// reconciler's own boundary walks. The sequential invariants
+	// CandidateWalks == Candidates, WalkSteps == TotalPairs and
+	// GatedCapacityMisses == Capacity hold exactly for the merged
+	// counters too (boundary reclassifications count as gated — they
+	// never write and then undo a histogram entry).
+	Stats *BuildStats
 
 	// Retry, when MaxRetries > 0, makes BuildStream retry transient
 	// source failures (errors wrapping xerr.ErrIO) in place under the
@@ -78,14 +99,9 @@ type ParallelOptions struct {
 // ParallelOptions.ChunkSize is zero.
 const DefaultChunkSize = 1 << 16
 
-func (o ParallelOptions) withDefaults(cacheBlocks int) ParallelOptions {
+func (o ParallelOptions) withDefaults() ParallelOptions {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
-	}
-	if o.Overlap == 0 {
-		o.Overlap = cacheBlocks + 1
-	} else if o.Overlap < 0 {
-		o.Overlap = 0
 	}
 	if o.ChunkSize <= 0 {
 		o.ChunkSize = DefaultChunkSize
@@ -93,12 +109,23 @@ func (o ParallelOptions) withDefaults(cacheBlocks int) ParallelOptions {
 	return o
 }
 
+// sparse reports which histogram backend the options select at width n.
+func (o ParallelOptions) sparse(n int) bool {
+	return o.ForceSparse || n > MaxFlatBits
+}
+
+// testShardHook, when non-nil, runs at the start of every shard pass
+// with the shard index. The cancellation and panic-surfacing tests use
+// it to inject failures into a chosen shard; it is nil outside tests.
+var testShardHook func(idx int)
+
 // BuildParallel is Build fanned out over workers: the trace is split
-// into contiguous shards, each profiled concurrently against a warmed
-// LRU stack, and the per-shard histograms are merged with boundary
-// reconciliation. The result is bit-identical to Build for every
-// worker count (the default overlap is exact). Errors carry wrapped
-// xerr sentinels (ErrInvalidOptions for an out-of-domain geometry).
+// into one contiguous shard per worker, each profiled concurrently from
+// a cold arena stack, and the shard histograms are folded together by a
+// single reconciliation pass over the exchanged gate summaries. The
+// result is bit-identical to Build for every worker count. Errors carry
+// wrapped xerr sentinels (ErrInvalidOptions for an out-of-domain
+// geometry).
 func BuildParallel(blocks []uint64, n, cacheBlocks, workers int) (*Profile, error) {
 	return BuildParallelOpts(blocks, n, cacheBlocks, ParallelOptions{Workers: workers})
 }
@@ -114,70 +141,166 @@ func BuildParallelOpts(blocks []uint64, n, cacheBlocks int, opt ParallelOptions)
 // returns a wrapped xerr.ErrCanceled with no goroutines left behind.
 // The geometry is validated before any worker starts, so an invalid
 // (n, cacheBlocks) surfaces as a wrapped xerr.ErrInvalidOptions instead
-// of a builder panic inside a goroutine.
+// of a builder panic inside a goroutine. When both a worker failure and
+// a cancellation occur, the non-cancellation root cause wins: a shard
+// panic is reported as its wrapped xerr.ErrPanic naming the shard,
+// never masked by a secondary ErrCanceled from a sibling.
 func BuildParallelCtx(ctx context.Context, blocks []uint64, n, cacheBlocks int, opt ParallelOptions) (*Profile, error) {
 	if err := ValidateGeometry(n, cacheBlocks); err != nil {
 		return nil, err
 	}
-	opt = opt.withDefaults(cacheBlocks)
+	opt = opt.withDefaults()
 	workers := opt.Workers
 	if workers > len(blocks) {
 		workers = len(blocks)
 	}
 	if workers <= 1 {
-		return BuildCtx(ctx, blocks, n, cacheBlocks)
+		return buildSeqCtx(ctx, blocks, n, cacheBlocks, opt)
 	}
-	mask := uint64(gf2.Mask(n))
-	jobs := make([]shardJob, workers)
+	// One fixed-size shard slot per worker, allocated contiguously up
+	// front: a worker owns exactly its slot until the barrier, so the
+	// shards share no pointers while building.
+	shards := make([]shardState, workers)
 	for w := 0; w < workers; w++ {
 		start := w * len(blocks) / workers
 		end := (w + 1) * len(blocks) / workers
-		ws := warmStart(blocks, start, opt.Overlap, mask)
-		jobs[w] = shardJob{idx: w, warm: blocks[ws:start], blocks: blocks[start:end]}
+		shards[w].idx = w
+		shards[w].blocks = blocks[start:end]
 	}
-	results := make([]shardResult, workers)
-	errs := make([]error, workers)
 	var wg sync.WaitGroup
-	for w := range jobs {
+	for w := range shards {
 		wg.Add(1)
-		go func(w int) {
+		go func(s *shardState) {
 			defer wg.Done()
-			results[w], errs[w] = recoverShard(jobs[w].idx, func() (shardResult, error) {
-				return buildShardCtx(ctx, jobs[w], n, cacheBlocks, mask)
-			})
-		}(w)
+			s.run(ctx, n, cacheBlocks, opt.sparse(n))
+		}(&shards[w])
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	if err := firstShardError(shards); err != nil {
+		return nil, err
+	}
+	rc := newReconciler(n, cacheBlocks, opt.sparse(n))
+	for w := range shards {
+		if err := rc.absorb(&shards[w]); err != nil {
 			return nil, err
 		}
 	}
-	rc := newReconciler(n, cacheBlocks)
-	for _, r := range results {
-		if err := rc.add(r); err != nil {
-			return nil, err
-		}
+	if opt.Stats != nil {
+		*opt.Stats = rc.stats
 	}
 	return rc.out, nil
+}
+
+// buildSeqCtx is the workers <= 1 path: a plain sequential pass that
+// still honors ForceSparse and Stats, with BuildCtx's cancellation
+// semantics (a canceled run returns its Degraded partial profile
+// alongside the error).
+func buildSeqCtx(ctx context.Context, blocks []uint64, n, cacheBlocks int, opt ParallelOptions) (*Profile, error) {
+	bd := newBuilder(n, cacheBlocks, opt.sparse(n))
+	for start := 0; start < len(blocks); start += ctxCheckEvery {
+		if err := xerr.Check(ctx); err != nil {
+			p := bd.Finish()
+			p.Degraded = true
+			return p, err
+		}
+		end := start + ctxCheckEvery
+		if end > len(blocks) {
+			end = len(blocks)
+		}
+		for _, blk := range blocks[start:end] {
+			bd.Add(blk)
+		}
+	}
+	if opt.Stats != nil {
+		*opt.Stats = bd.stats
+	}
+	return bd.Finish(), nil
+}
+
+// firstShardError selects the error a failed fan-out reports: the first
+// non-cancellation failure in shard order if any shard has one (the
+// root cause — a panic or an injected fault), otherwise the first
+// cancellation.
+func firstShardError(shards []shardState) error {
+	var canceled error
+	for i := range shards {
+		err := shards[i].err
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, xerr.ErrCanceled) {
+			return err
+		}
+		if canceled == nil {
+			canceled = err
+		}
+	}
+	return canceled
+}
+
+// shardState is the fixed-size per-shard slot of a parallel build: the
+// input half (idx, blocks) is filled by the dispatcher, the output half
+// (p, sum, stats, err) by the one worker goroutine that runs the shard.
+// Nothing in it is shared until the shard is handed back for
+// reconciliation.
+type shardState struct {
+	idx    int
+	blocks []uint64
+
+	p     *Profile
+	sum   lru.GateSummary
+	stats BuildStats
+	err   error
+}
+
+// run profiles the shard from a cold builder, checking ctx every
+// ctxCheckEvery accesses, and exports the gate summary the reconciler
+// needs. A panic anywhere in the pass is converted into a wrapped
+// xerr.ErrPanic naming the shard instead of crashing the process, so
+// the fan-out drains normally and the caller sees an ordinary error it
+// can match with errors.Is.
+func (s *shardState) run(ctx context.Context, n, cacheBlocks int, sparse bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.p = nil
+			s.err = xerr.Panicked(fmt.Sprintf("profile: shard %d", s.idx), r)
+		}
+	}()
+	if testShardHook != nil {
+		testShardHook(s.idx)
+	}
+	bd := newBuilder(n, cacheBlocks, sparse)
+	tick := 0
+	for _, b := range s.blocks {
+		if tick++; tick >= ctxCheckEvery {
+			tick = 0
+			if err := xerr.Check(ctx); err != nil {
+				s.err = err
+				return
+			}
+		}
+		bd.Add(b)
+	}
+	s.sum = bd.GateSummary()
+	s.stats = bd.Stats()
+	s.p = bd.Finish()
 }
 
 // BlockSource yields successive chunks of block addresses already
 // truncated to n bits, filling dst and returning how many it wrote.
 // It follows io.Reader conventions: (k, nil) with k > 0 while data
-// remains, then (0, io.EOF); (k > 0, io.EOF) is also accepted.
-// trace.Reader.ReadBlocks satisfies this shape via a closure.
+// remains, then (0, io.EOF); (k > 0, io.EOF) is also accepted. Short
+// reads are fine — the dispatcher tops chunks up to ChunkSize itself.
+// trace.Reader.BlockSource adapts the streaming decoder to this shape.
 type BlockSource func(dst []uint64) (int, error)
 
 // BuildStream profiles a block stream with the sharded pipeline without
-// ever materializing the whole trace: the dispatcher reads ChunkSize
-// blocks at a time, carries the warmup window between chunks, and fans
-// the (warmup, chunk) jobs out to Workers shard builders. Merging is
-// in-order and incremental, so at most ~Workers shard histograms are
-// alive at once. The exactness guarantee matches BuildParallel: with
-// the default overlap the result is bit-identical to a sequential
-// Build of the same block sequence, for every worker count and chunk
-// size.
+// ever materializing the whole trace: the dispatcher fills ChunkSize
+// blocks at a time and fans the chunks out to Workers shard builders.
+// Reconciliation is in-order and incremental, so at most ~Workers shard
+// histograms are alive at once. The result is bit-identical to a
+// sequential Build of the same block sequence, for every worker count
+// and chunk size.
 func BuildStream(src BlockSource, n, cacheBlocks int, opt ParallelOptions) (*Profile, error) {
 	return BuildStreamCtx(context.Background(), src, n, cacheBlocks, opt)
 }
@@ -187,96 +310,150 @@ func BuildStream(src BlockSource, n, cacheBlocks int, opt ParallelOptions) (*Pro
 // shard builder checks it while profiling, so a canceled context stops
 // the whole fan-out within ctxCheckEvery accesses per worker. All
 // goroutines are joined before the call returns a wrapped
-// xerr.ErrCanceled — cancellation never leaks workers.
+// xerr.ErrCanceled — cancellation never leaks workers. A failed shard
+// (panic, injected fault) cancels the rest of the fan-out internally,
+// and its error — not the secondary cancellation — is what the call
+// returns.
 func BuildStreamCtx(ctx context.Context, src BlockSource, n, cacheBlocks int, opt ParallelOptions) (*Profile, error) {
+	return buildStream(ctx, src, n, cacheBlocks, opt, nil)
+}
+
+// streamCheckpoint carries the persistence half of a checkpointed
+// stream build into the shared engine; nil means no checkpointing.
+type streamCheckpoint struct {
+	path   string
+	every  uint64
+	resume bool
+}
+
+// buildStream is the engine behind BuildStreamCtx and
+// BuildStreamCheckpointedCtx: a chunk dispatcher, a worker pool of
+// shard builders, and an in-order collector that reconciles gate
+// summaries as shards complete (and snapshots the reconciled prefix
+// when checkpointing is on).
+func buildStream(ctx context.Context, src BlockSource, n, cacheBlocks int, opt ParallelOptions, ck *streamCheckpoint) (*Profile, error) {
 	if err := ValidateGeometry(n, cacheBlocks); err != nil {
 		return nil, err
 	}
 	if err := opt.Retry.Validate(); err != nil {
 		return nil, err
 	}
-	opt = opt.withDefaults(cacheBlocks)
-	if opt.Retry.MaxRetries > 0 {
-		src = RetrySource(ctx, src, opt.Retry)
+	opt = opt.withDefaults()
+	rc := newReconciler(n, cacheBlocks, opt.sparse(n))
+	if ck != nil {
+		if err := rc.restore(ck, n, cacheBlocks, opt.sparse(n)); err != nil {
+			return nil, err
+		}
 	}
-	mask := uint64(gf2.Mask(n))
-	jobs := make(chan shardJob, opt.Workers)
-	done := make(chan shardResult, opt.Workers)
+	// inner cancels the fan-out when a shard fails, so the dispatcher
+	// and sibling shards stop instead of profiling a stream whose
+	// result is already lost. The root-cause error is kept separately —
+	// the secondary cancellations never mask it.
+	inner, cancelInner := context.WithCancel(ctx)
+	defer cancelInner()
+	if opt.Retry.MaxRetries > 0 {
+		src = RetrySource(inner, src, opt.Retry)
+	}
+	// Skip the prefix a restored snapshot already consumed.
+	if skip := rc.out.Accesses; skip > 0 {
+		if err := skipSource(src, skip, opt.ChunkSize); err != nil {
+			return nil, err
+		}
+	}
+
+	jobs := make(chan *shardState, opt.Workers)
+	done := make(chan *shardState, opt.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < opt.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for job := range jobs {
-				r, err := recoverShard(job.idx, func() (shardResult, error) {
-					return buildShardCtx(ctx, job, n, cacheBlocks, mask)
-				})
-				r.idx = job.idx
-				r.err = err
-				done <- r
+			for s := range jobs {
+				s.run(inner, n, cacheBlocks, opt.sparse(n))
+				done <- s
 			}
 		}()
 	}
-	// Collector: merge results in shard order as they arrive, buffering
-	// the out-of-order ones, so completed histograms are released
-	// instead of accumulating until the end of the stream. Errored
-	// shards still advance the in-order cursor — otherwise a canceled
-	// shard would stall every later result in the pending map.
-	rc := newReconciler(n, cacheBlocks)
+	// Collector: reconcile results in shard order as they arrive,
+	// buffering the out-of-order ones, so completed histograms are
+	// released instead of accumulating until the end of the stream.
+	// Errored shards still advance the in-order cursor — otherwise a
+	// canceled shard would stall every later result in the pending map.
+	// rootErr collects the first non-cancellation failure (and triggers
+	// the internal cancel); cancelErr the first cancellation.
 	collected := make(chan struct{})
-	var shardErr error
+	var rootErr, cancelErr error
 	go func() {
 		defer close(collected)
-		pending := make(map[int]shardResult)
+		pending := make(map[int]*shardState)
 		next := 0
-		for r := range done {
-			pending[r.idx] = r
+		sinceCkpt := uint64(0)
+		fail := func(err error) {
+			if errors.Is(err, xerr.ErrCanceled) {
+				if cancelErr == nil {
+					cancelErr = err
+				}
+				return
+			}
+			if rootErr == nil {
+				rootErr = err
+				cancelInner()
+			}
+		}
+		for s := range done {
+			pending[s.idx] = s
 			for {
-				nr, ok := pending[next]
+				ns, ok := pending[next]
 				if !ok {
 					break
 				}
 				delete(pending, next)
-				if nr.err != nil {
-					if shardErr == nil {
-						shardErr = nr.err
-					}
-				} else if shardErr == nil {
-					if err := rc.add(nr); err != nil {
-						shardErr = err
+				next++
+				if ns.err != nil {
+					fail(ns.err)
+					continue
+				}
+				if rootErr != nil || cancelErr != nil {
+					continue
+				}
+				added := ns.p.Accesses
+				if err := rc.absorb(ns); err != nil {
+					fail(err)
+					continue
+				}
+				if ck != nil && ck.path != "" {
+					if sinceCkpt += added; sinceCkpt >= ck.every {
+						if err := rc.checkpointFile(ck.path); err != nil {
+							fail(err)
+							continue
+						}
+						sinceCkpt = 0
 					}
 				}
-				next++
 			}
 		}
 	}()
 
-	var tail []uint64
 	idx := 0
 	var srcErr error
 	for {
-		if err := xerr.Check(ctx); err != nil {
+		if err := xerr.Check(inner); err != nil {
 			srcErr = err
 			break
 		}
 		buf := make([]uint64, opt.ChunkSize)
-		k, err := src(buf)
-		if k > 0 {
-			chunk := buf[:k]
-			warm := append([]uint64(nil), tail...)
-			jobs <- shardJob{idx: idx, warm: warm, blocks: chunk}
-			idx++
-			tail = nextTail(tail, chunk, opt.Overlap, mask)
+		filled, ferr := fillChunk(src, buf)
+		if filled > 0 && ferr == nil || ferr == io.EOF {
+			if filled > 0 {
+				jobs <- &shardState{idx: idx, blocks: buf[:filled]}
+				idx++
+			}
 		}
-		if err == io.EOF {
+		if ferr == io.EOF {
 			break
 		}
-		if err != nil {
-			srcErr = err
-			break
-		}
-		if k == 0 {
-			srcErr = fmt.Errorf("profile: block source returned no data and no error: %w", xerr.ErrFormat)
+		if ferr != nil {
+			srcErr = ferr
 			break
 		}
 	}
@@ -284,165 +461,198 @@ func BuildStreamCtx(ctx context.Context, src BlockSource, n, cacheBlocks int, op
 	wg.Wait()
 	close(done)
 	<-collected
-	if srcErr != nil {
+
+	switch {
+	case rootErr != nil:
+		return nil, rootErr
+	case srcErr != nil && !errors.Is(srcErr, xerr.ErrCanceled):
 		return nil, srcErr
+	case srcErr != nil || cancelErr != nil:
+		cause := srcErr
+		if cause == nil {
+			cause = cancelErr
+		}
+		if ck != nil {
+			return rc.degraded(ck, cause)
+		}
+		return nil, cause
 	}
-	if shardErr != nil {
-		return nil, shardErr
+	if ck != nil && ck.path != "" {
+		// Final snapshot: a resume of a completed run replays nothing.
+		if err := rc.checkpointFile(ck.path); err != nil {
+			return nil, err
+		}
+	}
+	if opt.Stats != nil {
+		*opt.Stats = rc.stats
 	}
 	return rc.out, nil
 }
 
-// recoverShard runs one shard build, converting a worker panic into a
-// wrapped xerr.ErrPanic instead of crashing the process: the fan-out
-// then drains normally (no leaked goroutines, no half-merged
-// histogram) and the caller sees an ordinary error it can match with
-// errors.Is.
-func recoverShard(idx int, build func() (shardResult, error)) (res shardResult, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			res = shardResult{}
-			err = xerr.Panicked(fmt.Sprintf("profile: shard %d", idx), r)
+// fillChunk tops buf up from the source until it is full or the stream
+// ends, so chunk — and therefore shard — boundaries land at fixed
+// multiples of the chunk size regardless of the source's read
+// granularity. It returns how many blocks were filled plus io.EOF at
+// the end of the stream, any source error as-is, and a wrapped
+// xerr.ErrFormat for a source that returns no data and no error.
+func fillChunk(src BlockSource, buf []uint64) (int, error) {
+	filled := 0
+	for filled < len(buf) {
+		k, err := src(buf[filled:])
+		filled += k
+		if err != nil {
+			return filled, err
 		}
-	}()
-	return build()
-}
-
-// shardJob is one contiguous trace window: warmup accesses (stack state
-// only) followed by the shard proper (counted).
-type shardJob struct {
-	idx    int
-	warm   []uint64
-	blocks []uint64
-}
-
-// shardResult carries a shard's histogram plus the reconciliation data
-// the merge phase needs: which blocks the shard classified as first
-// touches, and which distinct blocks the shard proper contains. err is
-// set (and the rest left zero) when the shard's build was canceled.
-type shardResult struct {
-	idx        int
-	p          *Profile
-	firstTouch []uint64
-	seen       map[uint64]struct{}
-	err        error
-}
-
-// buildShardCtx profiles one shard: warmup replay, then the counted
-// pass, checking ctx every ctxCheckEvery accesses across both.
-func buildShardCtx(ctx context.Context, job shardJob, n, cacheBlocks int, mask uint64) (shardResult, error) {
-	bd := NewBuilder(n, cacheBlocks)
-	tick := 0
-	for _, b := range job.warm {
-		if tick++; tick >= ctxCheckEvery {
-			tick = 0
-			if err := xerr.Check(ctx); err != nil {
-				return shardResult{}, err
-			}
+		if k == 0 {
+			return filled, fmt.Errorf("profile: block source returned no data and no error: %w", xerr.ErrFormat)
 		}
-		bd.Warm(b)
 	}
-	res := shardResult{seen: make(map[uint64]struct{})}
-	for _, blk := range job.blocks {
-		if tick++; tick >= ctxCheckEvery {
-			tick = 0
-			if err := xerr.Check(ctx); err != nil {
-				return shardResult{}, err
-			}
-		}
-		b := blk & mask
-		if !bd.Seen(b) {
-			res.firstTouch = append(res.firstTouch, b)
-		}
-		bd.Add(b)
-		res.seen[b] = struct{}{}
-	}
-	res.p = bd.Finish()
-	return res, nil
+	return filled, nil
 }
 
-// reconciler merges shard results in trace order, repairing the
-// compulsory/capacity split at boundaries: a shard-local first touch of
-// a block some earlier shard already accessed is really a re-reference
-// whose reuse distance exceeded the warmup window — with an exact
-// overlap that means distance > cacheBlocks, which the sequential pass
-// counts as a capacity miss, not a compulsory one. Either way it
-// contributes nothing to the histogram, so only the two counters move.
+// skipSource discards n blocks from the source — the prefix a restored
+// snapshot already profiled.
+func skipSource(src BlockSource, n uint64, chunkSize int) error {
+	buf := make([]uint64, chunkSize)
+	for n > 0 {
+		want := uint64(len(buf))
+		if n < want {
+			want = n
+		}
+		k, err := src(buf[:want])
+		if k > 0 {
+			n -= uint64(k)
+		}
+		if err == io.EOF && n > 0 {
+			return fmt.Errorf("profile: source ended %d accesses before the snapshot position: %w",
+				n, xerr.ErrFormat)
+		}
+		if err != nil && err != io.EOF {
+			return err
+		}
+		if k == 0 && err == nil {
+			return fmt.Errorf("profile: block source returned no data and no error: %w", xerr.ErrFormat)
+		}
+	}
+	return nil
+}
+
+// reconciler folds shard results into the merged profile in trace
+// order. bound is the sequential LRU stack at the boundary between the
+// shards already absorbed and the next one — the only cross-shard state
+// the scheme needs. Its (out, bound) pair is at every shard boundary
+// exactly the (profile, stack) state of a sequential Builder at that
+// access position, which is what makes parallel builds checkpointable
+// with the sequential snapshot codec (see rc.checkpointFile).
 type reconciler struct {
-	out  *Profile
-	seen map[uint64]struct{}
+	out   *Profile
+	bound *lru.Stack
+	stats BuildStats
+
+	prefix  map[uint64]struct{} // scratch: current shard's first-touch prefix
+	scratch []uint64            // scratch: boundary blocks collected by a walk
 }
 
-func newReconciler(n, cacheBlocks int) *reconciler {
+func newReconciler(n, cacheBlocks int, sparse bool) *reconciler {
 	return &reconciler{
-		out:  NewBuilder(n, cacheBlocks).Finish(),
-		seen: make(map[uint64]struct{}),
+		out:    newBuilder(n, cacheBlocks, sparse).Finish(),
+		bound:  lru.NewStack(),
+		prefix: make(map[uint64]struct{}),
 	}
 }
 
-// add folds the next shard (in trace order) into the merged profile.
-// A merge failure (a shard built with a different geometry — impossible
-// through the exported builders, reachable if the reconciler is ever
-// reused across configurations) is returned as Merge's wrapped
-// xerr.ErrProfileMismatch rather than panicking in library code.
-func (rc *reconciler) add(s shardResult) error {
-	for _, b := range s.firstTouch {
-		if _, ok := rc.seen[b]; ok {
-			s.p.Compulsory--
-			s.p.Capacity++
+// absorb folds the next shard (in trace order) into the merged profile:
+// reclassify the shard's boundary-crossing first touches against the
+// boundary stack, merge the histogram, then advance the boundary stack
+// by the shard's recency order. A merge failure (a shard built with a
+// different geometry — impossible through the exported builders,
+// reachable if the reconciler is ever reused across configurations) is
+// returned as Merge's wrapped xerr.ErrProfileMismatch rather than
+// panicking in library code.
+func (rc *reconciler) absorb(s *shardState) error {
+	rc.stats.CandidateWalks += s.stats.CandidateWalks
+	rc.stats.WalkSteps += s.stats.WalkSteps
+	rc.stats.GatedCapacityMisses += s.stats.GatedCapacityMisses
+	cacheBlocks := rc.out.CacheBlocks
+	clear(rc.prefix)
+	for j, b := range s.sum.FirstTouch {
+		if target, ok := rc.bound.Index(b); ok {
+			rc.resolve(s.p, s.sum.FirstTouch[:j], b, target)
+		}
+		if j <= cacheBlocks {
+			// Only candidates with at most cacheBlocks prior first
+			// touches can walk, so the prefix set stops growing once no
+			// later candidate could need it.
+			rc.prefix[b] = struct{}{}
 		}
 	}
 	if err := rc.out.Merge(s.p); err != nil {
 		return fmt.Errorf("profile: shard merge: %w", err)
 	}
-	for b := range s.seen {
-		rc.seen[b] = struct{}{}
+	for i := len(s.sum.Recency) - 1; i >= 0; i-- {
+		b := s.sum.Recency[i]
+		if idx, ok := rc.bound.Index(b); ok {
+			rc.bound.MoveIndexToTop(idx)
+		} else {
+			rc.bound.Push(b)
+		}
 	}
 	return nil
 }
 
-// warmStart returns the start index of the shortest window ending just
-// before start that contains `distinct` distinct blocks, or 0 when the
-// whole prefix holds fewer (then the warmup is the entire prefix and
-// the shard sees exactly the sequential stack).
-func warmStart(blocks []uint64, start, distinct int, mask uint64) int {
-	if distinct <= 0 {
-		return start
+// resolve reclassifies one boundary-crossing candidate: block b looked
+// like the shard's j-th first touch (j = len(prefix)) but an earlier
+// shard accessed it. Its sequential reuse distance is the size of
+// prefix ∪ {boundary-stack blocks above b}; the prefix members are
+// distinct from each other and all accessed since b, so the walk only
+// has to add the boundary blocks not already in the prefix. The walk
+// visits at most 2·cacheBlocks+1 entries: it early-exits to a capacity
+// miss once the union exceeds the filter, having skipped at most
+// cacheBlocks+1 prefix members before that.
+func (rc *reconciler) resolve(p *Profile, prefix []uint64, b uint64, target int32) {
+	p.Compulsory--
+	cacheBlocks := rc.out.CacheBlocks
+	j := len(prefix)
+	if j > cacheBlocks {
+		p.Capacity++
+		rc.stats.GatedCapacityMisses++
+		return
 	}
-	seen := make(map[uint64]struct{}, distinct)
-	i := start
-	for i > 0 && len(seen) < distinct {
-		i--
-		seen[blocks[i]&mask] = struct{}{}
+	nodes, top := rc.bound.Raw()
+	ys := rc.scratch[:0]
+	for i := top; i != target; i = nodes[i].Next {
+		y := nodes[i].Block
+		if _, ok := rc.prefix[y]; ok {
+			continue
+		}
+		if j+len(ys)+1 > cacheBlocks {
+			rc.scratch = ys
+			p.Capacity++
+			rc.stats.GatedCapacityMisses++
+			return
+		}
+		ys = append(ys, y)
 	}
-	return i
-}
-
-// nextTail returns the warmup window for the chunk after `chunk`: the
-// shortest suffix of tail+chunk containing `distinct` distinct blocks
-// (the whole of tail+chunk when it holds fewer). The result is freshly
-// allocated; it never aliases tail or chunk, which may be in flight to
-// a shard builder.
-func nextTail(tail, chunk []uint64, distinct int, mask uint64) []uint64 {
-	if distinct <= 0 {
-		return nil
-	}
-	seen := make(map[uint64]struct{}, distinct)
-	for i := len(chunk) - 1; i >= 0; i-- {
-		seen[chunk[i]&mask] = struct{}{}
-		if len(seen) >= distinct {
-			return append([]uint64(nil), chunk[i:]...)
+	rc.scratch = ys
+	p.Candidates++
+	if tbl := p.Table; tbl != nil {
+		for _, y := range prefix {
+			tbl[b^y]++
+		}
+		for _, y := range ys {
+			tbl[b^y]++
+		}
+	} else {
+		sp := p.Sparse
+		for _, y := range prefix {
+			sp[b^y]++
+		}
+		for _, y := range ys {
+			sp[b^y]++
 		}
 	}
-	for i := len(tail) - 1; i >= 0; i-- {
-		seen[tail[i]&mask] = struct{}{}
-		if len(seen) >= distinct {
-			out := make([]uint64, 0, len(tail)-i+len(chunk))
-			out = append(out, tail[i:]...)
-			return append(out, chunk...)
-		}
-	}
-	out := make([]uint64, 0, len(tail)+len(chunk))
-	out = append(out, tail...)
-	return append(out, chunk...)
+	d := uint64(j + len(ys))
+	p.TotalPairs += d
+	rc.stats.CandidateWalks++
+	rc.stats.WalkSteps += d
 }

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"xoridx/internal/xerr"
@@ -69,95 +72,186 @@ func TestBuildParallelRejectsInvalidGeometry(t *testing.T) {
 	}
 }
 
-// TestBuildParallelExactAtCapacityOverlap pins the documented guarantee
-// directly: any explicit Overlap > cacheBlocks distinct blocks is
-// exact, not just the default.
-func TestBuildParallelExactAtCapacityOverlap(t *testing.T) {
-	r := rand.New(rand.NewSource(7))
+// boundaryTrace builds a trace whose reuse intervals straddle shard
+// edges: cycles over `period` distinct blocks, so with shard lengths
+// near the period nearly every re-reference crosses a boundary and the
+// reuse distance hovers right at the capacity filter. An occasional
+// noise block perturbs the recency order so boundary stacks are not
+// simple rotations.
+func boundaryTrace(r *rand.Rand, period, length int) []uint64 {
+	blocks := make([]uint64, 0, length)
+	for i := 0; len(blocks) < length; i++ {
+		blocks = append(blocks, uint64(i%period))
+		if r.Intn(7) == 0 {
+			blocks = append(blocks, uint64(r.Intn(1<<8)))
+		}
+	}
+	return blocks[:length]
+}
+
+// TestBuildParallelBoundaryAdversarial pins the gate-summary exchange
+// where it is hardest: reuse intervals that straddle shard boundaries
+// with distances right at the capacity filter, across worker counts and
+// chunk sizes chosen to put a boundary inside almost every interval.
+func TestBuildParallelBoundaryAdversarial(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		cacheBlocks := []int{4, 16, 64}[trial%3]
+		period := cacheBlocks + r.Intn(2*cacheBlocks)
+		blocks := boundaryTrace(r, period, 600+r.Intn(400))
+		want := Build(blocks, 8, cacheBlocks)
+		for _, workers := range []int{2, 3, 5, 8} {
+			got := mustParallel(t, blocks, 8, cacheBlocks, workers)
+			if d := diffProfiles(got, want); d != "" {
+				t.Fatalf("trial %d cap=%d period=%d workers=%d: %s",
+					trial, cacheBlocks, period, workers, d)
+			}
+		}
+		for _, chunk := range []int{period - 1, period, period + 1} {
+			got, err := BuildStream(sliceSource(blocks), 8, cacheBlocks,
+				ParallelOptions{Workers: 4, ChunkSize: chunk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := diffProfiles(got, want); d != "" {
+				t.Fatalf("trial %d cap=%d period=%d chunk=%d: %s",
+					trial, cacheBlocks, period, chunk, d)
+			}
+		}
+	}
+}
+
+// TestBuildParallelStatsInvariants pins the merged hot-path probes: the
+// sequential invariants hold exactly for the merged counters too — the
+// reconciler never writes a histogram entry it has to undo.
+func TestBuildParallelStatsInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
 	for trial := 0; trial < 40; trial++ {
 		blocks := randomOracleTrace(r)
-		cacheBlocks := 8
-		want := Build(blocks, 8, cacheBlocks)
-		for _, overlap := range []int{cacheBlocks + 1, cacheBlocks + 5, 4 * cacheBlocks} {
-			got := mustParallelOpts(t, blocks, 8, cacheBlocks,
-				ParallelOptions{Workers: 4, Overlap: overlap})
-			if d := diffProfiles(got, want); d != "" {
-				t.Fatalf("trial %d overlap=%d: %s", trial, overlap, d)
-			}
+		var st BuildStats
+		opt := ParallelOptions{Workers: 1 + r.Intn(8), Stats: &st}
+		p := mustParallelOpts(t, blocks, 8, 16, opt)
+		if st.CandidateWalks != p.Candidates {
+			t.Fatalf("trial %d workers=%d: CandidateWalks %d != Candidates %d",
+				trial, opt.Workers, st.CandidateWalks, p.Candidates)
+		}
+		if st.WalkSteps != p.TotalPairs {
+			t.Fatalf("trial %d workers=%d: WalkSteps %d != TotalPairs %d",
+				trial, opt.Workers, st.WalkSteps, p.TotalPairs)
+		}
+		if st.GatedCapacityMisses != p.Capacity {
+			t.Fatalf("trial %d workers=%d: GatedCapacityMisses %d != Capacity %d",
+				trial, opt.Workers, st.GatedCapacityMisses, p.Capacity)
 		}
 	}
 }
 
-// TestBuildParallelUndercountBound checks the documented error model
-// for short overlaps: the histogram and pair counters can only
-// undercount, never overcount, and Accesses is always exact.
-func TestBuildParallelUndercountBound(t *testing.T) {
-	r := rand.New(rand.NewSource(8))
-	for trial := 0; trial < 60; trial++ {
+// TestBuildParallelForceSparse checks the forced sparse backend against
+// the sequential sparse builder at a width that would default to flat.
+func TestBuildParallelForceSparse(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
 		blocks := randomOracleTrace(r)
-		cacheBlocks := 16
-		want := Build(blocks, 8, cacheBlocks)
-		for _, overlap := range []int{-1, 1, 4, cacheBlocks / 2} {
-			got := mustParallelOpts(t, blocks, 8, cacheBlocks,
-				ParallelOptions{Workers: 4, Overlap: overlap})
-			if got.Accesses != want.Accesses {
-				t.Fatalf("trial %d overlap=%d: Accesses %d != %d",
-					trial, overlap, got.Accesses, want.Accesses)
-			}
-			if got.TotalPairs > want.TotalPairs {
-				t.Fatalf("trial %d overlap=%d: overcounted pairs %d > %d",
-					trial, overlap, got.TotalPairs, want.TotalPairs)
-			}
-			for v := range want.Table {
-				if got.Table[v] > want.Table[v] {
-					t.Fatalf("trial %d overlap=%d: Table[%#x] overcounts %d > %d",
-						trial, overlap, v, got.Table[v], want.Table[v])
-				}
-			}
+		want := NewSparseBuilder(8, 8).finishBlocks(blocks)
+		got := mustParallelOpts(t, blocks, 8, 8,
+			ParallelOptions{Workers: 2 + r.Intn(6), ForceSparse: true})
+		if got.Sparse == nil {
+			t.Fatal("ForceSparse did not select the sparse backend")
+		}
+		if d := diffProfilesAny(got, want); d != "" {
+			t.Fatalf("trial %d: %s", trial, d)
 		}
 	}
 }
 
-// A sabotaged warmup must still reproduce the sequential result when
-// the whole prefix fits in the warmup (first shard / short traces).
-func TestWarmStartReachesTraceStart(t *testing.T) {
-	blocks := []uint64{1, 1, 1, 1, 2, 1}
-	if ws := warmStart(blocks, 5, 10, 0xFF); ws != 0 {
-		t.Fatalf("warmStart = %d, want 0 (prefix has only 2 distinct blocks)", ws)
+// TestBuildParallelShardPanicNamesShard pins the failure contract: a
+// worker panic surfaces as a wrapped xerr.ErrPanic naming the shard —
+// never a bare crash, never a masked secondary cancellation.
+func TestBuildParallelShardPanicNamesShard(t *testing.T) {
+	testShardHook = func(idx int) {
+		if idx == 2 {
+			panic("injected shard failure")
+		}
 	}
-	if ws := warmStart(blocks, 5, 2, 0xFF); ws != 3 {
-		// Scanning back from index 5: blocks[4]=2, blocks[3]=1 → 2 distinct.
-		t.Fatalf("warmStart = %d, want 3", ws)
+	defer func() { testShardHook = nil }()
+	blocks := make([]uint64, 4096)
+	for i := range blocks {
+		blocks[i] = uint64(i % 97)
 	}
-	if ws := warmStart(blocks, 5, 0, 0xFF); ws != 5 {
-		t.Fatalf("warmStart = %d, want 5 for zero overlap", ws)
+	_, err := BuildParallel(blocks, 8, 4, 4)
+	if !errors.Is(err, xerr.ErrPanic) {
+		t.Fatalf("err = %v, want wrapped ErrPanic", err)
+	}
+	if !strings.Contains(err.Error(), "shard 2") {
+		t.Fatalf("err = %v, want the shard named", err)
+	}
+	if errors.Is(err, xerr.ErrCanceled) {
+		t.Fatalf("err = %v, panic must not be reported as a cancellation", err)
 	}
 }
 
-func TestNextTailShortestSuffix(t *testing.T) {
-	mask := uint64(0xFF)
-	tail := []uint64{9, 8}
-	chunk := []uint64{1, 2, 1, 1}
-	// Two distinct blocks are found inside the chunk: suffix {2,1,1}.
-	got := nextTail(tail, chunk, 2, mask)
-	want := []uint64{2, 1, 1}
-	if len(got) != len(want) {
-		t.Fatalf("nextTail = %v, want %v", got, want)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("nextTail = %v, want %v", got, want)
+// TestBuildStreamShardPanicNotMaskedByCancellation does the same for
+// the stream pipeline, where a failed shard internally cancels the
+// dispatcher and its sibling shards: the panic stays the reported root
+// cause and no goroutine is left behind.
+func TestBuildStreamShardPanicNotMaskedByCancellation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	testShardHook = func(idx int) {
+		if idx == 3 {
+			panic("injected shard failure")
 		}
 	}
-	// Needing 3 distinct reaches into the tail: {8,1,2,1,1}.
-	got = nextTail(tail, chunk, 3, mask)
-	if len(got) != 5 || got[0] != 8 {
-		t.Fatalf("nextTail = %v, want [8 1 2 1 1]", got)
+	defer func() { testShardHook = nil }()
+	blocks := make([]uint64, 4096)
+	for i := range blocks {
+		blocks[i] = uint64(i % 131)
 	}
-	// Needing more than available returns everything.
-	got = nextTail(tail, chunk, 40, mask)
-	if len(got) != 6 || got[0] != 9 {
-		t.Fatalf("nextTail = %v, want full history", got)
+	p, err := BuildStream(sliceSource(blocks), 8, 4,
+		ParallelOptions{Workers: 4, ChunkSize: 64})
+	if p != nil {
+		t.Fatal("failed stream build must not return a profile")
+	}
+	if !errors.Is(err, xerr.ErrPanic) || !strings.Contains(err.Error(), "shard 3") {
+		t.Fatalf("err = %v, want wrapped ErrPanic naming shard 3", err)
+	}
+	if errors.Is(err, xerr.ErrCanceled) {
+		t.Fatalf("err = %v, internal cancellation must not mask the panic", err)
+	}
+	waitGoroutines(t, baseline)
+}
+
+// TestBuildStreamFillsShortReads pins the chunk-boundary alignment: a
+// source that dribbles a few blocks per call still yields shards of
+// exactly ChunkSize (the dispatcher tops chunks up), so shard
+// boundaries — and the gate summaries exchanged at them — are a
+// function of ChunkSize alone, not of the source's read granularity.
+func TestBuildStreamFillsShortReads(t *testing.T) {
+	var shards atomic.Int32
+	testShardHook = func(int) { shards.Add(1) }
+	defer func() { testShardHook = nil }()
+	blocks := boundaryTrace(rand.New(rand.NewSource(14)), 13, 100)
+	pos := 0
+	src := func(dst []uint64) (int, error) {
+		if pos >= len(blocks) {
+			return 0, io.EOF
+		}
+		limit := len(dst)
+		if limit > 3 {
+			limit = 3
+		}
+		k := copy(dst[:limit], blocks[pos:])
+		pos += k
+		return k, nil
+	}
+	got, err := BuildStream(src, 8, 4, ParallelOptions{Workers: 2, ChunkSize: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffProfiles(got, Build(blocks, 8, 4)); d != "" {
+		t.Fatal(d)
+	}
+	if n := shards.Load(); n != 4 {
+		t.Fatalf("dispatched %d shards for 100 accesses at ChunkSize 25, want 4", n)
 	}
 }
 
@@ -206,17 +300,11 @@ func TestBuildStreamFinalChunkWithEOF(t *testing.T) {
 }
 
 func TestParallelOptionsDefaults(t *testing.T) {
-	o := ParallelOptions{}.withDefaults(64)
+	o := ParallelOptions{}.withDefaults()
 	if o.Workers < 1 {
 		t.Fatalf("Workers = %d", o.Workers)
 	}
-	if o.Overlap != 65 {
-		t.Fatalf("Overlap = %d, want cacheBlocks+1 = 65", o.Overlap)
-	}
 	if o.ChunkSize != DefaultChunkSize {
 		t.Fatalf("ChunkSize = %d", o.ChunkSize)
-	}
-	if o = (ParallelOptions{Overlap: -3}).withDefaults(64); o.Overlap != 0 {
-		t.Fatalf("negative Overlap should normalise to 0, got %d", o.Overlap)
 	}
 }

@@ -244,6 +244,17 @@ func (bd *Builder) Seen(block uint64) bool {
 	return bd.stack.Contains(block & bd.mask)
 }
 
+// GateSummary exports the builder's boundary state for the sharded
+// merge (DESIGN.md §13): its distinct blocks in first-touch order and
+// in final recency order, read straight off the arena stack with no
+// per-access bookkeeping during the pass. Only meaningful for a builder
+// that ran its accesses from cold (the first-touch order of a
+// checkpoint-restored builder is the snapshot's recency order, not the
+// original trace's).
+func (bd *Builder) GateSummary() lru.GateSummary {
+	return bd.stack.Summary()
+}
+
 // Finish returns the accumulated profile; the builder must not be used
 // afterwards.
 func (bd *Builder) Finish() *Profile {

@@ -222,6 +222,18 @@ func (r *Reader) ReadBlocks(dst []uint64, blockBytes, n int) (int, error) {
 	return len(dst), nil
 }
 
+// BlockSource adapts the reader to the chunked pull shape the sharded
+// profile builders consume (profile.BlockSource): each call decodes up
+// to len(dst) block addresses truncated to n bits and returns io.EOF
+// after the last record. The builder side tops up short deliveries
+// itself, so chunk boundaries are the consumer's choice, not the
+// decoder's — the returned closure may be handed any buffer size.
+func (r *Reader) BlockSource(blockBytes, n int) func(dst []uint64) (int, error) {
+	return func(dst []uint64) (int, error) {
+		return r.ReadBlocks(dst, blockBytes, n)
+	}
+}
+
 // ReadAll decodes every remaining access into an in-memory Trace —
 // Decode is NewReader + ReadAll.
 func (r *Reader) ReadAll() (*Trace, error) {
