@@ -1,0 +1,202 @@
+package xoridx
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"xoridx/internal/core"
+	"xoridx/internal/hash"
+	"xoridx/internal/serve"
+)
+
+// Serve-benchmark geometry: the same 4KB/16-bit problem the pipeline
+// benchmarks use, so the numbers are comparable across BENCH files.
+const (
+	benchServeAccesses = 2_000_000
+	benchServeClients  = 8
+	benchServeBatch    = 4096
+)
+
+func benchServeConfig() core.Config {
+	return core.Config{
+		CacheBytes: 4096,
+		BlockBytes: 4,
+		AddrBits:   16,
+		Family:     hash.FamilyGeneralXOR,
+	}
+}
+
+type benchServeIngestResult struct {
+	Shards        int     `json:"shards"`
+	AccessesPerMs float64 `json:"accesses_per_ms"`
+	SpeedupVs1    float64 `json:"speedup_vs_1"`
+}
+
+// BenchmarkServe measures the serve subsystem on its two hot axes:
+// ingest throughput (a concurrent client swarm streaming into the
+// sharded windowed profiles, at 1/4/8 shards) and hot-swap latency
+// (one full re-tune round: rotate, merge, warm-started search, epoch
+// publication — the time from deciding to re-tune until Current()
+// serves the new epoch). The final sub-benchmark writes
+// BENCH_serve.json, which cmd/benchcheck validates in CI.
+func BenchmarkServe(b *testing.B) {
+	// Per-client streams, carved once outside every timer: each client
+	// replays its slice of a shared synthetic mix in wire-sized batches.
+	blocks := synthProfileBlocks(benchServeAccesses)
+	perClient := len(blocks) / benchServeClients
+	streams := make([][]uint64, benchServeClients)
+	for c := range streams {
+		streams[c] = blocks[c*perClient : (c+1)*perClient]
+	}
+
+	shardCounts := []int{1, 4, 8}
+	perMs := make(map[int]float64)
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("ingest/shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(int64(benchServeClients*perClient) * 8)
+			var best time.Duration
+			for i := 0; i < b.N; i++ {
+				// The window is set past the stream length so the measure
+				// captures pure ingest: no re-tune rounds fire mid-run.
+				s, err := serve.New(serve.Options{
+					Config:         benchServeConfig(),
+					Shards:         shards,
+					WindowAccesses: 1 << 40,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				start := time.Now()
+				errs := make(chan error, benchServeClients)
+				for c := 0; c < benchServeClients; c++ {
+					go func(id int) {
+						stream := streams[id]
+						for off := 0; off < len(stream); off += benchServeBatch {
+							end := off + benchServeBatch
+							if end > len(stream) {
+								end = len(stream)
+							}
+							if err := s.IngestBlocks(uint64(id), stream[off:end]); err != nil {
+								errs <- err
+								return
+							}
+						}
+						errs <- nil
+					}(c)
+				}
+				for c := 0; c < benchServeClients; c++ {
+					if err := <-errs; err != nil {
+						b.Fatal(err)
+					}
+				}
+				// Profile() queues behind every accepted batch on every
+				// shard: when it returns, ingest has fully drained, so the
+				// clock covers processing, not just enqueueing.
+				if _, err := s.Profile(); err != nil {
+					b.Fatal(err)
+				}
+				if d := time.Since(start); best == 0 || d < best {
+					best = d
+				}
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rate := float64(benchServeClients*perClient) / (float64(best.Microseconds())/1000 + 1e-9)
+			perMs[shards] = rate
+			b.ReportMetric(rate, "accesses/ms")
+		})
+	}
+
+	// Swap latency: ingest one window's worth, then time Retune — the
+	// full rotate/merge/search/publish round — and confirm the epoch
+	// actually advanced under Current().
+	var swapBest time.Duration
+	b.Run("swap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := serve.New(serve.Options{
+				Config:         benchServeConfig(),
+				Shards:         4,
+				WindowAccesses: 1 << 40,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.IngestBlocks(0, blocks[:1<<17]); err != nil {
+				b.Fatal(err)
+			}
+			before := s.Current().Seq
+			start := time.Now()
+			ep, err := s.Retune(context.Background())
+			elapsed := time.Since(start)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cur := s.Current(); cur.Seq != before+1 || cur.Seq != ep.Seq {
+				b.Fatalf("epoch did not advance: before %d, returned %d, current %d",
+					before, ep.Seq, cur.Seq)
+			}
+			if swapBest == 0 || elapsed < swapBest {
+				swapBest = elapsed
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(swapBest.Microseconds())/1000, "swap-ms")
+	})
+
+	b.Run("emit-baseline", func(b *testing.B) {
+		if perMs[1] == 0 || swapBest == 0 {
+			b.Skip("run the ingest and swap sub-benchmarks first")
+		}
+		cfg := benchServeConfig()
+		ingest := make([]benchServeIngestResult, 0, len(shardCounts))
+		for _, shards := range shardCounts {
+			if perMs[shards] == 0 {
+				continue
+			}
+			ingest = append(ingest, benchServeIngestResult{
+				Shards:        shards,
+				AccessesPerMs: perMs[shards],
+				SpeedupVs1:    perMs[shards] / perMs[1],
+			})
+		}
+		out := struct {
+			Benchmark     string                   `json:"benchmark"`
+			Accesses      int                      `json:"accesses"`
+			Clients       int                      `json:"clients"`
+			CacheBytes    int                      `json:"cache_bytes"`
+			AddrBits      int                      `json:"addr_bits"`
+			GoVersion     string                   `json:"go_version"`
+			NumCPU        int                      `json:"num_cpu"`
+			Ingest        []benchServeIngestResult `json:"ingest"`
+			SwapLatencyMs float64                  `json:"swap_latency_ms"`
+		}{
+			Benchmark:     "BenchmarkServe",
+			Accesses:      benchServeClients * perClient,
+			Clients:       benchServeClients,
+			CacheBytes:    cfg.CacheBytes,
+			AddrBits:      cfg.AddrBits,
+			GoVersion:     runtime.Version(),
+			NumCPU:        runtime.NumCPU(),
+			Ingest:        ingest,
+			SwapLatencyMs: float64(swapBest.Microseconds()) / 1000,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range ingest {
+			b.ReportMetric(r.SpeedupVs1, fmt.Sprintf("shards%d-speedup", r.Shards))
+		}
+	})
+}

@@ -1,14 +1,20 @@
 // Command benchcheck validates a BENCH_profile.json emitted by the
 // profiling benchmarks (BenchmarkBuild / BenchmarkBuildParallel in
-// bench_test.go): it fails with a non-zero exit on malformed JSON,
-// missing sections, or nonsensical numbers, so CI catches a benchmark
-// that silently emitted garbage.
+// bench_test.go) or a BENCH_serve.json emitted by BenchmarkServe
+// (bench_serve_test.go): it fails with a non-zero exit on malformed
+// JSON, missing sections, or nonsensical numbers, so CI catches a
+// benchmark that silently emitted garbage. The file kind is routed on
+// the "benchmark" field, so both spellings work:
 //
 // Usage:
 //
 //	benchcheck [-perf] [BENCH_profile.json]
+//	benchcheck BENCH_serve.json
 //
-// With -perf it additionally enforces the performance contracts:
+// With -perf it additionally enforces the performance contracts
+// (profile files only — the serve baseline records throughput without
+// a scaling contract, since shard scaling depends on the runner's
+// core count):
 //
 //   - Sequential (PR 5): the capacity-heavy workload must run at least
 //     2x faster than the pre-overhaul reference builder and no workload
@@ -59,6 +65,25 @@ type paraResult struct {
 	SpeedupVs1  float64 `json:"speedup_vs_1"`
 }
 
+// The mirror of bench_serve_test.go's BENCH_serve.json schema.
+type serveFile struct {
+	Benchmark     string        `json:"benchmark"`
+	Accesses      int           `json:"accesses"`
+	Clients       int           `json:"clients"`
+	CacheBytes    int           `json:"cache_bytes"`
+	AddrBits      int           `json:"addr_bits"`
+	GoVersion     string        `json:"go_version"`
+	NumCPU        int           `json:"num_cpu"`
+	Ingest        []ingestPoint `json:"ingest"`
+	SwapLatencyMs float64       `json:"swap_latency_ms"`
+}
+
+type ingestPoint struct {
+	Shards      int     `json:"shards"`
+	AccessPerMs float64 `json:"accesses_per_ms"`
+	SpeedupVs1  float64 `json:"speedup_vs_1"`
+}
+
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
 	os.Exit(1)
@@ -78,6 +103,30 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	// Route on the benchmark name: the serve baseline has its own shape.
+	var probe struct {
+		Benchmark string `json:"benchmark"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		fail("%s: malformed JSON: %v", path, err)
+	}
+	if probe.Benchmark == "BenchmarkServe" {
+		var f serveFile
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&f); err != nil {
+			fail("%s: malformed JSON: %v", path, err)
+		}
+		if *perf {
+			fail("%s: -perf applies to profile baselines only", path)
+		}
+		if err := validateServe(&f); err != nil {
+			fail("%s: %v", path, err)
+		}
+		fmt.Printf("benchcheck: %s OK (%d ingest points, swap %.1f ms)\n",
+			path, len(f.Ingest), f.SwapLatencyMs)
+		return
+	}
 	var f benchFile
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
@@ -89,6 +138,68 @@ func main() {
 	}
 	fmt.Printf("benchcheck: %s OK (%d sequential workloads, %d parallel points)\n",
 		path, len(f.Sequential), len(f.Parallel))
+}
+
+// validateServe holds a BENCH_serve.json to structural sanity: real
+// geometry, non-empty shard sweep anchored at shards=1, positive
+// throughput everywhere, and a positive swap latency. There is no
+// shard-scaling contract — ingest is bound by the clients and the
+// runner's cores, not the shard count alone.
+func validateServe(f *serveFile) error {
+	if f.Benchmark != "BenchmarkServe" {
+		return fmt.Errorf("benchmark = %q, want BenchmarkServe", f.Benchmark)
+	}
+	if f.Accesses <= 0 {
+		return fmt.Errorf("accesses = %d out of range", f.Accesses)
+	}
+	if f.Clients <= 0 {
+		return fmt.Errorf("clients = %d out of range", f.Clients)
+	}
+	if f.CacheBytes <= 0 {
+		return fmt.Errorf("cache_bytes = %d out of range", f.CacheBytes)
+	}
+	if f.AddrBits <= 0 || f.AddrBits > 64 {
+		return fmt.Errorf("addr_bits = %d out of range", f.AddrBits)
+	}
+	if f.GoVersion == "" {
+		return fmt.Errorf("empty go_version")
+	}
+	if f.NumCPU <= 0 {
+		return fmt.Errorf("num_cpu = %d out of range", f.NumCPU)
+	}
+	if len(f.Ingest) == 0 {
+		return fmt.Errorf("no ingest section — run BenchmarkServe with -benchtime=1x first")
+	}
+	seen := map[int]bool{}
+	anchored := false
+	for i, p := range f.Ingest {
+		if p.Shards <= 0 || p.Shards&(p.Shards-1) != 0 {
+			return fmt.Errorf("ingest[%d]: shards = %d not a positive power of two", i, p.Shards)
+		}
+		if seen[p.Shards] {
+			return fmt.Errorf("ingest[%d]: duplicate shards=%d point", i, p.Shards)
+		}
+		seen[p.Shards] = true
+		if p.AccessPerMs <= 0 {
+			return fmt.Errorf("ingest[shards=%d]: accesses_per_ms = %.3f", p.Shards, p.AccessPerMs)
+		}
+		if p.SpeedupVs1 <= 0 {
+			return fmt.Errorf("ingest[shards=%d]: speedup_vs_1 = %.3f", p.Shards, p.SpeedupVs1)
+		}
+		if p.Shards == 1 {
+			anchored = true
+			if p.SpeedupVs1 < 0.999 || p.SpeedupVs1 > 1.001 {
+				return fmt.Errorf("ingest[shards=1]: speedup_vs_1 = %.3f, want 1", p.SpeedupVs1)
+			}
+		}
+	}
+	if !anchored {
+		return fmt.Errorf("no shards=1 row to anchor speedup_vs_1")
+	}
+	if f.SwapLatencyMs <= 0 {
+		return fmt.Errorf("swap_latency_ms = %.3f out of range", f.SwapLatencyMs)
+	}
+	return nil
 }
 
 func validate(f *benchFile, perf bool) error {

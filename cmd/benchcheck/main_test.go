@@ -31,6 +31,25 @@ func goodFile() *benchFile {
 	}
 }
 
+// goodServeFile returns a serve baseline that passes every rule.
+func goodServeFile() *serveFile {
+	return &serveFile{
+		Benchmark:  "BenchmarkServe",
+		Accesses:   2000000,
+		Clients:    8,
+		CacheBytes: 4096,
+		AddrBits:   16,
+		GoVersion:  "go1.24.0",
+		NumCPU:     8,
+		Ingest: []ingestPoint{
+			{Shards: 1, AccessPerMs: 1500, SpeedupVs1: 1.0},
+			{Shards: 4, AccessPerMs: 4100, SpeedupVs1: 2.73},
+			{Shards: 8, AccessPerMs: 5900, SpeedupVs1: 3.93},
+		},
+		SwapLatencyMs: 850.5,
+	}
+}
+
 func TestValidateAcceptsGoodBaseline(t *testing.T) {
 	for _, perf := range []bool{false, true} {
 		if err := validate(goodFile(), perf); err != nil {
@@ -159,6 +178,90 @@ func TestValidateRejections(t *testing.T) {
 			f := goodFile()
 			tc.mutate(f)
 			err := validate(f, tc.perf)
+			if tc.wantSub == "" {
+				if err != nil {
+					t.Fatalf("unexpected rejection: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted a baseline that should fail with %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateServeAcceptsGoodBaseline(t *testing.T) {
+	if err := validateServe(goodServeFile()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateServeRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*serveFile)
+		wantSub string
+	}{
+		{
+			name:    "wrong benchmark name",
+			mutate:  func(f *serveFile) { f.Benchmark = "BenchmarkBuild" },
+			wantSub: "want BenchmarkServe",
+		},
+		{
+			name:    "no ingest rows",
+			mutate:  func(f *serveFile) { f.Ingest = nil },
+			wantSub: "no ingest section",
+		},
+		{
+			name:    "non-power-of-two shards",
+			mutate:  func(f *serveFile) { f.Ingest[1].Shards = 3 },
+			wantSub: "not a positive power of two",
+		},
+		{
+			name:    "duplicate shard point",
+			mutate:  func(f *serveFile) { f.Ingest[2] = f.Ingest[1] },
+			wantSub: "duplicate shards=4",
+		},
+		{
+			name:    "missing shards=1 anchor",
+			mutate:  func(f *serveFile) { f.Ingest = f.Ingest[1:] },
+			wantSub: "no shards=1 row",
+		},
+		{
+			name:    "shards=1 speedup not 1",
+			mutate:  func(f *serveFile) { f.Ingest[0].SpeedupVs1 = 1.2 },
+			wantSub: "want 1",
+		},
+		{
+			name:    "non-positive throughput",
+			mutate:  func(f *serveFile) { f.Ingest[1].AccessPerMs = 0 },
+			wantSub: "accesses_per_ms",
+		},
+		{
+			name:    "non-positive swap latency",
+			mutate:  func(f *serveFile) { f.SwapLatencyMs = 0 },
+			wantSub: "swap_latency_ms",
+		},
+		{
+			name:    "single-core num_cpu is fine for serve",
+			mutate:  func(f *serveFile) { f.NumCPU = 1 },
+			wantSub: "",
+		},
+		{
+			name:    "zero clients",
+			mutate:  func(f *serveFile) { f.Clients = 0 },
+			wantSub: "clients = 0",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := goodServeFile()
+			tc.mutate(f)
+			err := validateServe(f)
 			if tc.wantSub == "" {
 				if err != nil {
 					t.Fatalf("unexpected rejection: %v", err)

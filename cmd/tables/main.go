@@ -35,7 +35,7 @@ import (
 	"os/signal"
 	"time"
 
-	"xoridx/internal/core"
+	"xoridx/internal/cliutil"
 	"xoridx/internal/experiments"
 )
 
@@ -47,15 +47,14 @@ func main() {
 		"per-trace parallel workers for profiling and search (0/1 = sequential, -1 = all cores); results are identical for any value")
 	progress := flag.Bool("progress", false, "report pipeline stages and search progress on stderr")
 	flag.Parse()
-	if *scale < 1 {
-		fmt.Fprintln(os.Stderr, "tables: -scale must be >= 1")
-		os.Exit(2)
+	if err := cliutil.ValidateScale(*scale); err != nil {
+		cliutil.Usagef("tables", "%v", err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	opt := experiments.Options{Workers: *workers}
 	if *progress {
-		opt.Events = progressSink(os.Stderr)
+		opt.Events = cliutil.ProgressSink(os.Stderr)
 	}
 	run := func(name string, fn func() error) {
 		start := time.Now()
@@ -237,26 +236,4 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tables: unknown table %q (want 1, 2d, 2i, 3, exp1, eq3, cross, assoc, phase, sweep, fixed, energy, repl, aslr, 2x, all)\n", *table)
 		os.Exit(2)
 	}
-}
-
-// progressSink renders pipeline events as single stderr lines. Several
-// experiments tune traces concurrently, so lines from different traces
-// may interleave; each line is still atomic.
-func progressSink(w *os.File) core.Sink {
-	return core.SinkFunc(func(e core.Event) {
-		switch e.Kind {
-		case core.StageStarted:
-			fmt.Fprintf(w, "[%s] started\n", e.Stage)
-		case core.StageFinished:
-			if e.Stage == core.StageSearch {
-				fmt.Fprintf(w, "[%s] finished: %d moves, %d evaluated, best estimate %d\n",
-					e.Stage, e.Iteration, e.Evaluated, e.Best)
-				return
-			}
-			fmt.Fprintf(w, "[%s] finished\n", e.Stage)
-		case core.SearchProgress:
-			fmt.Fprintf(w, "[%s] restart %d move %d: %d evaluated, best estimate %d\n",
-				e.Stage, e.Restart, e.Iteration, e.Evaluated, e.Best)
-		}
-	})
 }

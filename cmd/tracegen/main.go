@@ -10,11 +10,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"xoridx/internal/cliutil"
 	"xoridx/internal/trace"
 	"xoridx/internal/workloads"
 )
@@ -42,12 +44,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen: -bench required (or -list); available:", strings.Join(workloads.Names(), " "))
 		os.Exit(2)
 	}
-	if *scale < 1 {
-		fatal("-scale must be >= 1")
+	if err := cliutil.ValidateScale(*scale); err != nil {
+		fatal(err)
 	}
 	w, err := workloads.ByName(*bench)
 	if err != nil {
-		fatal(err.Error())
+		fatal(err)
 	}
 	var tr *trace.Trace
 	switch *kind {
@@ -55,11 +57,11 @@ func main() {
 		tr = w.Data(*scale)
 	case "instr":
 		if w.Instr == nil {
-			fatal(fmt.Sprintf("benchmark %q has no instruction-trace model", *bench))
+			fatal(fmt.Errorf("benchmark %q has no instruction-trace model", *bench))
 		}
 		tr = w.Instr(*scale)
 	default:
-		fatal("-kind must be data or instr")
+		fatal(errors.New("-kind must be data or instr"))
 	}
 
 	dst := os.Stdout
@@ -67,7 +69,7 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err.Error())
+			fatal(err)
 		}
 		outFile = f
 		dst = f
@@ -80,16 +82,16 @@ func main() {
 	case "dinero":
 		err = trace.EncodeDinero(dst, tr)
 	default:
-		fatal("-format must be binary, text or dinero")
+		fatal(errors.New("-format must be binary, text or dinero"))
 	}
 	if err != nil {
-		fatal(err.Error())
+		fatal(err)
 	}
 	// An explicit, checked close: encode errors and close errors (the
 	// kernel flushing the file) both matter for a generator.
 	if outFile != nil {
 		if err := outFile.Close(); err != nil {
-			fatal(err.Error())
+			fatal(err)
 		}
 	}
 	s := tr.ComputeStats()
@@ -97,7 +99,6 @@ func main() {
 		*bench, *kind, s.Accesses, s.Ops, s.UniqueBlocks)
 }
 
-func fatal(msg string) {
-	fmt.Fprintln(os.Stderr, "tracegen:", msg)
-	os.Exit(2)
+func fatal(err error) {
+	cliutil.Usagef("tracegen", "%v", err)
 }

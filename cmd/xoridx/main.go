@@ -29,7 +29,6 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -39,8 +38,8 @@ import (
 	"runtime/pprof"
 
 	"xoridx/internal/cache"
+	"xoridx/internal/cliutil"
 	"xoridx/internal/core"
-	"xoridx/internal/faultio"
 	"xoridx/internal/gf2"
 	"xoridx/internal/hash"
 	"xoridx/internal/netlist"
@@ -50,6 +49,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	traceFile := flag.String("trace", "", "trace file (binary or text format)")
 	cacheBytes := flag.Int("cache", 4096, "cache size in bytes")
 	ways := flag.Int("ways", 1, "associativity (1 = direct mapped)")
@@ -113,7 +116,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xoridx: -resume needs -checkpoint")
 		os.Exit(2)
 	}
-	tr, err := readTraceRetry(ctx, *traceFile, *retries)
+	tr, err := cliutil.ReadTraceRetry(ctx, *traceFile, *retries)
 	if err != nil {
 		fatal(err)
 	}
@@ -142,20 +145,14 @@ func main() {
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
 	}
-	switch *family {
-	case "permutation":
-		cfg.Family = hash.FamilyPermutation
-	case "general":
-		cfg.Family = hash.FamilyGeneralXOR
-	case "bitselect":
-		cfg.Family = hash.FamilyBitSelect
-	default:
-		fatal(fmt.Errorf("unknown family %q", *family))
+	cfg.Family, err = cliutil.ParseFamily(*family)
+	if err != nil {
+		fatal(err)
 	}
 
 	var events core.Sink
 	if *progress {
-		events = core.SinkFunc(printEvent)
+		events = cliutil.ProgressSink(os.Stderr)
 	}
 	res, err := tuneWith(ctx, tr, cfg, *algo, events)
 	if err != nil {
@@ -281,24 +278,6 @@ func tuneWith(ctx context.Context, tr *trace.Trace, cfg core.Config, algo string
 	return pl.Validate(ctx, tr, p, sres)
 }
 
-// printEvent renders one pipeline event as a stderr line.
-func printEvent(e core.Event) {
-	switch e.Kind {
-	case core.StageStarted:
-		fmt.Fprintf(os.Stderr, "[%s] started\n", e.Stage)
-	case core.StageFinished:
-		if e.Stage == core.StageSearch {
-			fmt.Fprintf(os.Stderr, "[%s] finished: %d moves, %d evaluated, best estimate %d\n",
-				e.Stage, e.Iteration, e.Evaluated, e.Best)
-			return
-		}
-		fmt.Fprintf(os.Stderr, "[%s] finished\n", e.Stage)
-	case core.SearchProgress:
-		fmt.Fprintf(os.Stderr, "[%s] restart %d move %d: %d evaluated, best estimate %d\n",
-			e.Stage, e.Restart, e.Iteration, e.Evaluated, e.Best)
-	}
-}
-
 // applyMatrixFile evaluates a previously saved index function on a
 // trace without re-running the search.
 func applyMatrixFile(tr *trace.Trace, path string, cacheBytes, blockBytes int) error {
@@ -376,43 +355,6 @@ func emitBitstream(f hash.Func, n, m int) error {
 	return nil
 }
 
-// readTraceRetry loads the trace under the -retries budget: transient
-// I/O failures (errors wrapping core.ErrIO, e.g. from a flaky network
-// filesystem surfaced by a fault-aware reader) are retried with capped
-// exponential backoff; decode errors and missing files fail at once.
-func readTraceRetry(ctx context.Context, path string, retries int) (*trace.Trace, error) {
-	if retries <= 0 {
-		return readTrace(path)
-	}
-	policy := faultio.DefaultPolicy
-	policy.MaxRetries = retries
-	var tr *trace.Trace
-	err := policy.Do(ctx, func() error {
-		var err error
-		tr, err = readTrace(path)
-		return err
-	})
-	return tr, err
-}
-
-// readTrace loads any of the three trace formats, sniffing the first
-// bytes: the binary magic, a din label digit, or the text format.
-func readTrace(path string) (*trace.Trace, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	switch {
-	case bytes.HasPrefix(data, []byte("XTR1")):
-		return trace.Decode(bytes.NewReader(data))
-	case len(data) > 0 && data[0] >= '0' && data[0] <= '9':
-		return trace.DecodeDinero(bytes.NewReader(data))
-	default:
-		return trace.DecodeText(bytes.NewReader(data))
-	}
-}
-
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xoridx:", err)
-	os.Exit(1)
+	cliutil.Fatal("xoridx", err)
 }

@@ -135,6 +135,18 @@ func (c Config) validate() error {
 	return nil
 }
 
+// Normalized applies the config defaults and validates the result —
+// the exported form of the defaulting every pipeline stage performs
+// internally, for layers (like internal/serve) that derive geometry
+// from a Config before handing it back to the pipeline.
+func (c Config) Normalized() (Config, error) {
+	c = c.withDefaults()
+	if err := c.validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
 // SetBits returns m = log2(sets) for the configured geometry.
 func (c Config) SetBits() int {
 	ways := c.Ways

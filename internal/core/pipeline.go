@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"xoridx/internal/cache"
+	"xoridx/internal/gf2"
 	"xoridx/internal/hash"
 	"xoridx/internal/profile"
 	"xoridx/internal/search"
@@ -47,6 +48,12 @@ const (
 type Event struct {
 	Kind  EventKind
 	Stage Stage
+
+	// Round tags which tuning round of a resumable pipeline emitted the
+	// event: 0 for one-shot runs, the caller-chosen round index for
+	// SearchRound (the serving loop passes its rotation count, so a
+	// sink can attribute interleaved progress to the right re-tune).
+	Round int
 
 	// Search progress (Kind == SearchProgress, and on the search
 	// stage's StageFinished event as final totals).
@@ -160,8 +167,25 @@ func (pl *Pipeline) Profile(ctx context.Context, tr *trace.Trace) (*profile.Prof
 
 // Search runs the §3.2 design-space search stage against a profile
 // built by Profile (or profile.Build directly). Hill-climbing progress
-// is reported through Events as SearchProgress events.
+// is reported through Events as SearchProgress events. It is round 0
+// of SearchRound with no warm start — the one-shot form.
 func (pl *Pipeline) Search(ctx context.Context, p *profile.Profile) (search.Result, error) {
+	return pl.SearchRound(ctx, p, gf2.Matrix{}, 0)
+}
+
+// SearchRound is the resumable-round form of Search: one tuning round
+// of a long-running loop that re-searches a drifting profile many
+// times over the pipeline's lifetime. Every event the round emits
+// carries the given round index, so a shared Sink can attribute
+// interleaved progress streams.
+//
+// A non-zero warm matrix seeds the climb at that function instead of
+// the conventional start (search.ConstructWarmCtx) when the configured
+// family supports it — general XOR with unlimited fan-in, no Resume.
+// Other configurations fall back to the cold search: the warm seed is
+// an optimisation hint, not a contract, and a serving loop tuning a
+// permutation-family function must still make progress.
+func (pl *Pipeline) SearchRound(ctx context.Context, p *profile.Profile, warm gf2.Matrix, round int) (search.Result, error) {
 	cfg := pl.Config.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return search.Result{}, err
@@ -169,13 +193,14 @@ func (pl *Pipeline) Search(ctx context.Context, p *profile.Profile) (search.Resu
 	if err := checkProfile(p, cfg); err != nil {
 		return search.Result{}, err
 	}
-	pl.emit(Event{Kind: StageStarted, Stage: StageSearch})
+	pl.emit(Event{Kind: StageStarted, Stage: StageSearch, Round: round})
 	opt := cfg.searchOptions()
 	if pl.Events != nil {
 		opt.Progress = func(sp search.Progress) {
 			pl.emit(Event{
 				Kind:      SearchProgress,
 				Stage:     StageSearch,
+				Round:     round,
 				Restart:   sp.Restart,
 				Iteration: sp.Iteration,
 				Evaluated: sp.Evaluated,
@@ -183,7 +208,15 @@ func (pl *Pipeline) Search(ctx context.Context, p *profile.Profile) (search.Resu
 			})
 		}
 	}
-	sres, err := search.ConstructCtx(ctx, p, cfg.SetBits(), opt)
+	var (
+		sres search.Result
+		err  error
+	)
+	if warm.Cols != nil && cfg.Family == hash.FamilyGeneralXOR && cfg.MaxInputs == 0 && !opt.Resume {
+		sres, err = search.ConstructWarmCtx(ctx, p, cfg.SetBits(), warm, opt)
+	} else {
+		sres, err = search.ConstructCtx(ctx, p, cfg.SetBits(), opt)
+	}
 	if err != nil {
 		// sres may carry a Degraded best-so-far matrix; pass it up so
 		// an interrupted pipeline still yields a usable function.
@@ -192,6 +225,7 @@ func (pl *Pipeline) Search(ctx context.Context, p *profile.Profile) (search.Resu
 	pl.emit(Event{
 		Kind:      StageFinished,
 		Stage:     StageSearch,
+		Round:     round,
 		Restart:   cfg.Restarts,
 		Iteration: sres.Iterations,
 		Evaluated: sres.Evaluated,

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"xoridx/internal/gf2"
+	"xoridx/internal/hash"
+)
+
+// TestSearchRoundTagsEvents runs one warm-started round and checks
+// that every emitted event carries the caller's round index — the
+// attribution a serving loop's shared sink relies on.
+func TestSearchRoundTagsEvents(t *testing.T) {
+	tr := thrashTrace(64, 300)
+	cfg, err := pipelineConfig().Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	pl := Pipeline{Config: cfg, Events: SinkFunc(func(e Event) { events = append(events, e) })}
+	p, err := pl.Profile(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events = nil
+	warm := gf2.Identity(cfg.AddrBits, cfg.SetBits())
+	if _, err := pl.SearchRound(context.Background(), p, warm, 7); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("expected at least start/finish events, got %d", len(events))
+	}
+	for i, e := range events {
+		if e.Round != 7 {
+			t.Fatalf("event %d has Round %d, want 7", i, e.Round)
+		}
+		if e.Stage != StageSearch {
+			t.Fatalf("event %d from stage %q, want search", i, e.Stage)
+		}
+	}
+}
+
+// TestSearchRoundWarmMatchesSearch pins that round 0 with no warm
+// matrix is exactly the one-shot Search, and that warm-starting from
+// the conventional matrix changes nothing about the answer.
+func TestSearchRoundWarmMatchesSearch(t *testing.T) {
+	tr := thrashTrace(64, 300)
+	cfg, err := pipelineConfig().Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := Pipeline{Config: cfg}
+	p, err := pl.Profile(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pl.Search(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pl.SearchRound(context.Background(), p, gf2.Identity(cfg.AddrBits, cfg.SetBits()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Matrix.Equal(want.Matrix) || got.Estimated != want.Estimated {
+		t.Fatalf("warm round from conventional diverged: est %d vs %d", got.Estimated, want.Estimated)
+	}
+}
+
+// TestSearchRoundWarmFallsBackForMatrixFamilies pins that a warm seed
+// with a family that cannot resume mid-climb state degrades to the
+// cold search instead of erroring — the serving loop must keep tuning
+// whatever family it was configured with.
+func TestSearchRoundWarmFallsBackForMatrixFamilies(t *testing.T) {
+	tr := thrashTrace(64, 300)
+	cfg, err := pipelineConfig().Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Family = hash.FamilyPermutation
+	cfg.MaxInputs = 2
+	pl := Pipeline{Config: cfg}
+	p, err := pl.Profile(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := pl.Search(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := pl.SearchRound(context.Background(), p, gf2.Identity(cfg.AddrBits, cfg.SetBits()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Matrix.Equal(cold.Matrix) || warm.Estimated != cold.Estimated {
+		t.Fatalf("permutation-family round with warm hint diverged from cold search: est %d vs %d",
+			warm.Estimated, cold.Estimated)
+	}
+}
+
+// TestNormalized pins the exported defaulting: zero BlockBytes/
+// AddrBits/Ways fill in, and invalid geometry still fails.
+func TestNormalized(t *testing.T) {
+	cfg, err := Config{CacheBytes: 256}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BlockBytes != 4 || cfg.AddrBits != 16 || cfg.Ways != 1 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if _, err := (Config{CacheBytes: 300}).Normalized(); err == nil {
+		t.Fatal("non-power-of-two geometry must fail")
+	}
+}

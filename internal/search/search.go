@@ -142,6 +142,14 @@ func Construct(p *profile.Profile, m int, opt Options) (Result, error) {
 // them), so a canceled context aborts the search within one
 // hill-climbing move and the call returns a wrapped xerr.ErrCanceled.
 func ConstructCtx(ctx context.Context, p *profile.Profile, m int, opt Options) (Result, error) {
+	return constructCtx(ctx, p, m, opt, nil)
+}
+
+// constructCtx is the shared implementation behind ConstructCtx and
+// ConstructWarmCtx. A non-nil warm snapshot seeds the first climb's
+// mid-climb state (basis + score) exactly as a checkpoint resume
+// would; ConstructWarmCtx synthesises it from a starting matrix.
+func constructCtx(ctx context.Context, p *profile.Profile, m int, opt Options, warm *Snapshot) (Result, error) {
 	n := p.N
 	if m <= 0 || m >= n {
 		return Result{}, errOutOfRange(m, n)
@@ -218,6 +226,13 @@ func ConstructCtx(ctx context.Context, p *profile.Profile, m int, opt Options) (
 		default:
 			return Result{}, err
 		}
+	}
+	if warm != nil && s.resume == nil && startRestart == 0 {
+		// Warm start: the first climb continues from the synthesised
+		// snapshot instead of the conventional null space. An on-disk
+		// snapshot (Resume) always wins over the warm seed — it encodes
+		// strictly more completed work.
+		s.resume = warm
 	}
 	// Run every climb, keep the best result, and accumulate the
 	// iteration/evaluation totals exactly once per climb. Each restart

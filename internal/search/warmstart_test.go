@@ -1,0 +1,183 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"xoridx/internal/gf2"
+	"xoridx/internal/hash"
+	"xoridx/internal/profile"
+	"xoridx/internal/xerr"
+)
+
+// warmTestProfile mixes a strided conflict stream with random noise so
+// the climb has real structure to descend.
+func warmTestProfile(seed int64, n, m int) *profile.Profile {
+	rng := rand.New(rand.NewSource(seed))
+	var blocks []uint64
+	for r := 0; r < 6; r++ {
+		for i := 0; i < 48; i++ {
+			blocks = append(blocks, uint64(i)<<uint(m))
+		}
+		for i := 0; i < 64; i++ {
+			blocks = append(blocks, uint64(rng.Intn(1<<uint(n))))
+		}
+	}
+	return profile.Build(blocks, n, 1<<uint(m))
+}
+
+// randomFullRank draws a random n×m matrix of full column rank.
+func randomFullRank(rng *rand.Rand, n, m int) gf2.Matrix {
+	mask := gf2.Mask(n)
+	for {
+		cols := make([]gf2.Vec, m)
+		for i := range cols {
+			cols[i] = gf2.Vec(rng.Uint64()) & mask
+		}
+		h := gf2.Matrix{N: n, M: m, Cols: cols}
+		if h.Rank() == m {
+			return h
+		}
+	}
+}
+
+// TestWarmStartFromConventionalEqualsCold pins the degenerate case:
+// warm-starting from the conventional matrix is exactly the cold
+// search (same starting null space, same deterministic descent), for
+// single climbs and across random restarts.
+func TestWarmStartFromConventionalEqualsCold(t *testing.T) {
+	const n, m = 12, 6
+	p := warmTestProfile(3, n, m)
+	for _, restarts := range []int{0, 2} {
+		opt := Options{Family: hash.FamilyGeneralXOR, Restarts: restarts, Seed: 77}
+		cold, err := ConstructCtx(context.Background(), p, m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := ConstructWarmCtx(context.Background(), p, m, gf2.Identity(n, m), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.Matrix.Equal(cold.Matrix) || warm.Estimated != cold.Estimated ||
+			warm.Iterations != cold.Iterations || warm.Evaluated != cold.Evaluated {
+			t.Fatalf("restarts=%d: warm-from-conventional diverged from cold: "+
+				"est %d/%d iters %d/%d evals %d/%d", restarts,
+				warm.Estimated, cold.Estimated, warm.Iterations, cold.Iterations,
+				warm.Evaluated, cold.Evaluated)
+		}
+	}
+}
+
+// TestWarmStartNeverWorse pins the monotonicity that makes warm starts
+// safe for the serving loop: steepest descent from H cannot end with a
+// worse Eq. 4 estimate than H itself has on the same profile.
+func TestWarmStartNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(5)
+		m := 3 + rng.Intn(n-5)
+		p := warmTestProfile(int64(trial), n, m)
+		from := randomFullRank(rng, n, m)
+		startEst := p.EstimateMatrix(from)
+		res, err := ConstructWarmCtx(context.Background(), p, m,
+			from, Options{Family: hash.FamilyGeneralXOR})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Estimated > startEst {
+			t.Fatalf("trial %d: warm start ended at estimate %d, worse than its start %d",
+				trial, res.Estimated, startEst)
+		}
+	}
+}
+
+// TestWarmSnapshotInterop proves the snapshot interop contract:
+// persisting WarmSnapshot's output and resuming it through the
+// ordinary checkpoint path is the same search as ConstructWarmCtx —
+// matrix, estimate and work counters all identical.
+func TestWarmSnapshotInterop(t *testing.T) {
+	const n, m = 12, 6
+	rng := rand.New(rand.NewSource(31))
+	p := warmTestProfile(13, n, m)
+	for trial := 0; trial < 8; trial++ {
+		from := randomFullRank(rng, n, m)
+		opt := Options{Family: hash.FamilyGeneralXOR, Restarts: 1, Seed: int64(trial)}
+
+		direct, err := ConstructWarmCtx(context.Background(), p, m, from, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sn, err := WarmSnapshot(p, m, from, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "warm.ckpt")
+		if err := SaveSnapshot(path, sn); err != nil {
+			t.Fatal(err)
+		}
+		viaResume := opt
+		viaResume.CheckpointPath = path
+		viaResume.Resume = true
+		resumed, err := ConstructCtx(context.Background(), p, m, viaResume)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !resumed.Matrix.Equal(direct.Matrix) || resumed.Estimated != direct.Estimated ||
+			resumed.Iterations != direct.Iterations || resumed.Evaluated != direct.Evaluated {
+			t.Fatalf("trial %d: resume-of-warm-snapshot diverged from ConstructWarmCtx: "+
+				"est %d/%d iters %d/%d evals %d/%d", trial,
+				resumed.Estimated, direct.Estimated, resumed.Iterations, direct.Iterations,
+				resumed.Evaluated, direct.Evaluated)
+		}
+	}
+}
+
+// TestWarmStartParallelWorkers pins that the warm seed flows through
+// the parallel null-space climb too, with the same answer as the
+// sequential warm climb.
+func TestWarmStartParallelWorkers(t *testing.T) {
+	const n, m = 12, 6
+	p := warmTestProfile(17, n, m)
+	from := randomFullRank(rand.New(rand.NewSource(5)), n, m)
+	opt := Options{Family: hash.FamilyGeneralXOR}
+	seq, err := ConstructWarmCtx(context.Background(), p, m, from, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 4
+	par, err := ConstructWarmCtx(context.Background(), p, m, from, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Matrix.Equal(seq.Matrix) || par.Estimated != seq.Estimated {
+		t.Fatalf("parallel warm climb diverged: est %d vs %d", par.Estimated, seq.Estimated)
+	}
+}
+
+// TestWarmStartValidation pins the option domain.
+func TestWarmStartValidation(t *testing.T) {
+	const n, m = 10, 5
+	p := warmTestProfile(1, n, m)
+	good := gf2.Identity(n, m)
+	cases := []struct {
+		name string
+		from gf2.Matrix
+		opt  Options
+	}{
+		{"permutation family", good, Options{Family: hash.FamilyPermutation}},
+		{"fan-in bound", good, Options{Family: hash.FamilyGeneralXOR, MaxInputs: 2}},
+		{"resume set", good, Options{Family: hash.FamilyGeneralXOR, Resume: true, CheckpointPath: "x"}},
+		{"wrong geometry", gf2.Identity(n, m-1), Options{Family: hash.FamilyGeneralXOR}},
+		{"rank deficient", gf2.Matrix{N: n, M: m, Cols: make([]gf2.Vec, m)}, Options{Family: hash.FamilyGeneralXOR}},
+	}
+	for _, tc := range cases {
+		if _, err := ConstructWarmCtx(context.Background(), p, m, tc.from, tc.opt); !errors.Is(err, xerr.ErrInvalidOptions) {
+			t.Errorf("%s: err = %v, want ErrInvalidOptions", tc.name, err)
+		}
+	}
+}

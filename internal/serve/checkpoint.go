@@ -1,0 +1,291 @@
+package serve
+
+// Service-state checkpointing: the whole serving loop — every shard's
+// windowed histograms plus the published epoch — persists as one
+// atomic file, so a killed server restarts exactly where it stopped:
+// same epoch (sequence, matrix, estimates) and same profiles, proven
+// by the kill/restart differential in serve_test.go.
+//
+// Layout inside the usual ckpt envelope (magic "XSV1", CRC-32C):
+//
+//	uvarint n, cacheBlocks, m
+//	8 bytes  decay (IEEE-754 bits, little-endian)
+//	uvarint shards, rotations
+//	epoch:   uvarint seq, window, estimated, prevEstimated, baseline;
+//	         1 byte changed; m × uvarint matrix columns
+//	shards × (uvarint length + embedded profile.Windowed snapshot)
+//
+// The per-shard blobs are the Windowed codec verbatim (its own "XWP1"
+// envelope, CRC and all), so every validation that codec performs —
+// counter arithmetic, histogram/TotalPairs equality, stack bounds —
+// applies here too; this layer only adds the cross-checks the inner
+// codec cannot see (shard count, geometry/decay agreement with the
+// server's options, matrix shape and rank).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"xoridx/internal/ckpt"
+	"xoridx/internal/gf2"
+	"xoridx/internal/hash"
+	"xoridx/internal/profile"
+	"xoridx/internal/xerr"
+)
+
+const (
+	serviceMagic   = "XSV1"
+	serviceVersion = 1
+)
+
+// serviceState is a decoded checkpoint, ready to seed a new Server.
+type serviceState struct {
+	shards    []*profile.Windowed
+	epoch     *Epoch
+	rotations uint64
+}
+
+// SaveCheckpoint snapshots the full service state to CheckpointPath
+// atomically (temp file + rename). Safe to call concurrently — writes
+// serialize — and at any moment: shard snapshots enqueue behind any
+// in-flight ingest, so each captures a consistent access boundary.
+// Returns ErrClosed semantics only indirectly (a canceled context
+// while collecting shard snapshots).
+func (s *Server) SaveCheckpoint() error {
+	if s.opt.CheckpointPath == "" {
+		return fmt.Errorf("serve: no CheckpointPath configured: %w", xerr.ErrInvalidOptions)
+	}
+	blobs, err := s.collectShardSnapshots()
+	if err != nil {
+		return err
+	}
+	ep := s.cur.Load()
+	rotations := s.rotations.Load()
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return ckpt.WriteFileAtomic(s.opt.CheckpointPath, func(w io.Writer) error {
+		return ckpt.Write(w, serviceMagic, serviceVersion, func(b *bytes.Buffer) error {
+			var buf [binary.MaxVarintLen64]byte
+			put := func(v uint64) { b.Write(buf[:binary.PutUvarint(buf[:], v)]) }
+			put(uint64(s.n))
+			put(uint64(s.cfg.CacheBytes / s.cfg.BlockBytes))
+			put(uint64(s.m))
+			var dec [8]byte
+			binary.LittleEndian.PutUint64(dec[:], math.Float64bits(s.opt.Decay))
+			b.Write(dec[:])
+			put(uint64(len(s.shards)))
+			put(rotations)
+			put(ep.Seq)
+			put(ep.Window)
+			put(ep.Estimated)
+			put(ep.PrevEstimated)
+			put(ep.Baseline)
+			if ep.Changed {
+				b.WriteByte(1)
+			} else {
+				b.WriteByte(0)
+			}
+			h := ep.Func.Matrix()
+			for _, col := range h.Cols {
+				put(uint64(col))
+			}
+			for _, blob := range blobs {
+				put(uint64(len(blob)))
+				b.Write(blob)
+			}
+			return nil
+		})
+	})
+}
+
+// collectShardSnapshots asks every shard goroutine to serialize its
+// Windowed, pipelined like rotateAndMerge: all requests enqueue before
+// any reply is awaited.
+func (s *Server) collectShardSnapshots() ([][]byte, error) {
+	replies := make([]chan snapReply, len(s.shards))
+	for i, sh := range s.shards {
+		rc := make(chan snapReply, 1)
+		replies[i] = rc
+		select {
+		case sh.ch <- shardCmd{snap: rc}:
+		case <-s.ctx.Done():
+			return nil, xerr.Canceled(s.ctx)
+		}
+	}
+	blobs := make([][]byte, len(s.shards))
+	for i, rc := range replies {
+		select {
+		case rep := <-rc:
+			if rep.err != nil {
+				return nil, rep.err
+			}
+			blobs[i] = rep.data
+		case <-s.ctx.Done():
+			return nil, xerr.Canceled(s.ctx)
+		}
+	}
+	return blobs, nil
+}
+
+// loadServiceState restores a checkpoint and validates it against the
+// server's configuration: wrong geometry, decay or shard count is a
+// wrapped xerr.ErrProfileMismatch (the operator changed the config
+// under an old checkpoint), structural damage a wrapped xerr.ErrFormat.
+func loadServiceState(path string, n, cacheBlocks, m int, decay float64, shards int) (*serviceState, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil // cold start
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	version, payload, err := ckpt.Read(f, serviceMagic)
+	if err != nil {
+		return nil, err
+	}
+	if version != serviceVersion {
+		return nil, fmt.Errorf("serve: checkpoint version %d, this build reads %d: %w",
+			version, serviceVersion, xerr.ErrFormat)
+	}
+	d := &svcReader{b: payload}
+	ckN := int(d.uvarint("n"))
+	ckBlocks := int(d.uvarint("cacheBlocks"))
+	ckM := int(d.uvarint("m"))
+	ckDecay := d.float("decay")
+	ckShards := int(d.uvarint("shards"))
+	rotations := d.uvarint("rotations")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if ckN != n || ckBlocks != cacheBlocks || ckM != m {
+		return nil, fmt.Errorf("serve: checkpoint geometry (n=%d, %d blocks, m=%d) does not match config (n=%d, %d blocks, m=%d): %w",
+			ckN, ckBlocks, ckM, n, cacheBlocks, m, xerr.ErrProfileMismatch)
+	}
+	if math.Float64bits(ckDecay) != math.Float64bits(decay) {
+		return nil, fmt.Errorf("serve: checkpoint decay %v does not match config %v: %w",
+			ckDecay, decay, xerr.ErrProfileMismatch)
+	}
+	if ckShards != shards {
+		return nil, fmt.Errorf("serve: checkpoint has %d shards, config wants %d: %w",
+			ckShards, shards, xerr.ErrProfileMismatch)
+	}
+	ep := &Epoch{
+		Seq:           d.uvarint("epoch seq"),
+		Window:        d.uvarint("epoch window"),
+		Estimated:     d.uvarint("epoch estimated"),
+		PrevEstimated: d.uvarint("epoch prevEstimated"),
+		Baseline:      d.uvarint("epoch baseline"),
+		Changed:       d.byte("epoch changed") == 1,
+	}
+	h := gf2.NewMatrix(n, m)
+	mask := gf2.Mask(n)
+	for c := 0; c < m; c++ {
+		col := gf2.Vec(d.uvarint("matrix column"))
+		if d.err == nil && col&^mask != 0 {
+			return nil, fmt.Errorf("serve: checkpoint matrix column %#x exceeds %d bits: %w", uint64(col), n, xerr.ErrFormat)
+		}
+		h.Cols[c] = col
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if ep.Seq == 0 {
+		return nil, fmt.Errorf("serve: checkpoint epoch sequence 0: %w", xerr.ErrFormat)
+	}
+	f2, err := hash.NewXOR(h)
+	if err != nil {
+		// Rank-deficient or misshapen matrix: NewXOR validates it.
+		return nil, fmt.Errorf("serve: checkpoint matrix: %w: %w", xerr.ErrFormat, err)
+	}
+	ep.Func = f2
+	st := &serviceState{epoch: ep, rotations: rotations}
+	st.shards = make([]*profile.Windowed, ckShards)
+	for i := range st.shards {
+		blobLen := d.uvarint("shard blob length")
+		if d.err != nil {
+			return nil, d.err
+		}
+		if blobLen > uint64(d.rem()) {
+			return nil, fmt.Errorf("serve: checkpoint shard %d blob length %d exceeds remaining %d bytes: %w",
+				i, blobLen, d.rem(), xerr.ErrFormat)
+		}
+		wb, err := profile.RestoreWindowed(bytes.NewReader(d.take(int(blobLen))))
+		if err != nil {
+			return nil, err
+		}
+		if wb.N() != n || wb.CacheBlocks() != cacheBlocks {
+			return nil, fmt.Errorf("serve: checkpoint shard %d geometry disagrees with header: %w", i, xerr.ErrFormat)
+		}
+		if math.Float64bits(wb.Decay()) != math.Float64bits(decay) {
+			return nil, fmt.Errorf("serve: checkpoint shard %d decay disagrees with header: %w", i, xerr.ErrFormat)
+		}
+		st.shards[i] = wb
+	}
+	if d.rem() != 0 {
+		return nil, fmt.Errorf("serve: %d trailing bytes after checkpoint payload: %w", d.rem(), xerr.ErrFormat)
+	}
+	return st, nil
+}
+
+// svcReader decodes checkpoint payload primitives, latching the first
+// failure as a wrapped xerr.ErrFormat (same idiom as the profile and
+// search codecs).
+type svcReader struct {
+	b   []byte
+	err error
+}
+
+func (d *svcReader) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, k := binary.Uvarint(d.b)
+	if k <= 0 {
+		d.err = fmt.Errorf("serve: checkpoint %s: truncated or overlong varint: %w", what, xerr.ErrFormat)
+		return 0
+	}
+	d.b = d.b[k:]
+	return v
+}
+
+func (d *svcReader) byte(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.err = fmt.Errorf("serve: checkpoint %s: truncated: %w", what, xerr.ErrFormat)
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *svcReader) float(what string) float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.err = fmt.Errorf("serve: checkpoint %s: truncated: %w", what, xerr.ErrFormat)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[:8])
+	d.b = d.b[8:]
+	return math.Float64frombits(v)
+}
+
+func (d *svcReader) take(n int) []byte {
+	if d.err != nil || n > len(d.b) {
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *svcReader) rem() int { return len(d.b) }

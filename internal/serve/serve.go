@@ -1,0 +1,592 @@
+// Package serve runs the paper's tune loop continuously: the batch
+// pipeline (trace in, matrix out) becomes a long-running service that
+// ingests block-access streams from many concurrent clients,
+// accumulates windowed, exponentially decayed conflict profiles behind
+// sharded ingest, re-optimizes the index matrix in the background, and
+// publishes each result through an epoch-versioned atomic hot swap.
+//
+// Architecture (DESIGN.md §14):
+//
+//	clients ──IngestBlocks/ServeIngest──▶ shard goroutines (one
+//	profile.Windowed each, single-owner: share memory by
+//	communicating) ──Rotate──▶ merged decayed aggregate ──SearchRound
+//	(warm-started from the current H)──▶ Epoch ──atomic.Pointer──▶
+//	Current()
+//
+// Readers never block: Current is one atomic pointer load. Re-tunes
+// never run twice concurrently: requests — from the window-boundary
+// optimizer goroutine or from Retune callers — deduplicate through a
+// singleflight group. Crash safety comes from the ckpt layer: the
+// whole service state (every shard's windowed histograms plus the
+// current epoch) checkpoints after each re-tune and restores with
+// Options.Resume.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"xoridx/internal/core"
+	"xoridx/internal/faultio"
+	"xoridx/internal/hash"
+	"xoridx/internal/profile"
+	"xoridx/internal/xerr"
+)
+
+// ErrClosed is returned by operations on a closed (or closing) server;
+// it wraps xerr.ErrCanceled so callers' cancellation handling applies.
+var ErrClosed = fmt.Errorf("serve: server closed: %w", xerr.ErrCanceled)
+
+// Options configures a Server.
+type Options struct {
+	// Config is the tuning problem: cache geometry, function family,
+	// search knobs. Workers parallelises the background search;
+	// Config's checkpoint fields are ignored (the serve layer has its
+	// own checkpoint, see CheckpointPath below).
+	Config core.Config
+
+	// Shards is the ingest fan-out: each shard owns one
+	// profile.Windowed and a command channel, and clients hash to
+	// shards by ID. Must be a power of two; 0 means 1.
+	Shards int
+
+	// WindowAccesses is the window length: every this many ingested
+	// accesses (across all shards) the windows rotate and a re-tune
+	// runs. 0 selects DefaultWindowAccesses.
+	WindowAccesses uint64
+
+	// Decay is the per-rotation aggregate decay in [0, 1): 0 keeps
+	// every window forever (the batch-equivalent mode), larger values
+	// forget stale phases faster.
+	Decay float64
+
+	// QueueDepth is each shard's command-channel buffer in batches; 0
+	// selects 64.
+	QueueDepth int
+
+	// CheckpointPath, when non-empty, persists the full service state
+	// there (atomically) after every re-tune and on Close; Resume
+	// restores it on startup. A missing file is a cold start.
+	CheckpointPath string
+	Resume         bool
+
+	// Retry guards ServeIngest's transport reads: transient failures
+	// (errors wrapping xerr.ErrIO) retry with capped exponential
+	// backoff before the decoder ever sees them. Zero MaxRetries
+	// disables the wrapper.
+	Retry faultio.Policy
+
+	// Events receives re-tune progress (core SearchRound events, with
+	// Event.Round set to the rotation round). Shared across rounds;
+	// must be fast and concurrency-safe. Optional.
+	Events core.Sink
+}
+
+// DefaultWindowAccesses is the window length when Options leaves it 0.
+const DefaultWindowAccesses = 1 << 18
+
+// maxShards bounds the fan-out (a shard costs a goroutine plus a
+// Windowed; thousands of them is a configuration error, not a plan).
+const maxShards = 1 << 12
+
+// Epoch is one published tuning result. Epochs are immutable;
+// Current returns the latest and never blocks.
+type Epoch struct {
+	// Seq increases by one per publication; the boot epoch is 1.
+	Seq uint64
+	// Func is the index function readers should use.
+	Func hash.Func
+	// Estimated is Func's Eq. 4 estimate on the merged aggregate of
+	// the round that published this epoch (0 for the boot epoch: no
+	// profile existed yet).
+	Estimated uint64
+	// PrevEstimated is the previous epoch's function scored on that
+	// same aggregate — the §6-style guard input: Estimated never
+	// exceeds it, because a candidate that scores worse than the
+	// incumbent is not published.
+	PrevEstimated uint64
+	// Baseline is conventional modulo indexing scored on that same
+	// aggregate.
+	Baseline uint64
+	// Window is the rotation round that published this epoch.
+	Window uint64
+	// Changed reports whether Func's matrix differs from the previous
+	// epoch's — a real hot swap rather than a confirmation.
+	Changed bool
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	Ingested  uint64 // accesses accepted into shard queues
+	Batches   uint64 // ingest batches accepted
+	Rotations uint64 // window rotations (== completed re-tune rounds)
+	Retunes   uint64 // re-tune executions (deduplicated callers share one)
+	Swaps     uint64 // epochs whose matrix changed
+	EpochSeq  uint64 // Current().Seq
+	Shards    int
+}
+
+// shardCmd is one message to a shard goroutine. Exactly one field is
+// set: blocks to ingest, or a reply channel for a rotation, an
+// aggregate snapshot, or a checkpoint blob. Reply channels have
+// capacity 1 so the shard never blocks on its reply.
+type shardCmd struct {
+	blocks []uint64
+	rotate chan<- *profile.Profile
+	agg    chan<- *profile.Profile
+	snap   chan<- snapReply
+}
+
+type snapReply struct {
+	data []byte
+	err  error
+}
+
+type shard struct {
+	ch chan shardCmd
+	wb *profile.Windowed // owned by the shard goroutine after Start
+}
+
+// Server is the long-running tuning service. Create with New, stop
+// with Close. All methods are safe for concurrent use.
+type Server struct {
+	opt       Options
+	cfg       core.Config // normalized
+	n, m      int
+	shards    []*shard
+	shardMask uint64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	cur       atomic.Pointer[Epoch]
+	fl        flightGroup
+	ckptMu    sync.Mutex // serializes checkpoint writes
+	closeOnce sync.Once
+	closed    atomic.Bool
+	closeErr  error
+
+	// Window accounting.
+	sinceRotate atomic.Uint64
+	wake        chan struct{}
+
+	// Counters.
+	ingested  atomic.Uint64
+	batches   atomic.Uint64
+	rotations atomic.Uint64
+	retunes   atomic.Uint64
+	swaps     atomic.Uint64
+	lastErr   atomic.Pointer[error]
+}
+
+// New validates the options, restores a checkpoint when Resume is set
+// (a missing file is a cold start), and starts the shard and optimizer
+// goroutines. The boot epoch — available from Current immediately — is
+// the conventional modulo function at Seq 1 unless a checkpoint
+// supplied a later one.
+func New(opt Options) (*Server, error) {
+	cfg, err := opt.Config.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	// The serve layer owns checkpointing; the pipeline's per-stage
+	// checkpoint files must not fight over the same path.
+	cfg.CheckpointPath, cfg.Resume = "", false
+	if opt.Shards == 0 {
+		opt.Shards = 1
+	}
+	if opt.Shards < 0 || opt.Shards > maxShards || opt.Shards&(opt.Shards-1) != 0 {
+		return nil, fmt.Errorf("serve: Shards %d not a power of two in [1, %d]: %w",
+			opt.Shards, maxShards, xerr.ErrInvalidOptions)
+	}
+	if opt.WindowAccesses == 0 {
+		opt.WindowAccesses = DefaultWindowAccesses
+	}
+	if err := profile.ValidateDecay(opt.Decay); err != nil {
+		return nil, err
+	}
+	if opt.QueueDepth == 0 {
+		opt.QueueDepth = 64
+	}
+	if opt.QueueDepth < 0 {
+		return nil, fmt.Errorf("serve: negative QueueDepth: %w", xerr.ErrInvalidOptions)
+	}
+	if err := opt.Retry.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opt: opt, cfg: cfg,
+		n: cfg.AddrBits, m: cfg.SetBits(),
+		shardMask: uint64(opt.Shards - 1),
+		wake:      make(chan struct{}, 1),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+
+	var restored *serviceState
+	if opt.Resume && opt.CheckpointPath != "" {
+		restored, err = loadServiceState(opt.CheckpointPath, s.n, cfg.CacheBytes/cfg.BlockBytes, s.m, opt.Decay, opt.Shards)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.shards = make([]*shard, opt.Shards)
+	for i := range s.shards {
+		var wb *profile.Windowed
+		if restored != nil {
+			wb = restored.shards[i]
+		} else {
+			wb, err = profile.NewWindowed(s.n, cfg.CacheBytes/cfg.BlockBytes, opt.Decay)
+			if err != nil {
+				return nil, err
+			}
+		}
+		s.shards[i] = &shard{ch: make(chan shardCmd, opt.QueueDepth), wb: wb}
+	}
+	if restored != nil {
+		s.cur.Store(restored.epoch)
+		s.rotations.Store(restored.rotations)
+	} else {
+		s.cur.Store(&Epoch{Seq: 1, Func: hash.Modulo(s.n, s.m)})
+	}
+	for i, sh := range s.shards {
+		s.wg.Add(1)
+		go s.runShard(i, sh)
+	}
+	s.wg.Add(1)
+	go s.optimizer()
+	return s, nil
+}
+
+// Current returns the latest published epoch: one atomic load, never
+// nil, never blocking — regardless of any re-tune, checkpoint or
+// ingest in flight.
+func (s *Server) Current() *Epoch { return s.cur.Load() }
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Ingested:  s.ingested.Load(),
+		Batches:   s.batches.Load(),
+		Rotations: s.rotations.Load(),
+		Retunes:   s.retunes.Load(),
+		Swaps:     s.swaps.Load(),
+		EpochSeq:  s.cur.Load().Seq,
+		Shards:    len(s.shards),
+	}
+}
+
+// Err returns the last background failure (a shard panic or an
+// optimizer round that errored), or nil.
+func (s *Server) Err() error {
+	if p := s.lastErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (s *Server) fail(err error) {
+	if err == nil || errors.Is(err, xerr.ErrCanceled) {
+		return
+	}
+	s.lastErr.CompareAndSwap(nil, &err)
+}
+
+// shardFor maps a client to its shard: splitmix64 of the ID masked to
+// the shard count, so adjacent client IDs spread across shards.
+func (s *Server) shardFor(clientID uint64) *shard {
+	z := clientID + 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return s.shards[z&s.shardMask]
+}
+
+// IngestBlocks feeds one client's block accesses into its shard. The
+// batch is copied, so the caller may reuse the slice. The fast path is
+// one channel send; it blocks only when the shard's queue is full
+// (backpressure), and returns ErrClosed once the server is closing.
+func (s *Server) IngestBlocks(clientID uint64, blocks []uint64) error {
+	if len(blocks) == 0 {
+		return nil
+	}
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	cmd := shardCmd{blocks: append([]uint64(nil), blocks...)}
+	select {
+	case s.shardFor(clientID).ch <- cmd:
+	case <-s.ctx.Done():
+		return ErrClosed
+	}
+	s.batches.Add(1)
+	s.ingested.Add(uint64(len(blocks)))
+	s.noteAccesses(uint64(len(blocks)))
+	return nil
+}
+
+// noteAccesses advances the window clock and wakes the optimizer at
+// window boundaries. The Swap makes crossings race-tolerant: however
+// many ingesters cross together, the counter resets once and at least
+// one wake lands (the channel holds one pending wake; coalescing
+// concurrent boundaries is exactly the singleflight semantics the
+// re-tune wants anyway).
+func (s *Server) noteAccesses(n uint64) {
+	if s.sinceRotate.Add(n) >= s.opt.WindowAccesses {
+		if s.sinceRotate.Swap(0) >= s.opt.WindowAccesses {
+			select {
+			case s.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// ServeIngest decodes one client connection's ingest stream (wire.go
+// format) and feeds every frame into the shards, until the stream ends
+// (nil), the context ends, or a frame is corrupt. With a Retry policy
+// configured, transient transport errors retry below the decoder.
+func (s *Server) ServeIngest(ctx context.Context, r io.Reader) error {
+	if s.opt.Retry.MaxRetries > 0 {
+		rr, err := faultio.NewRetryReader(ctx, r, s.opt.Retry)
+		if err != nil {
+			return err
+		}
+		r = rr
+	}
+	d := NewBatchReader(r)
+	var buf []uint64
+	for {
+		if err := xerr.Check(ctx); err != nil {
+			return err
+		}
+		clientID, blocks, err := d.Next(buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		buf = blocks
+		if err := s.IngestBlocks(clientID, blocks); err != nil {
+			return err
+		}
+	}
+}
+
+// Retune runs one re-tune round — rotate every shard's window, merge
+// the decayed aggregates, search warm-started from the current H,
+// publish the winner — and returns the resulting epoch. Concurrent
+// callers (including the background optimizer) deduplicate: all of
+// them get the same epoch from one execution. ctx bounds this caller's
+// wait only; the round itself runs on the server's lifetime context so
+// one impatient caller cannot abort a shared round.
+func (s *Server) Retune(ctx context.Context) (*Epoch, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	ep, _, err := s.fl.Do(ctx, "retune", s.retune)
+	return ep, err
+}
+
+// retune is the singleflight-protected round body.
+func (s *Server) retune() (*Epoch, error) {
+	merged, err := s.rotateAndMerge()
+	if err != nil {
+		return nil, err
+	}
+	round := s.rotations.Add(1)
+	prev := s.cur.Load()
+
+	pl := core.Pipeline{Config: s.cfg, Events: s.opt.Events}
+	sres, err := pl.SearchRound(s.ctx, merged, prev.Func.Matrix(), int(round))
+	if err != nil {
+		return nil, err
+	}
+	// §6-style publish guard: score the incumbent on the same
+	// aggregate and never swap to a worse candidate. The warm-started
+	// general-XOR climb cannot lose to its own starting point, so the
+	// guard fires only for cold-searched families — but it is cheap
+	// insurance either way.
+	prevEst := merged.EstimateMatrix(prev.Func.Matrix())
+	ep := &Epoch{
+		Seq:           prev.Seq + 1,
+		Window:        round,
+		PrevEstimated: prevEst,
+		Baseline:      sres.Baseline,
+	}
+	if sres.Estimated <= prevEst {
+		f, err := hash.NewXOR(sres.Matrix)
+		if err != nil {
+			return nil, err
+		}
+		ep.Func = f
+		ep.Estimated = sres.Estimated
+		ep.Changed = !sres.Matrix.Equal(prev.Func.Matrix())
+	} else {
+		ep.Func = prev.Func
+		ep.Estimated = prevEst
+	}
+	s.cur.Store(ep)
+	s.retunes.Add(1)
+	if ep.Changed {
+		s.swaps.Add(1)
+	}
+	if s.opt.CheckpointPath != "" {
+		if err := s.SaveCheckpoint(); err != nil {
+			// The epoch is published and live; losing one checkpoint
+			// write degrades crash-freshness, not correctness.
+			return ep, err
+		}
+	}
+	return ep, nil
+}
+
+// rotateAndMerge rotates every shard's window (pipelined: all rotate
+// commands enqueue before any reply is awaited) and merges the decayed
+// per-shard aggregates into one profile for the search.
+func (s *Server) rotateAndMerge() (*profile.Profile, error) {
+	replies := make([]chan *profile.Profile, len(s.shards))
+	for i, sh := range s.shards {
+		rc := make(chan *profile.Profile, 1)
+		replies[i] = rc
+		select {
+		case sh.ch <- shardCmd{rotate: rc}:
+		case <-s.ctx.Done():
+			return nil, xerr.Canceled(s.ctx)
+		}
+	}
+	var merged *profile.Profile
+	for _, rc := range replies {
+		select {
+		case agg := <-rc:
+			if merged == nil {
+				merged = agg
+			} else if err := merged.Merge(agg); err != nil {
+				return nil, err
+			}
+		case <-s.ctx.Done():
+			return nil, xerr.Canceled(s.ctx)
+		}
+	}
+	return merged, nil
+}
+
+// Profile returns the merged live aggregate across all shards — the
+// rotated windows plus each live window, without rotating anything.
+// With Decay 0 (and however many shards and rotations) it equals a
+// batch profile.Build over every access ingested so far.
+func (s *Server) Profile() (*profile.Profile, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	replies := make([]chan *profile.Profile, len(s.shards))
+	for i, sh := range s.shards {
+		rc := make(chan *profile.Profile, 1)
+		replies[i] = rc
+		select {
+		case sh.ch <- shardCmd{agg: rc}:
+		case <-s.ctx.Done():
+			return nil, ErrClosed
+		}
+	}
+	var merged *profile.Profile
+	for _, rc := range replies {
+		select {
+		case snap := <-rc:
+			if merged == nil {
+				merged = snap
+			} else if err := merged.Merge(snap); err != nil {
+				return nil, err
+			}
+		case <-s.ctx.Done():
+			return nil, ErrClosed
+		}
+	}
+	return merged, nil
+}
+
+// runShard is a shard's single-owner goroutine: the only code that
+// touches its Windowed after Start, so the ingest hot path needs no
+// locks at all (share memory by communicating).
+func (s *Server) runShard(i int, sh *shard) {
+	defer s.wg.Done()
+	defer func() {
+		if v := recover(); v != nil {
+			err := xerr.Panicked(fmt.Sprintf("serve shard %d", i), v)
+			s.fail(err)
+			s.cancel() // a lost shard poisons every aggregate: stop the world
+		}
+	}()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case cmd := <-sh.ch:
+			switch {
+			case cmd.rotate != nil:
+				sh.wb.Rotate()
+				cmd.rotate <- sh.wb.Aggregate()
+			case cmd.agg != nil:
+				cmd.agg <- sh.wb.Snapshot()
+			case cmd.snap != nil:
+				var b writerBuffer
+				err := sh.wb.Checkpoint(&b)
+				cmd.snap <- snapReply{data: b.data, err: err}
+			default:
+				for _, blk := range cmd.blocks {
+					sh.wb.Add(blk)
+				}
+			}
+		}
+	}
+}
+
+// writerBuffer is a minimal bytes.Buffer stand-in that keeps ownership
+// of its backing slice (no Reset/ReadFrom surface to misuse).
+type writerBuffer struct{ data []byte }
+
+func (b *writerBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+// optimizer is the background goroutine that turns window boundaries
+// into re-tune rounds. Failures are recorded (Err) and do not stop the
+// loop: a canceled search this round must not kill the service.
+func (s *Server) optimizer() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-s.wake:
+		}
+		if _, _, err := s.fl.Do(s.ctx, "retune", s.retune); err != nil {
+			s.fail(err)
+		}
+	}
+}
+
+// Close stops the server: no new ingest is accepted, a final
+// checkpoint is written (when configured), and every goroutine is
+// joined. Idempotent; concurrent calls return the first Close's error.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		if s.opt.CheckpointPath != "" {
+			// Shards are still running, so their snapshot commands drain
+			// normally behind any queued ingest.
+			s.closeErr = s.SaveCheckpoint()
+		}
+		s.cancel()
+		s.wg.Wait()
+	})
+	return s.closeErr
+}

@@ -1,0 +1,63 @@
+package serve
+
+// A minimal singleflight: concurrent callers asking for the same work
+// share one execution. The serving loop uses it to deduplicate
+// re-tune requests — a window boundary, an operator poke and a
+// checkpoint-triggered retune arriving together must run the
+// optimizer once, not three times. Hand-rolled (stdlib only, ~40
+// lines) rather than imported; the x/sync version's forgotten/panic
+// machinery is not needed here.
+
+import (
+	"context"
+	"sync"
+
+	"xoridx/internal/xerr"
+)
+
+// flightCall is one in-flight execution.
+type flightCall struct {
+	done chan struct{}
+	ep   *Epoch
+	err  error
+}
+
+// flightGroup deduplicates executions by key. The zero value is ready
+// to use.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// Do executes fn under key, unless a call with the same key is already
+// running, in which case the caller waits for that call's result
+// instead. shared reports whether the result came from another
+// caller's execution. A waiting caller whose ctx ends returns early
+// with a wrapped xerr.ErrCanceled; the execution itself keeps running
+// for the callers still waiting on it.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*Epoch, error)) (ep *Epoch, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.ep, true, c.err
+		case <-ctx.Done():
+			return nil, true, xerr.Canceled(ctx)
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.ep, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.ep, false, c.err
+}

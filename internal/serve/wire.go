@@ -1,0 +1,186 @@
+package serve
+
+// The ingest wire codec: how clients stream block accesses to a
+// server. A stream is the 4-byte magic followed by frames, each
+//
+//	uvarint clientID
+//	uvarint count           (1 .. MaxBatch)
+//	count × varint deltas   (zig-zag; block[i] = block[i-1] + delta,
+//	                         starting from 0 at each frame)
+//
+// Delta coding inside a frame keeps strided workloads compact (a
+// constant stride is one byte per access after the first), and
+// restarting the delta base at every frame keeps frames
+// self-contained: any frame decodes without its predecessors, which is
+// what lets the fuzzer, the retry layer and a resuming client all
+// treat frames as the atomic unit.
+//
+// Error discipline mirrors internal/trace: structural damage —
+// truncation mid-frame, an overlong varint, an oversized count, a bad
+// magic — fails with a wrapped xerr.ErrFormat carrying the byte
+// offset. Transient transport faults are not this layer's business:
+// ServeIngest wraps the underlying reader in a faultio.RetryReader
+// *below* the decoder, so by the time bytes reach it they are final.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"xoridx/internal/xerr"
+)
+
+// ingestMagic heads every ingest stream.
+const ingestMagic = "XIG1"
+
+// MaxBatch caps the accesses in one frame: large enough to amortise
+// framing, small enough that a hostile count cannot balloon memory.
+const MaxBatch = 1 << 16
+
+// BatchWriter encodes ingest frames onto a stream. Not safe for
+// concurrent use; give each client connection its own writer.
+type BatchWriter struct {
+	w       io.Writer
+	buf     []byte
+	started bool
+}
+
+// NewBatchWriter starts an ingest stream on w; the magic is written
+// with the first frame.
+func NewBatchWriter(w io.Writer) *BatchWriter { return &BatchWriter{w: w} }
+
+// WriteBatch encodes one frame. Empty batches are a no-op; batches
+// beyond MaxBatch are rejected (split them) with a wrapped
+// xerr.ErrInvalidOptions. The frame is buffered and written with a
+// single Write so a frame never interleaves with another writer's
+// output at the transport layer.
+func (bw *BatchWriter) WriteBatch(clientID uint64, blocks []uint64) error {
+	if len(blocks) == 0 {
+		return nil
+	}
+	if len(blocks) > MaxBatch {
+		return fmt.Errorf("serve: batch of %d accesses exceeds MaxBatch %d: %w",
+			len(blocks), MaxBatch, xerr.ErrInvalidOptions)
+	}
+	bw.buf = bw.buf[:0]
+	if !bw.started {
+		bw.buf = append(bw.buf, ingestMagic...)
+		bw.started = true
+	}
+	bw.buf = binary.AppendUvarint(bw.buf, clientID)
+	bw.buf = binary.AppendUvarint(bw.buf, uint64(len(blocks)))
+	prev := uint64(0)
+	for _, b := range blocks {
+		bw.buf = binary.AppendVarint(bw.buf, int64(b-prev))
+		prev = b
+	}
+	_, err := bw.w.Write(bw.buf)
+	return err
+}
+
+// BatchReader decodes ingest frames from a stream.
+type BatchReader struct {
+	br      *bufio.Reader
+	off     int64 // bytes consumed, for error reports
+	started bool
+}
+
+// NewBatchReader wraps r for frame-at-a-time decoding.
+func NewBatchReader(r io.Reader) *BatchReader {
+	return &BatchReader{br: bufio.NewReader(r)}
+}
+
+// Next decodes one frame, reusing dst's backing array when it is large
+// enough. A stream that ends cleanly — zero bytes, or exactly between
+// frames — returns io.EOF; an end mid-frame is corruption and returns
+// a wrapped xerr.ErrFormat with the offset. I/O errors from the
+// underlying reader pass through unwrapped.
+func (d *BatchReader) Next(dst []uint64) (clientID uint64, blocks []uint64, err error) {
+	if !d.started {
+		var magic [4]byte
+		n, err := io.ReadFull(d.br, magic[:])
+		d.off += int64(n)
+		if err == io.EOF {
+			return 0, nil, io.EOF // empty stream: no frames at all
+		}
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, d.corrupt("stream magic", err)
+		}
+		if err != nil {
+			return 0, nil, err // transport error: not this layer's business
+		}
+		if string(magic[:]) != ingestMagic {
+			return 0, nil, d.corrupt("stream magic",
+				fmt.Errorf("got %q, want %q", magic[:], ingestMagic))
+		}
+		d.started = true
+	}
+	clientID, err = d.readUvarint("clientID", true)
+	if err != nil {
+		return 0, nil, err
+	}
+	count, err := d.readUvarint("count", false)
+	if err != nil {
+		return 0, nil, err
+	}
+	if count == 0 || count > MaxBatch {
+		return 0, nil, d.corrupt("count", fmt.Errorf("%d outside [1, %d]", count, MaxBatch))
+	}
+	if cap(dst) >= int(count) {
+		blocks = dst[:0]
+	} else {
+		blocks = make([]uint64, 0, count)
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		ux, err := d.readUvarint("delta", false)
+		if err != nil {
+			return 0, nil, err
+		}
+		delta := int64(ux>>1) ^ -int64(ux&1) // zig-zag, as binary.Varint
+		b := prev + uint64(delta)
+		blocks = append(blocks, b)
+		prev = b
+	}
+	return clientID, blocks, nil
+}
+
+// Offset returns the number of stream bytes consumed so far.
+func (d *BatchReader) Offset() int64 { return d.off }
+
+// readUvarint decodes one unsigned varint, tracking the offset.
+// atFrameStart selects the clean-EOF position: io.EOF before any byte
+// of a frame is the stream's end, everywhere else it is truncation.
+func (d *BatchReader) readUvarint(what string, atFrameStart bool) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := d.br.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				if i == 0 && atFrameStart {
+					return 0, io.EOF
+				}
+				return 0, d.corrupt(what, io.ErrUnexpectedEOF)
+			}
+			return 0, err // transport error: not this layer's business
+		}
+		d.off++
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, d.corrupt(what, fmt.Errorf("varint overflows 64 bits"))
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, d.corrupt(what, fmt.Errorf("varint longer than %d bytes", binary.MaxVarintLen64))
+}
+
+// corrupt wraps a structural decode failure with the stream offset and
+// the xerr.ErrFormat sentinel.
+func (d *BatchReader) corrupt(what string, cause error) error {
+	return fmt.Errorf("serve: ingest stream at offset %d: %s: %v: %w", d.off, what, cause, xerr.ErrFormat)
+}

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"xoridx/internal/xerr"
+)
+
+type frame struct {
+	clientID uint64
+	blocks   []uint64
+}
+
+func encodeFrames(t testing.TB, frames []frame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := NewBatchWriter(&buf)
+	for _, f := range frames {
+		if err := bw.WriteBatch(f.clientID, f.blocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func decodeFrames(r io.Reader) ([]frame, error) {
+	d := NewBatchReader(r)
+	var out []frame
+	for {
+		clientID, blocks, err := d.Next(nil)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, frame{clientID, append([]uint64(nil), blocks...)})
+	}
+}
+
+// TestWireRoundTrip drives random frames — strided, random-jump, and
+// single-access batches, client IDs across the whole uint64 range —
+// through the codec and back.
+func TestWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		var frames []frame
+		for f := 0; f < 1+rng.Intn(8); f++ {
+			n := 1 + rng.Intn(500)
+			blocks := make([]uint64, n)
+			switch rng.Intn(3) {
+			case 0: // constant stride: the format's best case
+				stride := uint64(rng.Intn(256))
+				for i := range blocks {
+					blocks[i] = uint64(i) * stride
+				}
+			case 1: // arbitrary jumps, full range
+				for i := range blocks {
+					blocks[i] = rng.Uint64()
+				}
+			default: // descending: negative deltas
+				for i := range blocks {
+					blocks[i] = uint64(n-i) * 7
+				}
+			}
+			frames = append(frames, frame{clientID: rng.Uint64(), blocks: blocks})
+		}
+		got, err := decodeFrames(bytes.NewReader(encodeFrames(t, frames)))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got) != len(frames) {
+			t.Fatalf("trial %d: decoded %d frames, wrote %d", trial, len(got), len(frames))
+		}
+		for i := range frames {
+			if got[i].clientID != frames[i].clientID {
+				t.Fatalf("trial %d frame %d: clientID %d, want %d", trial, i, got[i].clientID, frames[i].clientID)
+			}
+			if len(got[i].blocks) != len(frames[i].blocks) {
+				t.Fatalf("trial %d frame %d: %d blocks, want %d", trial, i, len(got[i].blocks), len(frames[i].blocks))
+			}
+			for j := range frames[i].blocks {
+				if got[i].blocks[j] != frames[i].blocks[j] {
+					t.Fatalf("trial %d frame %d block %d: %#x, want %#x",
+						trial, i, j, got[i].blocks[j], frames[i].blocks[j])
+				}
+			}
+		}
+	}
+}
+
+// TestWireDstReuse pins that Next reuses a large-enough caller buffer
+// instead of allocating.
+func TestWireDstReuse(t *testing.T) {
+	raw := encodeFrames(t, []frame{{1, []uint64{5, 6, 7}}, {2, []uint64{9}}})
+	d := NewBatchReader(bytes.NewReader(raw))
+	dst := make([]uint64, 0, 64)
+	_, first, err := d.Next(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[:1][0] != &dst[:1][0] {
+		t.Fatal("Next allocated despite a large-enough dst")
+	}
+}
+
+// TestWireWriterRejects covers the writer's input validation.
+func TestWireWriterRejects(t *testing.T) {
+	bw := NewBatchWriter(&bytes.Buffer{})
+	if err := bw.WriteBatch(1, nil); err != nil {
+		t.Fatalf("empty batch: %v, want nil (no-op)", err)
+	}
+	if err := bw.WriteBatch(1, make([]uint64, MaxBatch+1)); !errors.Is(err, xerr.ErrInvalidOptions) {
+		t.Fatalf("oversized batch: %v, want ErrInvalidOptions", err)
+	}
+}
+
+// TestWireCorruption covers the decoder's structural failure modes:
+// empty and between-frame ends are clean EOF, everything else is a
+// wrapped ErrFormat, and underlying I/O errors pass through untouched.
+func TestWireCorruption(t *testing.T) {
+	raw := encodeFrames(t, []frame{{3, []uint64{100, 164, 228, 16}}})
+
+	t.Run("empty stream", func(t *testing.T) {
+		if _, err := decodeFrames(bytes.NewReader(nil)); err != nil {
+			t.Fatalf("empty stream: %v, want clean EOF", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[0] ^= 0xff
+		if _, err := decodeFrames(bytes.NewReader(bad)); !errors.Is(err, xerr.ErrFormat) {
+			t.Fatalf("bad magic: %v, want ErrFormat", err)
+		}
+	})
+	t.Run("truncation mid-frame", func(t *testing.T) {
+		for cut := len(ingestMagic) + 1; cut < len(raw); cut++ {
+			if _, err := decodeFrames(bytes.NewReader(raw[:cut])); !errors.Is(err, xerr.ErrFormat) {
+				t.Fatalf("cut at %d: %v, want ErrFormat", cut, err)
+			}
+		}
+	})
+	t.Run("truncated magic", func(t *testing.T) {
+		if _, err := decodeFrames(bytes.NewReader(raw[:2])); !errors.Is(err, xerr.ErrFormat) {
+			t.Fatalf("truncated magic: %v, want ErrFormat", err)
+		}
+	})
+	t.Run("zero count", func(t *testing.T) {
+		var buf bytes.Buffer
+		buf.WriteString(ingestMagic)
+		buf.WriteByte(1) // clientID
+		buf.WriteByte(0) // count 0
+		if _, err := decodeFrames(&buf); !errors.Is(err, xerr.ErrFormat) {
+			t.Fatalf("zero count: %v, want ErrFormat", err)
+		}
+	})
+	t.Run("oversized count", func(t *testing.T) {
+		var buf bytes.Buffer
+		buf.WriteString(ingestMagic)
+		buf.WriteByte(1)
+		buf.Write([]byte{0x81, 0x80, 0x08}) // 1<<17, over MaxBatch
+		if _, err := decodeFrames(&buf); !errors.Is(err, xerr.ErrFormat) {
+			t.Fatalf("oversized count: %v, want ErrFormat", err)
+		}
+	})
+	t.Run("overlong varint", func(t *testing.T) {
+		var buf bytes.Buffer
+		buf.WriteString(ingestMagic)
+		for i := 0; i < 11; i++ {
+			buf.WriteByte(0x80) // continuation forever
+		}
+		if _, err := decodeFrames(&buf); !errors.Is(err, xerr.ErrFormat) {
+			t.Fatalf("overlong varint: %v, want ErrFormat", err)
+		}
+	})
+	t.Run("transport error passes through", func(t *testing.T) {
+		cause := errors.New("connection reset")
+		_, err := decodeFrames(io.MultiReader(bytes.NewReader(raw[:len(raw)-2]), errReader{cause}))
+		if !errors.Is(err, cause) || errors.Is(err, xerr.ErrFormat) {
+			t.Fatalf("transport error: %v, want the cause unwrapped", err)
+		}
+	})
+}
+
+type errReader struct{ err error }
+
+func (e errReader) Read([]byte) (int, error) { return 0, e.err }
+
+// FuzzIngestCodec feeds arbitrary bytes to the frame decoder. Three
+// properties must hold for any input: no panic, every failure is a
+// clean EOF or a wrapped ErrFormat, and whatever frames decoded
+// re-encode to a stream that decodes to the same frames.
+func FuzzIngestCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(ingestMagic))
+	f.Add(encodeFrames(f, []frame{{7, []uint64{1, 2, 3}}}))
+	f.Add(encodeFrames(f, []frame{{0, []uint64{0}}, {1 << 40, []uint64{9, 3, 1 << 50}}}))
+	f.Add([]byte{'X', 'I', 'G', '1', 0x01, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames, err := decodeFrames(bytes.NewReader(data))
+		if err != nil && !errors.Is(err, xerr.ErrFormat) {
+			t.Fatalf("decode error is neither clean EOF nor ErrFormat: %v", err)
+		}
+		if len(frames) == 0 {
+			return
+		}
+		again, err := decodeFrames(bytes.NewReader(encodeFrames(t, frames)))
+		if err != nil {
+			t.Fatalf("re-encoded stream failed to decode: %v", err)
+		}
+		if len(again) != len(frames) {
+			t.Fatalf("round trip changed frame count: %d vs %d", len(again), len(frames))
+		}
+		for i := range frames {
+			if again[i].clientID != frames[i].clientID || len(again[i].blocks) != len(frames[i].blocks) {
+				t.Fatalf("round trip changed frame %d", i)
+			}
+			for j := range frames[i].blocks {
+				if again[i].blocks[j] != frames[i].blocks[j] {
+					t.Fatalf("round trip changed frame %d block %d", i, j)
+				}
+			}
+		}
+	})
+}
