@@ -1,0 +1,188 @@
+package xoridx
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"xoridx/internal/crack"
+	"xoridx/internal/gf2"
+)
+
+// The crack-benchmark geometries: the 4KB/16-bit pipeline problem, two
+// larger widths, and one rank-deficient plant. Probe counts are
+// deterministic (fixed seeds, no noise), so the group-vs-naive query
+// reduction recorded here is an invariant, not a measurement —
+// benchcheck rejects a BENCH_crack.json where group testing stopped
+// winning.
+var benchCrackGeometries = []struct {
+	n, m, rank int
+	seed       int64
+}{
+	{16, 8, 8, 1},
+	{20, 10, 10, 2},
+	{24, 12, 12, 3},
+	{16, 8, 5, 4}, // rank-deficient: three index columns are redundant
+}
+
+type benchCrackStrategyResult struct {
+	LogicalQueries uint64  `json:"logical_queries"`
+	Probes         uint64  `json:"probes"`
+	Accesses       uint64  `json:"accesses"`
+	MsPerCrack     float64 `json:"ms_per_crack"`
+}
+
+type benchCrackResult struct {
+	N              int                      `json:"n"`
+	M              int                      `json:"m"`
+	Rank           int                      `json:"rank"`
+	Naive          benchCrackStrategyResult `json:"naive"`
+	Group          benchCrackStrategyResult `json:"group"`
+	QueryReduction float64                  `json:"query_reduction"`
+	Verified       bool                     `json:"verified"`
+}
+
+// BenchmarkCrack measures the black-box recovery of planted index
+// functions on both axes that matter to an attacker: wall clock per
+// crack and, more importantly, oracle cost — logical (majority-voted)
+// queries, issued probes and total memory accesses. Each sub-benchmark
+// cracks the same plant with the naive per-bit strategy and the
+// group-testing reduction and verifies the recovery against the plant;
+// the final sub-benchmark writes BENCH_crack.json, which cmd/benchcheck
+// holds to the group-beats-naive query invariant in CI.
+func BenchmarkCrack(b *testing.B) {
+	results := make([]benchCrackResult, len(benchCrackGeometries))
+	for gi, g := range benchCrackGeometries {
+		h := crack.RandomPlant(g.n, g.m, g.rank, g.seed)
+		row := &results[gi]
+		row.N, row.M, row.Rank = g.n, g.m, g.rank
+		row.Verified = true
+		for _, strategy := range []crack.Strategy{crack.Naive, crack.GroupTesting} {
+			name := fmt.Sprintf("%s/n=%d,m=%d,rank=%d", strategy, g.n, g.m, g.rank)
+			b.Run(name, func(b *testing.B) {
+				var out benchCrackStrategyResult
+				best := time.Duration(0)
+				for i := 0; i < b.N; i++ {
+					o, err := crack.NewSimOracle(h, crack.EvictionSet)
+					if err != nil {
+						b.Fatal(err)
+					}
+					start := time.Now()
+					res, err := crack.Crack(o, crack.Options{Strategy: strategy})
+					elapsed := time.Since(start)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !crack.Equivalent(res.Matrix, h) || res.Rank != g.rank {
+						row.Verified = false
+						b.Fatalf("%s: recovery diverged from plant", name)
+					}
+					if _, ok := crack.IndexTransform(res.Matrix, h); !ok {
+						row.Verified = false
+						b.Fatalf("%s: no index transform onto plant", name)
+					}
+					out.LogicalQueries = res.LogicalQueries
+					out.Probes = res.Stats.Queries
+					out.Accesses = res.Stats.Accesses
+					if best == 0 || elapsed < best {
+						best = elapsed
+					}
+				}
+				out.MsPerCrack = float64(best.Microseconds()) / 1000
+				b.ReportMetric(float64(out.LogicalQueries), "queries")
+				b.ReportMetric(out.MsPerCrack, "ms/crack")
+				if strategy == crack.Naive {
+					row.Naive = out
+				} else {
+					row.Group = out
+				}
+			})
+		}
+		if row.Naive.LogicalQueries > 0 && row.Group.LogicalQueries > 0 {
+			row.QueryReduction = float64(row.Naive.LogicalQueries) / float64(row.Group.LogicalQueries)
+			if row.Group.LogicalQueries >= row.Naive.LogicalQueries {
+				b.Fatalf("n=%d m=%d rank=%d: group testing used %d logical queries, naive %d — reduction lost",
+					g.n, g.m, g.rank, row.Group.LogicalQueries, row.Naive.LogicalQueries)
+			}
+		}
+	}
+
+	b.Run("emit-baseline", func(b *testing.B) {
+		for _, r := range results {
+			if r.Naive.LogicalQueries == 0 || r.Group.LogicalQueries == 0 {
+				b.Skip("run the strategy sub-benchmarks first")
+			}
+		}
+		out := struct {
+			Benchmark  string             `json:"benchmark"`
+			Oracle     string             `json:"oracle"`
+			GoVersion  string             `json:"go_version"`
+			NumCPU     int                `json:"num_cpu"`
+			Geometries []benchCrackResult `json:"geometries"`
+		}{
+			Benchmark:  "BenchmarkCrack",
+			Oracle:     crack.EvictionSet.String(),
+			GoVersion:  runtime.Version(),
+			NumCPU:     runtime.NumCPU(),
+			Geometries: results,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_crack.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			b.ReportMetric(r.QueryReduction, fmt.Sprintf("n%d-rank%d-reduction", r.N, r.Rank))
+		}
+	})
+}
+
+// BenchmarkCrackTrace measures the passive mode: constraint extraction
+// from an observed hit/miss stream, the cost an auditor pays when
+// probing is off the table.
+func BenchmarkCrackTrace(b *testing.B) {
+	const n, m = 16, 8
+	h := crack.RandomPlant(n, m, m, 9)
+	// A reuse-heavy synthetic stream: x, y, x triples yield one certain
+	// constraint each.
+	rng := uint64(1)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	mask := uint64(gf2.Mask(n))
+	blocks := make([]uint64, 0, 3*100_000)
+	for i := 0; i < 100_000; i++ {
+		x, y := next()&mask, next()&mask
+		if x == y {
+			continue
+		}
+		blocks = append(blocks, x, y, x)
+	}
+	o, err := crack.NewSimOracle(h, crack.HitMiss)
+	if err != nil {
+		b.Fatal(err)
+	}
+	missed, err := crack.ObserveTrace(o, blocks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.SetBytes(int64(len(blocks)) * 8)
+	for i := 0; i < b.N; i++ {
+		res, err := crack.CrackTrace(blocks, missed, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Recovered.Equal(h.NullSpace()) || res.Inconsistent != 0 {
+			b.Fatal("passive recovery diverged")
+		}
+	}
+}

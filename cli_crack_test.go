@@ -1,0 +1,89 @@
+package xoridx
+
+// End-to-end tests of the crack subcommand through the real binary:
+// self-test sweeps (both strategies, noisy oracle, eviction-set style),
+// the -plant/-save matrix round trip, the passive trace mode, and the
+// flag validation paths.
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCLICrackSelfTest(t *testing.T) {
+	stdout, _ := run(t, "xoridx", "crack", "-n", "14", "-m", "6", "-trials", "6", "-strategy", "both", "-seed", "3")
+	if !strings.Contains(stdout, "all 6 trials recovered set-mapping-equivalent functions") {
+		t.Fatalf("missing success line:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "group testing:") || !strings.Contains(stdout, "fewer") {
+		t.Fatalf("missing strategy comparison:\n%s", stdout)
+	}
+	// The mixed schedule plants a rank-deficient function every third
+	// trial: rank 5 recoveries must appear alongside rank 6.
+	if !strings.Contains(stdout, "rank 5 recovered") || !strings.Contains(stdout, "rank 6 recovered") {
+		t.Fatalf("rank mix missing from schedule:\n%s", stdout)
+	}
+}
+
+func TestCLICrackNoisyEvict(t *testing.T) {
+	stdout, _ := run(t, "xoridx", "crack", "-n", "12", "-m", "5", "-trials", "3",
+		"-strategy", "group", "-oracle", "evict", "-noise", "0.02", "-repeats", "3")
+	if !strings.Contains(stdout, "all 3 trials recovered set-mapping-equivalent functions") {
+		t.Fatalf("noisy eviction-set crack failed:\n%s", stdout)
+	}
+}
+
+func TestCLICrackPlantRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	mat := filepath.Join(dir, "rec.mat")
+	stdout, _ := run(t, "xoridx", "crack", "-n", "12", "-m", "4", "-trials", "1", "-strategy", "group", "-save", mat)
+	if !strings.Contains(stdout, "recovered matrix written to") {
+		t.Fatalf("missing -save confirmation:\n%s", stdout)
+	}
+	// Crack the recovered matrix as a new plant: recovery must close
+	// the loop, and the saved file must also feed the main pipeline.
+	stdout, _ = run(t, "xoridx", "crack", "-plant", mat, "-strategy", "naive")
+	if !strings.Contains(stdout, "all 1 trials recovered set-mapping-equivalent functions") {
+		t.Fatalf("replanted crack failed:\n%s", stdout)
+	}
+	traceFile := filepath.Join(dir, "fft.xtr")
+	run(t, "tracegen", "-bench", "fft", "-out", traceFile)
+	stdout, _ = run(t, "xoridx", "-trace", traceFile, "-cache", "64", "-n", "12", "-apply", mat)
+	if !strings.Contains(stdout, "applied general XOR 12->4") {
+		t.Fatalf("-apply rejected the cracked matrix:\n%s", stdout)
+	}
+}
+
+func TestCLICrackTraceMode(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "fft.xtr")
+	run(t, "tracegen", "-bench", "fft", "-out", traceFile)
+	stdout, _ := run(t, "xoridx", "crack", "-trace", traceFile, "-n", "14", "-m", "6", "-seed", "5")
+	for _, want := range []string{"passive crack of", "constraints:", "null-space dimensions"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("trace mode output missing %q:\n%s", want, stdout)
+		}
+	}
+	if !strings.Contains(stdout, "0 inconsistent") {
+		t.Fatalf("noise-free passive crack reported inconsistencies:\n%s", stdout)
+	}
+}
+
+func TestCLICrackErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"crack", "-strategy", "bogus"},
+		{"crack", "-oracle", "bogus"},
+		{"crack", "-n", "8", "-m", "8"},
+		{"crack", "-n", "1", "-m", "1"},
+		{"crack", "-rank", "9", "-m", "8"},
+		{"crack", "-noise", "1.5"},
+		{"crack", "-trials", "0"},
+		{"crack", "-plant", "/nonexistent/file.mat"},
+	} {
+		out := runExpectFail(t, "xoridx", args...)
+		if out == "" {
+			t.Fatalf("%v: failed silently", args)
+		}
+	}
+}

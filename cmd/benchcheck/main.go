@@ -1,15 +1,26 @@
 // Command benchcheck validates a BENCH_profile.json emitted by the
 // profiling benchmarks (BenchmarkBuild / BenchmarkBuildParallel in
-// bench_test.go) or a BENCH_serve.json emitted by BenchmarkServe
-// (bench_serve_test.go): it fails with a non-zero exit on malformed
-// JSON, missing sections, or nonsensical numbers, so CI catches a
-// benchmark that silently emitted garbage. The file kind is routed on
-// the "benchmark" field, so both spellings work:
+// bench_test.go), a BENCH_serve.json emitted by BenchmarkServe
+// (bench_serve_test.go), or a BENCH_crack.json emitted by
+// BenchmarkCrack (bench_crack_test.go): it fails with a non-zero exit
+// on malformed JSON, missing sections, or nonsensical numbers, so CI
+// catches a benchmark that silently emitted garbage. The file kind is
+// routed on the "benchmark" field, so all spellings work:
 //
 // Usage:
 //
 //	benchcheck [-perf] [BENCH_profile.json]
 //	benchcheck BENCH_serve.json
+//	benchcheck BENCH_crack.json
+//
+// Crack baselines carry one unconditional invariant (no -perf needed):
+// on every recorded geometry the group-testing strategy must have
+// recovered the planted function with strictly fewer logical oracle
+// queries than naive per-bit probing, with the recovery verified
+// against the plant — probe counts are deterministic, so a loss there
+// is an algorithmic regression, not noise. The schedule must also keep
+// at least one rank-deficient plant so that coverage cannot silently
+// disappear.
 //
 // With -perf it additionally enforces the performance contracts
 // (profile files only — the serve baseline records throughput without
@@ -84,6 +95,32 @@ type ingestPoint struct {
 	SpeedupVs1  float64 `json:"speedup_vs_1"`
 }
 
+// The mirror of bench_crack_test.go's BENCH_crack.json schema.
+type crackFile struct {
+	Benchmark  string     `json:"benchmark"`
+	Oracle     string     `json:"oracle"`
+	GoVersion  string     `json:"go_version"`
+	NumCPU     int        `json:"num_cpu"`
+	Geometries []crackRow `json:"geometries"`
+}
+
+type crackRow struct {
+	N              int           `json:"n"`
+	M              int           `json:"m"`
+	Rank           int           `json:"rank"`
+	Naive          crackStrategy `json:"naive"`
+	Group          crackStrategy `json:"group"`
+	QueryReduction float64       `json:"query_reduction"`
+	Verified       bool          `json:"verified"`
+}
+
+type crackStrategy struct {
+	LogicalQueries uint64  `json:"logical_queries"`
+	Probes         uint64  `json:"probes"`
+	Accesses       uint64  `json:"accesses"`
+	MsPerCrack     float64 `json:"ms_per_crack"`
+}
+
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
 	os.Exit(1)
@@ -109,6 +146,23 @@ func main() {
 	}
 	if err := json.Unmarshal(raw, &probe); err != nil {
 		fail("%s: malformed JSON: %v", path, err)
+	}
+	if probe.Benchmark == "BenchmarkCrack" {
+		var f crackFile
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&f); err != nil {
+			fail("%s: malformed JSON: %v", path, err)
+		}
+		if *perf {
+			fail("%s: -perf applies to profile baselines only", path)
+		}
+		if err := validateCrack(&f); err != nil {
+			fail("%s: %v", path, err)
+		}
+		fmt.Printf("benchcheck: %s OK (%d geometries, group testing %.1f-%.1fx fewer queries)\n",
+			path, len(f.Geometries), minReduction(f.Geometries), maxReduction(f.Geometries))
+		return
 	}
 	if probe.Benchmark == "BenchmarkServe" {
 		var f serveFile
@@ -138,6 +192,102 @@ func main() {
 	}
 	fmt.Printf("benchcheck: %s OK (%d sequential workloads, %d parallel points)\n",
 		path, len(f.Sequential), len(f.Parallel))
+}
+
+// validateCrack holds a BENCH_crack.json to its invariants: sane
+// geometries (at least one of them rank-deficient), verified
+// recoveries, positive probe costs consistent across the two counters
+// (logical <= probes, accesses >= probes since every probe touches
+// memory), a query_reduction that matches the recorded counts, and —
+// the headline — group testing strictly beating naive probing on
+// logical queries for every geometry.
+func validateCrack(f *crackFile) error {
+	if f.Benchmark != "BenchmarkCrack" {
+		return fmt.Errorf("benchmark = %q, want BenchmarkCrack", f.Benchmark)
+	}
+	if f.Oracle != "hitmiss" && f.Oracle != "evict" {
+		return fmt.Errorf("oracle = %q, want hitmiss or evict", f.Oracle)
+	}
+	if f.GoVersion == "" {
+		return fmt.Errorf("empty go_version")
+	}
+	if f.NumCPU <= 0 {
+		return fmt.Errorf("num_cpu = %d out of range", f.NumCPU)
+	}
+	if len(f.Geometries) == 0 {
+		return fmt.Errorf("no geometries — run BenchmarkCrack with -benchtime=1x first")
+	}
+	deficient := false
+	seen := map[string]bool{}
+	for i, g := range f.Geometries {
+		tag := fmt.Sprintf("geometries[%d] (n=%d m=%d rank=%d)", i, g.N, g.M, g.Rank)
+		if g.N < 2 || g.N > 64 || g.M < 1 || g.M >= g.N {
+			return fmt.Errorf("%s: need 2 <= n <= 64 and 1 <= m < n", tag)
+		}
+		if g.Rank < 1 || g.Rank > g.M {
+			return fmt.Errorf("%s: rank outside [1, m]", tag)
+		}
+		key := fmt.Sprintf("%d/%d/%d", g.N, g.M, g.Rank)
+		if seen[key] {
+			return fmt.Errorf("%s: duplicate geometry", tag)
+		}
+		seen[key] = true
+		if g.Rank < g.M {
+			deficient = true
+		}
+		if !g.Verified {
+			return fmt.Errorf("%s: recovery not verified against the plant", tag)
+		}
+		for _, s := range []struct {
+			name string
+			r    crackStrategy
+		}{{"naive", g.Naive}, {"group", g.Group}} {
+			if s.r.LogicalQueries == 0 || s.r.Probes == 0 || s.r.Accesses == 0 {
+				return fmt.Errorf("%s: %s has zero probe counts", tag, s.name)
+			}
+			if s.r.Probes < s.r.LogicalQueries {
+				return fmt.Errorf("%s: %s issued %d probes for %d logical queries", tag, s.name, s.r.Probes, s.r.LogicalQueries)
+			}
+			if s.r.Accesses < s.r.Probes {
+				return fmt.Errorf("%s: %s recorded %d accesses for %d probes", tag, s.name, s.r.Accesses, s.r.Probes)
+			}
+			if s.r.MsPerCrack <= 0 {
+				return fmt.Errorf("%s: %s ms_per_crack = %.3f", tag, s.name, s.r.MsPerCrack)
+			}
+		}
+		if g.Group.LogicalQueries >= g.Naive.LogicalQueries {
+			return fmt.Errorf("%s: group testing used %d logical queries, naive %d — the reduction is the point",
+				tag, g.Group.LogicalQueries, g.Naive.LogicalQueries)
+		}
+		want := float64(g.Naive.LogicalQueries) / float64(g.Group.LogicalQueries)
+		if g.QueryReduction < want*0.99 || g.QueryReduction > want*1.01 {
+			return fmt.Errorf("%s: query_reduction = %.3f does not match counts (%.3f)", tag, g.QueryReduction, want)
+		}
+	}
+	if !deficient {
+		return fmt.Errorf("no rank-deficient geometry in the schedule")
+	}
+	return nil
+}
+
+func minReduction(rows []crackRow) float64 {
+	out := rows[0].QueryReduction
+	for _, r := range rows[1:] {
+		if r.QueryReduction < out {
+			out = r.QueryReduction
+		}
+	}
+	return out
+}
+
+func maxReduction(rows []crackRow) float64 {
+	out := rows[0].QueryReduction
+	for _, r := range rows[1:] {
+		if r.QueryReduction > out {
+			out = r.QueryReduction
+		}
+	}
+	return out
 }
 
 // validateServe holds a BENCH_serve.json to structural sanity: real

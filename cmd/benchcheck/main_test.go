@@ -277,3 +277,147 @@ func TestValidateServeRejections(t *testing.T) {
 		})
 	}
 }
+
+// goodCrackFile returns a crack baseline that passes every rule.
+func goodCrackFile() *crackFile {
+	return &crackFile{
+		Benchmark: "BenchmarkCrack",
+		Oracle:    "evict",
+		GoVersion: "go1.24.0",
+		NumCPU:    8,
+		Geometries: []crackRow{
+			{
+				N: 16, M: 8, Rank: 8,
+				Naive:          crackStrategy{LogicalQueries: 1325, Probes: 1325, Accesses: 3975, MsPerCrack: 0.22},
+				Group:          crackStrategy{LogicalQueries: 88, Probes: 88, Accesses: 4527, MsPerCrack: 0.16},
+				QueryReduction: 1325.0 / 88,
+				Verified:       true,
+			},
+			{
+				N: 16, M: 8, Rank: 5,
+				Naive:          crackStrategy{LogicalQueries: 237, Probes: 237, Accesses: 711, MsPerCrack: 0.03},
+				Group:          crackStrategy{LogicalQueries: 82, Probes: 82, Accesses: 899, MsPerCrack: 0.05},
+				QueryReduction: 237.0 / 82,
+				Verified:       true,
+			},
+		},
+	}
+}
+
+func TestValidateCrackAcceptsGoodBaseline(t *testing.T) {
+	if err := validateCrack(goodCrackFile()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCrackRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*crackFile)
+		wantSub string
+	}{
+		{
+			name: "group testing stopped winning",
+			mutate: func(f *crackFile) {
+				// The headline invariant: probe counts are deterministic,
+				// so group >= naive is an algorithmic regression.
+				g := &f.Geometries[0]
+				g.Group = g.Naive
+				g.QueryReduction = 1
+			},
+			wantSub: "the reduction is the point",
+		},
+		{
+			name:    "wrong benchmark name",
+			mutate:  func(f *crackFile) { f.Benchmark = "BenchmarkServe" },
+			wantSub: "want BenchmarkCrack",
+		},
+		{
+			name:    "unknown oracle style",
+			mutate:  func(f *crackFile) { f.Oracle = "telepathy" },
+			wantSub: "oracle",
+		},
+		{
+			name:    "empty geometry list",
+			mutate:  func(f *crackFile) { f.Geometries = nil },
+			wantSub: "no geometries",
+		},
+		{
+			name:    "unverified recovery",
+			mutate:  func(f *crackFile) { f.Geometries[1].Verified = false },
+			wantSub: "not verified",
+		},
+		{
+			name: "rank-deficient coverage lost",
+			mutate: func(f *crackFile) {
+				f.Geometries[1].N = 17 // keep the key unique
+				f.Geometries[1].Rank = f.Geometries[1].M
+			},
+			wantSub: "rank-deficient",
+		},
+		{
+			name:    "rank above m",
+			mutate:  func(f *crackFile) { f.Geometries[0].Rank = 9 },
+			wantSub: "rank outside",
+		},
+		{
+			name:    "degenerate geometry",
+			mutate:  func(f *crackFile) { f.Geometries[0].M = 16 },
+			wantSub: "1 <= m < n",
+		},
+		{
+			name: "duplicate geometry",
+			mutate: func(f *crackFile) {
+				f.Geometries[1] = f.Geometries[0]
+			},
+			wantSub: "duplicate geometry",
+		},
+		{
+			name:    "zero probe counts",
+			mutate:  func(f *crackFile) { f.Geometries[0].Group.Probes = 0 },
+			wantSub: "zero probe counts",
+		},
+		{
+			name: "probes below logical queries",
+			mutate: func(f *crackFile) {
+				f.Geometries[0].Naive.Probes = f.Geometries[0].Naive.LogicalQueries - 1
+			},
+			wantSub: "logical queries",
+		},
+		{
+			name: "accesses below probes",
+			mutate: func(f *crackFile) {
+				f.Geometries[0].Group.Accesses = f.Geometries[0].Group.Probes - 1
+			},
+			wantSub: "accesses",
+		},
+		{
+			name:    "non-positive crack time",
+			mutate:  func(f *crackFile) { f.Geometries[0].Naive.MsPerCrack = 0 },
+			wantSub: "ms_per_crack",
+		},
+		{
+			name:    "query_reduction drifted from counts",
+			mutate:  func(f *crackFile) { f.Geometries[0].QueryReduction = 2 },
+			wantSub: "does not match counts",
+		},
+		{
+			name:    "missing go_version",
+			mutate:  func(f *crackFile) { f.GoVersion = "" },
+			wantSub: "go_version",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := goodCrackFile()
+			tc.mutate(f)
+			err := validateCrack(f)
+			if err == nil {
+				t.Fatalf("accepted a baseline that should fail with %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}

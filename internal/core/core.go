@@ -357,7 +357,9 @@ func (c Config) profileWorkers() int {
 func DescribeFunction(f hash.Func) string {
 	h := f.Matrix()
 	ns := h.NullSpace()
-	s := fmt.Sprintf("%s\nmatrix (rows = address bits %d..0):\n%s\nnull space (%d vectors):\n%s",
-		f, h.N-1, h, ns.Size(), ns)
+	// SizeBig, not Size: a 64-bit-wide degenerate function can have a
+	// full-width null space, whose 2^64 count overflows the uint64 Size.
+	s := fmt.Sprintf("%s\nmatrix (rows = address bits %d..0):\n%s\nnull space (%s vectors):\n%s",
+		f, h.N-1, h, ns.SizeBig(), ns)
 	return strings.TrimRight(s, "\n")
 }

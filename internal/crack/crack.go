@@ -1,0 +1,374 @@
+// Package crack recovers an unknown XOR index function from black-box
+// cache behaviour — the inverse of everything else in this repository.
+//
+// The construction pipeline (internal/core) assumes H is ours to
+// choose. Real hardware poses the opposite problem: the index function
+// is hidden in the silicon, and all an attacker (or an auditor
+// validating a deployed configuration) can do is issue memory accesses
+// and time them. Wei et al. ("Cracking Intel Sandy Bridge's Cache Hash
+// Function") and Vila et al. ("Theory and Practice of Finding Eviction
+// Sets") show this suffices: because H is linear over GF(2), every
+// observed eviction is a linear constraint, and enough constraints pin
+// H up to the invertible row transforms that relabel sets.
+//
+// The key identity is paper Eq. 2 run backwards: two blocks x, y
+// collide under H iff x⊕y ∈ N(H). A probe "access t, access g,
+// re-access t and observe a miss" therefore tests membership of t⊕g in
+// the hidden null space V = N(H). Crack reconstructs a basis of V from
+// such tests, one address bit at a time, and MatrixWithNullSpace turns
+// it back into a canonical H′ with N(H′) = V — the best any black-box
+// attack can do, since post-multiplying H by an invertible matrix
+// changes no observable behaviour.
+//
+// Two probe strategies are implemented. Naive per-bit probing tests
+// every candidate of the coset e_i ⊕ span(reps) with an individual
+// pair probe: up to 2^rank(H) queries per address bit. The
+// group-testing reduction (Vila et al. §4) asks the oracle about whole
+// candidate groups and binary-searches the positive group, needing
+// only rank(H)+2 queries per bit — exponentially fewer timed probe
+// rounds for the same recovered function. Both counts are reported so
+// BENCH_crack.json can pin the reduction.
+package crack
+
+import (
+	"fmt"
+	"math/bits"
+
+	"xoridx/internal/gf2"
+	"xoridx/internal/xerr"
+)
+
+// Strategy selects how Crack generates probe sequences.
+type Strategy int
+
+const (
+	// Naive probes every coset candidate with an individual pair test.
+	Naive Strategy = iota
+	// GroupTesting probes whole candidate groups and binary-searches
+	// positives (Vila et al.'s reduction).
+	GroupTesting
+)
+
+// String names the strategy for CLI/report output.
+func (s Strategy) String() string {
+	switch s {
+	case Naive:
+		return "naive"
+	case GroupTesting:
+		return "group"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// MaxRecoverableRank bounds rank(H) for a crack run: each address bit
+// may require enumerating the 2^rank coset of the representatives
+// found so far, so the candidate buffers (and the naive query count)
+// grow as 2^rank. 22 keeps the worst-case buffer at a few tens of MB.
+const MaxRecoverableRank = 22
+
+// Options tunes a crack run.
+type Options struct {
+	// Strategy selects the probe generator; default Naive.
+	Strategy Strategy
+	// Repeats adds majority-vote noise resistance: each logical query
+	// is asked 2*Repeats+1 times and decided by majority. 0 means one
+	// oracle call per query (noise-free setting).
+	Repeats int
+}
+
+// Result is a recovered index function.
+type Result struct {
+	// NullSpace is the recovered N(H): the complete set of block-
+	// address differences that collide in the hidden cache.
+	NullSpace gf2.Subspace
+	// Matrix is the canonical full-column-rank matrix with that null
+	// space (n × Rank columns). It equals the planted H up to an
+	// invertible output transform; IndexTransform computes the witness.
+	Matrix gf2.Matrix
+	// Rank is n - NullSpace.Dim(): the number of independent set-index
+	// bits the hidden function actually uses. For a rank-deficient
+	// planted H this is smaller than the planted column count.
+	Rank int
+	// LogicalQueries counts majority-voted membership questions; the
+	// oracle's Stats() count each repetition individually.
+	LogicalQueries uint64
+	// Stats is the oracle-side probe cost of this run (queries include
+	// majority-vote repetitions).
+	Stats Stats
+}
+
+// Crack recovers the hidden function's null space from o, processing
+// address bits in ascending order. For each bit i it decides whether
+// e_i is linearly dependent on the already-recovered structure modulo
+// V — i.e. whether the coset e_i ⊕ span(reps) intersects V — and
+// either extends the null-space basis (dependent: the intersection
+// vector is a new collision direction) or the representative set
+// (independent: e_i reaches a fresh set). After n bits, span of the
+// collected vectors is exactly V.
+//
+// The target of every probe is block 0: since H is linear, H(0) = 0,
+// so a candidate c conflicts with 0 iff c ∈ V. Candidates always have
+// the fresh bit i set, hence are nonzero and distinct from the target.
+func Crack(o Oracle, opts Options) (*Result, error) {
+	n := o.AddrBits()
+	if n <= 0 || n > gf2.MaxBits {
+		return nil, fmt.Errorf("crack: oracle address width %d out of range: %w", n, xerr.ErrInvalidOptions)
+	}
+	if opts.Repeats < 0 {
+		return nil, fmt.Errorf("crack: negative Repeats: %w", xerr.ErrInvalidOptions)
+	}
+	c := &cracker{o: o, opts: opts, before: o.Stats()}
+	var reps []gf2.Vec
+	null := gf2.ZeroSubspace(n)
+	for i := 0; i < n; i++ {
+		if len(reps) > MaxRecoverableRank {
+			return nil, fmt.Errorf("crack: hidden function rank exceeds %d (coset enumeration would need 2^%d probes per bit): %w",
+				MaxRecoverableRank, len(reps), xerr.ErrInvalidOptions)
+		}
+		d := gf2.Unit(i)
+		var member gf2.Vec
+		var found bool
+		var err error
+		switch opts.Strategy {
+		case Naive:
+			member, found = c.findMemberNaive(d, reps)
+		case GroupTesting:
+			member, found, err = c.findMemberGroup(d, reps)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("crack: unknown strategy %d: %w", opts.Strategy, xerr.ErrInvalidOptions)
+		}
+		if found {
+			null = null.Extend(member)
+		} else {
+			reps = append(reps, d)
+		}
+	}
+	after := o.Stats()
+	res := &Result{
+		NullSpace:      null,
+		Matrix:         gf2.MatrixWithNullSpace(null),
+		Rank:           n - null.Dim(),
+		LogicalQueries: c.logical,
+		Stats: Stats{
+			Queries:  after.Queries - c.before.Queries,
+			Accesses: after.Accesses - c.before.Accesses,
+		},
+	}
+	return res, nil
+}
+
+// cracker carries one run's probe bookkeeping.
+type cracker struct {
+	o       Oracle
+	opts    Options
+	before  Stats
+	logical uint64
+	scratch []uint64 // candidate buffer, reused across bits
+}
+
+// query asks one logical membership question (majority-voted when
+// Repeats > 0): does the group evict block 0, i.e. does it contain a
+// member of V?
+func (c *cracker) query(group []uint64) bool {
+	c.logical++
+	votes := 2*c.opts.Repeats + 1
+	positive := 0
+	for v := 0; v < votes; v++ {
+		if c.o.Conflicts(0, group) {
+			positive++
+		}
+		// Early majority: no later vote can change the outcome.
+		if positive > votes/2 || positive+(votes-1-v) <= votes/2 {
+			break
+		}
+	}
+	return positive > votes/2
+}
+
+// coset fills the scratch buffer with every candidate e_i ⊕ ΣT over
+// subsets T ⊆ reps, in Gray-code order (consecutive candidates differ
+// by one representative), starting at d itself.
+func (c *cracker) coset(d gf2.Vec, reps []gf2.Vec) []uint64 {
+	size := 1 << uint(len(reps))
+	if cap(c.scratch) < size {
+		c.scratch = make([]uint64, size)
+	}
+	out := c.scratch[:size]
+	cur := d
+	out[0] = uint64(cur)
+	for i := 1; i < size; i++ {
+		cur ^= reps[bits.TrailingZeros64(uint64(i))]
+		out[i] = uint64(cur)
+	}
+	return out
+}
+
+// findMemberNaive walks the coset candidate by candidate, one pair
+// probe each: worst case 2^len(reps) logical queries (bit
+// independent), expected half that when a member exists.
+func (c *cracker) findMemberNaive(d gf2.Vec, reps []gf2.Vec) (gf2.Vec, bool) {
+	for _, cand := range c.coset(d, reps) {
+		if c.query([]uint64{cand}) {
+			return gf2.Vec(cand), true
+		}
+	}
+	return 0, false
+}
+
+// groupRetries bounds how often a group-testing bit restarts after its
+// verification probe exposes a noise-corrupted binary search. Noise
+// only forges positives (spurious misses), so a restart re-runs the
+// whole-coset test and either re-converges or concludes "independent".
+const groupRetries = 4
+
+// findMemberGroup is the group-testing reduction: one whole-coset
+// probe decides existence, then a binary search over ever-halving
+// groups pins the member — len(reps)+2 logical queries instead of
+// 2^len(reps). The survivor is verified with a final pair probe, which
+// catches binary searches led astray by spurious positives.
+func (c *cracker) findMemberGroup(d gf2.Vec, reps []gf2.Vec) (gf2.Vec, bool, error) {
+	for attempt := 0; attempt <= groupRetries; attempt++ {
+		cands := c.coset(d, reps)
+		if !c.query(cands) {
+			// Spurious misses never flip a true positive to negative, so
+			// a negative whole-coset test is conclusive.
+			return 0, false, nil
+		}
+		for len(cands) > 1 {
+			half := cands[:(len(cands)+1)/2]
+			if c.query(half) {
+				cands = half
+			} else {
+				cands = cands[(len(cands)+1)/2:]
+			}
+		}
+		if c.query(cands[:1]) {
+			return gf2.Vec(cands[0]), true, nil
+		}
+	}
+	return 0, false, fmt.Errorf("crack: group testing did not converge after %d attempts — oracle noise exceeds what Repeats can absorb: %w",
+		groupRetries+1, xerr.ErrInvalidOptions)
+}
+
+// Equivalent reports whether two index matrices induce the same set
+// partition of the address space — equal null spaces, the equivalence
+// class a black-box attack can recover (any invertible output
+// transform between them is unobservable).
+func Equivalent(a, b gf2.Matrix) bool {
+	if a.N != b.N {
+		return false
+	}
+	return a.NullSpace().Equal(b.NullSpace())
+}
+
+// IndexTransform solves rec·B = planted over GF(2), returning the
+// witness B that relabels the recovered function's set indices into
+// the planted function's. It exists exactly when col-space(planted) ⊆
+// col-space(rec); for a faithful recovery the two column spaces are
+// equal and B maps Rank independent index bits onto the planted
+// (possibly rank-deficient) output layout.
+func IndexTransform(rec, planted gf2.Matrix) (gf2.Matrix, bool) {
+	if rec.N != planted.N || rec.M > gf2.MaxBits {
+		return gf2.Matrix{}, false
+	}
+	// Eliminate over rec's columns, tracking which combination of them
+	// produced each basis vector.
+	type tracked struct {
+		v     gf2.Vec // reduced column
+		combo gf2.Vec // combination of rec columns that equals v
+	}
+	var basis []tracked
+	reduceTracked := func(v, combo gf2.Vec) (gf2.Vec, gf2.Vec) {
+		for _, b := range basis {
+			if b.v != 0 && v&topBit(b.v) != 0 {
+				v ^= b.v
+				combo ^= b.combo
+			}
+		}
+		return v, combo
+	}
+	for j, col := range rec.Cols {
+		v, combo := reduceTracked(col, gf2.Vec(1)<<uint(j))
+		if v != 0 {
+			basis = append(basis, tracked{v, combo})
+		}
+	}
+	out := gf2.NewMatrix(rec.M, planted.M)
+	for j, col := range planted.Cols {
+		v, combo := reduceTracked(col, 0)
+		if v != 0 {
+			return gf2.Matrix{}, false // planted column outside rec's span
+		}
+		out.Cols[j] = combo
+	}
+	if !rec.Mul(out).Equal(planted) {
+		return gf2.Matrix{}, false
+	}
+	return out, true
+}
+
+// topBit returns a Vec with only the highest set bit of v (v != 0).
+func topBit(v gf2.Vec) gf2.Vec {
+	return gf2.Vec(1) << uint(bits.Len64(uint64(v))-1)
+}
+
+// RandomPlant generates a deterministic pseudo-random n×m index matrix
+// of exactly the given column rank (1 <= rank <= min(n-1, m)): rank
+// independent columns are drawn first, then the remaining m-rank
+// columns are random combinations of them, and the column order is
+// shuffled so the deficiency hides anywhere. Used by the self-test
+// mode, the benchmarks and the fuzz target to plant hidden functions.
+func RandomPlant(n, m, rank int, seed int64) gf2.Matrix {
+	if n < 2 || n > gf2.MaxBits || m < 1 || m >= n || rank < 1 || rank > m {
+		panic(fmt.Sprintf("crack: invalid plant geometry n=%d m=%d rank=%d", n, m, rank))
+	}
+	rng := uint64(seed)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	next := func() uint64 { return splitmix(&rng) }
+	mask := gf2.Mask(n)
+	// Independent part: retry until each new column leaves the span.
+	span := gf2.ZeroSubspace(n)
+	cols := make([]gf2.Vec, 0, m)
+	for len(cols) < rank {
+		v := gf2.Vec(next()) & mask
+		if v == 0 || span.Contains(v) {
+			continue
+		}
+		span = span.Extend(v)
+		cols = append(cols, v)
+	}
+	// Dependent part: nonzero combinations keep columns individually
+	// plausible (a zero column would be an instantly visible giveaway,
+	// and is still representable by planting rank == m with m' < m).
+	for len(cols) < m {
+		combo := next() & (1<<uint(rank) - 1)
+		if combo == 0 {
+			combo = 1
+		}
+		var v gf2.Vec
+		for r := 0; r < rank; r++ {
+			if combo>>uint(r)&1 == 1 {
+				v ^= cols[r]
+			}
+		}
+		cols = append(cols, v)
+	}
+	// Fisher-Yates over the column order.
+	for i := m - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		cols[i], cols[j] = cols[j], cols[i]
+	}
+	return gf2.MatrixFromCols(n, cols)
+}
+
+// splitmix advances a splitmix64 state and returns the next word.
+func splitmix(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,124 @@
+package crack
+
+import (
+	"fmt"
+
+	"xoridx/internal/gf2"
+	"xoridx/internal/xerr"
+)
+
+// Passive, trace-driven cracking: instead of choosing probe addresses,
+// the attacker only watches an existing workload run through the
+// hidden cache and sees which accesses hit and which missed. Each
+// observation is still a GF(2) constraint on V = N(H), just a weaker
+// one than an adaptive probe:
+//
+//   - a HIT on block a whose previous access saw blocks b_1..b_k in
+//     between certifies a⊕b_j ∉ V for every j (none evicted a);
+//   - a MISS on a previously-seen block a with exactly ONE distinct
+//     block b in between certifies a⊕b ∈ V (only b can have evicted
+//     a on a direct-mapped cache);
+//   - a miss with several in-between blocks only says "at least one of
+//     them conflicts" — a disjunction, recorded but not solved.
+//
+// The positives accumulate into a subspace; the negatives cross-check
+// it (a negative inside the recovered span means the observations were
+// inconsistent with a direct-mapped linear cache — noise, or a wrong
+// geometry assumption). How much of V this recovers depends entirely
+// on the trace's reuse structure, so the result reports coverage
+// rather than claiming completeness; the adaptive oracle modes exist
+// for that.
+
+// TraceResult is what passive observation recovered.
+type TraceResult struct {
+	// Recovered is the span of all certain conflict differences: a
+	// subspace of the true N(H), equal to it when the trace is rich
+	// enough.
+	Recovered gf2.Subspace
+	// Positives counts certain-conflict constraints (singleton
+	// eviction windows), Negatives the certain-non-conflict ones, and
+	// Disjunctions the ambiguous multi-block miss windows that
+	// contributed nothing.
+	Positives    int
+	Negatives    int
+	Disjunctions int
+	// Inconsistent counts negative constraints that contradict the
+	// recovered span — nonzero means the hit/miss stream cannot have
+	// come from a direct-mapped cache with a linear index of this
+	// width (or the observations are noisy).
+	Inconsistent int
+}
+
+// maxWindow bounds the backwards scan per access. Reuse windows longer
+// than this yield weak constraints at quadratic scan cost, so they are
+// counted as disjunctions and skipped.
+const maxWindow = 4096
+
+// CrackTrace extracts constraints from a passively observed replay:
+// blocks is the access sequence (block addresses), missed the
+// per-access observation, n the hashed address width. The two slices
+// must be the same length.
+func CrackTrace(blocks []uint64, missed []bool, n int) (*TraceResult, error) {
+	if len(blocks) != len(missed) {
+		return nil, fmt.Errorf("crack: %d accesses but %d observations: %w", len(blocks), len(missed), xerr.ErrInvalidOptions)
+	}
+	if n <= 0 || n > gf2.MaxBits {
+		return nil, fmt.Errorf("crack: address width %d out of range: %w", n, xerr.ErrInvalidOptions)
+	}
+	mask := uint64(gf2.Mask(n))
+	res := &TraceResult{Recovered: gf2.ZeroSubspace(n)}
+	last := make(map[uint64]int, 1024)
+	var negatives []gf2.Vec
+	for t, raw := range blocks {
+		a := raw & mask
+		prev, seen := last[a]
+		last[a] = t
+		if !seen {
+			continue // compulsory miss: no constraint
+		}
+		if t-prev-1 > maxWindow {
+			if missed[t] {
+				res.Disjunctions++
+			}
+			continue
+		}
+		// Distinct in-between blocks, preserving nothing but identity.
+		between := make(map[uint64]struct{}, 8)
+		for _, b := range blocks[prev+1 : t] {
+			if b&mask != a {
+				between[b&mask] = struct{}{}
+			}
+		}
+		switch {
+		case !missed[t]:
+			for b := range between {
+				res.Negatives++
+				negatives = append(negatives, gf2.Vec(a^b))
+			}
+		case len(between) == 1:
+			res.Positives++
+			for b := range between {
+				res.Recovered = res.Recovered.Extend(gf2.Vec(a ^ b))
+			}
+		default:
+			res.Disjunctions++
+		}
+	}
+	// Second pass over the collected negatives: membership can only be
+	// judged against the final span (a constraint collected early may
+	// contradict a positive found later).
+	for _, d := range negatives {
+		if res.Recovered.Contains(d) {
+			res.Inconsistent++
+		}
+	}
+	return res, nil
+}
+
+// ObserveTrace replays a block sequence through a hit/miss oracle and
+// returns the observation vector CrackTrace consumes — the glue
+// between a simulated black box and the passive attack. Real-world use
+// would substitute timing measurements here.
+func ObserveTrace(o *SimOracle, blocks []uint64) ([]bool, error) {
+	return o.RunSequence(blocks)
+}

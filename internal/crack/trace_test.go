@@ -1,0 +1,204 @@
+package crack
+
+import (
+	"errors"
+	"testing"
+
+	"xoridx/internal/gf2"
+	"xoridx/internal/xerr"
+)
+
+// pairTrace builds a passive trace of x, y, x triples: every second
+// visit to x has a singleton reuse window {y}, so each triple yields
+// one certain constraint (positive when x⊕y collides, negative when
+// not) — the richest trace shape for the passive cracker.
+func pairTrace(n int, pairs int, seed uint64) []uint64 {
+	rng := seed | 1
+	mask := uint64(gf2.Mask(n))
+	blocks := make([]uint64, 0, 3*pairs)
+	for i := 0; i < pairs; i++ {
+		x := splitmix(&rng) & mask
+		y := splitmix(&rng) & mask
+		if x == y {
+			continue
+		}
+		blocks = append(blocks, x, y, x)
+	}
+	return blocks
+}
+
+// TestCrackTraceRecovers replays rich passive traces through planted
+// simulators and requires full null-space recovery with zero
+// inconsistencies: every singleton-window miss is a true collision and
+// every hit a true non-collision when the black box really is a
+// direct-mapped linear cache.
+func TestCrackTraceRecovers(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		n := 6 + int(seed%5) // 6..10
+		m := 2 + int(seed)%3
+		if m >= n {
+			m = n - 1
+		}
+		rank := m
+		if seed%4 == 0 && rank > 1 {
+			rank--
+		}
+		h := RandomPlant(n, m, rank, 4000+seed)
+		o, err := NewSimOracle(h, HitMiss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks := pairTrace(n, 4000, uint64(seed)+11)
+		missed, err := ObserveTrace(o, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CrackTrace(blocks, missed, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Recovered.Equal(h.NullSpace()) {
+			t.Fatalf("seed %d (n=%d m=%d rank=%d): recovered dim %d of %d (%d positives, %d negatives)",
+				seed, n, m, rank, res.Recovered.Dim(), h.NullSpace().Dim(), res.Positives, res.Negatives)
+		}
+		if res.Inconsistent != 0 {
+			t.Fatalf("seed %d: %d inconsistent constraints from a noise-free linear cache", seed, res.Inconsistent)
+		}
+		if res.Positives == 0 || res.Negatives == 0 {
+			t.Fatalf("seed %d: degenerate trace (%d positives, %d negatives)", seed, res.Positives, res.Negatives)
+		}
+	}
+}
+
+// TestCrackTracePartial feeds a trace too poor to pin the whole null
+// space and checks the result honestly reports a strict subspace
+// rather than padding it out.
+func TestCrackTracePartial(t *testing.T) {
+	h := RandomPlant(12, 4, 4, 5)
+	o, err := NewSimOracle(h, HitMiss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := pairTrace(12, 3, 9)
+	missed, err := ObserveTrace(o, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CrackTrace(blocks, missed, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	null := h.NullSpace()
+	if res.Recovered.Dim() >= null.Dim() {
+		t.Skip("tiny trace happened to span the null space")
+	}
+	for _, b := range res.Recovered.Basis {
+		if !null.Contains(b) {
+			t.Fatalf("partial recovery contains %v outside the true null space", b)
+		}
+	}
+}
+
+// TestCrackTraceDisjunction checks that a multi-block eviction window
+// is recorded as a disjunction, not resolved into a (possibly wrong)
+// positive constraint.
+func TestCrackTraceDisjunction(t *testing.T) {
+	// Identity index on 2 set bits: blocks 0 and 4 share set 0.
+	h := gf2.Identity(4, 2)
+	o, err := NewSimOracle(h, HitMiss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0, then two candidates (4 evicts it, 1 does not), then 0 again:
+	// the re-access misses with window {4, 1} — ambiguous.
+	blocks := []uint64{0, 4, 1, 0}
+	missed, err := ObserveTrace(o, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CrackTrace(blocks, missed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disjunctions != 1 || res.Positives != 0 {
+		t.Fatalf("got %d disjunctions, %d positives; want 1, 0", res.Disjunctions, res.Positives)
+	}
+	if res.Recovered.Dim() != 0 {
+		t.Fatalf("ambiguous window extended the recovered space to dim %d", res.Recovered.Dim())
+	}
+}
+
+// TestCrackTraceWindowCap checks that reuse windows beyond maxWindow
+// are skipped (counted as disjunctions when they end in a miss) instead
+// of scanned quadratically.
+func TestCrackTraceWindowCap(t *testing.T) {
+	n := 14
+	blocks := make([]uint64, 0, maxWindow+3)
+	blocks = append(blocks, 1)
+	for i := 0; i < maxWindow+1; i++ {
+		blocks = append(blocks, uint64(2+i))
+	}
+	blocks = append(blocks, 1)
+	h := gf2.Identity(n, 3)
+	o, err := NewSimOracle(h, HitMiss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missed, err := ObserveTrace(o, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CrackTrace(blocks, missed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !missed[len(missed)-1] {
+		t.Fatal("re-access unexpectedly hit across a cache-filling window")
+	}
+	if res.Disjunctions != 1 {
+		t.Fatalf("capped window: got %d disjunctions, want 1", res.Disjunctions)
+	}
+	if res.Positives != 0 || res.Recovered.Dim() != 0 {
+		t.Fatal("capped window leaked constraints")
+	}
+}
+
+// TestCrackTraceInconsistent feeds observations no direct-mapped linear
+// cache could produce and checks the contradiction is surfaced.
+func TestCrackTraceInconsistent(t *testing.T) {
+	// Trace a, b, a, a, b, a with hand-forged observations: first
+	// window says a⊕b evicted (positive), second says it did not
+	// (negative on the same difference).
+	blocks := []uint64{1, 3, 1, 1, 3, 1}
+	missed := []bool{true, true, true, false, true, false}
+	res, err := CrackTrace(blocks, missed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inconsistent == 0 {
+		t.Fatal("contradictory observations not flagged")
+	}
+}
+
+func TestCrackTraceValidation(t *testing.T) {
+	if _, err := CrackTrace([]uint64{1}, nil, 4); !errors.Is(err, xerr.ErrInvalidOptions) {
+		t.Fatalf("length mismatch: got %v", err)
+	}
+	if _, err := CrackTrace(nil, nil, 0); !errors.Is(err, xerr.ErrInvalidOptions) {
+		t.Fatalf("zero width: got %v", err)
+	}
+	if _, err := CrackTrace(nil, nil, 65); !errors.Is(err, xerr.ErrInvalidOptions) {
+		t.Fatalf("overwide: got %v", err)
+	}
+}
+
+func TestObserveTraceNeedsHitMiss(t *testing.T) {
+	h := gf2.Identity(4, 2)
+	o, err := NewSimOracle(h, EvictionSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ObserveTrace(o, []uint64{1, 2}); !errors.Is(err, xerr.ErrInvalidOptions) {
+		t.Fatalf("eviction-set oracle accepted RunSequence: %v", err)
+	}
+}

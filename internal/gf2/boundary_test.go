@@ -1,0 +1,259 @@
+package gf2
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// 64-bit width boundary audit. PR 3 lifted the supported address width
+// to n = 64, which puts every `1 << n` and `1 << Dim()` expression in
+// the package one step from undefined-behaviour territory: a 64-bit
+// shift of a uint64 wraps to 0 in Go. These tests pin the n = 63 and
+// n = 64 boundaries of every exported entry point that manipulates
+// widths, and in particular the confirmed Subspace.Size overflow.
+
+// TestSubspaceSizeDim64Regression is the regression test for the
+// confirmed overflow: Size() used to compute `1 << 64` == 0 for a
+// full-width subspace. On the pre-fix code the first assertion fails
+// with size = 0.
+func TestSubspaceSizeDim64Regression(t *testing.T) {
+	full := FullSpace(64)
+	if full.Dim() != 64 {
+		t.Fatalf("FullSpace(64).Dim() = %d", full.Dim())
+	}
+	if full.Size() == 0 {
+		t.Fatalf("Size() at Dim 64 wrapped to 0")
+	}
+	if got := full.Size(); got != math.MaxUint64 {
+		t.Fatalf("Size() at Dim 64 = %d, want saturation at %d", got, uint64(math.MaxUint64))
+	}
+	want := new(big.Int).Lsh(big.NewInt(1), 64)
+	if full.SizeBig().Cmp(want) != 0 {
+		t.Fatalf("SizeBig() at Dim 64 = %s, want %s", full.SizeBig(), want)
+	}
+
+	// One dimension down must stay exact, not saturated.
+	s := SpanUnits(64, 0, 63)
+	if s.Dim() != 63 {
+		t.Fatalf("SpanUnits(64,0,63).Dim() = %d", s.Dim())
+	}
+	if got, want := s.Size(), uint64(1)<<63; got != want {
+		t.Fatalf("Size() at Dim 63 = %d, want %d", got, want)
+	}
+	if s.SizeBig().Cmp(new(big.Int).Lsh(big.NewInt(1), 63)) != 0 {
+		t.Fatalf("SizeBig() at Dim 63 = %s", s.SizeBig())
+	}
+}
+
+func TestMaskBoundary(t *testing.T) {
+	if got := Mask(64); got != ^Vec(0) {
+		t.Fatalf("Mask(64) = %x", uint64(got))
+	}
+	if got, want := Mask(63), ^Vec(0)>>1; got != want {
+		t.Fatalf("Mask(63) = %x, want %x", uint64(got), uint64(want))
+	}
+	if got := Mask(0); got != 0 {
+		t.Fatalf("Mask(0) = %x", uint64(got))
+	}
+	for n := 0; n <= 64; n++ {
+		if got := Mask(n).Weight(); got != n {
+			t.Fatalf("Mask(%d) has weight %d", n, got)
+		}
+	}
+	mustPanic(t, "Mask(65)", func() { Mask(65) })
+	mustPanic(t, "Mask(-1)", func() { Mask(-1) })
+}
+
+func TestUnitBoundary(t *testing.T) {
+	if got, want := Unit(63), Vec(1)<<63; got != want {
+		t.Fatalf("Unit(63) = %x", uint64(got))
+	}
+	mustPanic(t, "Unit(64)", func() { Unit(64) })
+	mustPanic(t, "Unit(-1)", func() { Unit(-1) })
+}
+
+// TestScatterGatherBoundary drives ScatterBits/GatherBits with the full
+// 64-position identity layout and with layouts touching bit 63, where a
+// shift-count bug would silently drop the top coordinate.
+func TestScatterGatherBoundary(t *testing.T) {
+	all := make([]int, 64)
+	for i := range all {
+		all[i] = i
+	}
+	for _, x := range []uint64{0, 1, 1 << 63, math.MaxUint64, 0xDEADBEEFCAFEF00D} {
+		if got := ScatterBits(x, all); got != Vec(x) {
+			t.Fatalf("ScatterBits(%x, identity) = %x", x, uint64(got))
+		}
+		if got := GatherBits(Vec(x), all); got != x {
+			t.Fatalf("GatherBits(%x, identity) = %x", x, got)
+		}
+	}
+	// A 2-position layout straddling the extremes: low bit of x lands on
+	// coordinate 63, bit 1 on coordinate 0.
+	pos := []int{63, 0}
+	if got, want := ScatterBits(0b01, pos), Unit(63); got != want {
+		t.Fatalf("ScatterBits(01) = %x, want %x", uint64(got), uint64(want))
+	}
+	if got, want := ScatterBits(0b10, pos), Unit(0); got != want {
+		t.Fatalf("ScatterBits(10) = %x, want %x", uint64(got), uint64(want))
+	}
+	if got := GatherBits(Unit(63)|Unit(0), pos); got != 0b11 {
+		t.Fatalf("GatherBits round trip = %b", got)
+	}
+	// FreePositions of the zero basis at n=64 is all 64 coordinates, and
+	// scatter/gather over it must round-trip full-width values.
+	free := FreePositions(64, nil)
+	if len(free) != 64 {
+		t.Fatalf("FreePositions(64, nil) has %d entries", len(free))
+	}
+	x := uint64(0x8000_0000_0000_0001)
+	if got := GatherBits(ScatterBits(x, free), free); got != x {
+		t.Fatalf("scatter/gather over free positions = %x", got)
+	}
+}
+
+func TestSpanUnitsBoundary(t *testing.T) {
+	full := SpanUnits(64, 0, 64)
+	if full.Dim() != 64 || !full.Equal(FullSpace(64)) {
+		t.Fatalf("SpanUnits(64,0,64) != FullSpace(64): dim %d", full.Dim())
+	}
+	top := SpanUnits(64, 63, 64)
+	if top.Dim() != 1 || !top.Contains(Unit(63)) {
+		t.Fatalf("SpanUnits(64,63,64) wrong: %v", top)
+	}
+	if s := SpanUnits(63, 0, 63); s.Dim() != 63 || !s.Equal(FullSpace(63)) {
+		t.Fatalf("SpanUnits(63,0,63) dim %d", s.Dim())
+	}
+}
+
+// TestKernelComplementBoundary64 checks that the RREF machinery
+// (reduce, insertBasis, highBit) is sound with the sign bit set: all of
+// it runs on uint64 values where bit 63 is the natural leading bit.
+func TestKernelComplementBoundary64(t *testing.T) {
+	full := FullSpace(64)
+	if c := full.Complement(); c.Dim() != 0 {
+		t.Fatalf("FullSpace(64)^perp has dim %d", c.Dim())
+	}
+	if c := ZeroSubspace(64).Complement(); c.Dim() != 64 {
+		t.Fatalf("{0}^perp at n=64 has dim %d", c.Dim())
+	}
+	// A single constraint with only bit 63 set: kernel is everything
+	// with coordinate 63 clear.
+	k := Kernel(64, []Vec{Unit(63)})
+	if k.Dim() != 63 {
+		t.Fatalf("kernel dim %d", k.Dim())
+	}
+	if k.Contains(Unit(63)) {
+		t.Fatal("kernel contains the constraint's pivot")
+	}
+	if !k.Contains(Mask(63)) {
+		t.Fatal("kernel missing a low-63 vector")
+	}
+	// Extend across the boundary: adding e63 to a 63-dim space reaches
+	// the full space, and further extension is a no-op.
+	s := SpanUnits(64, 0, 63).Extend(Unit(63))
+	if !s.Equal(full) {
+		t.Fatal("Extend(e63) did not reach the full space")
+	}
+	if !s.Extend(Mask(64)).Equal(full) {
+		t.Fatal("extending the full space changed it")
+	}
+}
+
+func TestCountingBoundary(t *testing.T) {
+	// [64 choose 64]_2 = 1 null space (the unique 0-dim one for m=64)
+	// and the matrix count is then exactly |GL(64, 2)|.
+	if got := CountNullSpaces(64, 64); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("CountNullSpaces(64,64) = %s", got)
+	}
+	if got, want := CountHashFunctions(64, 64), CountInvertible(64); got.Cmp(want) != 0 {
+		t.Fatalf("CountHashFunctions(64,64) = %s, want |GL(64,2)| = %s", got, want)
+	}
+	// |GL(n,2)| < 2^(n^2); equality with the product formula at n=64
+	// guards the Lsh arguments.
+	if CountInvertible(64).BitLen() > 64*64 {
+		t.Fatalf("CountInvertible(64) impossibly large: %d bits", CountInvertible(64).BitLen())
+	}
+	if got := GaussianBinomial(64, 0); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("GaussianBinomial(64,0) = %s", got)
+	}
+	// Symmetry [n k]_2 == [n n-k]_2 across the width boundary.
+	if a, b := GaussianBinomial(64, 1), GaussianBinomial(64, 63); a.Cmp(b) != 0 {
+		t.Fatalf("Gaussian binomial symmetry broken: %s vs %s", a, b)
+	}
+	// [64 1]_2 counts the nonzero-vector lines: 2^64 - 1.
+	lines := new(big.Int).Lsh(big.NewInt(1), 64)
+	lines.Sub(lines, big.NewInt(1))
+	if got := GaussianBinomial(64, 1); got.Cmp(lines) != 0 {
+		t.Fatalf("GaussianBinomial(64,1) = %s, want %s", got, lines)
+	}
+}
+
+// TestEnumerationGuardsBoundary pins the guards that keep the Gray-code
+// walk loops (`i < 1 << d`) away from the d = 64 wrap: Members,
+// CosetMembers and Hyperplanes must refuse rather than loop wrongly.
+func TestEnumerationGuardsBoundary(t *testing.T) {
+	full := FullSpace(64)
+	mustPanic(t, "Members at dim 64", func() { full.Members(nil) })
+	mustPanic(t, "CosetMembers at dim 64", func() { full.CosetMembers(0, nil) })
+	mustPanic(t, "Hyperplanes at dim 64", func() { full.Hyperplanes(nil) })
+	// Small spans over the top coordinates still enumerate correctly.
+	s := Span(64, Unit(63), Unit(0))
+	m := s.Members(nil)
+	if len(m) != 4 {
+		t.Fatalf("got %d members", len(m))
+	}
+	seen := map[Vec]bool{}
+	for _, v := range m {
+		seen[v] = true
+	}
+	for _, want := range []Vec{0, Unit(0), Unit(63), Unit(63) | Unit(0)} {
+		if !seen[want] {
+			t.Fatalf("member %x missing", uint64(want))
+		}
+	}
+}
+
+// TestMatrixBoundary64 exercises the matrix layer at full width: a
+// 64x64 identity must apply as such, and rank/null-space computations
+// must survive columns with bit 63 set.
+func TestMatrixBoundary64(t *testing.T) {
+	id := Identity(64, 64)
+	for _, a := range []Vec{0, 1, Vec(1) << 63, ^Vec(0)} {
+		if got := id.Apply(a); got != a {
+			t.Fatalf("identity.Apply(%x) = %x", uint64(a), uint64(got))
+		}
+	}
+	if id.Rank() != 64 || !id.IsInvertible() {
+		t.Fatalf("64x64 identity rank %d", id.Rank())
+	}
+	if ns := id.NullSpace(); ns.Dim() != 0 {
+		t.Fatalf("identity null space dim %d", ns.Dim())
+	}
+	// One column selecting only bit 63: rank 1, null space dim 63.
+	h := MatrixFromCols(64, []Vec{Unit(63)})
+	if h.Rank() != 1 {
+		t.Fatalf("rank %d", h.Rank())
+	}
+	ns := h.NullSpace()
+	if ns.Dim() != 63 {
+		t.Fatalf("null space dim %d", ns.Dim())
+	}
+	if got, want := ns.Size(), uint64(1)<<63; got != want {
+		t.Fatalf("null space Size() = %d, want %d", got, want)
+	}
+	if ns.Contains(Unit(63)) {
+		t.Fatal("null space contains the selected bit")
+	}
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}

@@ -2,6 +2,8 @@ package gf2
 
 import (
 	"fmt"
+	"math"
+	"math/big"
 	"math/bits"
 	"sort"
 	"strings"
@@ -65,8 +67,25 @@ func SpanUnits(n, lo, hi int) Subspace {
 // Dim returns the dimension of the subspace.
 func (s Subspace) Dim() int { return len(s.Basis) }
 
-// Size returns the number of vectors in the subspace, 2^Dim.
-func (s Subspace) Size() uint64 { return uint64(1) << uint(s.Dim()) }
+// Size returns the number of vectors in the subspace, 2^Dim, saturating
+// at math.MaxUint64 when Dim() == MaxBits: 2^64 does not fit a uint64,
+// and the former `1 << 64` silently wrapped to 0 there, turning "the
+// whole space" into "empty" for any caller comparing or formatting the
+// count. Callers needing the exact value at full width use SizeBig.
+func (s Subspace) Size() uint64 {
+	d := s.Dim()
+	if d >= MaxBits {
+		return math.MaxUint64
+	}
+	return uint64(1) << uint(d)
+}
+
+// SizeBig returns the exact number of vectors in the subspace, 2^Dim,
+// without the uint64 saturation of Size (Dim can legitimately reach 64
+// since the address width was lifted to 64 bits).
+func (s Subspace) SizeBig() *big.Int {
+	return new(big.Int).Lsh(big.NewInt(1), uint(s.Dim()))
+}
 
 // Contains reports whether v is a member of the subspace.
 func (s Subspace) Contains(v Vec) bool {
