@@ -22,10 +22,11 @@
 // at least one rank-deficient plant so that coverage cannot silently
 // disappear.
 //
-// With -perf it additionally enforces the performance contracts
-// (profile files only — the serve baseline records throughput without
-// a scaling contract, since shard scaling depends on the runner's
-// core count):
+// With -perf it additionally enforces the performance contracts.
+// For serve baselines that is the §16 overload-control contract —
+// enabling Shed may cost at most 5% on the uncontended ingest fast
+// path (there is no shard-scaling contract, since shard scaling
+// depends on the runner's core count). For profile baselines:
 //
 //   - Sequential (PR 5): the capacity-heavy workload must run at least
 //     2x faster than the pre-overhaul reference builder and no workload
@@ -78,21 +79,35 @@ type paraResult struct {
 
 // The mirror of bench_serve_test.go's BENCH_serve.json schema.
 type serveFile struct {
-	Benchmark     string        `json:"benchmark"`
-	Accesses      int           `json:"accesses"`
-	Clients       int           `json:"clients"`
-	CacheBytes    int           `json:"cache_bytes"`
-	AddrBits      int           `json:"addr_bits"`
-	GoVersion     string        `json:"go_version"`
-	NumCPU        int           `json:"num_cpu"`
-	Ingest        []ingestPoint `json:"ingest"`
-	SwapLatencyMs float64       `json:"swap_latency_ms"`
+	Benchmark     string         `json:"benchmark"`
+	Accesses      int            `json:"accesses"`
+	Clients       int            `json:"clients"`
+	CacheBytes    int            `json:"cache_bytes"`
+	AddrBits      int            `json:"addr_bits"`
+	GoVersion     string         `json:"go_version"`
+	NumCPU        int            `json:"num_cpu"`
+	Ingest        []ingestPoint  `json:"ingest"`
+	SwapLatencyMs float64        `json:"swap_latency_ms"`
+	ShedOverhead  *shedOverhead  `json:"shed_overhead"`
+	Recovery      *recoveryPoint `json:"recovery"`
 }
 
 type ingestPoint struct {
 	Shards      int     `json:"shards"`
 	AccessPerMs float64 `json:"accesses_per_ms"`
 	SpeedupVs1  float64 `json:"speedup_vs_1"`
+}
+
+type shedOverhead struct {
+	BlockingAccessPerMs float64 `json:"blocking_accesses_per_ms"`
+	ShedAccessPerMs     float64 `json:"shed_accesses_per_ms"`
+	OverheadPct         float64 `json:"overhead_pct"`
+}
+
+type recoveryPoint struct {
+	Restarts        uint64  `json:"restarts"`
+	RecoveryMs      float64 `json:"recovery_ms"`
+	ResumedAccesses uint64  `json:"resumed_accesses"`
 }
 
 // The mirror of bench_crack_test.go's BENCH_crack.json schema.
@@ -171,14 +186,11 @@ func main() {
 		if err := dec.Decode(&f); err != nil {
 			fail("%s: malformed JSON: %v", path, err)
 		}
-		if *perf {
-			fail("%s: -perf applies to profile baselines only", path)
-		}
-		if err := validateServe(&f); err != nil {
+		if err := validateServe(&f, *perf); err != nil {
 			fail("%s: %v", path, err)
 		}
-		fmt.Printf("benchcheck: %s OK (%d ingest points, swap %.1f ms)\n",
-			path, len(f.Ingest), f.SwapLatencyMs)
+		fmt.Printf("benchcheck: %s OK (%d ingest points, swap %.1f ms, shed overhead %.1f%%, recovery %.1f ms)\n",
+			path, len(f.Ingest), f.SwapLatencyMs, f.ShedOverhead.OverheadPct, f.Recovery.RecoveryMs)
 		return
 	}
 	var f benchFile
@@ -292,10 +304,14 @@ func maxReduction(rows []crackRow) float64 {
 
 // validateServe holds a BENCH_serve.json to structural sanity: real
 // geometry, non-empty shard sweep anchored at shards=1, positive
-// throughput everywhere, and a positive swap latency. There is no
+// throughput everywhere, a positive swap latency, a shed-overhead
+// comparison whose percentage matches its own rates, and a recovery
+// row witnessing at least one supervised restart. There is no
 // shard-scaling contract — ingest is bound by the clients and the
-// runner's cores, not the shard count alone.
-func validateServe(f *serveFile) error {
+// runner's cores, not the shard count alone — but -perf enforces the
+// §16 overload-control contract: enabling Shed may cost at most 5% on
+// the uncontended ingest fast path.
+func validateServe(f *serveFile, perf bool) error {
 	if f.Benchmark != "BenchmarkServe" {
 		return fmt.Errorf("benchmark = %q, want BenchmarkServe", f.Benchmark)
 	}
@@ -348,6 +364,35 @@ func validateServe(f *serveFile) error {
 	}
 	if f.SwapLatencyMs <= 0 {
 		return fmt.Errorf("swap_latency_ms = %.3f out of range", f.SwapLatencyMs)
+	}
+	if f.ShedOverhead == nil {
+		return fmt.Errorf("no shed_overhead section — rerecord with the shed-overhead sub-benchmark")
+	}
+	so := f.ShedOverhead
+	if so.BlockingAccessPerMs <= 0 || so.ShedAccessPerMs <= 0 {
+		return fmt.Errorf("shed_overhead: non-positive throughput (blocking %.3f, shed %.3f)",
+			so.BlockingAccessPerMs, so.ShedAccessPerMs)
+	}
+	want := (so.BlockingAccessPerMs/so.ShedAccessPerMs - 1) * 100
+	if diff := so.OverheadPct - want; diff < -0.5 || diff > 0.5 {
+		return fmt.Errorf("shed_overhead: overhead_pct = %.3f does not match its rates (%.3f)",
+			so.OverheadPct, want)
+	}
+	if f.Recovery == nil {
+		return fmt.Errorf("no recovery section — rerecord with the recovery sub-benchmark")
+	}
+	if f.Recovery.Restarts == 0 {
+		return fmt.Errorf("recovery: zero restarts — the planted fault never fired")
+	}
+	if f.Recovery.RecoveryMs <= 0 {
+		return fmt.Errorf("recovery: recovery_ms = %.3f out of range", f.Recovery.RecoveryMs)
+	}
+	if f.Recovery.ResumedAccesses == 0 {
+		return fmt.Errorf("recovery: resumed_accesses = 0 — the healed shard served nothing")
+	}
+	if perf && so.OverheadPct > 5 {
+		return fmt.Errorf("perf contract: shed fast path costs %.2f%% over blocking ingest (> 5%%)",
+			so.OverheadPct)
 	}
 	return nil
 }

@@ -47,6 +47,12 @@ func goodServeFile() *serveFile {
 			{Shards: 8, AccessPerMs: 5900, SpeedupVs1: 3.93},
 		},
 		SwapLatencyMs: 850.5,
+		ShedOverhead: &shedOverhead{
+			BlockingAccessPerMs: 4100,
+			ShedAccessPerMs:     4018,
+			OverheadPct:         (4100.0/4018 - 1) * 100,
+		},
+		Recovery: &recoveryPoint{Restarts: 1, RecoveryMs: 3.2, ResumedAccesses: 69632},
 	}
 }
 
@@ -195,14 +201,17 @@ func TestValidateRejections(t *testing.T) {
 }
 
 func TestValidateServeAcceptsGoodBaseline(t *testing.T) {
-	if err := validateServe(goodServeFile()); err != nil {
-		t.Fatal(err)
+	for _, perf := range []bool{false, true} {
+		if err := validateServe(goodServeFile(), perf); err != nil {
+			t.Fatalf("perf=%v: %v", perf, err)
+		}
 	}
 }
 
 func TestValidateServeRejections(t *testing.T) {
 	cases := []struct {
 		name    string
+		perf    bool
 		mutate  func(*serveFile)
 		wantSub string
 	}{
@@ -256,12 +265,63 @@ func TestValidateServeRejections(t *testing.T) {
 			mutate:  func(f *serveFile) { f.Clients = 0 },
 			wantSub: "clients = 0",
 		},
+		{
+			name:    "missing shed_overhead section",
+			mutate:  func(f *serveFile) { f.ShedOverhead = nil },
+			wantSub: "no shed_overhead section",
+		},
+		{
+			name:    "shed_overhead with zero throughput",
+			mutate:  func(f *serveFile) { f.ShedOverhead.ShedAccessPerMs = 0 },
+			wantSub: "non-positive throughput",
+		},
+		{
+			name: "overhead_pct contradicts its rates",
+			mutate: func(f *serveFile) {
+				// Claims near-free shedding while the rates say ~25%.
+				f.ShedOverhead.ShedAccessPerMs = f.ShedOverhead.BlockingAccessPerMs * 0.8
+				f.ShedOverhead.OverheadPct = 0.1
+			},
+			wantSub: "does not match its rates",
+		},
+		{
+			name:    "missing recovery section",
+			mutate:  func(f *serveFile) { f.Recovery = nil },
+			wantSub: "no recovery section",
+		},
+		{
+			name:    "recovery without a restart",
+			mutate:  func(f *serveFile) { f.Recovery.Restarts = 0 },
+			wantSub: "zero restarts",
+		},
+		{
+			name:    "recovery resumed nothing",
+			mutate:  func(f *serveFile) { f.Recovery.ResumedAccesses = 0 },
+			wantSub: "resumed_accesses = 0",
+		},
+		{
+			name: "shed overhead above the perf contract",
+			perf: true,
+			mutate: func(f *serveFile) {
+				f.ShedOverhead.ShedAccessPerMs = f.ShedOverhead.BlockingAccessPerMs / 1.12
+				f.ShedOverhead.OverheadPct = 12
+			},
+			wantSub: "> 5%",
+		},
+		{
+			name: "12% shed overhead passes without -perf",
+			mutate: func(f *serveFile) {
+				f.ShedOverhead.ShedAccessPerMs = f.ShedOverhead.BlockingAccessPerMs / 1.12
+				f.ShedOverhead.OverheadPct = 12
+			},
+			wantSub: "",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			f := goodServeFile()
 			tc.mutate(f)
-			err := validateServe(f)
+			err := validateServe(f, tc.perf)
 			if tc.wantSub == "" {
 				if err != nil {
 					t.Fatalf("unexpected rejection: %v", err)

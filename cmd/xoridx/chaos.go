@@ -1,0 +1,116 @@
+// The chaos subcommand: run the deterministic fault harness
+// (internal/chaos, DESIGN.md §16) against a live server from the
+// command line — the same seeded schedules and invariant checkers CI
+// runs, packaged for operators who want to validate a configuration's
+// self-healing posture before trusting it.
+//
+// Usage:
+//
+//	xoridx chaos                           # every kind x seeds 1..3
+//	xoridx chaos -kind panic -seed 7       # one schedule
+//	xoridx chaos -kind overload -seeds 10  # one kind, many seeds
+//	xoridx chaos -shards 8 -accesses 65536 # scale the drive
+//
+// Exit status is non-zero when any invariant is violated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xoridx/internal/chaos"
+	"xoridx/internal/cliutil"
+	"xoridx/internal/core"
+	"xoridx/internal/serve"
+)
+
+func chaosMain(args []string) {
+	fs := flag.NewFlagSet("xoridx chaos", flag.ExitOnError)
+	kind := fs.String("kind", "all", "fault schedule: panic, corrupt-ckpt, overload, disconnect, clock-skew, or all")
+	seed := fs.Int64("seed", 0, "run exactly this seed (0 = sweep -seeds)")
+	seeds := fs.Int("seeds", 3, "with -seed 0, sweep seeds 1..N per kind")
+	cacheBytes := fs.Int("cache", 1024, "cache size in bytes")
+	addrBits := fs.Int("n", 14, "hashed block-address bits")
+	shards := fs.Int("shards", 4, "ingest shards (power of two)")
+	accesses := fs.Int("accesses", 16384, "accesses per schedule")
+	batch := fs.Int("batch", 256, "accesses per ingest batch")
+	verbose := fs.Bool("v", false, "print per-schedule stats, not just verdicts")
+	fs.Parse(args)
+
+	kinds := chaos.Kinds()
+	if *kind != "all" {
+		kinds = []chaos.Kind{chaos.Kind(*kind)}
+		found := false
+		for _, k := range chaos.Kinds() {
+			if k == kinds[0] {
+				found = true
+			}
+		}
+		if !found {
+			cliutil.Usagef("xoridx chaos", "unknown -kind %q", *kind)
+		}
+	}
+	seedList := []int64{*seed}
+	if *seed == 0 {
+		seedList = seedList[:0]
+		for i := 1; i <= *seeds; i++ {
+			seedList = append(seedList, int64(i))
+		}
+	}
+
+	fam, err := cliutil.ParseFamily("general")
+	if err != nil {
+		cliutil.Fatal("xoridx chaos", err)
+	}
+	dir, err := os.MkdirTemp("", "xoridx-chaos-*")
+	if err != nil {
+		cliutil.Fatal("xoridx chaos", err)
+	}
+	defer os.RemoveAll(dir)
+
+	failures := 0
+	for _, k := range kinds {
+		for _, s := range seedList {
+			opt := serve.Options{
+				Config: core.Config{CacheBytes: *cacheBytes, AddrBits: *addrBits,
+					Family: fam},
+				Shards:         *shards,
+				WindowAccesses: 1 << 40,
+			}
+			switch k {
+			case chaos.KindPanic:
+				opt.CheckpointEvery = uint64(*batch)
+			case chaos.KindClockSkew:
+				opt.WindowAccesses = uint64(*accesses) / 8
+			}
+			rep, err := chaos.Run(chaos.Config{
+				Serve: opt, Kind: k, Seed: s, Dir: dir,
+				Accesses: *accesses, Batch: *batch,
+			})
+			if err != nil {
+				cliutil.Fatal("xoridx chaos", err)
+			}
+			verdict := "ok"
+			if !rep.Ok() {
+				verdict = "FAIL"
+				failures++
+			}
+			fmt.Printf("%-12s seed %-3d %s", k, s, verdict)
+			if *verbose || !rep.Ok() {
+				st := rep.Stats
+				fmt.Printf("  sent %d ingested %d shed %d dropped %d restarts %d quarantined %d epochs %d",
+					rep.Sent, st.Ingested, st.Shed, st.DroppedQuarantined,
+					st.Restarts, st.Quarantined, len(rep.Epochs))
+			}
+			fmt.Println()
+			for _, v := range rep.Violations {
+				fmt.Printf("  violation: %s\n", v)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("%d schedule(s) violated invariants\n", failures)
+		os.Exit(1)
+	}
+}

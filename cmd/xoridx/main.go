@@ -57,6 +57,10 @@ func main() {
 		crackMain(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		chaosMain(os.Args[2:])
+		return
+	}
 	traceFile := flag.String("trace", "", "trace file (binary or text format)")
 	cacheBytes := flag.Int("cache", 4096, "cache size in bytes")
 	ways := flag.Int("ways", 1, "associativity (1 = direct mapped)")

@@ -13,6 +13,8 @@
 //	xoridx serve -bench fft -checkpoint svc.ckpt -resume   # continue it
 //	xoridx serve -bench mix -httpprof localhost:6060       # live pprof
 //	xoridx serve -bench fft -progress                      # re-tune progress
+//	xoridx serve -bench mix -shed -checkpoint-every 65536  # self-healing posture
+//	xoridx serve -bench fft -retune-deadline 2s            # watchdogged re-tunes
 //
 // Each client streams one benchmark's block accesses, switching to the
 // next benchmark in its list when the trace is exhausted — a
@@ -60,6 +62,12 @@ func serveMain(args []string) {
 	scale := fs.Int("scale", 1, "workload scale factor (>= 1)")
 	checkpoint := fs.String("checkpoint", "", "service checkpoint file: full state (windowed histograms + current epoch) written atomically after every re-tune and on exit")
 	resume := fs.Bool("resume", false, "restore the -checkpoint file on startup (missing file = cold start)")
+	strict := fs.Bool("strict", false, "refuse to -resume from a checkpoint with a damaged shard blob instead of healing around it")
+	checkpointEvery := fs.Uint64("checkpoint-every", 0, "periodic checkpoint cadence in accesses: refresh shard recovery snapshots and rewrite -checkpoint every this many accesses (0 = only at re-tunes and exit)")
+	maxShardRestarts := fs.Int("max-shard-restarts", 0, "shard circuit-breaker budget: restarts from the last recovery snapshot before quarantining (0 = default, negative = first panic stops the world)")
+	shed := fs.Bool("shed", false, "shed load instead of blocking when a shard queue is full: drop-with-accounting plus hot-client fairness")
+	admissionWait := fs.Duration("admission-wait", 0, "with -shed, how long a full-queue ingest waits before shedding (0 = default, negative = immediately)")
+	retuneDeadline := fs.Duration("retune-deadline", 0, "re-tune watchdog: a search round over this long publishes its best-so-far result marked degraded (0 = no deadline)")
 	retries := fs.Int("retries", 0, "retry budget for transient ingest stream failures")
 	httpprof := fs.String("httpprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 	progress := fs.Bool("progress", false, "report re-tune rounds and search progress on stderr")
@@ -102,6 +110,14 @@ func serveMain(args []string) {
 		Decay:          *decay,
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
+		Strict:         *strict,
+
+		CheckpointEvery:  *checkpointEvery,
+		MaxShardRestarts: *maxShardRestarts,
+		RestartBackoff:   faultio.DefaultPolicy,
+		Shed:             *shed,
+		AdmissionWait:    *admissionWait,
+		RetuneDeadline:   *retuneDeadline,
 	}
 	if *retries > 0 {
 		opt.Retry = faultio.DefaultPolicy
@@ -115,6 +131,9 @@ func serveMain(args []string) {
 	s, err := serve.New(opt)
 	if err != nil {
 		cliutil.Fatal("xoridx serve", err)
+	}
+	for _, rerr := range s.RestoreErrors() {
+		fmt.Fprintf(os.Stderr, "xoridx serve: healed on resume: %v\n", rerr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -192,6 +211,13 @@ func serveMain(args []string) {
 	st := s.Stats()
 	fmt.Printf("\nran %v: %d accesses in %d batches, %d rotations, %d re-tunes, %d hot swaps\n",
 		time.Since(start).Round(time.Millisecond), st.Ingested, st.Batches, st.Rotations, st.Retunes, st.Swaps)
+	if st.Restarts+uint64(st.Quarantined)+st.Shed+st.DroppedQuarantined+st.StaleSkips+st.DegradedRetunes > 0 {
+		fmt.Printf("health: %d shard restarts, %d quarantined, %d accesses shed, %d dropped at quarantined shards, %d stale rounds skipped, %d degraded re-tunes\n",
+			st.Restarts, st.Quarantined, st.Shed, st.DroppedQuarantined, st.StaleSkips, st.DegradedRetunes)
+	}
+	if st.Checkpoints > 0 {
+		fmt.Printf("checkpoints: %d periodic writes\n", st.Checkpoints)
+	}
 	final := s.Current()
 	epochMu.Lock()
 	log := append([]*serve.Epoch(nil), epochLog...)

@@ -67,6 +67,16 @@ func (p Policy) delay(attempt int, rng *rand.Rand) time.Duration {
 	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
 }
 
+// Backoff returns the jittered, capped-exponential delay before retry
+// attempt (1-based) — the same schedule Do sleeps, exported for
+// supervisors that pace restarts under a Policy but drive their own
+// loop (the serve shard supervisor). rng supplies the jitter stream;
+// callers seed it from JitterSeed (plus any per-worker salt) for
+// reproducible schedules.
+func (p Policy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	return p.delay(attempt, rng)
+}
+
 // Do runs op, retrying transient failures (errors wrapping xerr.ErrIO)
 // under the policy. Non-transient errors return immediately. The
 // backoff sleep is context-aware: a canceled context converts the

@@ -6,25 +6,34 @@ package serve
 // same epoch (sequence, matrix, estimates) and same profiles, proven
 // by the kill/restart differential in serve_test.go.
 //
-// Layout inside the usual ckpt envelope (magic "XSV1", CRC-32C):
+// Layout, version 2: a ckpt envelope (magic "XSV1", CRC-32C) holding
+// only the header, followed by the per-shard blobs appended raw:
 //
-//	uvarint n, cacheBlocks, m
-//	8 bytes  decay (IEEE-754 bits, little-endian)
-//	uvarint shards, rotations
-//	epoch:   uvarint seq, window, estimated, prevEstimated, baseline;
-//	         1 byte changed; m × uvarint matrix columns
-//	shards × (uvarint length + embedded profile.Windowed snapshot)
+//	envelope payload:
+//	  uvarint n, cacheBlocks, m
+//	  8 bytes  decay (IEEE-754 bits, little-endian)
+//	  uvarint shards, rotations
+//	  epoch:   uvarint seq, window, estimated, prevEstimated,
+//	           baseline; 1 flags byte (bit 0 changed, bit 1 degraded);
+//	           m × uvarint matrix columns
+//	  shards × uvarint blob length
+//	after the envelope:
+//	  shards × raw profile.Windowed snapshot ("XWP1", self-CRC'd)
 //
-// The per-shard blobs are the Windowed codec verbatim (its own "XWP1"
-// envelope, CRC and all), so every validation that codec performs —
-// counter arithmetic, histogram/TotalPairs equality, stack bounds —
-// applies here too; this layer only adds the cross-checks the inner
-// codec cannot see (shard count, geometry/decay agreement with the
-// server's options, matrix shape and rank).
+// Version 1 put the blobs inside the envelope, so its single CRC made
+// a one-bit flip in one shard's histogram indistinguishable from a
+// destroyed file. In version 2 each shard blob carries its own CRC and
+// the (CRC-protected) header carries the framing, so damage localizes:
+// a corrupt or truncated blob fails only its shard, and restore can
+// heal — resume the healthy shards, cold-start the damaged ones — or
+// refuse wholesale under Options.Strict. Damage to the envelope itself
+// (header, epoch, framing) still fails the whole restore: there is no
+// trustworthy frame to heal within.
 
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -39,7 +48,10 @@ import (
 
 const (
 	serviceMagic   = "XSV1"
-	serviceVersion = 1
+	serviceVersion = 2
+
+	epochFlagChanged  = 1 << 0
+	epochFlagDegraded = 1 << 1
 )
 
 // serviceState is a decoded checkpoint, ready to seed a new Server.
@@ -47,14 +59,16 @@ type serviceState struct {
 	shards    []*profile.Windowed
 	epoch     *Epoch
 	rotations uint64
+	damage    []error // per-shard blob failures healed by cold-starting (non-Strict only)
 }
 
 // SaveCheckpoint snapshots the full service state to CheckpointPath
 // atomically (temp file + rename). Safe to call concurrently — writes
 // serialize — and at any moment: shard snapshots enqueue behind any
-// in-flight ingest, so each captures a consistent access boundary.
-// Returns ErrClosed semantics only indirectly (a canceled context
-// while collecting shard snapshots).
+// in-flight ingest, so each captures a consistent access boundary. A
+// quarantined (or mid-restart) shard cannot answer; its last recovery
+// snapshot stands in, or an empty window when it never produced one —
+// the checkpoint stays whole so every healthy shard's state persists.
 func (s *Server) SaveCheckpoint() error {
 	if s.opt.CheckpointPath == "" {
 		return fmt.Errorf("serve: no CheckpointPath configured: %w", xerr.ErrInvalidOptions)
@@ -67,8 +81,8 @@ func (s *Server) SaveCheckpoint() error {
 	rotations := s.rotations.Load()
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
-	return ckpt.WriteFileAtomic(s.opt.CheckpointPath, func(w io.Writer) error {
-		return ckpt.Write(w, serviceMagic, serviceVersion, func(b *bytes.Buffer) error {
+	err = ckpt.WriteFileAtomic(s.opt.CheckpointPath, func(w io.Writer) error {
+		if err := ckpt.Write(w, serviceMagic, serviceVersion, func(b *bytes.Buffer) error {
 			var buf [binary.MaxVarintLen64]byte
 			put := func(v uint64) { b.Write(buf[:binary.PutUvarint(buf[:], v)]) }
 			put(uint64(s.n))
@@ -84,30 +98,50 @@ func (s *Server) SaveCheckpoint() error {
 			put(ep.Estimated)
 			put(ep.PrevEstimated)
 			put(ep.Baseline)
+			var flags byte
 			if ep.Changed {
-				b.WriteByte(1)
-			} else {
-				b.WriteByte(0)
+				flags |= epochFlagChanged
 			}
+			if ep.Degraded {
+				flags |= epochFlagDegraded
+			}
+			b.WriteByte(flags)
 			h := ep.Func.Matrix()
 			for _, col := range h.Cols {
 				put(uint64(col))
 			}
 			for _, blob := range blobs {
 				put(uint64(len(blob)))
-				b.Write(blob)
 			}
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
+		for _, blob := range blobs {
+			if _, err := w.Write(blob); err != nil {
+				return err
+			}
+		}
+		return nil
 	})
+	if err == nil {
+		s.checkpoints.Add(1)
+	}
+	return err
 }
 
 // collectShardSnapshots asks every shard goroutine to serialize its
 // Windowed, pipelined like rotateAndMerge: all requests enqueue before
-// any reply is awaited.
+// any reply is awaited. Shards that cannot answer — quarantined up
+// front, quarantined by a race (the drainer replies ErrQuarantined),
+// or lost to a panic mid-request (the supervisor replies ErrPanic) —
+// fall back to their last recovery snapshot.
 func (s *Server) collectShardSnapshots() ([][]byte, error) {
 	replies := make([]chan snapReply, len(s.shards))
 	for i, sh := range s.shards {
+		if sh.quarantined.Load() {
+			continue
+		}
 		rc := make(chan snapReply, 1)
 		replies[i] = rc
 		select {
@@ -118,9 +152,25 @@ func (s *Server) collectShardSnapshots() ([][]byte, error) {
 	}
 	blobs := make([][]byte, len(s.shards))
 	for i, rc := range replies {
+		if rc == nil {
+			b, err := s.fallbackShardBlob(s.shards[i])
+			if err != nil {
+				return nil, err
+			}
+			blobs[i] = b
+			continue
+		}
 		select {
 		case rep := <-rc:
 			if rep.err != nil {
+				if errors.Is(rep.err, ErrQuarantined) || errors.Is(rep.err, xerr.ErrPanic) {
+					b, err := s.fallbackShardBlob(s.shards[i])
+					if err != nil {
+						return nil, err
+					}
+					blobs[i] = b
+					continue
+				}
 				return nil, rep.err
 			}
 			blobs[i] = rep.data
@@ -131,11 +181,26 @@ func (s *Server) collectShardSnapshots() ([][]byte, error) {
 	return blobs, nil
 }
 
-// loadServiceState restores a checkpoint and validates it against the
-// server's configuration: wrong geometry, decay or shard count is a
-// wrapped xerr.ErrProfileMismatch (the operator changed the config
-// under an old checkpoint), structural damage a wrapped xerr.ErrFormat.
-func loadServiceState(path string, n, cacheBlocks, m int, decay float64, shards int) (*serviceState, error) {
+// fallbackShardBlob stands in for a shard that cannot serialize
+// itself: its last recovery snapshot when one exists, an empty window
+// otherwise.
+func (s *Server) fallbackShardBlob(sh *shard) ([]byte, error) {
+	if snap := sh.snap.Load(); snap != nil {
+		return snap.data, nil
+	}
+	wb, err := profile.NewWindowed(s.n, s.cfg.CacheBytes/s.cfg.BlockBytes, s.opt.Decay)
+	if err != nil {
+		return nil, err
+	}
+	var b writerBuffer
+	if err := wb.Checkpoint(&b); err != nil {
+		return nil, err
+	}
+	return b.data, nil
+}
+
+// loadServiceState restores a checkpoint file. See readServiceState.
+func loadServiceState(path string, n, cacheBlocks, m int, decay float64, shards int, strict bool) (*serviceState, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil, nil // cold start
@@ -144,7 +209,20 @@ func loadServiceState(path string, n, cacheBlocks, m int, decay float64, shards 
 		return nil, err
 	}
 	defer f.Close()
-	version, payload, err := ckpt.Read(f, serviceMagic)
+	return readServiceState(f, n, cacheBlocks, m, decay, shards, strict)
+}
+
+// readServiceState decodes a checkpoint stream and validates it
+// against the server's configuration: wrong geometry, decay or shard
+// count is a wrapped xerr.ErrProfileMismatch (the operator changed the
+// config under an old checkpoint), structural damage a wrapped
+// xerr.ErrFormat. A damaged per-shard blob — bad CRC, bad decode,
+// geometry/decay disagreeing with the header, or a truncated tail —
+// fails only that shard: strict refuses the whole restore with an
+// error naming it; otherwise the shard cold-starts and the failure is
+// recorded in serviceState.damage.
+func readServiceState(r io.Reader, n, cacheBlocks, m int, decay float64, shards int, strict bool) (*serviceState, error) {
+	version, payload, err := ckpt.Read(r, serviceMagic)
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +258,12 @@ func loadServiceState(path string, n, cacheBlocks, m int, decay float64, shards 
 		Estimated:     d.uvarint("epoch estimated"),
 		PrevEstimated: d.uvarint("epoch prevEstimated"),
 		Baseline:      d.uvarint("epoch baseline"),
-		Changed:       d.byte("epoch changed") == 1,
+	}
+	flags := d.byte("epoch flags")
+	ep.Changed = flags&epochFlagChanged != 0
+	ep.Degraded = flags&epochFlagDegraded != 0
+	if d.err == nil && flags&^byte(epochFlagChanged|epochFlagDegraded) != 0 {
+		return nil, fmt.Errorf("serve: checkpoint epoch flags %#x unknown: %w", flags, xerr.ErrFormat)
 	}
 	h := gf2.NewMatrix(n, m)
 	mask := gf2.Mask(n)
@@ -191,8 +274,21 @@ func loadServiceState(path string, n, cacheBlocks, m int, decay float64, shards 
 		}
 		h.Cols[c] = col
 	}
+	blobLens := make([]uint64, ckShards)
+	var totalBlob uint64
+	for i := range blobLens {
+		blobLens[i] = d.uvarint("shard blob length")
+		if blobLens[i] > ckpt.MaxPayload {
+			return nil, fmt.Errorf("serve: checkpoint shard %d blob length %d exceeds limit: %w",
+				i, blobLens[i], xerr.ErrFormat)
+		}
+		totalBlob += blobLens[i]
+	}
 	if d.err != nil {
 		return nil, d.err
+	}
+	if d.rem() != 0 {
+		return nil, fmt.Errorf("serve: %d trailing bytes after checkpoint header: %w", d.rem(), xerr.ErrFormat)
 	}
 	if ep.Seq == 0 {
 		return nil, fmt.Errorf("serve: checkpoint epoch sequence 0: %w", xerr.ErrFormat)
@@ -205,29 +301,65 @@ func loadServiceState(path string, n, cacheBlocks, m int, decay float64, shards 
 	ep.Func = f2
 	st := &serviceState{epoch: ep, rotations: rotations}
 	st.shards = make([]*profile.Windowed, ckShards)
-	for i := range st.shards {
-		blobLen := d.uvarint("shard blob length")
-		if d.err != nil {
-			return nil, d.err
+
+	// The shard blobs follow the envelope raw; the envelope's CRC has
+	// already vouched for the framing, so each blob decodes (and
+	// fails) independently. truncated poisons every later blob: once
+	// the stream runs short there is no next-blob boundary to trust.
+	truncated := false
+	cold := func(i int, cause error) error {
+		if strict {
+			return fmt.Errorf("serve: checkpoint shard %d damaged (strict resume refuses to heal): %w", i, cause)
 		}
-		if blobLen > uint64(d.rem()) {
-			return nil, fmt.Errorf("serve: checkpoint shard %d blob length %d exceeds remaining %d bytes: %w",
-				i, blobLen, d.rem(), xerr.ErrFormat)
-		}
-		wb, err := profile.RestoreWindowed(bytes.NewReader(d.take(int(blobLen))))
+		st.damage = append(st.damage, fmt.Errorf("serve: checkpoint shard %d damaged, cold-starting it: %w", i, cause))
+		wb, err := profile.NewWindowed(n, cacheBlocks, decay)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		st.shards[i] = wb
+		return nil
+	}
+	for i := range st.shards {
+		if truncated {
+			if err := cold(i, fmt.Errorf("blob lost to earlier truncation: %w", xerr.ErrFormat)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		blob := make([]byte, blobLens[i])
+		if _, err := io.ReadFull(r, blob); err != nil {
+			truncated = true
+			if err := cold(i, fmt.Errorf("blob truncated: %v: %w", err, xerr.ErrFormat)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		wb, err := profile.RestoreWindowed(bytes.NewReader(blob))
+		if err != nil {
+			if err := cold(i, err); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if wb.N() != n || wb.CacheBlocks() != cacheBlocks {
-			return nil, fmt.Errorf("serve: checkpoint shard %d geometry disagrees with header: %w", i, xerr.ErrFormat)
+			if err := cold(i, fmt.Errorf("blob geometry disagrees with header: %w", xerr.ErrProfileMismatch)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if math.Float64bits(wb.Decay()) != math.Float64bits(decay) {
-			return nil, fmt.Errorf("serve: checkpoint shard %d decay disagrees with header: %w", i, xerr.ErrFormat)
+			if err := cold(i, fmt.Errorf("blob decay disagrees with header: %w", xerr.ErrProfileMismatch)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		st.shards[i] = wb
 	}
-	if d.rem() != 0 {
-		return nil, fmt.Errorf("serve: %d trailing bytes after checkpoint payload: %w", d.rem(), xerr.ErrFormat)
+	if !truncated {
+		var tail [1]byte
+		if k, _ := io.ReadFull(r, tail[:]); k != 0 {
+			return nil, fmt.Errorf("serve: trailing bytes after checkpoint shard blobs: %w", xerr.ErrFormat)
+		}
 	}
 	return st, nil
 }
@@ -277,15 +409,6 @@ func (d *svcReader) float(what string) float64 {
 	v := binary.LittleEndian.Uint64(d.b[:8])
 	d.b = d.b[8:]
 	return math.Float64frombits(v)
-}
-
-func (d *svcReader) take(n int) []byte {
-	if d.err != nil || n > len(d.b) {
-		return nil
-	}
-	v := d.b[:n]
-	d.b = d.b[n:]
-	return v
 }
 
 func (d *svcReader) rem() int { return len(d.b) }

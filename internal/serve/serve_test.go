@@ -8,11 +8,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"xoridx/internal/ckpt"
 	"xoridx/internal/core"
 	"xoridx/internal/faultio"
 	"xoridx/internal/hash"
@@ -605,9 +607,14 @@ func TestServeCheckpointMismatch(t *testing.T) {
 	}
 }
 
-// TestServeCheckpointCorruption flips one bit in a service checkpoint
-// and expects the restore to fail loudly rather than seed a poisoned
-// server.
+// TestServeCheckpointCorruption flips single bits in a service
+// checkpoint and pins the v2 damage semantics: a flip in the
+// CRC-protected envelope (header, epoch, framing) fails the whole
+// restore — there is no trustworthy frame to heal within — while a
+// flip inside a per-shard blob localizes: the default resume heals it
+// by cold-starting only that shard (reported through RestoreErrors and
+// Stats.ColdShards), and Strict refuses with an error naming the
+// shard.
 func TestServeCheckpointCorruption(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "serve.ckpt")
 	s, err := New(Options{Config: serveConfig(), Shards: 1, CheckpointPath: path})
@@ -626,15 +633,63 @@ func TestServeCheckpointCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, off := range []int{5, len(raw) / 2, len(raw) - 3} {
+	// The envelope ends where ckpt.Read stops consuming; the raw shard
+	// blobs follow.
+	br := bytes.NewReader(raw)
+	if _, _, err := ckpt.Read(br, "XSV1"); err != nil {
+		t.Fatal(err)
+	}
+	envLen := len(raw) - br.Len()
+	if envLen >= len(raw) {
+		t.Fatalf("checkpoint has no blob region (envelope %d of %d bytes)", envLen, len(raw))
+	}
+
+	corruptAt := func(off int) string {
 		corrupted := append([]byte(nil), raw...)
 		corrupted[off] ^= 0x10
 		bad := filepath.Join(t.TempDir(), "bad.ckpt")
 		if err := os.WriteFile(bad, corrupted, 0o644); err != nil {
 			t.Fatal(err)
 		}
+		return bad
+	}
+
+	for _, off := range []int{5, envLen / 2, envLen - 3} {
+		bad := corruptAt(off)
 		if _, err := New(Options{Config: serveConfig(), Shards: 1, CheckpointPath: bad, Resume: true}); err == nil {
-			t.Fatalf("bit flip at offset %d restored cleanly", off)
+			t.Fatalf("envelope bit flip at offset %d restored cleanly", off)
+		}
+	}
+
+	for _, off := range []int{envLen + (len(raw)-envLen)/2, len(raw) - 3} {
+		bad := corruptAt(off)
+		// Strict refuses, naming the shard.
+		if _, err := New(Options{Config: serveConfig(), Shards: 1, CheckpointPath: bad, Resume: true, Strict: true}); err == nil {
+			t.Fatalf("strict resume healed a blob flip at offset %d", off)
+		} else if !strings.Contains(err.Error(), "shard 0") {
+			t.Fatalf("strict refusal does not name the shard: %v", err)
+		}
+		// The default heals: shard 0 cold-starts, damage is reported.
+		s2, err := New(Options{Config: serveConfig(), Shards: 1, CheckpointPath: bad, Resume: true})
+		if err != nil {
+			t.Fatalf("healing resume failed for blob flip at offset %d: %v", off, err)
+		}
+		damage := s2.RestoreErrors()
+		if len(damage) != 1 || !strings.Contains(damage[0].Error(), "shard 0") {
+			t.Fatalf("RestoreErrors = %v, want one error naming shard 0", damage)
+		}
+		if got := s2.Stats().ColdShards; got != 1 {
+			t.Fatalf("ColdShards = %d, want 1", got)
+		}
+		p, err := s2.Profile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Accesses != 0 {
+			t.Fatalf("cold-started shard carries %d accesses", p.Accesses)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
 		}
 	}
 }

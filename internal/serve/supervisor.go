@@ -1,0 +1,225 @@
+package serve
+
+// Shard supervision (DESIGN.md §16): each shard goroutine runs under a
+// supervisor that converts panics into restarts instead of process
+// loss. A failed shard restarts from its last in-memory recovery
+// snapshot (cold when none exists), paced by the RestartBackoff
+// policy; a shard that keeps failing trips its circuit breaker and is
+// quarantined — its supervisor degrades into a drainer that keeps the
+// command channel flowing (so producers never wedge) while dropping
+// the shard's traffic with accounting. Only the loss of a strict
+// majority of shards escalates to the pre-§16 stop-the-world.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"xoridx/internal/profile"
+	"xoridx/internal/xerr"
+)
+
+// superviseShard owns shard i's goroutine lifecycle: run until clean
+// shutdown, restart on panic, quarantine past the restart budget.
+func (s *Server) superviseShard(i int, sh *shard) {
+	defer s.wg.Done()
+	// Per-shard deterministic jitter stream: shards do not thunder
+	// back in phase, and a fixed seed reproduces the schedule.
+	rng := rand.New(rand.NewSource(s.opt.RestartBackoff.JitterSeed ^ int64(i+1)*0x9e3779b9))
+	failures := 0
+	var lastFailAt uint64
+	for {
+		err := s.runShardOnce(sh)
+		if err == nil {
+			return // server shutdown
+		}
+		if s.opt.MaxShardRestarts < 0 {
+			// Supervision disabled: a lost shard poisons every
+			// aggregate, and without restarts stopping the world is
+			// the only honest response.
+			s.fail(err)
+			s.cancel()
+			return
+		}
+		s.fail(err)
+		// A shard that processed RestartWindow accesses since its last
+		// failure has earned its restart budget back.
+		if w := s.opt.RestartWindow; w > 0 && failures > 0 && sh.processed.Load()-lastFailAt >= w {
+			failures = 0
+		}
+		failures++
+		lastFailAt = sh.processed.Load()
+		if failures > s.opt.MaxShardRestarts {
+			s.quarantineShard(i, sh, err)
+			if s.ctx.Err() == nil {
+				s.drainQuarantined(sh)
+			}
+			return
+		}
+		sh.restarts.Add(1)
+		s.restoreShard(sh)
+		if d := s.opt.RestartBackoff.Backoff(failures, rng); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-s.ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+	}
+}
+
+// runShardOnce is one supervised incarnation of the shard goroutine:
+// the only code that touches its Windowed while it runs, so the ingest
+// hot path needs no locks at all (share memory by communicating). A
+// recovered panic returns as a wrapped xerr.ErrPanic — after replying
+// to any in-flight command, so a rotation or checkpoint waiting on
+// this shard observes the failure instead of hanging. Returns nil only
+// on server shutdown.
+func (s *Server) runShardOnce(sh *shard) (err error) {
+	var inFlight shardCmd
+	defer func() {
+		if v := recover(); v != nil {
+			err = xerr.Panicked(fmt.Sprintf("serve shard %d", sh.i), v)
+			replyFailed(inFlight, err)
+		}
+	}()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return nil
+		case cmd := <-sh.ch:
+			inFlight = cmd
+			s.applyShardCmd(sh, cmd)
+			inFlight = shardCmd{}
+		}
+	}
+}
+
+// applyShardCmd executes one shard command against the shard's
+// Windowed.
+func (s *Server) applyShardCmd(sh *shard, cmd shardCmd) {
+	switch {
+	case cmd.rotate != nil:
+		sh.wb.Rotate()
+		cmd.rotate <- sh.wb.Aggregate()
+	case cmd.agg != nil:
+		cmd.agg <- sh.wb.Snapshot()
+	case cmd.snap != nil:
+		var b writerBuffer
+		err := sh.wb.Checkpoint(&b)
+		cmd.snap <- snapReply{data: b.data, err: err}
+		if err == nil {
+			// A durable checkpoint blob doubles as a recovery
+			// snapshot for free.
+			sh.snap.Store(&shardSnap{data: b.data, processed: sh.processed.Load()})
+		}
+	default:
+		for _, blk := range cmd.blocks {
+			sh.wb.Add(blk)
+		}
+		n := uint64(len(cmd.blocks))
+		processed := sh.processed.Add(n)
+		if every := s.opt.CheckpointEvery; every > 0 {
+			sh.sinceSnap += n
+			if sh.sinceSnap >= every {
+				sh.sinceSnap = 0
+				s.refreshShardSnap(sh, processed)
+			}
+		}
+		if h := s.opt.FaultHook; h != nil {
+			h(sh.i, processed)
+		}
+	}
+}
+
+// refreshShardSnap reserializes the shard's Windowed into the
+// in-memory recovery snapshot its supervisor restarts it from.
+func (s *Server) refreshShardSnap(sh *shard, processed uint64) {
+	var b writerBuffer
+	if err := sh.wb.Checkpoint(&b); err != nil {
+		s.fail(fmt.Errorf("serve: shard %d recovery snapshot: %w", sh.i, err))
+		return
+	}
+	sh.snap.Store(&shardSnap{data: b.data, processed: processed})
+}
+
+// restoreShard rebuilds a restarting shard's Windowed from its last
+// recovery snapshot, or cold when none exists (no snapshot yet, or the
+// snapshot itself fails to decode). Accesses processed after the
+// snapshot are lost — the bounded-loss window CheckpointEvery pins.
+// sh.processed stays monotone across restarts: it counts accesses ever
+// applied by this shard, which is what the circuit breaker's
+// RestartWindow arithmetic needs.
+func (s *Server) restoreShard(sh *shard) {
+	if snap := sh.snap.Load(); snap != nil {
+		wb, err := profile.RestoreWindowed(bytes.NewReader(snap.data))
+		if err == nil {
+			sh.wb = wb
+			return
+		}
+		s.fail(fmt.Errorf("serve: shard %d recovery snapshot corrupt, restarting cold: %w", sh.i, err))
+		sh.snap.Store(nil)
+	}
+	wb, err := profile.NewWindowed(s.n, s.cfg.CacheBytes/s.cfg.BlockBytes, s.opt.Decay)
+	if err != nil {
+		// Options were validated in New; a failure here is a
+		// programming error, and panicking would just re-enter the
+		// supervisor. Record it and keep the old (post-panic) state.
+		s.fail(fmt.Errorf("serve: shard %d cold restart: %w", sh.i, err))
+		return
+	}
+	sh.wb = wb
+}
+
+// quarantineShard takes a shard out of service after its circuit
+// breaker trips, and escalates to stop-the-world when a strict
+// majority of shards is gone — below quorum the merged aggregate no
+// longer represents the traffic and limping on would be lying.
+func (s *Server) quarantineShard(i int, sh *shard, cause error) {
+	sh.quarantined.Store(true)
+	q := int(s.nQuarantine.Add(1))
+	s.fail(fmt.Errorf("serve: shard %d quarantined after %d restarts (last: %v): %w",
+		i, s.opt.MaxShardRestarts, cause, ErrQuarantined))
+	if q*2 > len(s.shards) {
+		s.fail(fmt.Errorf("serve: quorum lost (%d of %d shards quarantined): %w",
+			q, len(s.shards), ErrQuarantined))
+		s.cancel()
+	}
+}
+
+// drainQuarantined keeps a quarantined shard's command channel flowing
+// until shutdown: ingest batches are dropped (the accesses inside were
+// already admitted and count as lost-in-quarantine in ShardStats, like
+// accesses lost to a panic after the last snapshot), and rotation /
+// snapshot requests that raced past the quarantine flag get failure
+// replies so no requester ever hangs.
+func (s *Server) drainQuarantined(sh *shard) {
+	qerr := fmt.Errorf("serve: shard %d quarantined: %w", sh.i, ErrQuarantined)
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case cmd := <-sh.ch:
+			sh.drained.Add(uint64(len(cmd.blocks)))
+			replyFailed(cmd, qerr)
+		}
+	}
+}
+
+// replyFailed answers an unservable command so its requester never
+// hangs: nil profiles for rotation/aggregate requests (the callers
+// skip nil contributions) and the error itself for snapshot requests.
+// Reply channels are capacity 1, so none of these sends block.
+func replyFailed(cmd shardCmd, err error) {
+	switch {
+	case cmd.rotate != nil:
+		cmd.rotate <- nil
+	case cmd.agg != nil:
+		cmd.agg <- nil
+	case cmd.snap != nil:
+		cmd.snap <- snapReply{err: err}
+	}
+}

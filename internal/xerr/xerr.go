@@ -56,6 +56,14 @@ var (
 	// instead of crashing the process. The wrapped message carries the
 	// panic value.
 	ErrPanic = errors.New("worker panic")
+
+	// ErrOverload reports work refused by an admission policy: a full
+	// ingest queue whose bounded wait expired, or a client shedding
+	// policy dropping a batch so one hot producer cannot starve the
+	// rest. The work was not performed and was not queued; retrying
+	// later (or slowing down) may succeed. Distinct from ErrIO — the
+	// transport is healthy, the service is protecting itself.
+	ErrOverload = errors.New("overloaded")
 )
 
 // Canceled wraps the context's cause in ErrCanceled. Call it only when
