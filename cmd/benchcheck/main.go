@@ -38,6 +38,12 @@
 //     (3% tolerance for measurement noise), and the capacity-heavy
 //     workload must reach at least 1.6x at 4 workers when the runner
 //     has 4 or more CPUs.
+//   - Out-of-core (PR 10, DESIGN.md §17): the mmap reader must at least
+//     match the buffered reader, every sampled row must keep the exact
+//     Eq. 4 value inside its confidence margin with the k=16 build at
+//     >= 4x the exact build, and the count-min sketch must spend at
+//     least 10x less histogram memory than the sparse map while
+//     honoring its (ε,δ) bound.
 package main
 
 import (
@@ -53,13 +59,16 @@ import (
 // are rejected so a drifting emitter fails loudly here instead of
 // producing a file nobody validates.
 type benchFile struct {
-	Benchmark   string       `json:"benchmark"`
-	N           int          `json:"n"`
-	CacheBlocks int          `json:"cache_blocks"`
-	GoVersion   string       `json:"go_version"`
-	NumCPU      int          `json:"num_cpu"`
-	Sequential  []seqResult  `json:"sequential"`
-	Parallel    []paraResult `json:"parallel"`
+	Benchmark   string        `json:"benchmark"`
+	N           int           `json:"n"`
+	CacheBlocks int           `json:"cache_blocks"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	Sequential  []seqResult   `json:"sequential"`
+	Parallel    []paraResult  `json:"parallel"`
+	Mmap        *mmapResult   `json:"mmap"`
+	Sampled     []sampledRow  `json:"sampled"`
+	Sketch      *sketchResult `json:"sketch"`
 }
 
 type seqResult struct {
@@ -75,6 +84,38 @@ type paraResult struct {
 	Workers     int     `json:"workers"`
 	AccessPerMs float64 `json:"accesses_per_ms"`
 	SpeedupVs1  float64 `json:"speedup_vs_1"`
+}
+
+type mmapResult struct {
+	Accesses          int     `json:"accesses"`
+	Mapped            bool    `json:"mapped"`
+	MmapPerMs         float64 `json:"mmap_accesses_per_ms"`
+	BufferedPerMs     float64 `json:"buffered_accesses_per_ms"`
+	SpeedupVsBuffered float64 `json:"speedup_vs_buffered"`
+}
+
+type sampledRow struct {
+	K              uint64  `json:"k"`
+	Accesses       int     `json:"accesses"`
+	ExactPerMs     float64 `json:"exact_accesses_per_ms"`
+	SampledPerMs   float64 `json:"sampled_accesses_per_ms"`
+	SpeedupVsExact float64 `json:"speedup_vs_exact"`
+	Estimate       uint64  `json:"estimate"`
+	Exact          uint64  `json:"exact"`
+	Margin         uint64  `json:"margin"`
+	WithinBound    bool    `json:"within_bound"`
+}
+
+type sketchResult struct {
+	Accesses    int     `json:"accesses"`
+	Width       int     `json:"width"`
+	Depth       int     `json:"depth"`
+	Support     int     `json:"support"`
+	Violations  int     `json:"violations"`
+	SparseBytes int     `json:"sparse_bytes"`
+	SketchBytes int     `json:"sketch_bytes"`
+	MemoryRatio float64 `json:"memory_ratio"`
+	WithinBound bool    `json:"within_bound"`
 }
 
 // The mirror of bench_serve_test.go's BENCH_serve.json schema.
@@ -202,8 +243,8 @@ func main() {
 	if err := validate(&f, *perf); err != nil {
 		fail("%s: %v", path, err)
 	}
-	fmt.Printf("benchcheck: %s OK (%d sequential workloads, %d parallel points)\n",
-		path, len(f.Sequential), len(f.Parallel))
+	fmt.Printf("benchcheck: %s OK (%d sequential workloads, %d parallel points, mmap %.2fx, %d sampled rows, sketch %.1fx smaller)\n",
+		path, len(f.Sequential), len(f.Parallel), f.Mmap.SpeedupVsBuffered, len(f.Sampled), f.Sketch.MemoryRatio)
 }
 
 // validateCrack holds a BENCH_crack.json to its invariants: sane
@@ -471,6 +512,9 @@ func validate(f *benchFile, perf bool) error {
 			return fmt.Errorf("parallel[%q]: workers=1 speedup_vs_1 = %.3f, want 1", name, s)
 		}
 	}
+	if err := validateOutOfCore(f); err != nil {
+		return err
+	}
 	if !perf {
 		return nil
 	}
@@ -486,7 +530,138 @@ func validate(f *benchFile, perf bool) error {
 				s.Workload, s.SpeedupVsRef)
 		}
 	}
-	return validateParallelPerf(f, byWorkload)
+	if err := validateParallelPerf(f, byWorkload); err != nil {
+		return err
+	}
+	return validateOutOfCorePerf(f)
+}
+
+// validateOutOfCore holds the §17 sections (mmap reader, sampled
+// profiling, count-min sketch) to structural sanity: every section
+// present, positive rates and sizes, ratios that match their own
+// inputs, a mapped recording (a buffered-fallback run cannot witness
+// the mmap contract), and a within_bound flag consistent with the
+// recorded estimate, exact value and margin.
+func validateOutOfCore(f *benchFile) error {
+	if f.Mmap == nil {
+		return fmt.Errorf("no mmap section — run BenchmarkBuildOutOfCore with -benchtime=1x first")
+	}
+	m := f.Mmap
+	if m.Accesses <= 0 {
+		return fmt.Errorf("mmap: accesses = %d out of range", m.Accesses)
+	}
+	if !m.Mapped {
+		return fmt.Errorf("mmap: recorded with the buffered fallback — it cannot witness the mmap contract; rerecord where mmap works")
+	}
+	if m.MmapPerMs <= 0 || m.BufferedPerMs <= 0 {
+		return fmt.Errorf("mmap: non-positive throughput (mmap %.3f, buffered %.3f)", m.MmapPerMs, m.BufferedPerMs)
+	}
+	wantSpeed := m.MmapPerMs / m.BufferedPerMs
+	if m.SpeedupVsBuffered < wantSpeed*0.99 || m.SpeedupVsBuffered > wantSpeed*1.01 {
+		return fmt.Errorf("mmap: speedup_vs_buffered = %.3f does not match its rates (%.3f)",
+			m.SpeedupVsBuffered, wantSpeed)
+	}
+	if len(f.Sampled) == 0 {
+		return fmt.Errorf("no sampled section — run BenchmarkBuildOutOfCore with -benchtime=1x first")
+	}
+	prevK := uint64(1)
+	for i, s := range f.Sampled {
+		if s.K <= prevK {
+			return fmt.Errorf("sampled[%d]: k = %d not ascending (after k=%d)", i, s.K, prevK)
+		}
+		prevK = s.K
+		if s.Accesses <= 0 {
+			return fmt.Errorf("sampled[k=%d]: accesses = %d", s.K, s.Accesses)
+		}
+		if s.ExactPerMs <= 0 || s.SampledPerMs <= 0 {
+			return fmt.Errorf("sampled[k=%d]: non-positive throughput (exact %.3f, sampled %.3f)",
+				s.K, s.ExactPerMs, s.SampledPerMs)
+		}
+		want := s.SampledPerMs / s.ExactPerMs
+		if s.SpeedupVsExact < want*0.99 || s.SpeedupVsExact > want*1.01 {
+			return fmt.Errorf("sampled[k=%d]: speedup_vs_exact = %.3f does not match its rates (%.3f)",
+				s.K, s.SpeedupVsExact, want)
+		}
+		if s.Estimate == 0 || s.Exact == 0 {
+			return fmt.Errorf("sampled[k=%d]: zero Eq. 4 estimate (estimate %d, exact %d)", s.K, s.Estimate, s.Exact)
+		}
+		if s.Margin == 0 {
+			return fmt.Errorf("sampled[k=%d]: margin = 0 on a sampled row", s.K)
+		}
+		diff := int64(s.Estimate) - int64(s.Exact)
+		if diff < 0 {
+			diff = -diff
+		}
+		if got := uint64(diff) <= s.Margin; got != s.WithinBound {
+			return fmt.Errorf("sampled[k=%d]: within_bound = %v contradicts |%d - %d| vs margin %d",
+				s.K, s.WithinBound, s.Estimate, s.Exact, s.Margin)
+		}
+	}
+	if f.Sketch == nil {
+		return fmt.Errorf("no sketch section — run BenchmarkBuildOutOfCore with -benchtime=1x first")
+	}
+	k := f.Sketch
+	if k.Accesses <= 0 {
+		return fmt.Errorf("sketch: accesses = %d out of range", k.Accesses)
+	}
+	if k.Width <= 0 || k.Width&(k.Width-1) != 0 {
+		return fmt.Errorf("sketch: width = %d not a positive power of two", k.Width)
+	}
+	if k.Depth < 1 {
+		return fmt.Errorf("sketch: depth = %d out of range", k.Depth)
+	}
+	if k.Support <= 0 {
+		return fmt.Errorf("sketch: support = %d — an empty differential witnesses nothing", k.Support)
+	}
+	if k.Violations < 0 || k.Violations > k.Support {
+		return fmt.Errorf("sketch: violations = %d outside [0, %d]", k.Violations, k.Support)
+	}
+	if k.SparseBytes <= 0 || k.SketchBytes <= 0 {
+		return fmt.Errorf("sketch: non-positive sizes (sparse %d, sketch %d)", k.SparseBytes, k.SketchBytes)
+	}
+	wantRatio := float64(k.SparseBytes) / float64(k.SketchBytes)
+	if k.MemoryRatio < wantRatio*0.99 || k.MemoryRatio > wantRatio*1.01 {
+		return fmt.Errorf("sketch: memory_ratio = %.3f does not match its byte counts (%.3f)",
+			k.MemoryRatio, wantRatio)
+	}
+	return nil
+}
+
+// validateOutOfCorePerf enforces the §17 half of the -perf contract:
+// the mmap reader at least matches the buffered one, every sampled row
+// keeps the exact value inside its margin with k=16 at >= 4x the exact
+// build, and the sketch spends >= 10x less histogram memory than the
+// sparse map while honoring its (ε,δ) bound.
+func validateOutOfCorePerf(f *benchFile) error {
+	if f.Mmap.SpeedupVsBuffered < 1.0 {
+		return fmt.Errorf("perf contract: mmap reader at %.3fx of the buffered reader (< 1.0x)",
+			f.Mmap.SpeedupVsBuffered)
+	}
+	k16 := false
+	for _, s := range f.Sampled {
+		if !s.WithinBound {
+			return fmt.Errorf("perf contract: sampled k=%d estimate %d missed the exact %d by more than its margin %d",
+				s.K, s.Estimate, s.Exact, s.Margin)
+		}
+		if s.K == 16 {
+			k16 = true
+			if s.SpeedupVsExact < 4 {
+				return fmt.Errorf("perf contract: sampled k=16 speedup %.3fx < 4x over the exact build",
+					s.SpeedupVsExact)
+			}
+		}
+	}
+	if !k16 {
+		return fmt.Errorf("perf contract: no k=16 sampled row")
+	}
+	if f.Sketch.MemoryRatio < 10 {
+		return fmt.Errorf("perf contract: sketch memory ratio %.3fx < 10x under the sparse map", f.Sketch.MemoryRatio)
+	}
+	if !f.Sketch.WithinBound {
+		return fmt.Errorf("perf contract: sketch exceeded its (ε,δ) bound on %d of %d support vectors",
+			f.Sketch.Violations, f.Sketch.Support)
+	}
+	return nil
 }
 
 // monotoneTolerance absorbs run-to-run measurement noise in the

@@ -28,6 +28,24 @@ func goodFile() *benchFile {
 			{Workload: "mixed", Workers: 4, AccessPerMs: 21000, SpeedupVs1: 2.63},
 			{Workload: "mixed", Workers: 8, AccessPerMs: 30000, SpeedupVs1: 3.75},
 		},
+		Mmap: &mmapResult{
+			Accesses: 2000000, Mapped: true,
+			MmapPerMs: 66000, BufferedPerMs: 55000, SpeedupVsBuffered: 1.2,
+		},
+		Sampled: []sampledRow{
+			{K: 4, Accesses: 600000, ExactPerMs: 700, SampledPerMs: 2100, SpeedupVsExact: 3.0,
+				Estimate: 301200, Exact: 300000, Margin: 2200, WithinBound: true},
+			{K: 16, Accesses: 600000, ExactPerMs: 700, SampledPerMs: 4900, SpeedupVsExact: 7.0,
+				Estimate: 296000, Exact: 300000, Margin: 4300, WithinBound: true},
+			{K: 64, Accesses: 600000, ExactPerMs: 700, SampledPerMs: 8400, SpeedupVsExact: 12.0,
+				Estimate: 310000, Exact: 300000, Margin: 10100, WithinBound: true},
+		},
+		Sketch: &sketchResult{
+			Accesses: 160000, Width: 1 << 14, Depth: 4,
+			Support: 250000, Violations: 0,
+			SparseBytes: 12000000, SketchBytes: 720000,
+			MemoryRatio: 12000000.0 / 720000, WithinBound: true,
+		},
 	}
 }
 
@@ -177,6 +195,128 @@ func TestValidateRejections(t *testing.T) {
 				f.Sequential[0].SpeedupVsRef = 1.5
 			},
 			wantSub: "< 2x",
+		},
+		{
+			name:    "missing mmap section",
+			mutate:  func(f *benchFile) { f.Mmap = nil },
+			wantSub: "no mmap section",
+		},
+		{
+			name:    "buffered-fallback mmap recording",
+			mutate:  func(f *benchFile) { f.Mmap.Mapped = false },
+			wantSub: "buffered fallback",
+		},
+		{
+			name: "mmap speedup contradicts its rates",
+			mutate: func(f *benchFile) {
+				f.Mmap.SpeedupVsBuffered = 2.0 // rates say 1.2
+			},
+			wantSub: "does not match its rates",
+		},
+		{
+			name: "mmap slower than buffered fails -perf only",
+			perf: true,
+			mutate: func(f *benchFile) {
+				f.Mmap.MmapPerMs = 49500
+				f.Mmap.SpeedupVsBuffered = 0.9
+			},
+			wantSub: "< 1.0x",
+		},
+		{
+			name: "mmap slower than buffered passes without -perf",
+			mutate: func(f *benchFile) {
+				f.Mmap.MmapPerMs = 49500
+				f.Mmap.SpeedupVsBuffered = 0.9
+			},
+			wantSub: "",
+		},
+		{
+			name:    "missing sampled section",
+			mutate:  func(f *benchFile) { f.Sampled = nil },
+			wantSub: "no sampled section",
+		},
+		{
+			name:    "sampled k not ascending",
+			mutate:  func(f *benchFile) { f.Sampled[1].K = 4 },
+			wantSub: "not ascending",
+		},
+		{
+			name:    "sampled row with zero margin",
+			mutate:  func(f *benchFile) { f.Sampled[0].Margin = 0 },
+			wantSub: "margin = 0",
+		},
+		{
+			name: "within_bound contradicts the recorded numbers",
+			mutate: func(f *benchFile) {
+				f.Sampled[1].Estimate = f.Sampled[1].Exact + f.Sampled[1].Margin + 1
+			},
+			wantSub: "contradicts",
+		},
+		{
+			name: "out-of-bound sampled estimate fails -perf",
+			perf: true,
+			mutate: func(f *benchFile) {
+				f.Sampled[1].Estimate = f.Sampled[1].Exact + f.Sampled[1].Margin + 1
+				f.Sampled[1].WithinBound = false
+			},
+			wantSub: "more than its margin",
+		},
+		{
+			name: "missing k=16 sampled row fails -perf",
+			perf: true,
+			mutate: func(f *benchFile) {
+				f.Sampled = append(f.Sampled[:1], f.Sampled[2:]...)
+			},
+			wantSub: "no k=16 sampled row",
+		},
+		{
+			name: "sampled k=16 below 4x fails -perf",
+			perf: true,
+			mutate: func(f *benchFile) {
+				f.Sampled[1].SampledPerMs = 2100
+				f.Sampled[1].SpeedupVsExact = 3.0
+			},
+			wantSub: "< 4x",
+		},
+		{
+			name:    "missing sketch section",
+			mutate:  func(f *benchFile) { f.Sketch = nil },
+			wantSub: "no sketch section",
+		},
+		{
+			name:    "sketch width not a power of two",
+			mutate:  func(f *benchFile) { f.Sketch.Width = 10000 },
+			wantSub: "not a positive power of two",
+		},
+		{
+			name:    "empty sketch differential",
+			mutate:  func(f *benchFile) { f.Sketch.Support = 0 },
+			wantSub: "witnesses nothing",
+		},
+		{
+			name: "sketch memory ratio contradicts its byte counts",
+			mutate: func(f *benchFile) {
+				f.Sketch.MemoryRatio = 30
+			},
+			wantSub: "does not match its byte counts",
+		},
+		{
+			name: "sketch below 10x memory saving fails -perf",
+			perf: true,
+			mutate: func(f *benchFile) {
+				f.Sketch.SketchBytes = 6000000
+				f.Sketch.MemoryRatio = 2
+			},
+			wantSub: "< 10x",
+		},
+		{
+			name: "sketch outside its bound fails -perf",
+			perf: true,
+			mutate: func(f *benchFile) {
+				f.Sketch.Violations = f.Sketch.Support / 2
+				f.Sketch.WithinBound = false
+			},
+			wantSub: "(ε,δ) bound",
 		},
 	}
 	for _, tc := range cases {

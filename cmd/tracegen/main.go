@@ -7,12 +7,22 @@
 //	tracegen -bench fft -out fft.xtr
 //	tracegen -bench rijndael -kind instr -format text -out rijndael_i.txt
 //	tracegen -bench susan -scale 2 -out susan2.xtr
+//	tracegen -bench fft -stream -accesses 1000000000 -out fft_1g.xtr
+//
+// -stream writes traces of any length in bounded memory: the workload
+// model generates one base trace, and the streaming encoder cycles
+// over it until the requested access count is written — optionally
+// rebasing the addresses each cycle (-rebase) to model repeated runs
+// at different placements. Only the base trace is ever held in memory,
+// so a multi-billion-access (multi-GB) trace costs the same RAM as a
+// scale-1 trace.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -28,6 +38,9 @@ func main() {
 	scale := flag.Int("scale", 1, "workload scale factor (>= 1)")
 	format := flag.String("format", "binary", "output format: binary, text or dinero")
 	out := flag.String("out", "", "output file (default stdout)")
+	stream := flag.Bool("stream", false, "stream mode: cycle the base trace up to -accesses in bounded memory (binary format only)")
+	accesses := flag.Uint64("accesses", 0, "total accesses to write in -stream mode")
+	rebase := flag.Uint64("rebase", 0, "address shift in bytes applied per full cycle in -stream mode")
 	flag.Parse()
 
 	if *list {
@@ -74,15 +87,25 @@ func main() {
 		outFile = f
 		dst = f
 	}
-	switch *format {
-	case "binary":
-		err = trace.Encode(dst, tr)
-	case "text":
-		err = trace.EncodeText(dst, tr)
-	case "dinero":
-		err = trace.EncodeDinero(dst, tr)
-	default:
-		fatal(errors.New("-format must be binary, text or dinero"))
+	if *stream {
+		if *format != "binary" {
+			fatal(errors.New("-stream writes the binary format only"))
+		}
+		if *accesses == 0 {
+			fatal(errors.New("-stream needs -accesses > 0"))
+		}
+		err = streamTrace(dst, tr, *accesses, *rebase)
+	} else {
+		switch *format {
+		case "binary":
+			err = trace.Encode(dst, tr)
+		case "text":
+			err = trace.EncodeText(dst, tr)
+		case "dinero":
+			err = trace.EncodeDinero(dst, tr)
+		default:
+			fatal(errors.New("-format must be binary, text or dinero"))
+		}
 	}
 	if err != nil {
 		fatal(err)
@@ -94,9 +117,44 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *stream {
+		fmt.Fprintf(os.Stderr, "tracegen: %s/%s: %d accesses streamed (%d-access base, rebase %d/cycle)\n",
+			*bench, *kind, *accesses, tr.Len(), *rebase)
+		return
+	}
 	s := tr.ComputeStats()
 	fmt.Fprintf(os.Stderr, "tracegen: %s/%s: %d accesses, %d ops, %d unique blocks\n",
 		*bench, *kind, s.Accesses, s.Ops, s.UniqueBlocks)
+}
+
+// streamTrace writes total accesses by cycling over the base trace,
+// shifting addresses by delta bytes after each full cycle. Memory
+// stays bounded by the base trace; the encoder never buffers more
+// than its 1 MiB write window. The declared op count is scaled
+// proportionally so misses-per-K-uop normalisation survives the
+// stretch.
+func streamTrace(w io.Writer, tr *trace.Trace, total, delta uint64) error {
+	if tr.Len() == 0 {
+		return errors.New("base trace is empty")
+	}
+	ops := uint64(float64(tr.OpsOrLen()) * float64(total) / float64(tr.Len()))
+	sw, err := trace.NewWriter(w, tr.Name+"-stream", ops, total)
+	if err != nil {
+		return err
+	}
+	var base uint64
+	i := 0
+	for n := uint64(0); n < total; n++ {
+		a := tr.Accesses[i]
+		if err := sw.WriteAccess(trace.Access{Addr: a.Addr + base, Kind: a.Kind}); err != nil {
+			return err
+		}
+		if i++; i == tr.Len() {
+			i = 0
+			base += delta
+		}
+	}
+	return sw.Close()
 }
 
 func fatal(err error) {

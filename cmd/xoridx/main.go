@@ -18,6 +18,18 @@
 //	xoridx -trace fft.xtr -checkpoint run                    # crash snapshots -> run.{profile,search}.ckpt
 //	xoridx -trace fft.xtr -checkpoint run -resume            # continue a killed run, bit-identically
 //	xoridx -trace fft.xtr -cpuprofile cpu.pb -memprofile mem.pb  # pprof the pipeline
+//	xoridx -trace huge.xtr -mmap                             # stream the profile off a mapped file
+//	xoridx -trace huge.xtr -mmap -sample 16                  # sampled profiling with confidence bounds
+//	xoridx -trace huge.xtr -mmap -backend sketch             # bounded-memory count-min histogram
+//
+// -mmap profiles the trace as a stream over a read-only memory
+// mapping (falling back to buffered reads where mmap is unavailable)
+// without ever materializing it, so traces far larger than RAM
+// profile in bounded memory. The streamed pipeline reports Eq. 4
+// estimates — with "X ± ε" confidence intervals under -sample —
+// instead of the exact simulation and §6 fallback, which need the
+// whole trace; re-run without -mmap (or -apply the saved matrix) to
+// validate exactly.
 //
 // Ctrl-C (SIGINT) cancels the pipeline cooperatively: the run aborts
 // within one hill-climbing move, prints the best-so-far function marked
@@ -83,6 +95,10 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "base path for crash snapshots: profiling state goes to <path>.profile.ckpt and search state to <path>.search.ckpt, written atomically; restart a killed run with -resume")
 	resume := flag.Bool("resume", false, "continue from the checkpoint files under -checkpoint (missing files mean a cold start); the resumed run is bit-identical to an uninterrupted one")
 	retries := flag.Int("retries", 0, "retry budget for transient trace I/O failures, with capped exponential backoff")
+	useMmap := flag.Bool("mmap", false, "profile the trace as a stream over a read-only memory mapping instead of loading it; skips exact validation")
+	sampleK := flag.Uint64("sample", 0, "profile every k-th conflict candidate instead of all of them; estimates gain a 95% confidence interval (0 or 1 = exact)")
+	sampleSeed := flag.Uint64("sample-seed", 0, "deterministic phase seed for -sample (and the sketch backend's hashes)")
+	backend := flag.String("backend", "auto", "histogram backend: auto, flat, sparse, or sketch (bounded memory, (ε,δ)-bounded estimates)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	flag.Parse()
@@ -124,6 +140,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xoridx: -resume needs -checkpoint")
 		os.Exit(2)
 	}
+	cfg := core.Config{
+		CacheBytes:     *cacheBytes,
+		Ways:           *ways,
+		BlockBytes:     *blockBytes,
+		AddrBits:       *addrBits,
+		MaxInputs:      *maxInputs,
+		Restarts:       *restarts,
+		NoFallback:     *noFallback,
+		Workers:        *workers,
+		NoIncremental:  *noIncremental,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+		SampleK:        *sampleK,
+		SampleSeed:     *sampleSeed,
+		Backend:        *backend,
+	}
+	var err error
+	cfg.Family, err = cliutil.ParseFamily(*family)
+	if err != nil {
+		fatal(err)
+	}
+	var events core.Sink
+	if *progress {
+		events = cliutil.ProgressSink(os.Stderr)
+	}
+	if *useMmap {
+		if *loadFn != "" || *analyze {
+			fmt.Fprintln(os.Stderr, "xoridx: -mmap streams the profile and cannot -apply or -analyze (they need the whole trace)")
+			os.Exit(2)
+		}
+		if *algo != "hillclimb" {
+			fmt.Fprintln(os.Stderr, "xoridx: -mmap supports -algo hillclimb only")
+			os.Exit(2)
+		}
+		if err := runStream(ctx, *traceFile, cfg, events, *verbose, *saveFn); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	tr, err := cliutil.ReadTraceRetry(ctx, *traceFile, *retries)
 	if err != nil {
 		fatal(err)
@@ -139,28 +194,6 @@ func main() {
 			*addrBits, *cacheBytes / *blockBytes, 8, 12)
 		fmt.Print(a.Report(*blockBytes))
 		return
-	}
-	cfg := core.Config{
-		CacheBytes:     *cacheBytes,
-		Ways:           *ways,
-		BlockBytes:     *blockBytes,
-		AddrBits:       *addrBits,
-		MaxInputs:      *maxInputs,
-		Restarts:       *restarts,
-		NoFallback:     *noFallback,
-		Workers:        *workers,
-		NoIncremental:  *noIncremental,
-		CheckpointPath: *checkpoint,
-		Resume:         *resume,
-	}
-	cfg.Family, err = cliutil.ParseFamily(*family)
-	if err != nil {
-		fatal(err)
-	}
-
-	var events core.Sink
-	if *progress {
-		events = cliutil.ProgressSink(os.Stderr)
 	}
 	res, err := tuneWith(ctx, tr, cfg, *algo, events)
 	if err != nil {
@@ -186,6 +219,10 @@ func main() {
 		p := res.Profile
 		fmt.Printf("profile: %d accesses = %d compulsory + %d capacity + %d conflict candidates (%d conflict pairs)\n",
 			p.Accesses, p.Compulsory, p.Capacity, p.Candidates, p.TotalPairs)
+		if p.SampleK > 1 {
+			fmt.Printf("sampled profiling: k=%d, walked %d of %d candidates; optimized estimate %s\n",
+				p.SampleK, p.SampledCandidates, p.Candidates, res.Search.Confidence)
+		}
 		fmt.Println("hottest conflict vectors:")
 		for _, vc := range p.HotVectors(8) {
 			fmt.Printf("  %s x%d\n", vc.Vec.StringN(p.N), vc.Count)
@@ -239,6 +276,70 @@ func main() {
 		lit, _ := nl.VerilogConfigLiteral()
 		fmt.Printf("\nVerilog module written to %s; program cfg_in = %s\n", *verilogFile, lit)
 	}
+}
+
+// runStream is the -mmap pipeline: profile the trace as a stream over
+// a memory mapping (or buffered reads where mmap is unavailable),
+// search on the resulting profile, and report Eq. 4 estimates — with
+// confidence intervals when sampling — in place of the exact
+// simulation stage, which would need the whole trace in memory.
+func runStream(ctx context.Context, path string, cfg core.Config, events core.Sink, verbose bool, saveFn string) error {
+	src, err := trace.Open(path, true)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	mode := "buffered"
+	if src.Mapped {
+		mode = "mmap"
+	}
+	fmt.Printf("trace: %s (%d accesses, %d ops) [%s stream]\n", src.Name(), src.Len(), src.Ops(), mode)
+	fmt.Printf("cache: %d B, %d-way, %d B blocks (%d sets)\n\n",
+		cfg.CacheBytes, cfg.Ways, cfg.BlockBytes, cfg.CacheBytes/cfg.BlockBytes/cfg.Ways)
+
+	pl := core.Pipeline{Config: cfg, Events: events}
+	p, err := pl.ProfileSource(ctx, src.BlockSource(cfg.BlockBytes, cfg.AddrBits))
+	if err != nil {
+		return err
+	}
+	sres, err := pl.Search(ctx, p)
+	if err != nil {
+		if sres.Degraded && sres.Matrix.Cols != nil {
+			fmt.Printf("search interrupted after %d moves; best-so-far estimate %d (baseline %d)\n",
+				sres.Iterations, sres.Estimated, sres.Baseline)
+		}
+		return err
+	}
+	f, err := hash.NewXOR(sres.Matrix)
+	if err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Printf("profile [%s backend, %d histogram bytes]: %d accesses = %d compulsory + %d capacity + %d conflict candidates (%d conflict pairs)\n",
+			p.Backend(), p.HistogramBytes(), p.Accesses, p.Compulsory, p.Capacity, p.Candidates, p.TotalPairs)
+		if p.SampleK > 1 {
+			fmt.Printf("sampled profiling: k=%d, walked %d of %d candidates\n",
+				p.SampleK, p.SampledCandidates, p.Candidates)
+		}
+		fmt.Printf("search: %d moves, %d candidates evaluated\n\n", sres.Iterations, sres.Evaluated)
+	}
+	fmt.Println(core.DescribeFunction(f))
+	fmt.Println()
+	fmt.Printf("estimated conflict misses (Eq. 4):\n")
+	fmt.Printf("  baseline (modulo):  %s\n", p.ConfidenceFor(sres.Baseline))
+	fmt.Printf("  optimized:          %s\n", p.ConfidenceFor(sres.Estimated))
+	fmt.Println("note: streamed profile — exact simulation and the §6 fallback were skipped; validate with -apply on a machine that fits the trace")
+	if saveFn != "" {
+		data, err := f.Matrix().MarshalText()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(saveFn, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nmatrix written to %s (re-evaluate with -apply)\n", saveFn)
+	}
+	return nil
 }
 
 // tuneWith runs the selected search algorithm through the core

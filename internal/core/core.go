@@ -96,6 +96,22 @@ type Config struct {
 	// Resume restores existing checkpoint files under CheckpointPath
 	// before each stage runs; missing files mean a cold start.
 	Resume bool
+	// SampleK enables sampled profiling (DESIGN.md §17): every access
+	// is still classified exactly against the full LRU state, but only
+	// every SampleK-th conflict candidate is walked into the histogram,
+	// so Eq. 4 estimates carry a confidence interval instead of being
+	// exact. <= 1 profiles exactly. Sampling forces the profiling stage
+	// sequential and is incompatible with CheckpointPath.
+	SampleK uint64
+	// SampleSeed picks the deterministic sampling phase (and the sketch
+	// backend's row hashes); runs with the same seed are reproducible.
+	SampleSeed uint64
+	// Backend selects the histogram backend: "" or "auto" (flat table
+	// up to profile.MaxFlatBits address bits, sparse map beyond),
+	// "flat", "sparse", or "sketch" (count-min: memory bounded at any
+	// width, estimates become (ε, δ)-bounded upper bounds). Only the
+	// auto backend composes with CheckpointPath.
+	Backend string
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +147,25 @@ func (c Config) validate() error {
 	if c.AddrBits < c.SetBits()+1 || c.AddrBits > profile.MaxBits {
 		return fmt.Errorf("core: AddrBits %d out of range (need > set bits %d, <= %d): %w",
 			c.AddrBits, c.SetBits(), profile.MaxBits, xerr.ErrInvalidGeometry)
+	}
+	switch c.Backend {
+	case "", "auto", "flat", "sparse", "sketch":
+	default:
+		return fmt.Errorf("core: unknown histogram backend %q (want auto, flat, sparse or sketch): %w",
+			c.Backend, xerr.ErrInvalidOptions)
+	}
+	if c.Backend == "flat" && c.AddrBits > profile.MaxFlatBits {
+		return fmt.Errorf("core: flat backend caps at %d address bits, config has %d: %w",
+			profile.MaxFlatBits, c.AddrBits, xerr.ErrInvalidOptions)
+	}
+	if c.CheckpointPath != "" {
+		if c.SampleK > 1 {
+			return fmt.Errorf("core: sampled profiling cannot be checkpointed: %w", xerr.ErrInvalidOptions)
+		}
+		if c.Backend != "" && c.Backend != "auto" {
+			return fmt.Errorf("core: checkpointed profiling supports only the auto backend, not %q: %w",
+				c.Backend, xerr.ErrInvalidOptions)
+		}
 	}
 	return nil
 }
@@ -336,10 +371,29 @@ func BuildProfile(tr *trace.Trace, cfg Config) (*profile.Profile, error) {
 
 func buildProfile(tr *trace.Trace, cfg Config) (*profile.Profile, error) {
 	blocks := tr.Blocks(cfg.BlockBytes, cfg.AddrBits)
-	if w := cfg.profileWorkers(); w > 1 {
-		return profile.BuildParallel(blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes, w)
+	return profile.BuildParallelOpts(blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes, cfg.profileOptions())
+}
+
+// profileOptions maps the config onto the profile layer's sharding,
+// sampling and backend options. Workers is clamped to at least 1:
+// Config's zero value means sequential, while a zero
+// ParallelOptions.Workers would mean one per core.
+func (c Config) profileOptions() profile.ParallelOptions {
+	w := c.profileWorkers()
+	if w < 1 {
+		w = 1
 	}
-	return profile.Build(blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes), nil
+	opt := profile.ParallelOptions{
+		Workers: w,
+		Sample:  profile.SampleOptions{K: c.SampleK, Seed: c.SampleSeed},
+	}
+	switch c.Backend {
+	case "sparse":
+		opt.ForceSparse = true
+	case "sketch":
+		opt.Sketch = &profile.SketchOptions{Seed: c.SampleSeed}
+	}
+	return opt
 }
 
 // profileWorkers resolves the Workers knob: < 0 means one per core.

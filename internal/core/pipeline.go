@@ -152,11 +152,49 @@ func (pl *Pipeline) Profile(ctx context.Context, tr *trace.Trace) (*profile.Prof
 		} else {
 			p, err = profile.BuildCheckpointedCtx(ctx, src, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes, copt)
 		}
-	case w > 1:
-		p, err = profile.BuildParallelCtx(ctx, blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes,
-			profile.ParallelOptions{Workers: w})
 	default:
-		p, err = profile.BuildCtx(ctx, blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes)
+		// BuildParallelCtx's Workers <= 1 path is the plain sequential
+		// pass, so one call covers sequential, sharded, sampled and
+		// alternative-backend builds alike.
+		p, err = profile.BuildParallelCtx(ctx, blocks, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes,
+			cfg.profileOptions())
+	}
+	if err != nil {
+		return p, err
+	}
+	pl.emit(Event{Kind: StageFinished, Stage: StageProfile})
+	return p, nil
+}
+
+// ProfileSource runs the Fig. 1 profiling stage over a block-source
+// stream instead of an in-memory trace — the entry point for
+// mmap-backed readers (trace.Open + StreamReader.BlockSource) and any
+// trace too large to materialise. The source must yield block
+// addresses already truncated to Config.AddrBits. Sharding, sampling,
+// backend selection and checkpointing follow the same Config knobs as
+// Profile; exact unsampled streams produce bit-identical profiles to
+// the in-memory pass.
+func (pl *Pipeline) ProfileSource(ctx context.Context, src profile.BlockSource) (*profile.Profile, error) {
+	cfg := pl.Config.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pl.emit(Event{Kind: StageStarted, Stage: StageProfile})
+	var (
+		p   *profile.Profile
+		err error
+	)
+	if cfg.CheckpointPath != "" {
+		copt := profile.CheckpointOptions{
+			Path:   cfg.profileCheckpointPath(),
+			Every:  uint64(cfg.CheckpointEvery),
+			Resume: cfg.Resume,
+		}
+		p, err = profile.BuildStreamCheckpointedCtx(ctx, src, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes,
+			cfg.profileOptions(), copt)
+	} else {
+		p, err = profile.BuildStreamCtx(ctx, src, cfg.AddrBits, cfg.CacheBytes/cfg.BlockBytes,
+			cfg.profileOptions())
 	}
 	if err != nil {
 		return p, err

@@ -52,6 +52,15 @@ func (bd *Builder) Checkpoint(w io.Writer) error {
 	if bd.done {
 		return fmt.Errorf("profile: Checkpoint after Finish: %w", xerr.ErrInvalidOptions)
 	}
+	if bd.sampleK > 1 {
+		// The XPC1 snapshot does not carry the sampling gate's position
+		// in the global candidate stream, so a resume would silently
+		// sample a different subset than the uninterrupted pass.
+		return fmt.Errorf("profile: Checkpoint of a sampled builder: %w", xerr.ErrInvalidOptions)
+	}
+	if bd.p.Sketch != nil {
+		return fmt.Errorf("profile: Checkpoint of a sketch-backed builder: %w", xerr.ErrInvalidOptions)
+	}
 	p := bd.p
 	return ckpt.Write(w, checkpointMagic, checkpointVersion, func(b *bytes.Buffer) error {
 		var buf [binary.MaxVarintLen64]byte

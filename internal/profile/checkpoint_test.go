@@ -407,7 +407,7 @@ func TestShardRunConvertsPanic(t *testing.T) {
 	testShardHook = func(int) { panic("boom") }
 	defer func() { testShardHook = nil }()
 	s := &shardState{idx: 3, blocks: []uint64{1, 2, 3}}
-	s.run(context.Background(), 8, 4, false)
+	s.run(context.Background(), 8, 4, ParallelOptions{})
 	if !errors.Is(s.err, xerr.ErrPanic) {
 		t.Fatalf("recovered panic: err = %v, want wrapped ErrPanic", s.err)
 	}

@@ -89,11 +89,11 @@ func FuzzShardMerge(f *testing.F) {
 		sort.Ints(points)
 		points = append(points, len(blocks))
 
-		rc := newReconciler(n, cacheBlocks, false)
+		rc := newReconciler(n, cacheBlocks, ParallelOptions{})
 		prev := 0
 		for idx, cut := range points {
 			s := &shardState{idx: idx, blocks: blocks[prev:cut]}
-			s.run(context.Background(), n, cacheBlocks, false)
+			s.run(context.Background(), n, cacheBlocks, ParallelOptions{})
 			if s.err != nil {
 				t.Fatal(s.err)
 			}

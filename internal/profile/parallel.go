@@ -93,6 +93,21 @@ type ParallelOptions struct {
 	// zero value disables retrying (a transient error fails the build
 	// like any other).
 	Retry faultio.Policy
+
+	// Sample enables sampled conflict walks (see sample.go): every
+	// access still runs the exact distance gate, but only every K-th
+	// conflict candidate is walked into the histogram. Sampling depends
+	// on the global candidate ordinal, which an isolated cold shard
+	// cannot know, so withDefaults forces Workers to 1 and the stream
+	// engine runs a plain sequential consumption loop.
+	Sample SampleOptions
+
+	// Sketch, when non-nil, selects the count-min-sketch histogram
+	// backend (see sketch.go) instead of flat/sparse. Shard sketches
+	// merge entrywise, so parallel sketch builds keep the (ε, δ) error
+	// bound but are not bit-identical to a sequential sketch build.
+	// Overrides ForceSparse.
+	Sketch *SketchOptions
 }
 
 // DefaultChunkSize is the shard length BuildStream uses when
@@ -103,15 +118,39 @@ func (o ParallelOptions) withDefaults() ParallelOptions {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.Sample.enabled() {
+		// The sampling gate counts global candidate ordinals; cold
+		// shards cannot, so sampled builds run sequentially.
+		o.Workers = 1
+	}
 	if o.ChunkSize <= 0 {
 		o.ChunkSize = DefaultChunkSize
 	}
 	return o
 }
 
+// validate rejects out-of-domain backend options before any goroutine
+// starts.
+func (o ParallelOptions) validate() error {
+	if o.Sketch != nil {
+		return o.Sketch.Validate()
+	}
+	return nil
+}
+
 // sparse reports which histogram backend the options select at width n.
 func (o ParallelOptions) sparse(n int) bool {
 	return o.ForceSparse || n > MaxFlatBits
+}
+
+// newBuilder constructs a cold builder with the histogram backend the
+// options select. Sampling is armed separately by the sequential
+// paths — shard builders never sample.
+func (o ParallelOptions) newBuilder(n, cacheBlocks int) *Builder {
+	if o.Sketch != nil {
+		return newSketchBuilder(n, cacheBlocks, o.Sketch.withDefaults())
+	}
+	return newBuilder(n, cacheBlocks, o.sparse(n))
 }
 
 // testShardHook, when non-nil, runs at the start of every shard pass
@@ -149,6 +188,9 @@ func BuildParallelCtx(ctx context.Context, blocks []uint64, n, cacheBlocks int, 
 	if err := ValidateGeometry(n, cacheBlocks); err != nil {
 		return nil, err
 	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults()
 	workers := opt.Workers
 	if workers > len(blocks) {
@@ -172,14 +214,14 @@ func BuildParallelCtx(ctx context.Context, blocks []uint64, n, cacheBlocks int, 
 		wg.Add(1)
 		go func(s *shardState) {
 			defer wg.Done()
-			s.run(ctx, n, cacheBlocks, opt.sparse(n))
+			s.run(ctx, n, cacheBlocks, opt)
 		}(&shards[w])
 	}
 	wg.Wait()
 	if err := firstShardError(shards); err != nil {
 		return nil, err
 	}
-	rc := newReconciler(n, cacheBlocks, opt.sparse(n))
+	rc := newReconciler(n, cacheBlocks, opt)
 	for w := range shards {
 		if err := rc.absorb(&shards[w]); err != nil {
 			return nil, err
@@ -192,11 +234,12 @@ func BuildParallelCtx(ctx context.Context, blocks []uint64, n, cacheBlocks int, 
 }
 
 // buildSeqCtx is the workers <= 1 path: a plain sequential pass that
-// still honors ForceSparse and Stats, with BuildCtx's cancellation
-// semantics (a canceled run returns its Degraded partial profile
-// alongside the error).
+// still honors the backend and sampling options and Stats, with
+// BuildCtx's cancellation semantics (a canceled run returns its
+// Degraded partial profile alongside the error).
 func buildSeqCtx(ctx context.Context, blocks []uint64, n, cacheBlocks int, opt ParallelOptions) (*Profile, error) {
-	bd := newBuilder(n, cacheBlocks, opt.sparse(n))
+	bd := opt.newBuilder(n, cacheBlocks)
+	bd.setSampling(opt.Sample)
 	for start := 0; start < len(blocks); start += ctxCheckEvery {
 		if err := xerr.Check(ctx); err != nil {
 			p := bd.Finish()
@@ -259,7 +302,7 @@ type shardState struct {
 // xerr.ErrPanic naming the shard instead of crashing the process, so
 // the fan-out drains normally and the caller sees an ordinary error it
 // can match with errors.Is.
-func (s *shardState) run(ctx context.Context, n, cacheBlocks int, sparse bool) {
+func (s *shardState) run(ctx context.Context, n, cacheBlocks int, opt ParallelOptions) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.p = nil
@@ -269,7 +312,7 @@ func (s *shardState) run(ctx context.Context, n, cacheBlocks int, sparse bool) {
 	if testShardHook != nil {
 		testShardHook(s.idx)
 	}
-	bd := newBuilder(n, cacheBlocks, sparse)
+	bd := opt.newBuilder(n, cacheBlocks)
 	tick := 0
 	for _, b := range s.blocks {
 		if tick++; tick >= ctxCheckEvery {
@@ -338,8 +381,23 @@ func buildStream(ctx context.Context, src BlockSource, n, cacheBlocks int, opt P
 	if err := opt.Retry.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if ck != nil && (opt.Sample.enabled() || opt.Sketch != nil) {
+		// The snapshot codec is exact flat/sparse state; a resumed
+		// sampled pass would also lose its global candidate ordinal.
+		return nil, fmt.Errorf("profile: sampled or sketch builds cannot be checkpointed: %w",
+			xerr.ErrInvalidOptions)
+	}
 	opt = opt.withDefaults()
-	rc := newReconciler(n, cacheBlocks, opt.sparse(n))
+	if opt.Sample.enabled() {
+		// Sampling depends on the global candidate ordinal, which the
+		// sharded engine's cold chunk builders cannot know even with one
+		// worker — the stream is consumed by a single sequential builder.
+		return buildSampledStream(ctx, src, n, cacheBlocks, opt)
+	}
+	rc := newReconciler(n, cacheBlocks, opt)
 	if ck != nil {
 		if err := rc.restore(ck, n, cacheBlocks, opt.sparse(n)); err != nil {
 			return nil, err
@@ -369,7 +427,7 @@ func buildStream(ctx context.Context, src BlockSource, n, cacheBlocks int, opt P
 		go func() {
 			defer wg.Done()
 			for s := range jobs {
-				s.run(inner, n, cacheBlocks, opt.sparse(n))
+				s.run(inner, n, cacheBlocks, opt)
 				done <- s
 			}
 		}()
@@ -553,9 +611,9 @@ type reconciler struct {
 	scratch []uint64            // scratch: boundary blocks collected by a walk
 }
 
-func newReconciler(n, cacheBlocks int, sparse bool) *reconciler {
+func newReconciler(n, cacheBlocks int, opt ParallelOptions) *reconciler {
 	return &reconciler{
-		out:    newBuilder(n, cacheBlocks, sparse).Finish(),
+		out:    opt.newBuilder(n, cacheBlocks).Finish(),
 		bound:  lru.NewStack(),
 		prefix: make(map[uint64]struct{}),
 	}
@@ -641,6 +699,13 @@ func (rc *reconciler) resolve(p *Profile, prefix []uint64, b uint64, target int3
 		}
 		for _, y := range ys {
 			tbl[b^y]++
+		}
+	} else if sk := p.Sketch; sk != nil {
+		for _, y := range prefix {
+			sk.Inc(b ^ y)
+		}
+		for _, y := range ys {
+			sk.Inc(b ^ y)
 		}
 	} else {
 		sp := p.Sparse

@@ -43,21 +43,33 @@ const MaxBits = 64
 // Profile is the conflict-vector histogram gathered from one trace.
 //
 // Exactly one backend is populated: Table for n <= MaxFlatBits, Sparse
-// beyond that. Code that indexes Table directly only works on flat
-// profiles; use At, ForEachNonZero or Support to stay
-// backend-agnostic.
+// beyond that, or Sketch when a caller opts into the approximate
+// count-min backend (see sketch.go). Code that indexes Table directly
+// only works on flat profiles; use At, ForEachNonZero or Support to
+// stay backend-agnostic.
 type Profile struct {
 	N           int               // hashed address bits; vectors are truncated to N bits
 	CacheBlocks int               // capacity filter used during profiling
 	Table       []uint64          // flat backend: misses(v) for every v in [0, 2^N); nil when sparse
 	Sparse      map[uint64]uint64 // sparse backend: misses(v) for nonzero entries only; nil when flat
+	Sketch      *Sketch           // count-min backend: approximate, never undercounting; nil otherwise
 
 	// Bookkeeping from the profiling pass.
 	Accesses   uint64 // trace length
 	Compulsory uint64 // first-touch accesses
 	Capacity   uint64 // accesses filtered as capacity misses
 	Candidates uint64 // accesses that contributed conflict vectors
-	TotalPairs uint64 // total conflict-vector increments
+	TotalPairs uint64 // total conflict-vector increments (raw, i.e. sampled counts when SampleK > 1)
+
+	// Sampling bookkeeping (see sample.go). SampleK <= 1 means the
+	// histogram is exact; SampleK = k means only every k-th conflict
+	// candidate's reuse interval was walked, so histogram counts and
+	// TotalPairs are a deterministic ~1/k subsample. Classification
+	// counters (Compulsory/Capacity/Candidates) remain exact either
+	// way. SampledCandidates counts the candidates actually walked.
+	SampleK           uint64
+	SampleSeed        uint64
+	SampledCandidates uint64
 
 	// Degraded marks a partial profile: the build was canceled (or hit
 	// its deadline) and returned its best-so-far histogram alongside
@@ -98,6 +110,14 @@ type Builder struct {
 	tree  *lru.DistanceTree
 	stats BuildStats
 	done  bool
+
+	// Sampling gate (see sample.go). sampleK <= 1 profiles every
+	// candidate; otherwise sampleCount is the 1-indexed ordinal of the
+	// conflict candidate just seen and sampleNext the next ordinal
+	// whose reuse interval will be walked.
+	sampleK     uint64
+	sampleCount uint64
+	sampleNext  uint64
 }
 
 // BuildStats exposes the hot-path probes of a Builder: how many stack
@@ -199,11 +219,28 @@ func (bd *Builder) Add(block uint64) {
 	// straight into the active backend — no callback, no per-element
 	// backend branch, no undo path — and batch the pair bookkeeping.
 	target, _ := bd.stack.Index(b)
+	p.Candidates++
+	if k := bd.sampleK; k > 1 {
+		// Sampling gate (sample.go): only every k-th candidate walks;
+		// a skipped one still refreshes its recency, so the LRU state
+		// — and every later classification — stays exact.
+		if bd.sampleCount++; bd.sampleCount != bd.sampleNext {
+			bd.stack.MoveIndexToTop(target)
+			return
+		}
+		bd.sampleNext += k
+		p.SampledCandidates++
+	}
 	nodes, top := bd.stack.Raw()
 	d := uint64(0)
 	if tbl := p.Table; tbl != nil {
 		for i := top; i != target; i = nodes[i].Next {
 			tbl[b^nodes[i].Block]++
+			d++
+		}
+	} else if sk := p.Sketch; sk != nil {
+		for i := top; i != target; i = nodes[i].Next {
+			sk.Inc(b ^ nodes[i].Block)
 			d++
 		}
 	} else {
@@ -214,7 +251,6 @@ func (bd *Builder) Add(block uint64) {
 		}
 	}
 	p.TotalPairs += d
-	p.Candidates++
 	bd.stats.CandidateWalks++
 	bd.stats.WalkSteps += d
 	bd.stack.MoveIndexToTop(target)
@@ -263,23 +299,35 @@ func (bd *Builder) Finish() *Profile {
 }
 
 // At returns misses(v), the histogram count of one conflict vector,
-// regardless of backend.
+// regardless of backend. On the sketch backend the value is the
+// count-min estimate: an upper bound within the (ε, δ) guarantee.
 func (p *Profile) At(v gf2.Vec) uint64 {
 	if p.Table != nil {
 		return p.Table[v]
+	}
+	if p.Sketch != nil {
+		return p.Sketch.At(uint64(v))
 	}
 	return p.Sparse[uint64(v)]
 }
 
 // ForEachNonZero calls fn for every nonzero histogram entry. Order is
 // ascending for the flat backend and unspecified for the sparse one;
-// use Support when a deterministic order matters.
+// use Support when a deterministic order matters. On the sketch
+// backend only the tracked heavy hitters are enumerable — the tail is
+// reachable through point queries (At) but not through enumeration.
 func (p *Profile) ForEachNonZero(fn func(v gf2.Vec, count uint64)) {
 	if p.Table != nil {
 		for v, c := range p.Table {
 			if c != 0 {
 				fn(gf2.Vec(v), c)
 			}
+		}
+		return
+	}
+	if p.Sketch != nil {
+		for _, vc := range p.Sketch.HeavyHitters() {
+			fn(vc.Vec, vc.Count)
 		}
 		return
 	}
@@ -296,6 +344,9 @@ func (p *Profile) ForEachNonZero(fn func(v gf2.Vec, count uint64)) {
 // ascending order, so no sort is needed), the sparse backend sizes the
 // slice from the map population.
 func (p *Profile) Support() []VectorCount {
+	if p.Sketch != nil {
+		return p.Sketch.support()
+	}
 	if p.Table != nil {
 		nonzero := 0
 		for _, c := range p.Table {
@@ -456,17 +507,26 @@ func (p *Profile) Merge(o *Profile) error {
 	if p.CacheBlocks != o.CacheBlocks {
 		return fmt.Errorf("profile: capacity filters differ (%d vs %d blocks): %w", o.CacheBlocks, p.CacheBlocks, xerr.ErrProfileMismatch)
 	}
-	if (p.Table == nil) != (o.Table == nil) {
-		return fmt.Errorf("profile: histogram backends differ (flat vs sparse): %w", xerr.ErrProfileMismatch)
+	if (p.Table == nil) != (o.Table == nil) || (p.Sketch == nil) != (o.Sketch == nil) {
+		return fmt.Errorf("profile: histogram backends differ (%s vs %s): %w",
+			o.backendName(), p.backendName(), xerr.ErrProfileMismatch)
 	}
 	if len(p.Table) != len(o.Table) {
 		return fmt.Errorf("profile: table sizes differ (%d vs %d entries): %w", len(o.Table), len(p.Table), xerr.ErrProfileMismatch)
 	}
-	if p.Table != nil {
+	if err := checkSamplingCompatible(p, o); err != nil {
+		return err
+	}
+	switch {
+	case p.Table != nil:
 		for v, c := range o.Table {
 			p.Table[v] += c
 		}
-	} else {
+	case p.Sketch != nil:
+		if err := p.Sketch.Merge(o.Sketch); err != nil {
+			return err
+		}
+	default:
 		for v, c := range o.Sparse {
 			p.Sparse[v] += c
 		}
@@ -476,6 +536,40 @@ func (p *Profile) Merge(o *Profile) error {
 	p.Capacity += o.Capacity
 	p.Candidates += o.Candidates
 	p.TotalPairs += o.TotalPairs
+	p.SampledCandidates += o.SampledCandidates
 	p.Degraded = p.Degraded || o.Degraded
 	return nil
+}
+
+// backendName names the populated histogram backend, for error
+// messages and the CLI's -backend flag domain.
+func (p *Profile) backendName() string {
+	switch {
+	case p.Table != nil:
+		return "flat"
+	case p.Sketch != nil:
+		return "sketch"
+	default:
+		return "sparse"
+	}
+}
+
+// Backend returns the populated histogram backend's name: "flat",
+// "sparse" or "sketch".
+func (p *Profile) Backend() string { return p.backendName() }
+
+// HistogramBytes approximates the memory held by the histogram
+// backend: exact for the flat table and the sketch rows, and a
+// deliberate underestimate for the sparse map (48 bytes per entry —
+// key, value and bucket slot, ignoring Go's load-factor headroom), so
+// sketch-vs-sparse memory ratios computed from it are conservative.
+func (p *Profile) HistogramBytes() int {
+	switch {
+	case p.Table != nil:
+		return len(p.Table) * 8
+	case p.Sketch != nil:
+		return p.Sketch.Bytes()
+	default:
+		return len(p.Sparse) * 48
+	}
 }

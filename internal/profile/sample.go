@@ -1,0 +1,210 @@
+package profile
+
+// Sampled profiling (DESIGN.md §17). A full Fig. 1 pass walks the LRU
+// stack once per conflict candidate; on billion-access traces those
+// walks dominate the build. Sampling keeps the classification machinery
+// exact — every access still runs through the distance gate, so the LRU
+// stack, the Fenwick tree and the Compulsory/Capacity/Candidates
+// counters are bit-identical to an exact pass — but only every k-th
+// conflict candidate's reuse interval is walked into the histogram.
+// Skipped candidates still refresh their stack position (MoveToTop), so
+// later reuse distances are unaffected by the skipping.
+//
+// The histogram therefore holds a deterministic ~1/k subsample of the
+// conflict pairs, and every Eq. 4 estimate read from it is a raw count
+// M that scales to the exact-pass value as k·M. The error model is the
+// birthday-paradox collision statistic: conflict pairs hitting a null
+// space N(H) are rare, independent-ish collision events, so the sampled
+// hit count M is well approximated as Poisson with mean μ/k (μ the
+// exact count). A Poisson's standard deviation is the square root of
+// its mean, giving the two-sided normal interval
+//
+//	μ ∈ k·M ± z·k·√M            (z = 1.96 at 95%)
+//
+// whose relative half-width z/√M shrinks as the estimate grows — the
+// estimates that decide a climb (the large ones) are exactly the ones
+// sampled most accurately. The argmin over H is computed on raw counts:
+// scaling by the constant k preserves ordering, so the search layer
+// never needs to know it is looking at a subsample.
+//
+// The candidate ordinal that decides sampling is global to the pass
+// (the j-th conflict candidate of the stream), which an isolated cold
+// shard cannot know; sampled builds therefore run sequentially —
+// ParallelOptions.withDefaults forces Workers to 1 when Sample.K > 1.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+
+	"xoridx/internal/xerr"
+)
+
+// SampleOptions configures sampled profiling. K <= 1 means exact (no
+// sampling); K = k profiles every k-th conflict candidate, phase-offset
+// deterministically from Seed so repeated runs are reproducible and
+// different seeds sample different strata.
+type SampleOptions struct {
+	K    uint64
+	Seed uint64
+}
+
+// enabled reports whether the options actually sample.
+func (o SampleOptions) enabled() bool { return o.K > 1 }
+
+// NewSampledBuilder is NewBuilder with sampled conflict walks; see
+// SampleOptions. It panics on out-of-range geometry like NewBuilder.
+func NewSampledBuilder(n, cacheBlocks int, opt SampleOptions) *Builder {
+	if err := ValidateGeometry(n, cacheBlocks); err != nil {
+		panic(err)
+	}
+	bd := newBuilder(n, cacheBlocks, n > MaxFlatBits)
+	bd.setSampling(opt)
+	return bd
+}
+
+// BuildSampled runs the sampled profiling pass over a block sequence.
+func BuildSampled(blocks []uint64, n, cacheBlocks int, opt SampleOptions) *Profile {
+	bd := NewSampledBuilder(n, cacheBlocks, opt)
+	for _, blk := range blocks {
+		bd.Add(blk)
+	}
+	return bd.Finish()
+}
+
+// setSampling arms the builder's sampling gate. A no-op for K <= 1.
+func (bd *Builder) setSampling(opt SampleOptions) {
+	if !opt.enabled() {
+		return
+	}
+	bd.sampleK = opt.K
+	bd.p.SampleK = opt.K
+	bd.p.SampleSeed = opt.Seed
+	// First profiled candidate ordinal (1-indexed): a deterministic
+	// phase in [1, K] derived from the seed, then every K-th after it.
+	bd.sampleNext = bd.sampleCount + splitmix64(opt.Seed)%opt.K + 1
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed
+// 64-bit mix used to derive the sampling phase and the sketch row
+// hashes without any dependency.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Confidence qualifies an Eq. 4 estimate read from a sampled profile:
+// the scaled estimate, the half-width of its confidence interval, and
+// the level the interval holds at. For an exact profile (K <= 1) the
+// margin is zero and Level is 1.
+type Confidence struct {
+	Estimate uint64  // scaled estimate k·M (equals the raw count when exact)
+	Raw      uint64  // M, the raw (sampled) histogram sum that produced it
+	K        uint64  // sampling factor (1 = exact)
+	Margin   uint64  // CI half-width: ceil(z·k·√M); 0 when exact
+	RelError float64 // Margin / Estimate, 0 when Estimate is 0
+	Level    float64 // two-sided confidence level of the interval
+}
+
+// The z-score and level of the reported interval (two-sided 95%).
+const (
+	confidenceZ     = 1.96
+	confidenceLevel = 0.95
+)
+
+// Scale returns the factor raw histogram sums must be multiplied by to
+// estimate exact-pass counts: SampleK for a sampled profile, 1 for an
+// exact one.
+func (p *Profile) Scale() uint64 {
+	if p.SampleK > 1 {
+		return p.SampleK
+	}
+	return 1
+}
+
+// ConfidenceFor wraps a raw Eq. 4 estimate (as returned by
+// EstimateSubspace and friends on this profile) in its sampling
+// confidence interval — see the package comment in sample.go for the
+// derivation.
+func (p *Profile) ConfidenceFor(raw uint64) Confidence {
+	k := p.Scale()
+	c := Confidence{Estimate: raw * k, Raw: raw, K: k, Level: 1}
+	if k == 1 {
+		return c
+	}
+	c.Level = confidenceLevel
+	c.Margin = uint64(math.Ceil(confidenceZ * float64(k) * math.Sqrt(float64(raw))))
+	if c.Estimate > 0 {
+		c.RelError = float64(c.Margin) / float64(c.Estimate)
+	}
+	return c
+}
+
+// String renders "X ± ε (95% CI, k=16)" for sampled estimates and the
+// plain count for exact ones.
+func (c Confidence) String() string {
+	if c.K <= 1 {
+		return fmt.Sprintf("%d (exact)", c.Estimate)
+	}
+	return fmt.Sprintf("%d ± %d (%.0f%% CI, k=%d)", c.Estimate, c.Margin, c.Level*100, c.K)
+}
+
+// buildSampledStream is the sampled branch of the stream engine: a
+// single sequential builder consumes the chunked source, because the
+// sampling gate counts global candidate ordinals that cold shard
+// builders cannot reconstruct. It keeps BuildStreamCtx's contract —
+// fillChunk boundaries, Retry on transient source faults, Stats, and
+// cancellation returning the Degraded partial profile with the error.
+func buildSampledStream(ctx context.Context, src BlockSource, n, cacheBlocks int, opt ParallelOptions) (*Profile, error) {
+	bd := opt.newBuilder(n, cacheBlocks)
+	bd.setSampling(opt.Sample)
+	if opt.Retry.MaxRetries > 0 {
+		src = RetrySource(ctx, src, opt.Retry)
+	}
+	buf := make([]uint64, opt.ChunkSize)
+	for {
+		filled, ferr := fillChunk(src, buf)
+		for start := 0; start < filled; start += ctxCheckEvery {
+			if err := xerr.Check(ctx); err != nil {
+				p := bd.Finish()
+				p.Degraded = true
+				return p, err
+			}
+			end := start + ctxCheckEvery
+			if end > filled {
+				end = filled
+			}
+			for _, blk := range buf[start:end] {
+				bd.Add(blk)
+			}
+		}
+		if ferr == io.EOF {
+			break
+		}
+		if ferr != nil {
+			return nil, ferr
+		}
+	}
+	if opt.Stats != nil {
+		*opt.Stats = bd.stats
+	}
+	return bd.Finish(), nil
+}
+
+// checkSamplingCompatible verifies two profiles agree on sampling
+// before a merge: mixing subsample rates (or phases) would make the
+// combined histogram scale-inconsistent.
+func checkSamplingCompatible(p, o *Profile) error {
+	if p.Scale() != o.Scale() {
+		return fmt.Errorf("profile: cannot merge sampling k=%d into k=%d: %w",
+			o.Scale(), p.Scale(), xerr.ErrProfileMismatch)
+	}
+	if p.SampleK > 1 && p.SampleSeed != o.SampleSeed {
+		return fmt.Errorf("profile: cannot merge sampled profiles with different seeds: %w",
+			xerr.ErrProfileMismatch)
+	}
+	return nil
+}

@@ -77,6 +77,23 @@ func NewSparseWindowed(n, cacheBlocks int, decay float64) (*Windowed, error) {
 	return newWindowed(n, cacheBlocks, decay, true)
 }
 
+// NewSampledWindowed is NewWindowed with sampled conflict walks (see
+// sample.go): classification and the stream-spanning LRU state stay
+// exact, only every opt.K-th conflict candidate is walked into the
+// window histogram. opt.K <= 1 degrades to the exact NewWindowed.
+func NewSampledWindowed(n, cacheBlocks int, decay float64, opt SampleOptions) (*Windowed, error) {
+	w, err := newWindowed(n, cacheBlocks, decay, n > MaxFlatBits)
+	if err != nil {
+		return nil, err
+	}
+	if opt.enabled() {
+		w.bd.setSampling(opt)
+		w.agg.SampleK = opt.K
+		w.agg.SampleSeed = opt.Seed
+	}
+	return w, nil
+}
+
 func newWindowed(n, cacheBlocks int, decay float64, sparse bool) (*Windowed, error) {
 	if err := ValidateGeometry(n, cacheBlocks); err != nil {
 		return nil, err
@@ -89,9 +106,10 @@ func newWindowed(n, cacheBlocks int, decay float64, sparse bool) (*Windowed, err
 	return w, nil
 }
 
-// emptyLike allocates a zero profile with o's geometry and backend.
+// emptyLike allocates a zero profile with o's geometry, backend and
+// sampling configuration.
 func emptyLike(o *Profile) *Profile {
-	p := &Profile{N: o.N, CacheBlocks: o.CacheBlocks}
+	p := &Profile{N: o.N, CacheBlocks: o.CacheBlocks, SampleK: o.SampleK, SampleSeed: o.SampleSeed}
 	if o.Sparse != nil {
 		p.Sparse = make(map[uint64]uint64)
 	} else {
@@ -107,6 +125,7 @@ func cloneProfile(o *Profile) *Profile {
 		N: o.N, CacheBlocks: o.CacheBlocks,
 		Accesses: o.Accesses, Compulsory: o.Compulsory, Capacity: o.Capacity,
 		Candidates: o.Candidates, TotalPairs: o.TotalPairs, Degraded: o.Degraded,
+		SampleK: o.SampleK, SampleSeed: o.SampleSeed, SampledCandidates: o.SampledCandidates,
 	}
 	if o.Sparse != nil {
 		p.Sparse = make(map[uint64]uint64, len(o.Sparse))
@@ -175,6 +194,7 @@ func decayInPlace(p *Profile, lambda float64) {
 	p.Compulsory = uint64(float64(p.Compulsory) * lambda)
 	p.Capacity = uint64(float64(p.Capacity) * lambda)
 	p.Candidates = uint64(float64(p.Candidates) * lambda)
+	p.SampledCandidates = uint64(float64(p.SampledCandidates) * lambda)
 }
 
 // Aggregate returns an independent copy of the decayed aggregate —
@@ -203,6 +223,12 @@ func (w *Windowed) CacheBlocks() int { return w.bd.p.CacheBlocks }
 // Decay returns the per-rotation decay factor.
 func (w *Windowed) Decay() float64 { return w.decay }
 
+// Sampling returns the sampled-profiling configuration (K <= 1 means
+// exact).
+func (w *Windowed) Sampling() SampleOptions {
+	return SampleOptions{K: w.bd.p.SampleK, Seed: w.bd.p.SampleSeed}
+}
+
 // Rotations returns how many windows have been folded so far.
 func (w *Windowed) Rotations() uint64 { return w.rotations }
 
@@ -214,7 +240,7 @@ func (w *Windowed) Total() uint64 { return w.total }
 
 const (
 	windowMagic   = "XWP1"
-	windowVersion = 1
+	windowVersion = 2 // v2 appends the sampling gate state; v1 (exact-only) still restores
 )
 
 // Checkpoint serialises the complete windowed state — decayed
@@ -238,6 +264,12 @@ func (w *Windowed) Checkpoint(out io.Writer) error {
 		put(math.Float64bits(w.decay))
 		put(w.rotations)
 		put(w.total)
+		// v2 sampling gate state: the factor, the phase seed, and the
+		// stream-global candidate ordinal the gate has counted to (the
+		// next trigger is recomputed from these on restore).
+		put(w.bd.sampleK)
+		put(w.bd.p.SampleSeed)
+		put(w.bd.sampleCount)
 		putProfileBody(put, w.agg)
 		putProfileBody(put, win)
 		stack := w.bd.stack.Blocks()
@@ -249,7 +281,7 @@ func (w *Windowed) Checkpoint(out io.Writer) error {
 	})
 }
 
-// putProfileBody writes one histogram/counter set: the five counters
+// putProfileBody writes one histogram/counter set: the counters
 // followed by the delta-coded ascending support.
 func putProfileBody(put func(uint64), p *Profile) {
 	put(p.Accesses)
@@ -257,6 +289,7 @@ func putProfileBody(put func(uint64), p *Profile) {
 	put(p.Capacity)
 	put(p.Candidates)
 	put(p.TotalPairs)
+	put(p.SampledCandidates)
 	support := p.Support()
 	put(uint64(len(support)))
 	prev := uint64(0)
@@ -276,10 +309,11 @@ func RestoreWindowed(r io.Reader) (*Windowed, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != windowVersion {
-		return nil, fmt.Errorf("profile: windowed snapshot version %d, this build reads %d: %w",
+	if version < 1 || version > windowVersion {
+		return nil, fmt.Errorf("profile: windowed snapshot version %d, this build reads up to %d: %w",
 			version, windowVersion, xerr.ErrFormat)
 	}
+	sampled := version >= 2 // v1 snapshots predate sampling and are exact
 	d := &payloadReader{b: payload}
 	n := int(d.uvarint("n"))
 	cacheBlocks := int(d.uvarint("cacheBlocks"))
@@ -298,6 +332,12 @@ func RestoreWindowed(r io.Reader) (*Windowed, error) {
 	}
 	rotations := d.uvarint("rotations")
 	total := d.uvarint("total")
+	var sampleK, sampleSeed, sampleCount uint64
+	if sampled {
+		sampleK = d.uvarint("sampleK")
+		sampleSeed = d.uvarint("sampleSeed")
+		sampleCount = d.uvarint("sampleCount")
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -307,17 +347,36 @@ func RestoreWindowed(r io.Reader) (*Windowed, error) {
 	}
 	w.rotations = rotations
 	w.total = total
+	if sampleK > 1 {
+		w.bd.setSampling(SampleOptions{K: sampleK, Seed: sampleSeed})
+		w.agg.SampleK = sampleK
+		w.agg.SampleSeed = sampleSeed
+		// The gate resumes mid-stream: restore its candidate ordinal and
+		// recompute the next trigger — the smallest ordinal past it that
+		// is congruent to the seed-derived phase mod K.
+		w.bd.sampleCount = sampleCount
+		phase := splitmix64(sampleSeed)%sampleK + 1
+		next := phase
+		if sampleCount >= phase {
+			next = phase + ((sampleCount-phase)/sampleK+1)*sampleK
+		}
+		w.bd.sampleNext = next
+	}
 	mask := uint64(gf2.Mask(n))
-	if err := readProfileBody(d, w.agg, mask, "aggregate"); err != nil {
+	if err := readProfileBody(d, w.agg, mask, sampled, "aggregate"); err != nil {
 		return nil, err
 	}
-	if err := readProfileBody(d, w.bd.p, mask, "window"); err != nil {
+	if err := readProfileBody(d, w.bd.p, mask, sampled, "window"); err != nil {
 		return nil, err
 	}
 	win := w.bd.p
 	if win.Compulsory+win.Capacity+win.Candidates != win.Accesses {
 		return nil, fmt.Errorf("profile: windowed snapshot window counters disagree (%d+%d+%d != %d accesses): %w",
 			win.Compulsory, win.Capacity, win.Candidates, win.Accesses, xerr.ErrFormat)
+	}
+	if win.SampledCandidates > win.Candidates {
+		return nil, fmt.Errorf("profile: windowed snapshot window sampled %d of %d candidates: %w",
+			win.SampledCandidates, win.Candidates, xerr.ErrFormat)
 	}
 	if win.Accesses > total {
 		return nil, fmt.Errorf("profile: windowed snapshot window accesses %d exceed stream total %d: %w",
@@ -362,12 +421,15 @@ func RestoreWindowed(r io.Reader) (*Windowed, error) {
 // readProfileBody decodes one histogram/counter set written by
 // putProfileBody into p (allocated empty with the right backend) and
 // checks the histogram-sum invariant.
-func readProfileBody(d *payloadReader, p *Profile, mask uint64, what string) error {
+func readProfileBody(d *payloadReader, p *Profile, mask uint64, sampled bool, what string) error {
 	p.Accesses = d.uvarint("accesses")
 	p.Compulsory = d.uvarint("compulsory")
 	p.Capacity = d.uvarint("capacity")
 	p.Candidates = d.uvarint("candidates")
 	p.TotalPairs = d.uvarint("totalPairs")
+	if sampled {
+		p.SampledCandidates = d.uvarint("sampledCandidates")
+	}
 	supportLen := d.uvarint("support length")
 	if d.err != nil {
 		return d.err

@@ -119,6 +119,12 @@ type Result struct {
 	// completed. A degraded result is always a valid index function —
 	// just not necessarily a local optimum.
 	Degraded bool
+	// Confidence qualifies Estimated when the profile was built with
+	// sampled conflict walks (profile.SampleOptions): the scaled
+	// estimate and its confidence interval, so callers can report
+	// "misses(H) = X ± ε". Zero-valued for exact profiles — Estimated
+	// is then the exact Eq. 4 count and needs no interval.
+	Confidence profile.Confidence
 }
 
 // Improvement returns the estimated fraction of conflict misses removed
@@ -165,11 +171,15 @@ func constructCtx(ctx context.Context, p *profile.Profile, m int, opt Options, w
 	}
 	if opt.Family == hash.FamilyPermutation && opt.MaxInputs == 1 {
 		// A 1-input permutation-based function is exactly modulo indexing.
-		return Result{
+		out := Result{
 			Matrix:    gf2.Identity(n, m),
 			Estimated: p.EstimateConventional(m),
 			Baseline:  p.EstimateConventional(m),
-		}, nil
+		}
+		if p.SampleK > 1 {
+			out.Confidence = p.ConfidenceFor(out.Estimated)
+		}
+		return out, nil
 	}
 	var climb func(s *state, start int) (Result, error)
 	switch opt.Family {
@@ -351,6 +361,9 @@ func (s *state) finalize(p *profile.Profile, m int) Result {
 		out.MemoHits += s.ev.hits.Load()
 	}
 	out.Baseline = p.EstimateConventional(m)
+	if p.SampleK > 1 {
+		out.Confidence = p.ConfidenceFor(out.Estimated)
+	}
 	return out
 }
 

@@ -188,7 +188,7 @@ func (s *Server) fallbackShardBlob(sh *shard) ([]byte, error) {
 	if snap := sh.snap.Load(); snap != nil {
 		return snap.data, nil
 	}
-	wb, err := profile.NewWindowed(s.n, s.cfg.CacheBytes/s.cfg.BlockBytes, s.opt.Decay)
+	wb, err := s.newWindowed()
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +200,7 @@ func (s *Server) fallbackShardBlob(sh *shard) ([]byte, error) {
 }
 
 // loadServiceState restores a checkpoint file. See readServiceState.
-func loadServiceState(path string, n, cacheBlocks, m int, decay float64, shards int, strict bool) (*serviceState, error) {
+func loadServiceState(path string, n, cacheBlocks, m int, decay float64, sample profile.SampleOptions, shards int, strict bool) (*serviceState, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil, nil // cold start
@@ -209,7 +209,17 @@ func loadServiceState(path string, n, cacheBlocks, m int, decay float64, shards 
 		return nil, err
 	}
 	defer f.Close()
-	return readServiceState(f, n, cacheBlocks, m, decay, shards, strict)
+	return readServiceState(f, n, cacheBlocks, m, decay, sample, shards, strict)
+}
+
+// sameSampling compares two sampling configurations, treating every
+// K <= 1 as the one exact mode (the seed is meaningless when not
+// sampling).
+func sameSampling(a, b profile.SampleOptions) bool {
+	if a.K <= 1 && b.K <= 1 {
+		return true
+	}
+	return a == b
 }
 
 // readServiceState decodes a checkpoint stream and validates it
@@ -221,7 +231,7 @@ func loadServiceState(path string, n, cacheBlocks, m int, decay float64, shards 
 // fails only that shard: strict refuses the whole restore with an
 // error naming it; otherwise the shard cold-starts and the failure is
 // recorded in serviceState.damage.
-func readServiceState(r io.Reader, n, cacheBlocks, m int, decay float64, shards int, strict bool) (*serviceState, error) {
+func readServiceState(r io.Reader, n, cacheBlocks, m int, decay float64, sample profile.SampleOptions, shards int, strict bool) (*serviceState, error) {
 	version, payload, err := ckpt.Read(r, serviceMagic)
 	if err != nil {
 		return nil, err
@@ -312,7 +322,7 @@ func readServiceState(r io.Reader, n, cacheBlocks, m int, decay float64, shards 
 			return fmt.Errorf("serve: checkpoint shard %d damaged (strict resume refuses to heal): %w", i, cause)
 		}
 		st.damage = append(st.damage, fmt.Errorf("serve: checkpoint shard %d damaged, cold-starting it: %w", i, cause))
-		wb, err := profile.NewWindowed(n, cacheBlocks, decay)
+		wb, err := profile.NewSampledWindowed(n, cacheBlocks, decay, sample)
 		if err != nil {
 			return err
 		}
@@ -349,6 +359,15 @@ func readServiceState(r io.Reader, n, cacheBlocks, m int, decay float64, shards 
 		}
 		if math.Float64bits(wb.Decay()) != math.Float64bits(decay) {
 			if err := cold(i, fmt.Errorf("blob decay disagrees with header: %w", xerr.ErrProfileMismatch)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !sameSampling(wb.Sampling(), sample) {
+			// A shard profiled under a different subsample rate cannot
+			// merge with the others; heal it cold rather than poisoning
+			// every later rotation.
+			if err := cold(i, fmt.Errorf("blob sampling disagrees with config: %w", xerr.ErrProfileMismatch)); err != nil {
 				return nil, err
 			}
 			continue

@@ -57,7 +57,11 @@ type Options struct {
 	// Config is the tuning problem: cache geometry, function family,
 	// search knobs. Workers parallelises the background search;
 	// Config's checkpoint fields are ignored (the serve layer has its
-	// own checkpoint, see CheckpointPath below).
+	// own checkpoint, see CheckpointPath below). Config.SampleK /
+	// SampleSeed opt the shard windows into sampled profiling
+	// (classification stays exact, only every K-th conflict candidate
+	// is histogrammed); Config.Backend "sketch" is rejected — windowed
+	// profiles need exact support enumeration to decay and merge.
 	Config core.Config
 
 	// Shards is the ingest fan-out: each shard owns one
@@ -375,6 +379,10 @@ func New(opt Options) (*Server, error) {
 	if err := profile.ValidateDecay(opt.Decay); err != nil {
 		return nil, err
 	}
+	if cfg.Backend == "sketch" {
+		return nil, fmt.Errorf("serve: windowed profiling does not support the sketch backend: %w",
+			xerr.ErrInvalidOptions)
+	}
 	if opt.QueueDepth == 0 {
 		opt.QueueDepth = 64
 	}
@@ -407,7 +415,8 @@ func New(opt Options) (*Server, error) {
 
 	var restored *serviceState
 	if opt.Resume && opt.CheckpointPath != "" {
-		restored, err = loadServiceState(opt.CheckpointPath, s.n, cfg.CacheBytes/cfg.BlockBytes, s.m, opt.Decay, opt.Shards, opt.Strict)
+		restored, err = loadServiceState(opt.CheckpointPath, s.n, cfg.CacheBytes/cfg.BlockBytes, s.m,
+			opt.Decay, s.sampling(), opt.Shards, opt.Strict)
 		if err != nil {
 			return nil, err
 		}
@@ -418,7 +427,7 @@ func New(opt Options) (*Server, error) {
 		if restored != nil {
 			wb = restored.shards[i]
 		} else {
-			wb, err = profile.NewWindowed(s.n, cfg.CacheBytes/cfg.BlockBytes, opt.Decay)
+			wb, err = s.newWindowed()
 			if err != nil {
 				return nil, err
 			}
@@ -881,6 +890,18 @@ func validateAggregate(p *profile.Profile, n, cacheBlocks int) error {
 			sum, p.TotalPairs, xerr.ErrFormat)
 	}
 	return nil
+}
+
+// sampling is the shard windows' sampled-profiling configuration,
+// from the tuning Config.
+func (s *Server) sampling() profile.SampleOptions {
+	return profile.SampleOptions{K: s.cfg.SampleK, Seed: s.cfg.SampleSeed}
+}
+
+// newWindowed cold-starts one shard's windowed profile with the
+// server's geometry, decay and sampling configuration.
+func (s *Server) newWindowed() (*profile.Windowed, error) {
+	return profile.NewSampledWindowed(s.n, s.cfg.CacheBytes/s.cfg.BlockBytes, s.opt.Decay, s.sampling())
 }
 
 // rotateAndMerge rotates every healthy shard's window (pipelined: all

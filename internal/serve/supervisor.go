@@ -163,7 +163,7 @@ func (s *Server) restoreShard(sh *shard) {
 		s.fail(fmt.Errorf("serve: shard %d recovery snapshot corrupt, restarting cold: %w", sh.i, err))
 		sh.snap.Store(nil)
 	}
-	wb, err := profile.NewWindowed(s.n, s.cfg.CacheBytes/s.cfg.BlockBytes, s.opt.Decay)
+	wb, err := s.newWindowed()
 	if err != nil {
 		// Options were validated in New; a failure here is a
 		// programming error, and panicking would just re-enter the

@@ -694,7 +694,7 @@ func FuzzServiceCheckpointRestore(f *testing.F) {
 	f.Add([]byte("XSV1garbage"), false)
 
 	f.Fuzz(func(t *testing.T, data []byte, strict bool) {
-		st, err := readServiceState(bytes.NewReader(data), 12, 64, 6, 0, 2, strict)
+		st, err := readServiceState(bytes.NewReader(data), 12, 64, 6, 0, profile.SampleOptions{}, 2, strict)
 		if err != nil {
 			return
 		}

@@ -1,0 +1,17 @@
+//go:build !linux && !darwin
+
+package trace
+
+import "os"
+
+// mmapSupported reports whether this build has a real mmap path.
+const mmapSupported = false
+
+// mmapFile always fails on platforms without a wired-up mmap path;
+// Open falls back to the buffered Reader.
+func mmapFile(_ *os.File, _ int) ([]byte, error) {
+	return nil, ErrMmapUnsupported
+}
+
+// munmapFile is unreachable when mmapFile never succeeds.
+func munmapFile(_ []byte) error { return nil }

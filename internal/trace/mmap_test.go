@@ -1,0 +1,410 @@
+package trace
+
+// Differential matrix pinning MmapReader to Reader's contract: same
+// records, same header, same error classification at the same offsets,
+// on valid traces and on every truncation and corruption of them. The
+// streaming Writer is pinned to Encode the same way — byte-identical
+// output — so cmd/tracegen -stream produces exactly the format every
+// decoder already handles.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xoridx/internal/xerr"
+)
+
+// mmapTraces is the valid-trace half of the differential matrix.
+func mmapTraces() map[string]*Trace {
+	one := &Trace{Name: "one"}
+	one.Append(0x40, Write)
+
+	kinds := &Trace{Name: "kinds", Ops: 7}
+	for i := uint64(0); i < 64; i++ {
+		kinds.Append(i*4, Kind(i%3))
+	}
+
+	jumps := &Trace{Name: "jumps"}
+	jumps.Append(1<<40, Read)
+	jumps.Append(0, Read) // large negative delta
+	jumps.Append(1<<63, Fetch)
+	jumps.Append(42, Write)
+
+	return map[string]*Trace{
+		"empty":  {Name: "empty"},
+		"sample": streamTrace(),
+		"one":    one,
+		"kinds":  kinds,
+		"jumps":  jumps,
+	}
+}
+
+func TestMmapReaderMatchesReaderOnValidTraces(t *testing.T) {
+	for name, tr := range mmapTraces() {
+		t.Run(name, func(t *testing.T) {
+			data := encode(t, tr)
+			mr, err := NewMmapReaderBytes(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd, err := NewReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mr.Name() != rd.Name() || mr.Ops() != rd.Ops() || mr.Len() != rd.Len() {
+				t.Fatalf("headers disagree: mmap %q/%d/%d, reader %q/%d/%d",
+					mr.Name(), mr.Ops(), mr.Len(), rd.Name(), rd.Ops(), rd.Len())
+			}
+			for i := 0; ; i++ {
+				ma, merr := mr.Next()
+				ra, rerr := rd.Next()
+				if ma != ra || !errorsEquivalent(merr, rerr) {
+					t.Fatalf("access %d: mmap (%+v, %v), reader (%+v, %v)", i, ma, merr, ra, rerr)
+				}
+				if mr.Pos() != rd.Pos() || mr.Offset() != rd.Offset() {
+					t.Fatalf("access %d: position mmap %d@%d, reader %d@%d",
+						i, mr.Pos(), mr.Offset(), rd.Pos(), rd.Offset())
+				}
+				if merr == io.EOF {
+					break
+				}
+				if merr != nil {
+					t.Fatalf("access %d: unexpected decode error %v on a valid trace", i, merr)
+				}
+			}
+		})
+	}
+}
+
+func TestMmapReaderReadBlocksChunkedMatchesReader(t *testing.T) {
+	data := encode(t, mmapTraces()["kinds"])
+	for _, chunk := range []int{1, 3, 7, 64, 1000} {
+		mr, err := NewMmapReaderBytes(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mbuf, rbuf := make([]uint64, chunk), make([]uint64, chunk)
+		for {
+			mn, merr := mr.ReadBlocks(mbuf, 4, 16)
+			rn, rerr := rd.ReadBlocks(rbuf, 4, 16)
+			if mn != rn || !errorsEquivalent(merr, rerr) {
+				t.Fatalf("chunk=%d: mmap (%d, %v), reader (%d, %v)", chunk, mn, merr, rn, rerr)
+			}
+			for i := 0; i < mn; i++ {
+				if mbuf[i] != rbuf[i] {
+					t.Fatalf("chunk=%d: block %d: %#x vs %#x", chunk, i, mbuf[i], rbuf[i])
+				}
+			}
+			if merr == io.EOF {
+				break
+			}
+		}
+	}
+}
+
+// TestMmapReaderTruncationMatrix cuts a valid encoding at every byte
+// boundary: both decoders must agree on where decoding stops and how
+// the failure is classified (header vs record, offset, EOF vs format).
+func TestMmapReaderTruncationMatrix(t *testing.T) {
+	data := encode(t, streamTrace())
+	for cut := 0; cut <= len(data); cut++ {
+		prefix := data[:cut]
+		mr, merr := NewMmapReaderBytes(prefix)
+		rd, rerr := NewReader(bytes.NewReader(prefix))
+		if (merr == nil) != (rerr == nil) {
+			t.Fatalf("cut=%d: header: mmap err %v, reader err %v", cut, merr, rerr)
+		}
+		if merr != nil {
+			if !formatErrorsEquivalent(merr, rerr) {
+				t.Fatalf("cut=%d: header errors diverge: %v vs %v", cut, merr, rerr)
+			}
+			continue
+		}
+		for i := 0; ; i++ {
+			ma, me := mr.Next()
+			ra, re := rd.Next()
+			if ma != ra || !errorsEquivalent(me, re) {
+				t.Fatalf("cut=%d access %d: mmap (%+v, %v), reader (%+v, %v)", cut, i, ma, me, ra, re)
+			}
+			if me != nil {
+				break
+			}
+		}
+	}
+}
+
+// TestMmapReaderCorruptKindMatrix flips each record's kind byte to an
+// invalid value and checks both decoders fail identically.
+func TestMmapReaderCorruptKindMatrix(t *testing.T) {
+	tr := streamTrace()
+	data := encode(t, tr)
+	// Locate record starts by replaying offsets.
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := []int64{rd.Offset()}
+	for {
+		if _, err := rd.Next(); err != nil {
+			break
+		}
+		starts = append(starts, rd.Offset())
+	}
+	for rec, start := range starts[:len(starts)-1] {
+		mut := append([]byte(nil), data...)
+		mut[start] = 0x99
+		mr, err := NewMmapReaderBytes(mut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brd, err := NewReader(bytes.NewReader(mut))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			ma, me := mr.Next()
+			ra, re := brd.Next()
+			if ma != ra || !errorsEquivalent(me, re) {
+				t.Fatalf("record %d corrupted: mmap (%+v, %v), reader (%+v, %v)", rec, ma, me, ra, re)
+			}
+			if me != nil {
+				var fe *FormatError
+				if !errors.As(me, &fe) || fe.Offset != start || fe.Record != uint64(rec) {
+					t.Fatalf("record %d: error %v not anchored at record %d offset %d", rec, me, rec, start)
+				}
+				break
+			}
+		}
+	}
+}
+
+// errorsEquivalent reports whether two decode results are the same
+// failure: both nil, both io.EOF, or equivalent *FormatError values.
+func errorsEquivalent(a, b error) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if a == io.EOF || b == io.EOF {
+		return a == io.EOF && b == io.EOF
+	}
+	return formatErrorsEquivalent(a, b)
+}
+
+func formatErrorsEquivalent(a, b error) bool {
+	var fa, fb *FormatError
+	if !errors.As(a, &fa) || !errors.As(b, &fb) {
+		// Non-format errors (e.g. varint overflow) must at least agree
+		// textually.
+		return a.Error() == b.Error()
+	}
+	return fa.Offset == fb.Offset && fa.Record == fb.Record && fa.HaveRecord == fb.HaveRecord
+}
+
+// TestMmapReaderHugeDeclaredCount pins the int-overflow audit at the
+// header level: a trace declaring 2^33 accesses (far past int32) must
+// report its length undamaged and then fail with a format error — not
+// a short silent EOF — when the records are missing.
+func TestMmapReaderHugeDeclaredCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+	}
+	put(4)
+	buf.WriteString("huge")
+	put(0)           // ops
+	put(1 << 33)     // declared accesses
+	buf.WriteByte(0) // one Read record, delta 0
+	buf.Write(tmp[:binary.PutVarint(tmp[:], 16)])
+
+	check := func(name string, r StreamReader) {
+		if r.Len() != 1<<33 {
+			t.Fatalf("%s: Len() = %d, want %d", name, r.Len(), uint64(1)<<33)
+		}
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("%s: first record: %v", name, err)
+		}
+		_, err := r.Next()
+		if err == io.EOF || err == nil {
+			t.Fatalf("%s: missing record %d gave %v, want a format error", name, 1, err)
+		}
+		if !errors.Is(err, xerr.ErrFormat) {
+			t.Fatalf("%s: error %v does not wrap xerr.ErrFormat", name, err)
+		}
+	}
+	mr, err := NewMmapReaderBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("mmap", mr)
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("reader", rd)
+}
+
+func TestWriterMatchesEncodeByteForByte(t *testing.T) {
+	for name, tr := range mmapTraces() {
+		want := encode(t, tr)
+		var got bytes.Buffer
+		w, err := NewWriter(&got, tr.Name, tr.Ops, uint64(tr.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range tr.Accesses {
+			if err := w.WriteAccess(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("%s: streamed encoding differs from Encode (%d vs %d bytes)", name, got.Len(), len(want))
+		}
+	}
+}
+
+func TestWriterEnforcesDeclaredCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "short", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteAccess(Access{Addr: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close accepted an underfilled writer")
+	}
+	if err := w.WriteAccess(Access{Addr: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteAccess(Access{Addr: 12}); err == nil {
+		t.Fatal("writer accepted more accesses than declared")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenMappedAndBufferedAgree exercises the production entry point
+// end to end on a real file: both paths must hand back the same
+// records, and the mapped path must report itself.
+func TestOpenMappedAndBufferedAgree(t *testing.T) {
+	tr := mmapTraces()["kinds"]
+	path := filepath.Join(t.TempDir(), "t.xtr")
+	data := encode(t, tr)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	read := func(preferMmap bool) (*Trace, bool) {
+		src, err := Open(path, preferMmap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		out := &Trace{}
+		for {
+			a, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out.Accesses = append(out.Accesses, a)
+		}
+		return out, src.Mapped
+	}
+	buffered, mapped := read(false)
+	if mapped {
+		t.Fatal("preferMmap=false reported a mapping")
+	}
+	viaMmap, mapped := read(true)
+	if !mapped {
+		t.Skip("mmap unavailable on this platform; fallback path already checked")
+	}
+	if len(buffered.Accesses) != len(viaMmap.Accesses) || len(buffered.Accesses) != tr.Len() {
+		t.Fatalf("access counts: buffered %d, mmap %d, want %d", len(buffered.Accesses), len(viaMmap.Accesses), tr.Len())
+	}
+	for i := range buffered.Accesses {
+		if buffered.Accesses[i] != viaMmap.Accesses[i] {
+			t.Fatalf("access %d differs between paths", i)
+		}
+	}
+}
+
+// TestOpenFallsBackOnUnparsableHeader: a corrupt file must fail the
+// same way through Open regardless of the preferMmap flag (the mapped
+// path silently falls back and lets the buffered reader produce the
+// canonical error).
+func TestOpenFallsBackOnUnparsableHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.xtr")
+	if err := os.WriteFile(path, []byte("NOPE...."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, preferMmap := range []bool{false, true} {
+		if _, err := Open(path, preferMmap); err == nil {
+			t.Fatalf("preferMmap=%v: corrupt header accepted", preferMmap)
+		} else if !errors.Is(err, xerr.ErrFormat) {
+			t.Fatalf("preferMmap=%v: error %v does not wrap xerr.ErrFormat", preferMmap, err)
+		}
+	}
+}
+
+// FuzzMmapReader feeds arbitrary bytes to both decoders and requires
+// identical behavior: header acceptance, every decoded access, and the
+// classification and anchoring of the first failure.
+func FuzzMmapReader(f *testing.F) {
+	for _, tr := range mmapTraces() {
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 4 {
+			f.Add(buf.Bytes()[:buf.Len()/2])
+		}
+	}
+	f.Add([]byte("XTR1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mr, merr := NewMmapReaderBytes(data)
+		rd, rerr := NewReader(bytes.NewReader(data))
+		if (merr == nil) != (rerr == nil) {
+			t.Fatalf("header: mmap err %v, reader err %v", merr, rerr)
+		}
+		if merr != nil {
+			if !formatErrorsEquivalent(merr, rerr) {
+				t.Fatalf("header errors diverge: %v vs %v", merr, rerr)
+			}
+			return
+		}
+		if mr.Name() != rd.Name() || mr.Ops() != rd.Ops() || mr.Len() != rd.Len() {
+			t.Fatalf("headers disagree: %q/%d/%d vs %q/%d/%d",
+				mr.Name(), mr.Ops(), mr.Len(), rd.Name(), rd.Ops(), rd.Len())
+		}
+		for i := 0; i < 1<<16; i++ {
+			ma, me := mr.Next()
+			ra, re := rd.Next()
+			if ma != ra || !errorsEquivalent(me, re) {
+				t.Fatalf("access %d: mmap (%+v, %v), reader (%+v, %v)", i, ma, me, ra, re)
+			}
+			if me != nil {
+				return
+			}
+		}
+	})
+}

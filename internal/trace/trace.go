@@ -110,14 +110,18 @@ func (t *Trace) Blocks(blockBytes, n int) []uint64 {
 	return out
 }
 
-// Stats summarises a trace.
+// Stats summarises a trace. Counters are int64, not int: the streaming
+// paths (Reader, MmapReader, Writer) handle traces past 2^31 accesses,
+// and per-run bookkeeping derived from them must not truncate on
+// 32-bit builds (the >2^31 boundary test in mmap_test.go pins the
+// header side of this).
 type Stats struct {
-	Accesses     int
-	Reads        int
-	Writes       int
-	Fetches      int
+	Accesses     int64
+	Reads        int64
+	Writes       int64
+	Fetches      int64
 	Ops          uint64
-	UniqueBlocks int     // distinct block addresses (4-byte blocks)
+	UniqueBlocks int64   // distinct block addresses (4-byte blocks)
 	Footprint    uint64  // bytes spanned by unique 4-byte blocks
 	MinAddr      uint64  // lowest byte address
 	MaxAddr      uint64  // highest byte address
@@ -126,7 +130,7 @@ type Stats struct {
 
 // ComputeStats scans the trace once and summarises it.
 func (t *Trace) ComputeStats() Stats {
-	s := Stats{Accesses: len(t.Accesses), Ops: t.OpsOrLen()}
+	s := Stats{Accesses: int64(len(t.Accesses)), Ops: t.OpsOrLen()}
 	if len(t.Accesses) == 0 {
 		return s
 	}
@@ -149,7 +153,7 @@ func (t *Trace) ComputeStats() Stats {
 		}
 		blocks[a.Addr>>2] = struct{}{}
 	}
-	s.UniqueBlocks = len(blocks)
+	s.UniqueBlocks = int64(len(blocks))
 	s.Footprint = uint64(len(blocks)) * 4
 	s.AccPerKOp = float64(s.Accesses) * 1000 / float64(s.Ops)
 	return s

@@ -238,7 +238,7 @@ func TestAllWorkloadsProduceSaneTraces(t *testing.T) {
 		if w.Instr != nil {
 			it := w.Instr(1)
 			is := it.ComputeStats()
-			if is.Fetches != it.Len() || is.Reads != 0 || is.Writes != 0 {
+			if is.Fetches != int64(it.Len()) || is.Reads != 0 || is.Writes != 0 {
 				t.Errorf("%s: instruction trace has non-fetch accesses", w.Name)
 			}
 			if it.Len() < 10000 {
